@@ -1,0 +1,79 @@
+"""Shared infrastructure for the paper-reproduction benches.
+
+Experiment runs are expensive (the 10,000-node hierarchical setups
+simulate ~40,000 messages per control cycle), so a session-scoped cache
+shares each configuration's :class:`ExperimentResult` between the figure
+bench (which *measures* the run) and the table benches (which render the
+resource rows from the same run).
+
+Every bench prints a paper-vs-measured table straight to the terminal
+(bypassing capture) so `pytest benchmarks/ --benchmark-only` shows the
+reproduced rows inline.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    run_coordinated_experiment,
+    run_flat_experiment,
+    run_hierarchical_experiment,
+)
+
+#: Control cycles per configuration (paper runs >= 5 min; a dozen cycles
+#: gives identical means in our deterministic simulator).
+FLAT_CYCLES = 12
+HIER_CYCLES = 8
+
+
+class ExperimentCache:
+    """Memoised experiment runs shared across bench files."""
+
+    def __init__(self) -> None:
+        self._flat: Dict[int, ExperimentResult] = {}
+        self._hier: Dict[Tuple[int, int], ExperimentResult] = {}
+
+    def flat(self, n_stages: int, fresh: bool = False) -> ExperimentResult:
+        if fresh or n_stages not in self._flat:
+            self._flat[n_stages] = run_flat_experiment(
+                n_stages, cycles=FLAT_CYCLES
+            )
+        return self._flat[n_stages]
+
+    def hier(
+        self, n_stages: int, n_aggregators: int, fresh: bool = False
+    ) -> ExperimentResult:
+        key = (n_stages, n_aggregators)
+        if fresh or key not in self._hier:
+            self._hier[key] = run_hierarchical_experiment(
+                n_stages, n_aggregators, cycles=HIER_CYCLES
+            )
+        return self._hier[key]
+
+
+@pytest.fixture(scope="session")
+def cache() -> ExperimentCache:
+    return ExperimentCache()
+
+
+#: All reproduction tables are appended here (pytest's fd-level capture
+#: would otherwise swallow them under the default options). The file is
+#: truncated once per pytest session.
+REPORT_PATH = Path(__file__).resolve().parent.parent / "bench_report.txt"
+_report_initialised = False
+
+
+def emit(text: str) -> None:
+    """Record a reproduction table: stdout (visible with ``-s``) + report file."""
+    global _report_initialised
+    print("\n" + text)
+    mode = "a" if _report_initialised else "w"
+    with REPORT_PATH.open(mode, encoding="utf-8") as fh:
+        fh.write(text + "\n\n")
+    _report_initialised = True

@@ -1,0 +1,174 @@
+"""Ablation benches: design-choice sensitivity beyond the paper's figures.
+
+DESIGN.md calls out the cost-model knobs the conclusions rest on; each
+ablation perturbs one and checks the conclusion's direction survives:
+
+* controller CPU speed (per-message cost scaling);
+* payload sizes (wire bytes scaling);
+* the decision-offload variant (§VI);
+* the coordinated-flat variant (§VI);
+* three-level hierarchies;
+* the connection-limit ceiling itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.costs import FRONTERA_COST_MODEL
+from repro.harness.experiment import (
+    run_coordinated_experiment,
+    run_flat_experiment,
+    run_hierarchical_experiment,
+)
+from repro.harness.report import format_table
+
+N = 800  # big enough for clear separation, small enough for bench speed
+
+
+def test_ablation_cpu_scaling(benchmark):
+    """Cycle latency is controller-CPU-bound: it scales ~linearly."""
+
+    def run():
+        return {
+            f: run_flat_experiment(N, cycles=6, costs=FRONTERA_COST_MODEL.scaled(cpu_factor=f))
+            for f in (0.5, 1.0, 2.0)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["cpu factor", "mean latency (ms)"],
+            [[f, r.mean_ms] for f, r in sorted(results.items())],
+            title="Ablation — controller CPU cost scaling (flat, 800 nodes)",
+        )
+    )
+    assert results[2.0].mean_ms > 1.6 * results[1.0].mean_ms
+    assert results[0.5].mean_ms < 0.7 * results[1.0].mean_ms
+
+
+def test_ablation_payload_scaling(benchmark):
+    """Fatter payloads move MB/s but barely move latency (CPU-bound)."""
+
+    def run():
+        return {
+            f: run_flat_experiment(N, cycles=6, costs=FRONTERA_COST_MODEL.scaled(net_factor=f))
+            for f in (1.0, 4.0)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["payload factor", "latency (ms)", "global tx MB/s"],
+            [
+                [f, r.mean_ms, r.global_usage.transmitted_mb_s]
+                for f, r in sorted(results.items())
+            ],
+            title="Ablation — wire payload scaling (flat, 800 nodes)",
+        )
+    )
+    assert results[4.0].global_usage.transmitted_mb_s > 3.5 * results[1.0].global_usage.transmitted_mb_s
+    assert results[4.0].mean_ms < 1.1 * results[1.0].mean_ms
+
+
+def test_ablation_decision_offload(benchmark):
+    """§VI offloading: smaller global compute phase, similar totals."""
+
+    def run():
+        plain = run_hierarchical_experiment(N, 4, cycles=6)
+        offload = run_hierarchical_experiment(N, 4, cycles=6, decision_offload=True)
+        return plain, offload
+
+    plain, offload = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["variant", "total (ms)", "collect", "compute", "enforce"],
+            [
+                ["hierarchical", plain.mean_ms, *plain.phase_means_ms().values()],
+                ["  + offload", offload.mean_ms, *offload.phase_means_ms().values()],
+            ],
+            title="Ablation — decision offloading to aggregators (800 nodes, 4 aggs)",
+        )
+    )
+    assert offload.phase_means_ms()["compute"] < plain.phase_means_ms()["compute"]
+
+
+def test_ablation_coordinated_flat(benchmark):
+    """§VI coordinated peers vs single flat controller."""
+
+    def run():
+        flat = run_flat_experiment(N, cycles=6)
+        coord = {
+            k: run_coordinated_experiment(N, k, cycles=6) for k in (2, 4, 8)
+        }
+        return flat, coord
+
+    flat, coord = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["design", "mean latency (ms)"],
+            [["flat (1 controller)", flat.mean_ms]]
+            + [[f"coordinated ({k} peers)", r.mean_ms] for k, r in sorted(coord.items())],
+            title="Ablation — coordinated flat control plane (800 nodes)",
+        )
+    )
+    # Partitioned collection beats one controller; more peers help further
+    # until the all-to-all summary exchange overhead pushes back.
+    assert coord[4].mean_ms < flat.mean_ms
+    assert coord[4].mean_ms < coord[2].mean_ms
+
+
+def test_ablation_hierarchy_depth(benchmark):
+    """Depth trades an extra hop for leaf parallelism; there's a crossover.
+
+    With 2 top aggregators and fanout 2, a third level splits each
+    partition across two leaf aggregators working in parallel. At small
+    scale the extra hop dominates (3 levels slower); once partitions are
+    large, halving the per-leaf serial work wins (3 levels faster) — the
+    quantitative version of §VI's suggestion to push work down the tree.
+    """
+
+    def run():
+        out = {}
+        for n in (60, 800):
+            two = run_hierarchical_experiment(n, 2, cycles=6, levels=2)
+            three = run_hierarchical_experiment(n, 2, cycles=6, levels=3)
+            out[n] = (two, three)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["stages", "2 levels (ms)", "3 levels (ms)"],
+            [
+                [n, two.mean_ms, three.mean_ms]
+                for n, (two, three) in sorted(results.items())
+            ],
+            title="Ablation — hierarchy depth (2 top aggregators, fanout 2)",
+        )
+    )
+    two_small, three_small = results[60]
+    two_big, three_big = results[800]
+    assert three_small.mean_ms > two_small.mean_ms  # hop overhead dominates
+    assert three_big.mean_ms < two_big.mean_ms  # leaf parallelism wins
+
+
+def test_ablation_connection_limit(benchmark):
+    """The minimum viable aggregator count tracks the NIC ceiling."""
+    from repro.top500 import min_aggregators
+
+    def run():
+        return {
+            cap: min_aggregators(10_000, connection_limit=cap)
+            for cap in (1000, 2500, 5000, 10_000)
+        }
+
+    mins = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["connection limit", "min aggregators @ 10k nodes"],
+            [[cap, m] for cap, m in sorted(mins.items())],
+            title="Ablation — connection-limit ceiling vs required aggregators",
+        )
+    )
+    assert mins[2500] == 4  # the paper's configuration
+    assert mins[10_000] == 1  # a big enough NIC would restore the flat design

@@ -1,0 +1,58 @@
+"""Fig. 4 — flat control plane: cycle latency vs number of compute nodes.
+
+Paper: a single global controller managing 50 / 500 / 1,250 / 2,500 nodes
+averages 1.11 / ~8 / ~20 / 40.40 ms per control cycle, phases growing
+proportionally with N and enforce > collect throughout.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.harness.paper import PAPER
+from repro.harness.report import compare_row, format_figure_series, format_table
+
+NODE_COUNTS = (50, 500, 1250, 2500)
+
+
+@pytest.mark.parametrize("n_stages", NODE_COUNTS)
+def test_fig4_flat_latency(benchmark, cache, n_stages):
+    result = benchmark.pedantic(
+        lambda: cache.flat(n_stages, fresh=True), rounds=1, iterations=1
+    )
+    target = PAPER.flat_latency_ms[n_stages]
+    tolerance = 0.10 if n_stages in PAPER.flat_latency_exact else 0.25
+    assert result.mean_ms == pytest.approx(target, rel=tolerance)
+    # Fig. 4's qualitative fact at every size:
+    phases = result.phase_means_ms()
+    assert phases["enforce"] > phases["collect"]
+    # Paper: std below 6 %.
+    assert result.latency.relative_std < PAPER.max_relative_std
+
+
+def test_fig4_summary(benchmark, cache):
+    """Render the full figure: paper vs measured series + phase stacks."""
+
+    def build():
+        rows = []
+        series = {"collect": [], "compute": [], "enforce": []}
+        for n in NODE_COUNTS:
+            result = cache.flat(n)
+            rows.append(compare_row(f"flat @ {n}", result.mean_ms, PAPER.flat_latency_ms[n]))
+            for phase, value in result.phase_means_ms().items():
+                series[phase].append(value)
+        table = format_table(
+            ["config", "paper (ms)", "measured (ms)", "error"],
+            rows,
+            title="Fig. 4 — flat design: average control-cycle latency",
+        )
+        figure = format_figure_series(
+            "Fig. 4 — measured phase breakdown (ms)",
+            "nodes",
+            list(NODE_COUNTS),
+            series,
+        )
+        return table + "\n\n" + figure
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(text)
+    assert "flat @ 2500" in text

@@ -1,0 +1,44 @@
+"""Table I — Top500 systems and what they imply for SDS control planes."""
+
+from benchmarks.conftest import emit
+from repro.harness.report import format_table
+from repro.top500 import SUPERCOMPUTERS, min_aggregators, table_rows
+
+
+def test_table1_top500(benchmark):
+    def build():
+        rows = [
+            [
+                r["System"],
+                r["Rank"],
+                r["Rmax (PFlop/s)"],
+                r["Number of nodes"],
+                r["Year"],
+                min_aggregators(r["Number of nodes"]),
+            ]
+            for r in table_rows()
+        ]
+        return format_table(
+            [
+                "System",
+                "Rank",
+                "Rmax (PFlop/s)",
+                "Number of nodes",
+                "Year",
+                "min aggregators @2500-conn limit",
+            ],
+            rows,
+            title="Table I — Top500 systems (June 2024, as reported in the paper)",
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(text)
+
+    assert "Frontier" in text and "158976" in text
+    # Every paper row is present and the scale motivates hierarchy:
+    assert len(SUPERCOMPUTERS) == 5
+    assert all(
+        min_aggregators(sc.n_nodes) >= 2
+        for sc in SUPERCOMPUTERS
+        if sc.n_nodes > 2500
+    )

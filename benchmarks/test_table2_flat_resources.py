@@ -1,0 +1,69 @@
+"""Table II — flat global controller resource usage.
+
+Paper (per node count 50/500/1250/2500): CPU 6.07–10.34 %, memory
+0.07–1.18 GB, TX 5.67–9.73 MB/s, RX 3.74–5.36 MB/s.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.harness.paper import PAPER
+from repro.harness.report import format_table, relative_error
+
+NODE_COUNTS = (50, 500, 1250, 2500)
+
+
+def test_table2_flat_resources(benchmark, cache):
+    for n in NODE_COUNTS:  # ensure runs exist (reuses Fig. 4's)
+        cache.flat(n)
+
+    def build():
+        rows = []
+        for n in NODE_COUNTS:
+            usage = cache.flat(n).global_usage
+            ref = PAPER.flat_resources[n]
+            rows.append(
+                [
+                    n,
+                    ref.cpu_percent,
+                    usage.cpu_percent,
+                    ref.memory_gb,
+                    usage.memory_gb,
+                    ref.transmitted_mb_s,
+                    usage.transmitted_mb_s,
+                    ref.received_mb_s,
+                    usage.received_mb_s,
+                ]
+            )
+        return format_table(
+            [
+                "nodes",
+                "cpu% (paper)",
+                "cpu% (ours)",
+                "mem GB (paper)",
+                "mem GB (ours)",
+                "tx MB/s (paper)",
+                "tx MB/s (ours)",
+                "rx MB/s (paper)",
+                "rx MB/s (ours)",
+            ],
+            rows,
+            title="Table II — flat global controller resource usage",
+        )
+
+    emit(benchmark.pedantic(build, rounds=1, iterations=1))
+
+    # Shape assertions: each column within tolerance of the paper at the
+    # scales that matter (small-N CPU is dominated by fixed overheads the
+    # model intentionally folds into per-stage costs).
+    for n in (500, 1250, 2500):
+        usage = cache.flat(n).global_usage
+        ref = PAPER.flat_resources[n]
+        assert abs(relative_error(usage.cpu_percent, ref.cpu_percent)) < 0.20
+        assert abs(relative_error(usage.memory_gb, ref.memory_gb)) < 0.15
+        assert abs(relative_error(usage.transmitted_mb_s, ref.transmitted_mb_s)) < 0.20
+        assert abs(relative_error(usage.received_mb_s, ref.received_mb_s)) < 0.20
+
+    # Trends: every resource grows (or saturates) with N.
+    mems = [cache.flat(n).global_usage.memory_gb for n in NODE_COUNTS]
+    assert mems == sorted(mems)

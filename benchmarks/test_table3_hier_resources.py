@@ -1,0 +1,92 @@
+"""Table III — hierarchical resource usage at 10,000 nodes.
+
+Paper: the global controller's CPU/TX/RX grow with the number of
+aggregators (more connections to manage, shorter cycles) while its memory
+stays ~3.5 GB; per-aggregator usage shrinks as the 10,000 stages spread
+across more controllers.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.harness.paper import PAPER
+from repro.harness.report import format_table, relative_error
+
+AGGREGATORS = (4, 5, 10, 20)
+N_STAGES = 10_000
+
+
+def test_table3_hier_resources(benchmark, cache):
+    for a in AGGREGATORS:
+        cache.hier(N_STAGES, a)
+
+    def build():
+        rows = []
+        for a in AGGREGATORS:
+            result = cache.hier(N_STAGES, a)
+            g_ref = PAPER.hier_global_resources[a]
+            a_ref = PAPER.hier_aggregator_resources[a]
+            g, ag = result.global_usage, result.aggregator_usage
+            rows.append(
+                [
+                    f"A={a} global",
+                    g_ref.cpu_percent,
+                    g.cpu_percent,
+                    g_ref.memory_gb,
+                    g.memory_gb,
+                    g_ref.transmitted_mb_s,
+                    g.transmitted_mb_s,
+                    g_ref.received_mb_s,
+                    g.received_mb_s,
+                ]
+            )
+            rows.append(
+                [
+                    f"A={a} aggregator",
+                    a_ref.cpu_percent,
+                    ag.cpu_percent,
+                    a_ref.memory_gb,
+                    ag.memory_gb,
+                    a_ref.transmitted_mb_s,
+                    ag.transmitted_mb_s,
+                    a_ref.received_mb_s,
+                    ag.received_mb_s,
+                ]
+            )
+        return format_table(
+            [
+                "controller",
+                "cpu% (paper)",
+                "cpu% (ours)",
+                "mem GB (paper)",
+                "mem GB (ours)",
+                "tx MB/s (paper)",
+                "tx MB/s (ours)",
+                "rx MB/s (paper)",
+                "rx MB/s (ours)",
+            ],
+            rows,
+            title="Table III — hierarchical design at 10,000 nodes",
+        )
+
+    emit(benchmark.pedantic(build, rounds=1, iterations=1))
+
+    # Headline cells within tolerance.
+    for a in AGGREGATORS:
+        result = cache.hier(N_STAGES, a)
+        g_ref = PAPER.hier_global_resources[a]
+        a_ref = PAPER.hier_aggregator_resources[a]
+        assert abs(relative_error(result.global_usage.cpu_percent, g_ref.cpu_percent)) < 0.25
+        assert abs(relative_error(result.global_usage.memory_gb, g_ref.memory_gb)) < 0.15
+        assert abs(relative_error(result.global_usage.transmitted_mb_s, g_ref.transmitted_mb_s)) < 0.20
+        assert abs(relative_error(result.global_usage.received_mb_s, g_ref.received_mb_s)) < 0.20
+        assert abs(relative_error(result.aggregator_usage.cpu_percent, a_ref.cpu_percent)) < 0.35
+        assert abs(relative_error(result.aggregator_usage.memory_gb, a_ref.memory_gb)) < 0.25
+
+    # Trends the paper highlights:
+    global_cpu = [cache.hier(N_STAGES, a).global_usage.cpu_percent for a in AGGREGATORS]
+    assert global_cpu == sorted(global_cpu)  # grows with A
+    agg_cpu = [cache.hier(N_STAGES, a).aggregator_usage.cpu_percent for a in AGGREGATORS]
+    assert agg_cpu == sorted(agg_cpu, reverse=True)  # shrinks with A
+    agg_mem = [cache.hier(N_STAGES, a).aggregator_usage.memory_gb for a in AGGREGATORS]
+    assert agg_mem == sorted(agg_mem, reverse=True)

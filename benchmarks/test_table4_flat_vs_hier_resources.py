@@ -1,0 +1,97 @@
+"""Table IV — resource usage: flat vs hierarchical (1 aggregator) @ 2,500.
+
+Paper: aggregation moves nearly all CPU and network load off the global
+controller (10.34 % -> 1.15 % CPU; 9.73 -> 2.36 MB/s TX) and onto the
+aggregator (7.83 % CPU, 8.65 MB/s TX).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.harness.paper import PAPER
+from repro.harness.report import format_table, relative_error
+
+N_STAGES = 2500
+
+
+def test_table4_resources(benchmark, cache):
+    flat = cache.flat(N_STAGES)
+    hier = cache.hier(N_STAGES, 1)
+
+    def build():
+        ref_fg = PAPER.table4_flat_global
+        ref_hg = PAPER.table4_hier_global
+        ref_ha = PAPER.table4_hier_aggregator
+        rows = [
+            [
+                "flat global",
+                ref_fg.cpu_percent,
+                flat.global_usage.cpu_percent,
+                ref_fg.memory_gb,
+                flat.global_usage.memory_gb,
+                ref_fg.transmitted_mb_s,
+                flat.global_usage.transmitted_mb_s,
+                ref_fg.received_mb_s,
+                flat.global_usage.received_mb_s,
+            ],
+            [
+                "hier global",
+                ref_hg.cpu_percent,
+                hier.global_usage.cpu_percent,
+                ref_hg.memory_gb,
+                hier.global_usage.memory_gb,
+                ref_hg.transmitted_mb_s,
+                hier.global_usage.transmitted_mb_s,
+                ref_hg.received_mb_s,
+                hier.global_usage.received_mb_s,
+            ],
+            [
+                "hier aggregator",
+                ref_ha.cpu_percent,
+                hier.aggregator_usage.cpu_percent,
+                ref_ha.memory_gb,
+                hier.aggregator_usage.memory_gb,
+                ref_ha.transmitted_mb_s,
+                hier.aggregator_usage.transmitted_mb_s,
+                ref_ha.received_mb_s,
+                hier.aggregator_usage.received_mb_s,
+            ],
+        ]
+        return format_table(
+            [
+                "controller",
+                "cpu% (paper)",
+                "cpu% (ours)",
+                "mem GB (paper)",
+                "mem GB (ours)",
+                "tx MB/s (paper)",
+                "tx MB/s (ours)",
+                "rx MB/s (paper)",
+                "rx MB/s (ours)",
+            ],
+            rows,
+            title="Table IV — flat vs hierarchical (1 aggregator) at 2,500 nodes",
+        )
+
+    emit(benchmark.pedantic(build, rounds=1, iterations=1))
+
+    # Headline cells.
+    assert abs(
+        relative_error(hier.global_usage.cpu_percent, PAPER.table4_hier_global.cpu_percent)
+    ) < 0.25
+    assert abs(
+        relative_error(hier.global_usage.memory_gb, PAPER.table4_hier_global.memory_gb)
+    ) < 0.15
+    assert abs(
+        relative_error(
+            hier.aggregator_usage.cpu_percent, PAPER.table4_hier_aggregator.cpu_percent
+        )
+    ) < 0.20
+
+    # The shift the paper describes: CPU leaves the global controller...
+    assert hier.global_usage.cpu_percent < flat.global_usage.cpu_percent / 4
+    # ...and lands on the aggregator.
+    assert hier.aggregator_usage.cpu_percent > 4 * hier.global_usage.cpu_percent
+    # Network: the global controller now exchanges compact pre-merged data.
+    assert hier.global_usage.transmitted_mb_s < flat.global_usage.transmitted_mb_s / 2
+    assert hier.global_usage.received_mb_s < flat.global_usage.received_mb_s / 2

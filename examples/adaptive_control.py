@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Adaptive control: spend cycles only when the workload moves.
+
+Combines two beyond-the-paper mechanisms on one bursty cluster:
+
+* **volatility-adaptive pacing** — the controller tightens its control
+  period when demand is shifting and relaxes it when things are calm;
+* **changed-only enforcement** — rules are shipped only when a stage's
+  allocation actually moved.
+
+Compared against the paper's fixed-period, always-push loop over the same
+60 seconds of bursty demand, the adaptive controller reacts just as fast
+at burst edges while doing a fraction of the work in the quiet spans.
+
+Run:  python examples/adaptive_control.py
+"""
+
+from repro.core.adaptive import AdaptivePeriodController
+from repro.core.control_plane import ControlPlaneConfig, FlatControlPlane
+from repro.harness.report import format_table
+from repro.jobs.workloads import BurstySource
+
+N_STAGES = 200
+DURATION_S = 60.0
+
+
+def build(enforce_changed_only):
+    cfg = ControlPlaneConfig(
+        n_stages=N_STAGES,
+        enforce_changed_only=enforce_changed_only,
+        rule_change_tolerance=0.02,
+        source_factory=lambda sid: BurstySource(on_s=4.0, off_s=12.0),
+    )
+    return FlatControlPlane.build(cfg)
+
+
+def main() -> None:
+    # Baseline: fixed 0.25 s period, every rule pushed every cycle.
+    fixed = build(enforce_changed_only=False)
+    fixed.global_controller.run_for(duration_s=DURATION_S, period_s=0.25)
+    fixed.env.run()
+
+    # Adaptive: period floats in [0.25 s, 4 s]; rules only on change.
+    adaptive_plane = build(enforce_changed_only=True)
+    adaptive = AdaptivePeriodController(
+        adaptive_plane.global_controller,
+        min_period_s=0.25,
+        max_period_s=4.0,
+        target_volatility=0.3,
+        smoothing=1.0,
+    )
+    adaptive_plane.env.run(adaptive.run_for(duration_s=DURATION_S))
+
+    def totals(plane):
+        ctrl = plane.global_controller
+        cycles = len(ctrl.cycles)
+        busy_ms = ctrl.host.busy_seconds * 1e3
+        tx_mb = ctrl.host.nic.tx_bytes / 1e6
+        return cycles, busy_ms, tx_mb
+
+    f_cycles, f_busy, f_tx = totals(fixed)
+    a_cycles, a_busy, a_tx = totals(adaptive_plane)
+    suppressed = adaptive_plane.global_controller.rules_suppressed
+    print(
+        format_table(
+            [
+                "controller",
+                "cycles",
+                "controller busy (ms)",
+                "control TX (MB)",
+                "rules suppressed",
+            ],
+            [
+                ["fixed 0.25s, always-push", f_cycles, f_busy, f_tx, 0],
+                ["adaptive + changed-only", a_cycles, a_busy, a_tx, suppressed],
+            ],
+            title=f"Bursty cluster, {N_STAGES} stages, {DURATION_S:.0f}s",
+        )
+    )
+    print(
+        f"\nsavings: {1 - a_busy / f_busy:.0%} controller CPU, "
+        f"{1 - a_tx / f_tx:.0%} control traffic, with the period snapping to "
+        f"{adaptive.min_period_s}s whenever a burst edge raised volatility "
+        f"(mean period {adaptive.mean_period_s():.2f}s)."
+    )
+
+
+if __name__ == "__main__":
+    main()

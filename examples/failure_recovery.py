@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Dependability (paper §VI): what happens when a controller dies.
+
+An aggregator managing a quarter of the stages crashes mid-run and
+recovers two seconds later. With a collect timeout configured, the global
+controller keeps cycling on partial metrics; orphaned stages keep
+enforcing their last rules (the storage stays up, QoS degrades); on
+recovery, stale in-flight traffic is discarded by epoch checks and full
+control resumes.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro.core.control_plane import ControlPlaneConfig, HierarchicalControlPlane
+from repro.core.failures import crash_aggregator
+from repro.harness.report import format_table
+
+N_STAGES = 200
+CRASH_AT = 0.02
+DOWNTIME = 2.0
+
+
+def main() -> None:
+    plane = HierarchicalControlPlane.build(
+        ControlPlaneConfig(n_stages=N_STAGES, collect_timeout_s=0.05),
+        n_aggregators=4,
+    )
+    victim = plane.aggregators[0]
+    log = crash_aggregator(plane.env, victim, at=CRASH_AT, downtime=DOWNTIME)
+    plane.run_stress(n_cycles=60)
+
+    ctrl = plane.global_controller
+    rows = []
+    for c in ctrl.cycles:
+        phase = (
+            "before crash"
+            if c.started_at < CRASH_AT
+            else "degraded"
+            if c.started_at < CRASH_AT + DOWNTIME
+            else "recovered"
+        )
+        rows.append((phase, c.total_s * 1e3))
+    by_phase = {}
+    for phase, ms in rows:
+        by_phase.setdefault(phase, []).append(ms)
+    print(
+        format_table(
+            ["period", "cycles", "mean cycle (ms)", "max cycle (ms)"],
+            [
+                [phase, len(v), sum(v) / len(v), max(v)]
+                for phase, v in by_phase.items()
+            ],
+            title=f"Control cycles around a {DOWNTIME:.0f}s aggregator outage",
+        )
+    )
+
+    orphaned = [s for s in plane.stages if s.stage_id in set(victim.stage_ids)]
+    held = sum(1 for s in orphaned if s.applied_rule is not None)
+    print(
+        f"\ntimeline: {log.events[0].action} at t={log.events[0].time:.3f}s, "
+        f"{log.events[1].action} at t={log.events[1].time:.3f}s"
+    )
+    print(
+        f"degraded period: global controller timed out {ctrl.collect_timeouts} "
+        f"collect/enforce phases but completed every cycle"
+    )
+    print(
+        f"orphaned stages: {held}/{len(orphaned)} kept enforcing their last "
+        f"rule throughout the outage (storage stayed governed, just stale)"
+    )
+    print(
+        f"stale messages discarded after recovery: {ctrl.stale_messages} "
+        f"(epoch checks prevented rule rollback)"
+    )
+    final_epoch = max(s.applied_rule.epoch for s in orphaned)
+    print(f"post-recovery: orphaned stages back on fresh epoch {final_epoch}")
+
+
+if __name__ == "__main__":
+    main()

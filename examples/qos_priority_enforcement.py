@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""QoS enforcement: PSFA vs baselines on a contended PFS.
+
+Three jobs with different priority classes hammer a shared PFS whose
+efficient budget is far below their combined demand. We run the same
+scenario under three control algorithms and report what each job
+achieved:
+
+* **PSFA** — weighted shares, demand-aware, no false allocation;
+* **static partition** — demand-blind weighted split (strands capacity on
+  the idle job);
+* **uniform share** — ignores priorities entirely.
+
+This is the paper's motivation (§I–II) made concrete: the same data
+plane, different control algorithms, very different outcomes.
+
+Run:  python examples/qos_priority_enforcement.py
+"""
+
+from repro.core.algorithms import PSFA, StaticPartition, UniformShare
+from repro.core.control_plane import ControlPlaneConfig, FlatControlPlane
+from repro.core.policies import QoSPolicy
+from repro.dataplane.interceptor import IOInterceptor
+from repro.dataplane.stage import DataPlaneStage
+from repro.harness.report import format_table
+from repro.jobs.job import Job, JobPhase, run_job
+
+PFS_BUDGET = 600.0  # IOPS the PFS handles efficiently
+DURATION = 6.0
+
+#: (job index, class, offered IOPS) — job 3 registers but stays idle.
+SCENARIO = [
+    ("interactive", 900.0),
+    ("batch", 900.0),
+    ("scavenger", 900.0),
+    ("batch", 0.0),  # idle job: the false-allocation victim
+]
+
+
+def run_scenario(algorithm):
+    policy = QoSPolicy(pfs_capacity_iops=PFS_BUDGET)
+    for i, (cls, _) in enumerate(SCENARIO):
+        policy.assign_job(f"job-{i:05d}", cls)
+    cfg = ControlPlaneConfig(
+        n_stages=len(SCENARIO),
+        policy=policy,
+        algorithm=algorithm,
+        stage_cls=DataPlaneStage,
+    )
+    plane = FlatControlPlane.build(cfg)
+    env = plane.env
+
+    procs = []
+    for stage, (cls, offered) in zip(plane.stages, SCENARIO):
+        io = IOInterceptor(env, stage)
+        job = Job(
+            stage.job_id,
+            cls,
+            (JobPhase(duration_s=DURATION, data_iops=max(offered, 1e-9))
+             if offered > 0
+             else JobPhase(duration_s=DURATION),),
+        )
+        procs.append(env.process(run_job(env, job, io)))
+
+    plane.global_controller.run_for(duration_s=DURATION, period_s=0.25)
+    env.run()
+    achieved = [
+        p.value.ops_completed / p.value.finished_at if p.value.finished_at else 0.0
+        for p in procs
+    ]
+    return achieved
+
+
+def main() -> None:
+    algorithms = {
+        "PSFA": PSFA(),
+        "static partition": StaticPartition(),
+        "uniform share": UniformShare(),
+    }
+    results = {name: run_scenario(algo) for name, algo in algorithms.items()}
+
+    rows = []
+    for i, (cls, offered) in enumerate(SCENARIO):
+        rows.append(
+            [
+                f"job {i} ({cls})",
+                offered,
+                *[results[name][i] for name in algorithms],
+            ]
+        )
+    rows.append(
+        ["TOTAL", sum(o for _, o in SCENARIO), *[sum(r) for r in results.values()]]
+    )
+    print(
+        format_table(
+            ["job", "offered IOPS", *algorithms.keys()],
+            rows,
+            title=f"Achieved IOPS under a {PFS_BUDGET:.0f}-IOPS PFS budget",
+            float_format="{:.0f}",
+        )
+    )
+    print(
+        "\nReadings: PSFA gives the interactive job its weighted share and"
+        "\nredistributes the idle job's entitlement (no false allocation);"
+        "\nthe static partition strands ~25% of the budget on the idle job;"
+        "\nuniform sharing flattens the priority classes entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

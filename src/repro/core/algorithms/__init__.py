@@ -1,0 +1,21 @@
+"""Control algorithms executed by the global controller each cycle."""
+
+from repro.core.algorithms.base import AllocationResult, ControlAlgorithm
+from repro.core.algorithms.baselines import (
+    MaxMinFair,
+    NaiveProportional,
+    StaticPartition,
+    UniformShare,
+)
+from repro.core.algorithms.psfa import PSFA, weighted_waterfill
+
+__all__ = [
+    "AllocationResult",
+    "ControlAlgorithm",
+    "MaxMinFair",
+    "NaiveProportional",
+    "PSFA",
+    "StaticPartition",
+    "UniformShare",
+    "weighted_waterfill",
+]

@@ -1,0 +1,150 @@
+"""Baseline allocation algorithms PSFA is compared against.
+
+These represent the design points the paper's related-work section
+criticises:
+
+* :class:`StaticPartition` — capacity split by weight across *all
+  registered* jobs, active or not. This is the "false allocation" failure
+  mode: idle jobs strand budget.
+* :class:`UniformShare` — equal split across active jobs, ignoring QoS
+  weights (no differentiation).
+* :class:`NaiveProportional` — weighted split across active jobs but blind
+  to demand, so small jobs strand their surplus (over-provisioning) while
+  big jobs starve (under-provisioning).
+* :class:`MaxMinFair` — unweighted demand-capped water-fill; fair and
+  work-conserving but cannot express QoS priorities.
+
+All are pure vectorized functions, like PSFA, and are exercised by the
+ablation benches and the QoS examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.algorithms.base import (
+    AllocationResult,
+    ControlAlgorithm,
+    validate_inputs,
+)
+from repro.core.algorithms.psfa import weighted_waterfill
+
+__all__ = ["MaxMinFair", "NaiveProportional", "StaticPartition", "UniformShare"]
+
+_EPS = 1e-12
+
+
+class StaticPartition(ControlAlgorithm):
+    """Weight-proportional split over all registered jobs, demand-blind."""
+
+    name = "static-partition"
+
+    def allocate(
+        self,
+        demands: np.ndarray,
+        weights: np.ndarray,
+        capacity: float,
+        guarantees: Optional[np.ndarray] = None,
+    ) -> AllocationResult:
+        validate_inputs(demands, weights, capacity, guarantees)
+        demands = np.asarray(demands, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        alloc = capacity * weights / float(weights.sum())
+        demand_limited = alloc >= demands - _EPS
+        return AllocationResult(alloc, demand_limited, 0.0)
+
+
+class UniformShare(ControlAlgorithm):
+    """Equal split across active jobs; weights ignored."""
+
+    name = "uniform-share"
+
+    def __init__(self, activity_threshold_iops: float = 0.0) -> None:
+        if activity_threshold_iops < 0:
+            raise ValueError(f"negative threshold: {activity_threshold_iops}")
+        self.activity_threshold_iops = float(activity_threshold_iops)
+
+    def allocate(
+        self,
+        demands: np.ndarray,
+        weights: np.ndarray,
+        capacity: float,
+        guarantees: Optional[np.ndarray] = None,
+    ) -> AllocationResult:
+        validate_inputs(demands, weights, capacity, guarantees)
+        demands = np.asarray(demands, dtype=float)
+        n = demands.size
+        alloc = np.zeros(n)
+        active = demands > self.activity_threshold_iops
+        n_active = int(active.sum())
+        if n_active:
+            alloc[active] = capacity / n_active
+        demand_limited = alloc >= demands - _EPS
+        unallocated = float(capacity) if n_active == 0 else 0.0
+        return AllocationResult(alloc, demand_limited, unallocated)
+
+
+class NaiveProportional(ControlAlgorithm):
+    """Weighted split across active jobs, blind to demand magnitudes."""
+
+    name = "naive-proportional"
+
+    def __init__(self, activity_threshold_iops: float = 0.0) -> None:
+        if activity_threshold_iops < 0:
+            raise ValueError(f"negative threshold: {activity_threshold_iops}")
+        self.activity_threshold_iops = float(activity_threshold_iops)
+
+    def allocate(
+        self,
+        demands: np.ndarray,
+        weights: np.ndarray,
+        capacity: float,
+        guarantees: Optional[np.ndarray] = None,
+    ) -> AllocationResult:
+        validate_inputs(demands, weights, capacity, guarantees)
+        demands = np.asarray(demands, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        n = demands.size
+        alloc = np.zeros(n)
+        active = demands > self.activity_threshold_iops
+        if np.any(active):
+            w_act = weights[active]
+            alloc[active] = capacity * w_act / float(w_act.sum())
+        demand_limited = alloc >= demands - _EPS
+        unallocated = 0.0 if np.any(active) else float(capacity)
+        return AllocationResult(alloc, demand_limited, unallocated)
+
+
+class MaxMinFair(ControlAlgorithm):
+    """Unweighted, demand-capped max-min fairness (no redistribution)."""
+
+    name = "max-min-fair"
+
+    def __init__(self, activity_threshold_iops: float = 0.0) -> None:
+        if activity_threshold_iops < 0:
+            raise ValueError(f"negative threshold: {activity_threshold_iops}")
+        self.activity_threshold_iops = float(activity_threshold_iops)
+
+    def allocate(
+        self,
+        demands: np.ndarray,
+        weights: np.ndarray,
+        capacity: float,
+        guarantees: Optional[np.ndarray] = None,
+    ) -> AllocationResult:
+        validate_inputs(demands, weights, capacity, guarantees)
+        demands = np.asarray(demands, dtype=float)
+        n = demands.size
+        alloc = np.zeros(n)
+        active = demands > self.activity_threshold_iops
+        if np.any(active):
+            d_act = demands[active]
+            alloc[active] = weighted_waterfill(
+                d_act, np.ones(d_act.size), capacity
+            )
+        demand_limited = alloc >= demands - _EPS
+        return AllocationResult(
+            alloc, demand_limited, float(capacity - alloc.sum())
+        )

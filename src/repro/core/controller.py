@@ -1,0 +1,1008 @@
+"""Global and aggregator controller state machines.
+
+These are the actors of the paper's two control-plane designs:
+
+* :class:`GlobalController` — runs the feedback loop (collect → compute →
+  enforce) over its children. In the **flat** design the children are
+  data-plane stages (Fig. 2); in the **hierarchical** design they are
+  :class:`AggregatorController` instances (Fig. 3).
+* :class:`AggregatorController` — the extra control level: fans collect
+  requests out to its stage partition, merges the replies into one
+  aggregated report, and unpacks rule batches into per-stage rule
+  messages. With ``decision_offload`` (paper §VI) it instead receives a
+  capacity *budget* and runs PSFA locally over its partition.
+
+Both controllers charge every protocol step to their host through the
+:class:`~repro.core.costs.CostModel`, so cycle latency, phase breakdown,
+CPU %, memory, and NIC throughput all emerge from the simulation.
+
+Message protocol (kind, payload):
+
+=================  ==========================================  ===========
+kind               payload                                     direction
+=================  ==========================================  ===========
+collect_req        epoch                                       ctrl → stage
+metrics_reply      (epoch, StageMetrics)                       stage → ctrl
+rule               (epoch, EnforcementRule)                    ctrl → stage
+rule_ack           epoch                                       stage → ctrl
+agg_collect_req    epoch                                       global → agg
+agg_metrics_reply  (epoch, AggregatedMetrics)                  agg → global
+rule_batch         (epoch, RuleBatch)                          global → agg
+batch_ack          epoch                                       agg → global
+budget_grant       (epoch, budget_iops)                        global → agg
+budget_ack         epoch                                       agg → global
+=================  ==========================================  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.algorithms.base import ControlAlgorithm
+from repro.core.algorithms.psfa import PSFA
+from repro.core.costs import CostModel, FRONTERA_COST_MODEL
+from repro.core.cycle import ControlCycle
+from repro.core.metrics import AggregatedMetrics, MetricsWindow, StageMetrics, aggregate
+from repro.core.policies import QoSPolicy
+from repro.core.registry import StageRegistry, StageRecord
+from repro.core.rules import EnforcementRule, RuleBatch
+from repro.simnet.engine import Environment, Process
+from repro.simnet.node import SimHost
+from repro.simnet.transport import Connection, Endpoint
+
+__all__ = ["AggregatorController", "ChildChannel", "GlobalController"]
+
+
+def _chunks(seq: List, size: int) -> Iterable[List]:
+    for i in range(0, len(seq), size):
+        yield seq[i : i + size]
+
+
+@dataclass
+class ChildChannel:
+    """A controller's link to one child (stage or sub-controller)."""
+
+    child_id: str
+    kind: str  # "stage" | "aggregator"
+    connection: Connection
+    endpoint: Endpoint  # our side of the connection
+    stage_ids: Tuple[str, ...] = ()
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stage_ids) if self.kind == "aggregator" else 1
+
+
+class _ControllerBase:
+    """Shared plumbing: chunked charging, sending, and reply collection."""
+
+    def __init__(
+        self,
+        env: Environment,
+        host: SimHost,
+        endpoint: Endpoint,
+        costs: CostModel,
+        name: str,
+    ) -> None:
+        self.env = env
+        self.host = host
+        self.endpoint = endpoint
+        self.costs = costs
+        self.name = name
+        #: Messages discarded because they arrived for a finished epoch or
+        #: with an unexpected kind (late replies after a collect timeout,
+        #: duplicates after failover, ...).
+        self.stale_messages = 0
+        #: Kinds that must never be dropped when they arrive while another
+        #: phase is waiting (e.g. peer summaries landing mid-collect in
+        #: the coordinated-flat design). They park in ``_deferred`` until
+        #: a later :meth:`_await_replies` asks for them.
+        self.defer_kinds: set = set()
+        self._deferred: List = []
+
+    def _execute(self, seconds: float):
+        """Charge critical-path CPU (serialized on this controller's loop)."""
+        return self.host.execute(seconds)
+
+    def _send_all(
+        self,
+        channels: List[ChildChannel],
+        kind: str,
+        payload_fn: Callable[[ChildChannel], object],
+        size_fn: Callable[[ChildChannel], int],
+        per_item_cost: float,
+    ) -> Generator:
+        """Serialize and transmit one message per channel, in chunks.
+
+        Chunking (``costs.send_chunk``) models event-loop batching: the CPU
+        burst for a chunk completes before its messages hit the wire, so
+        early recipients respond while later sends are still serializing.
+        Channels whose connection closed mid-cycle (membership churn) are
+        skipped; returns the number of messages actually sent.
+        """
+        sent = 0
+        for chunk in _chunks(channels, self.costs.send_chunk):
+            live = [ch for ch in chunk if not ch.connection.closed]
+            if not live:
+                continue
+            yield self._execute(len(live) * per_item_cost)
+            for ch in live:
+                ch.connection.send(ch.endpoint, kind, payload_fn(ch), size_fn(ch))
+                sent += 1
+        return sent
+
+    def _await_replies(
+        self,
+        expected: int,
+        epoch: int,
+        kind_costs: Mapping[str, float],
+        on_message: Callable[[object], None],
+        deadline: Optional[float] = None,
+    ) -> Generator:
+        """Receive ``expected`` messages of the given kinds for ``epoch``.
+
+        Messages already queued are drained and charged as one CPU burst,
+        modelling a server loop that batches its ready work. Returns the
+        number actually received (short on timeout).
+        """
+        received = 0
+
+        def classify(batch):
+            """Split a batch into (relevant, total CPU charge)."""
+            charge = 0.0
+            relevant = []
+            for msg in batch:
+                cost = kind_costs.get(msg.kind)
+                msg_epoch = (
+                    msg.payload[0] if isinstance(msg.payload, tuple) else msg.payload
+                )
+                if cost is not None and msg_epoch == epoch:
+                    charge += cost
+                    relevant.append(msg)
+                elif msg.kind in self.defer_kinds:
+                    self._deferred.append(msg)
+                else:
+                    self.stale_messages += 1
+            return relevant, charge
+
+        # Consume matching messages parked by earlier phases first.
+        if self._deferred:
+            ready = [
+                m
+                for m in self._deferred
+                if m.kind in kind_costs
+                and (m.payload[0] if isinstance(m.payload, tuple) else m.payload)
+                == epoch
+            ]
+            if ready:
+                ready_set = set(map(id, ready))
+                self._deferred = [
+                    m for m in self._deferred if id(m) not in ready_set
+                ]
+                yield self._execute(sum(kind_costs[m.kind] for m in ready))
+                for msg in ready:
+                    on_message(msg)
+                received += len(ready)
+
+        while received < expected:
+            recv_ev = self.endpoint.recv()
+            if deadline is None:
+                first = yield recv_ev
+            else:
+                remaining = deadline - self.env.now
+                if remaining <= 0:
+                    recv_ev.cancel()
+                    break
+                yield self.env.any_of([recv_ev, self.env.timeout(remaining)])
+                if not recv_ev.triggered:
+                    recv_ev.cancel()
+                    break
+                first = recv_ev.value
+            batch = [first]
+            batch.extend(self.endpoint.inbox.drain())
+            relevant, charge = classify(batch)
+            if charge:
+                yield self._execute(charge)
+            for msg in relevant:
+                on_message(msg)
+            received += len(relevant)
+        return received
+
+
+class GlobalController(_ControllerBase):
+    """The top-level controller executing the control algorithm.
+
+    Children are registered with :meth:`add_stage` (flat design) or
+    :meth:`add_aggregator` (hierarchical design); mixing kinds is allowed
+    by the implementation but not used in the paper's experiments.
+
+    Parameters
+    ----------
+    policy:
+        The cluster QoS contract (capacity, weights, floors).
+    algorithm:
+        The per-cycle allocation algorithm (PSFA by default).
+    collect_timeout_s:
+        Optional per-phase deadline. When set, a cycle proceeds with
+        whatever metrics/acks arrived by the deadline instead of blocking
+        on failed children (dependability experiments).
+    decision_offload:
+        Hierarchical only: ship per-aggregator budgets instead of rule
+        batches, moving PSFA execution down to the aggregators (§VI).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        host: SimHost,
+        endpoint: Endpoint,
+        policy: QoSPolicy,
+        algorithm: Optional[ControlAlgorithm] = None,
+        costs: CostModel = FRONTERA_COST_MODEL,
+        collect_timeout_s: Optional[float] = None,
+        decision_offload: bool = False,
+        enforce_changed_only: bool = False,
+        rule_change_tolerance: float = 0.0,
+        metrics_alpha: float = 1.0,
+        name: str = "global",
+    ) -> None:
+        super().__init__(env, host, endpoint, costs, name)
+        self.policy = policy
+        self.algorithm = algorithm or PSFA()
+        self.collect_timeout_s = collect_timeout_s
+        self.decision_offload = decision_offload
+        #: When set, the enforce phase ships only rules whose limits moved
+        #: by more than ``rule_change_tolerance`` (relative) since the last
+        #: pushed rule — cutting enforce traffic for steady workloads at
+        #: the cost of stages holding older epochs (they are equivalent).
+        self.enforce_changed_only = enforce_changed_only
+        if rule_change_tolerance < 0:
+            raise ValueError(
+                f"negative rule change tolerance: {rule_change_tolerance}"
+            )
+        self.rule_change_tolerance = rule_change_tolerance
+        self.rules_suppressed = 0
+        self.registry = StageRegistry()
+        #: EWMA smoothing over reported demand. alpha=1 (paper) reacts to
+        #: each report instantly; lower values damp bursty demand before
+        #: it reaches the allocator, trading reactivity for rule churn.
+        self.window = MetricsWindow(alpha=metrics_alpha)
+        self.children: List[ChildChannel] = []
+        self.cycles: List[ControlCycle] = []
+        self.epoch = 0
+        self.latest_metrics: Dict[str, StageMetrics] = {}
+        self.latest_rules: Dict[str, EnforcementRule] = {}
+        self.collect_timeouts = 0
+        self._proc: Optional[Process] = None
+        self._job_index_cache: Optional[Tuple[int, dict]] = None
+        host.allocate(costs.global_fixed_mem)
+
+    # -- membership -----------------------------------------------------------
+    def add_stage(self, stage_id: str, job_id: str, channel: ChildChannel) -> None:
+        """Register a directly managed stage (flat design)."""
+        self.registry.register(
+            StageRecord(stage_id, job_id, channel.endpoint.host.name, self.env.now)
+        )
+        self.children.append(channel)
+        self.host.allocate(self.costs.flat_per_stage_mem)
+
+    def add_aggregator(
+        self,
+        channel: ChildChannel,
+        stage_jobs: Mapping[str, str],
+    ) -> None:
+        """Register an aggregator child and the stages behind it."""
+        for stage_id in channel.stage_ids:
+            self.registry.register(
+                StageRecord(stage_id, stage_jobs[stage_id], channel.child_id, self.env.now)
+            )
+            self.host.allocate(self.costs.hier_per_stage_mem)
+        self.children.append(channel)
+        self.host.allocate(self.costs.per_agg_mem_at_global)
+
+    def remove_stage(self, stage_id: str) -> None:
+        """Deregister a departed stage (flat design churn).
+
+        The stage's connection is closed, releasing its slot in both
+        hosts' connection pools. Safe to call between cycles; a removal
+        racing an in-flight cycle only wastes that cycle's rule for the
+        departed stage.
+        """
+        self.registry.deregister(stage_id)
+        for ch in self.children:
+            if ch.child_id == stage_id:
+                ch.connection.close()
+        self.children = [c for c in self.children if c.child_id != stage_id]
+        self.window.forget(stage_id)
+        self.latest_metrics.pop(stage_id, None)
+        self.latest_rules.pop(stage_id, None)
+        self.host.free(self.costs.flat_per_stage_mem)
+        self._job_index_cache = None
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.registry)
+
+    @property
+    def is_hierarchical(self) -> bool:
+        return any(c.kind == "aggregator" for c in self.children)
+
+    # -- main loop -----------------------------------------------------------
+    def run_cycles(self, n_cycles: int) -> Process:
+        """Run ``n_cycles`` back-to-back cycles (the paper's stress mode)."""
+        if n_cycles < 1:
+            raise ValueError(f"n_cycles must be >= 1: {n_cycles}")
+        self._proc = self.env.process(self._run(n_cycles, None), name=f"{self.name}.loop")
+        return self._proc
+
+    def run_for(self, duration_s: float, period_s: float = 0.0) -> Process:
+        """Run cycles for ``duration_s``, optionally paced by ``period_s``.
+
+        ``period_s`` is the administrator-set control period (paper §II-B);
+        a cycle that finishes early sleeps until the next period boundary.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive: {duration_s}")
+        self._proc = self.env.process(
+            self._run(None, (duration_s, period_s)), name=f"{self.name}.loop"
+        )
+        return self._proc
+
+    def _run(self, n_cycles: Optional[int], timed) -> Generator:
+        if not self.children:
+            raise RuntimeError("controller has no children to manage")
+        if timed is None:
+            for _ in range(n_cycles):
+                yield from self._cycle()
+            return
+        duration, period = timed
+        end = self.env.now + duration
+        while self.env.now < end:
+            started = self.env.now
+            yield from self._cycle()
+            if period > 0:
+                next_tick = started + period
+                if next_tick > self.env.now:
+                    yield self.env.timeout(next_tick - self.env.now)
+
+    # -- one cycle --------------------------------------------------------------
+    def _cycle(self) -> Generator:
+        self.epoch += 1
+        epoch = self.epoch
+        cm = self.costs
+        started = self.env.now
+        deadline = (
+            started + self.collect_timeout_s if self.collect_timeout_s else None
+        )
+
+        # ---- collect ----
+        stage_children = [c for c in self.children if c.kind == "stage"]
+        agg_children = [c for c in self.children if c.kind == "aggregator"]
+        expected = 0
+        if stage_children:
+            expected += yield from self._send_all(
+                stage_children,
+                "collect_req",
+                lambda ch: epoch,
+                lambda ch: cm.request_bytes,
+                cm.tx_request_s,
+            )
+        if agg_children:
+            expected += yield from self._send_all(
+                agg_children,
+                "agg_collect_req",
+                lambda ch: epoch,
+                lambda ch: cm.agg_request_bytes,
+                cm.tx_request_s,
+            )
+
+        def on_report(msg) -> None:
+            _, data = msg.payload
+            if isinstance(data, AggregatedMetrics):
+                for i, stage_id in enumerate(data.stage_ids):
+                    report = StageMetrics(
+                        stage_id=stage_id,
+                        job_id=data.job_ids[i],
+                        data_iops=data.data_iops[i],
+                        metadata_iops=data.metadata_iops[i],
+                        timestamp=data.timestamp,
+                    )
+                    self.latest_metrics[stage_id] = report
+                    self.window.update(stage_id, report.total_iops)
+            else:
+                self.latest_metrics[data.stage_id] = data
+                self.window.update(data.stage_id, data.total_iops)
+
+        # Per-aggregated-reply cost scales with the partition size; model
+        # it with the mean partition size (partitions are near-uniform).
+        agg_entry_cost = cm.rx_agg_reply_fixed_s
+        if agg_children:
+            mean_part = sum(c.n_stages for c in agg_children) / len(agg_children)
+            agg_entry_cost += mean_part * cm.rx_agg_entry_s
+        got = yield from self._await_replies(
+            expected,
+            epoch,
+            {"metrics_reply": cm.rx_reply_s, "agg_metrics_reply": agg_entry_cost},
+            on_report,
+            deadline,
+        )
+        if got < expected:
+            self.collect_timeouts += 1
+        t_collect = self.env.now - started
+
+        # ---- compute ----
+        compute_started = self.env.now
+        stage_ids = self.registry.stage_ids
+        n = len(stage_ids)
+        if self.decision_offload and agg_children:
+            # Global only computes per-aggregator budgets; PSFA over the
+            # stages runs at the aggregators (§VI decision offloading).
+            stage_limits, metadata_limits = np.zeros(0), None
+            yield self._execute(
+                cm.compute_fixed_s + len(agg_children) * cm.psfa_per_stage_s
+            )
+        else:
+            per_stage_cost = (
+                cm.psfa_per_stage_hier_s if agg_children else cm.psfa_per_stage_s
+            )
+            stage_limits, metadata_limits = self._compute_allocations(stage_ids)
+            if metadata_limits is not None:
+                # Differentiated QoS runs the algorithm once per class.
+                per_stage_cost *= 2
+            yield self._execute(cm.compute_fixed_s + n * per_stage_cost)
+        t_compute = self.env.now - compute_started
+
+        # ---- enforce ----
+        enforce_started = self.env.now
+        enforce_deadline = (
+            enforce_started + self.collect_timeout_s
+            if self.collect_timeout_s
+            else None
+        )
+        if self.decision_offload and agg_children:
+            yield from self._enforce_offload(agg_children, epoch, enforce_deadline)
+        else:
+            if stage_children:
+                yield from self._enforce_stages(
+                    stage_children,
+                    stage_limits,
+                    epoch,
+                    enforce_deadline,
+                    metadata_limits,
+                )
+            if agg_children:
+                yield from self._enforce_batches(
+                    agg_children,
+                    stage_limits,
+                    epoch,
+                    enforce_deadline,
+                    metadata_limits,
+                )
+        t_enforce = self.env.now - enforce_started
+
+        # Off-critical-path CPU this cycle (RPC workers, kernel, GC).
+        bg_per_stage = (
+            cm.bg_per_stage_global_hier_s if agg_children else cm.bg_per_stage_direct_s
+        )
+        self.host.charge(cm.bg_fixed_s + n * bg_per_stage)
+
+        self.cycles.append(
+            ControlCycle(
+                epoch=epoch,
+                started_at=started,
+                collect_s=t_collect,
+                compute_s=t_compute,
+                enforce_s=t_enforce,
+                n_stages=n,
+            )
+        )
+
+    # -- compute helpers -----------------------------------------------------
+    def _job_indices(self, stage_ids: List[str]) -> Tuple[List[str], np.ndarray]:
+        """(job_ids, stage→job index vector), cached per registry generation."""
+        gen = self.registry.generation
+        if self._job_index_cache is not None and self._job_index_cache[0] == gen:
+            return self._job_index_cache[1]
+        job_ids = self.registry.job_ids
+        job_pos = {j: i for i, j in enumerate(job_ids)}
+        index = np.array(
+            [job_pos[self.registry.job_of(s)] for s in stage_ids], dtype=np.intp
+        )
+        value = (job_ids, index)
+        self._job_index_cache = (gen, value)
+        return value
+
+    def _compute_allocations(self, stage_ids: List[str]):
+        """Run the control algorithm; returns per-stage IOPS limits.
+
+        Returns ``(limits, metadata_limits)``: with an undifferentiated
+        policy the first vector bounds *total* IOPS and the second is
+        ``None``; with ``policy.metadata_capacity_iops`` set, the
+        algorithm runs once per operation class against its own budget
+        (the MDS and the OSS pool are separate bottlenecks).
+        """
+        if not stage_ids:
+            return np.zeros(0), None
+        if not self.policy.differentiated:
+            stage_demand = self.window.demands(stage_ids)
+            total = self._allocate_vector(
+                stage_ids, stage_demand, self.policy.allocatable_iops
+            )
+            return total, None
+        data_demand = np.array(
+            [
+                self.latest_metrics[s].data_iops if s in self.latest_metrics else 0.0
+                for s in stage_ids
+            ]
+        )
+        metadata_demand = np.array(
+            [
+                self.latest_metrics[s].metadata_iops
+                if s in self.latest_metrics
+                else 0.0
+                for s in stage_ids
+            ]
+        )
+        data = self._allocate_vector(
+            stage_ids, data_demand, self.policy.allocatable_iops
+        )
+        # Per-job minimum guarantees are defined on total IOPS; they are
+        # honoured on the data axis and not double-counted on metadata.
+        metadata = self._allocate_vector(
+            stage_ids,
+            metadata_demand,
+            self.policy.allocatable_metadata_iops,
+            use_guarantees=False,
+        )
+        return data, metadata
+
+    def _allocate_vector(
+        self,
+        stage_ids: List[str],
+        stage_demand: np.ndarray,
+        capacity: float,
+        use_guarantees: bool = True,
+    ) -> np.ndarray:
+        """Job-level allocation of ``capacity``, split back to stages."""
+        job_ids, job_index = self._job_indices(stage_ids)
+        job_demand = np.zeros(len(job_ids))
+        np.add.at(job_demand, job_index, stage_demand)
+        weights = self.policy.weights(job_ids)
+        guarantees = self.policy.guarantees(job_ids) if use_guarantees else None
+        result = self.algorithm.allocate(
+            job_demand, weights, capacity, guarantees
+        )
+        # Split each job's grant across its stages, demand-proportionally;
+        # stages of an idle job share its (zero) grant equally.
+        job_alloc = result.allocations
+        denom = np.where(job_demand > 0, job_demand, 1.0)
+        share = np.where(
+            job_demand[job_index] > 0,
+            stage_demand / denom[job_index],
+            1.0 / np.maximum(np.bincount(job_index, minlength=len(job_ids)), 1)[job_index],
+        )
+        return job_alloc[job_index] * share
+
+    # -- enforce helpers --------------------------------------------------------
+    def _enforce_stages(
+        self,
+        stage_children: List[ChildChannel],
+        stage_limits: np.ndarray,
+        epoch: int,
+        deadline: Optional[float],
+        metadata_limits: Optional[np.ndarray] = None,
+    ) -> Generator:
+        stage_ids = self.registry.stage_ids
+        limit_of = dict(zip(stage_ids, stage_limits))
+        meta_of = (
+            dict(zip(stage_ids, metadata_limits))
+            if metadata_limits is not None
+            else None
+        )
+        cm = self.costs
+
+        def build_rule(stage_id: str) -> EnforcementRule:
+            return EnforcementRule(
+                stage_id=stage_id,
+                epoch=epoch,
+                data_iops_limit=float(limit_of.get(stage_id, 0.0)),
+                metadata_iops_limit=(
+                    float(meta_of.get(stage_id, 0.0))
+                    if meta_of is not None
+                    else float("inf")
+                ),
+            )
+
+        targets = stage_children
+        if self.enforce_changed_only:
+            from repro.core.rules import diff_rules
+
+            candidates = [build_rule(ch.child_id) for ch in stage_children]
+            changed_ids = {
+                r.stage_id
+                for r in diff_rules(
+                    self.latest_rules, candidates, self.rule_change_tolerance
+                )
+            }
+            targets = [ch for ch in stage_children if ch.child_id in changed_ids]
+            self.rules_suppressed += len(stage_children) - len(targets)
+            # Rule-building effort for suppressed rules is still paid (the
+            # diff needs the candidate values), without the wire costs.
+            skipped = len(stage_children) - len(targets)
+            if skipped:
+                yield self._execute(skipped * cm.rule_build_s)
+
+        def payload(ch: ChildChannel):
+            rule = build_rule(ch.child_id)
+            self.latest_rules[ch.child_id] = rule
+            return (epoch, rule)
+
+        sent = yield from self._send_all(
+            targets,
+            "rule",
+            payload,
+            lambda ch: cm.rule_bytes,
+            cm.rule_build_s + cm.tx_rule_s,
+        )
+        yield from self._await_replies(
+            sent,
+            epoch,
+            {"rule_ack": cm.rx_ack_s},
+            lambda msg: None,
+            deadline,
+        )
+
+    def _enforce_batches(
+        self,
+        agg_children: List[ChildChannel],
+        stage_limits: np.ndarray,
+        epoch: int,
+        deadline: Optional[float],
+        metadata_limits: Optional[np.ndarray] = None,
+    ) -> Generator:
+        stage_ids = self.registry.stage_ids
+        limit_of = dict(zip(stage_ids, stage_limits))
+        meta_of = (
+            dict(zip(stage_ids, metadata_limits))
+            if metadata_limits is not None
+            else None
+        )
+        cm = self.costs
+        # Building every per-stage rule happens at the global controller
+        # even in the hierarchical design (paper §IV-B: the global
+        # controller "must calculate rules for all data plane stages").
+        total_stages = sum(ch.n_stages for ch in agg_children)
+        yield self._execute(total_stages * cm.rule_build_hier_s)
+
+        def payload(ch: ChildChannel):
+            rules = tuple(
+                EnforcementRule(
+                    stage_id=s,
+                    epoch=epoch,
+                    data_iops_limit=float(limit_of.get(s, 0.0)),
+                    metadata_iops_limit=(
+                        float(meta_of.get(s, 0.0))
+                        if meta_of is not None
+                        else float("inf")
+                    ),
+                )
+                for s in ch.stage_ids
+            )
+            for rule in rules:
+                self.latest_rules[rule.stage_id] = rule
+            return (epoch, RuleBatch(ch.child_id, epoch, rules))
+
+        sent = yield from self._send_all(
+            agg_children,
+            "rule_batch",
+            payload,
+            lambda ch: cm.rule_batch_header_bytes
+            + ch.n_stages * cm.rule_batch_entry_bytes,
+            cm.tx_batch_s,
+        )
+        yield from self._await_replies(
+            sent,
+            epoch,
+            {"batch_ack": cm.rx_agg_ack_s},
+            lambda msg: None,
+            deadline,
+        )
+
+    def _enforce_offload(
+        self,
+        agg_children: List[ChildChannel],
+        epoch: int,
+        deadline: Optional[float],
+    ) -> Generator:
+        """Ship per-aggregator budgets; aggregators run PSFA locally (§VI)."""
+        cm = self.costs
+        # Budget split: water-fill capacity over per-partition total demand.
+        from repro.core.algorithms.psfa import weighted_waterfill
+
+        part_demand = np.array(
+            [
+                sum(self.window.demand(s) for s in ch.stage_ids)
+                for ch in agg_children
+            ]
+        )
+        weights = np.ones(len(agg_children))
+        budgets = weighted_waterfill(
+            part_demand, weights, self.policy.allocatable_iops
+        )
+        leftover = self.policy.allocatable_iops - budgets.sum()
+        if leftover > 0 and len(agg_children):
+            budgets = budgets + leftover / len(agg_children)
+        budget_of = {
+            ch.child_id: float(b) for ch, b in zip(agg_children, budgets)
+        }
+        sent = yield from self._send_all(
+            agg_children,
+            "budget_grant",
+            lambda ch: (epoch, budget_of[ch.child_id]),
+            lambda ch: cm.agg_request_bytes,
+            cm.tx_request_s,
+        )
+        yield from self._await_replies(
+            sent,
+            epoch,
+            {"budget_ack": cm.rx_agg_ack_s},
+            lambda msg: None,
+            deadline,
+        )
+
+    # -- reporting ----------------------------------------------------------------
+    def stats(self, warmup: int = 1):
+        """Cycle statistics (drops ``warmup`` leading cycles)."""
+        from repro.core.cycle import CycleStats
+
+        return CycleStats(self.cycles, warmup=min(warmup, max(len(self.cycles) - 1, 0)))
+
+
+class AggregatorController(_ControllerBase):
+    """The intermediate control level of the hierarchical design.
+
+    Reacts to the global controller's requests; owns a partition of stages
+    (or, in deeper hierarchies, a set of child aggregators).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        host: SimHost,
+        endpoint: Endpoint,
+        agg_id: str,
+        costs: CostModel = FRONTERA_COST_MODEL,
+        policy: Optional[QoSPolicy] = None,
+        algorithm: Optional[ControlAlgorithm] = None,
+    ) -> None:
+        super().__init__(env, host, endpoint, costs, agg_id)
+        self.agg_id = agg_id
+        self.policy = policy
+        self.algorithm = algorithm or PSFA()
+        self.children: List[ChildChannel] = []
+        self.stage_jobs: Dict[str, str] = {}
+        self.latest_reports: Dict[str, StageMetrics] = {}
+        self.cycles_served = 0
+        self._proc: Optional[Process] = None
+        host.allocate(costs.agg_fixed_mem)
+
+    # -- membership ---------------------------------------------------------
+    def add_stage(self, stage_id: str, job_id: str, channel: ChildChannel) -> None:
+        self.children.append(channel)
+        self.stage_jobs[stage_id] = job_id
+        self.host.allocate(self.costs.agg_per_stage_mem)
+
+    def add_child_aggregator(self, channel: ChildChannel, stage_jobs: Mapping[str, str]) -> None:
+        """Attach a lower-level aggregator (three-level hierarchies)."""
+        self.children.append(channel)
+        for stage_id in channel.stage_ids:
+            self.stage_jobs[stage_id] = stage_jobs[stage_id]
+            self.host.allocate(self.costs.agg_per_stage_mem)
+
+    @property
+    def stage_ids(self) -> Tuple[str, ...]:
+        out: List[str] = []
+        for ch in self.children:
+            if ch.kind == "stage":
+                out.append(ch.child_id)
+            else:
+                out.extend(ch.stage_ids)
+        return tuple(out)
+
+    @property
+    def n_stages(self) -> int:
+        return sum(ch.n_stages for ch in self.children)
+
+    # -- main loop -----------------------------------------------------------
+    def start(self) -> Process:
+        """Start serving requests from the level above."""
+        if self._proc is not None and self._proc.is_alive:
+            raise RuntimeError(f"{self.agg_id} already running")
+        self._proc = self.env.process(self._serve(), name=f"{self.agg_id}.serve")
+        return self._proc
+
+    def stop(self) -> None:
+        """Crash/stop the aggregator (failure injection)."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self._proc = None
+
+    def _serve(self) -> Generator:
+        from repro.simnet.engine import Interrupt
+
+        try:
+            while True:
+                msg = yield self.endpoint.recv()
+                conn = self.endpoint.connections.get(msg.sender)
+                if conn is None:
+                    self.stale_messages += 1
+                    continue
+                if msg.kind == "agg_collect_req":
+                    yield from self._collect(msg.payload, conn)
+                elif msg.kind == "rule_batch":
+                    yield from self._distribute(msg.payload, conn)
+                elif msg.kind == "budget_grant":
+                    yield from self._offloaded_cycle(msg.payload, conn)
+                else:
+                    self.stale_messages += 1
+        except Interrupt:
+            return
+
+    # -- collect ---------------------------------------------------------------
+    def _collect(self, epoch: int, uplink: Connection) -> Generator:
+        cm = self.costs
+        self.cycles_served += 1
+        stage_children = [c for c in self.children if c.kind == "stage"]
+        agg_children = [c for c in self.children if c.kind == "aggregator"]
+        expected = 0
+        if stage_children:
+            expected += yield from self._send_all(
+                stage_children,
+                "collect_req",
+                lambda ch: epoch,
+                lambda ch: cm.request_bytes,
+                cm.tx_request_s,
+            )
+        if agg_children:
+            expected += yield from self._send_all(
+                agg_children,
+                "agg_collect_req",
+                lambda ch: epoch,
+                lambda ch: cm.agg_request_bytes,
+                cm.tx_request_s,
+            )
+
+        reports: List[StageMetrics] = []
+
+        def on_report(msg) -> None:
+            _, data = msg.payload
+            if isinstance(data, AggregatedMetrics):
+                for i, stage_id in enumerate(data.stage_ids):
+                    reports.append(
+                        StageMetrics(
+                            stage_id=stage_id,
+                            job_id=data.job_ids[i],
+                            data_iops=data.data_iops[i],
+                            metadata_iops=data.metadata_iops[i],
+                            timestamp=data.timestamp,
+                        )
+                    )
+            else:
+                reports.append(data)
+
+        agg_entry_cost = cm.rx_agg_reply_fixed_s
+        if agg_children:
+            mean_part = sum(c.n_stages for c in agg_children) / len(agg_children)
+            agg_entry_cost += mean_part * cm.rx_agg_entry_s
+        yield from self._await_replies(
+            expected,
+            epoch,
+            {
+                "metrics_reply": cm.rx_reply_s + cm.agg_merge_s,
+                "agg_metrics_reply": agg_entry_cost,
+            },
+            on_report,
+        )
+        for r in reports:
+            self.latest_reports[r.stage_id] = r
+
+        # Summarize and reply upstream with the pre-merged report.
+        yield self._execute(cm.agg_summarize_fixed_s)
+        merged = aggregate(self.agg_id, reports, timestamp=self.env.now)
+        size = (
+            cm.agg_reply_header_bytes + merged.n_stages * cm.agg_reply_entry_bytes
+        )
+        uplink.send(self.endpoint, "agg_metrics_reply", (epoch, merged), size)
+        # Background work for owning this partition's connections.
+        self.host.charge(
+            cm.bg_fixed_s + len(self.children) * cm.bg_per_stage_direct_s
+        )
+
+    # -- enforce (rule distribution) ---------------------------------------------
+    def _distribute(self, payload, uplink: Connection) -> Generator:
+        epoch, batch = payload
+        cm = self.costs
+        yield self._execute(len(batch) * cm.batch_unpack_s)
+        rule_of = {rule.stage_id: rule for rule in batch}
+        stage_children = [c for c in self.children if c.kind == "stage"]
+        agg_children = [c for c in self.children if c.kind == "aggregator"]
+        targets = [c for c in stage_children if c.child_id in rule_of]
+        sent_rules = 0
+        if targets:
+            sent_rules = yield from self._send_all(
+                targets,
+                "rule",
+                lambda ch: (epoch, rule_of[ch.child_id]),
+                lambda ch: cm.rule_bytes,
+                cm.tx_rule_s,
+            )
+        sub_targets = []
+        for ch in agg_children:
+            sub_rules = tuple(rule_of[s] for s in ch.stage_ids if s in rule_of)
+            if sub_rules:
+                sub_targets.append((ch, RuleBatch(ch.child_id, epoch, sub_rules)))
+        for ch, sub_batch in sub_targets:
+            yield self._execute(cm.tx_batch_s)
+            ch.connection.send(
+                ch.endpoint,
+                "rule_batch",
+                (epoch, sub_batch),
+                cm.rule_batch_header_bytes
+                + len(sub_batch) * cm.rule_batch_entry_bytes,
+            )
+        yield from self._await_replies(
+            sent_rules + len(sub_targets),
+            epoch,
+            {"rule_ack": cm.rx_ack_s, "batch_ack": cm.rx_agg_ack_s},
+            lambda msg: None,
+        )
+        uplink.send(self.endpoint, "batch_ack", epoch, cm.agg_ack_bytes)
+
+    # -- decision offload (§VI) ------------------------------------------------
+    def _offloaded_cycle(self, payload, uplink: Connection) -> Generator:
+        """Run PSFA locally over the partition against a granted budget."""
+        epoch, budget = payload
+        cm = self.costs
+        if self.policy is None:
+            raise RuntimeError(
+                f"{self.agg_id}: decision offload requires a local policy copy"
+            )
+        reports = [
+            self.latest_reports.get(s)
+            for s in self.stage_ids
+        ]
+        known = [r for r in reports if r is not None]
+        stage_ids = [r.stage_id for r in known]
+        demands = np.array([r.total_iops for r in known])
+        weights = self.policy.weights([r.job_id for r in known])
+        yield self._execute(
+            cm.compute_fixed_s + len(known) * cm.psfa_per_stage_s
+        )
+        if known and budget > 0:
+            result = self.algorithm.allocate(demands, weights, budget)
+            limits = result.allocations
+        else:
+            limits = np.zeros(len(known))
+        rule_of = {
+            s: EnforcementRule(stage_id=s, epoch=epoch, data_iops_limit=float(v))
+            for s, v in zip(stage_ids, limits)
+        }
+        targets = [c for c in self.children if c.kind == "stage" and c.child_id in rule_of]
+        if targets:
+            sent = yield from self._send_all(
+                targets,
+                "rule",
+                lambda ch: (epoch, rule_of[ch.child_id]),
+                lambda ch: cm.rule_bytes,
+                cm.rule_build_s + cm.tx_rule_s,
+            )
+            yield from self._await_replies(
+                sent,
+                epoch,
+                {"rule_ack": cm.rx_ack_s},
+                lambda msg: None,
+            )
+        uplink.send(self.endpoint, "budget_ack", epoch, cm.agg_ack_bytes)

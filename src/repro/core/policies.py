@@ -1,0 +1,177 @@
+"""Storage QoS policies the control plane enforces.
+
+A :class:`QoSPolicy` is the administrator-facing contract: the PFS-wide
+operation budget, the priority classes jobs may be assigned to, and
+optional per-job minimum guarantees. The control algorithm (PSFA or a
+baseline) turns a policy plus the current demand vector into per-job
+allocations each cycle.
+
+Priority classes follow the Cheferd convention: a class is a *weight*, so a
+``weight=4`` job receives 4x the share of a ``weight=1`` job when both are
+backlogged — proportional sharing, not strict priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["DemandBoundPolicy", "PolicyError", "PriorityClass", "QoSPolicy"]
+
+
+class PolicyError(ValueError):
+    """Raised for inconsistent policy definitions."""
+
+
+@dataclass(frozen=True)
+class PriorityClass:
+    """A named weight tier (e.g. interactive=8, batch=2, scavenger=1)."""
+
+    name: str
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise PolicyError(f"class weight must be positive: {self.weight}")
+
+
+#: Default tiers, mirroring common HPC charging categories.
+DEFAULT_CLASSES: Dict[str, PriorityClass] = {
+    "interactive": PriorityClass("interactive", 8.0),
+    "normal": PriorityClass("normal", 4.0),
+    "batch": PriorityClass("batch", 2.0),
+    "scavenger": PriorityClass("scavenger", 1.0),
+}
+
+
+@dataclass
+class QoSPolicy:
+    """The cluster-wide storage QoS contract.
+
+    Parameters
+    ----------
+    pfs_capacity_iops:
+        Maximum operation rate the PFS sustains efficiently; set by the
+        system administrator (paper §III-C).
+    classes:
+        Available priority classes by name.
+    job_classes:
+        Job id → class name. Unlisted jobs fall into ``default_class``.
+    min_guarantee_iops:
+        Optional per-job floors. The sum of floors must not exceed
+        capacity (checked at construction and on every update).
+    headroom_fraction:
+        Fraction of capacity held back from allocation as a safety margin
+        against burst overshoot between cycles (0 = allocate everything,
+        the paper's setting).
+    metadata_capacity_iops:
+        Optional separate budget for metadata operations (the MDS is a
+        distinct bottleneck from the OSSes — Cheferd's headline use case
+        is metadata-intensive jobs). When set, the control algorithm runs
+        twice per cycle, once per operation class, and rules carry both
+        limits; when ``None`` (the paper's stress setup) a single combined
+        budget governs total IOPS.
+    """
+
+    pfs_capacity_iops: float
+    metadata_capacity_iops: Optional[float] = None
+    classes: Dict[str, PriorityClass] = field(
+        default_factory=lambda: dict(DEFAULT_CLASSES)
+    )
+    job_classes: Dict[str, str] = field(default_factory=dict)
+    min_guarantee_iops: Dict[str, float] = field(default_factory=dict)
+    default_class: str = "normal"
+    headroom_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pfs_capacity_iops <= 0:
+            raise PolicyError(f"capacity must be positive: {self.pfs_capacity_iops}")
+        if self.metadata_capacity_iops is not None and self.metadata_capacity_iops <= 0:
+            raise PolicyError(
+                f"metadata capacity must be positive: {self.metadata_capacity_iops}"
+            )
+        if self.default_class not in self.classes:
+            raise PolicyError(f"unknown default class: {self.default_class!r}")
+        if not 0.0 <= self.headroom_fraction < 1.0:
+            raise PolicyError(f"headroom must be in [0, 1): {self.headroom_fraction}")
+        for job, cls in self.job_classes.items():
+            if cls not in self.classes:
+                raise PolicyError(f"job {job!r} assigned unknown class {cls!r}")
+        self._check_guarantees()
+
+    def _check_guarantees(self) -> None:
+        total = sum(self.min_guarantee_iops.values())
+        if any(v < 0 for v in self.min_guarantee_iops.values()):
+            raise PolicyError("negative minimum guarantee")
+        if total > self.allocatable_iops:
+            raise PolicyError(
+                f"minimum guarantees ({total}) exceed allocatable capacity "
+                f"({self.allocatable_iops})"
+            )
+
+    @property
+    def allocatable_iops(self) -> float:
+        """Capacity available for allocation after headroom."""
+        return self.pfs_capacity_iops * (1.0 - self.headroom_fraction)
+
+    @property
+    def differentiated(self) -> bool:
+        """True when data and metadata have separate budgets."""
+        return self.metadata_capacity_iops is not None
+
+    @property
+    def allocatable_metadata_iops(self) -> float:
+        """Metadata budget after headroom (0 when undifferentiated)."""
+        if self.metadata_capacity_iops is None:
+            return 0.0
+        return self.metadata_capacity_iops * (1.0 - self.headroom_fraction)
+
+    def assign_job(self, job_id: str, class_name: str) -> None:
+        """Put ``job_id`` in ``class_name`` (takes effect next cycle)."""
+        if class_name not in self.classes:
+            raise PolicyError(f"unknown class: {class_name!r}")
+        self.job_classes[job_id] = class_name
+
+    def set_guarantee(self, job_id: str, iops: float) -> None:
+        """Set a per-job minimum IOPS floor."""
+        if iops < 0:
+            raise PolicyError(f"negative guarantee: {iops}")
+        self.min_guarantee_iops[job_id] = iops
+        self._check_guarantees()
+
+    def weight_of(self, job_id: str) -> float:
+        """The sharing weight of one job under this policy."""
+        cls = self.job_classes.get(job_id, self.default_class)
+        return self.classes[cls].weight
+
+    def weights(self, job_ids) -> np.ndarray:
+        """Weights for a sequence of job ids, as a vector."""
+        return np.array([self.weight_of(j) for j in job_ids], dtype=float)
+
+    def guarantees(self, job_ids) -> np.ndarray:
+        """Minimum floors for a sequence of job ids, as a vector."""
+        return np.array(
+            [self.min_guarantee_iops.get(j, 0.0) for j in job_ids], dtype=float
+        )
+
+
+@dataclass(frozen=True)
+class DemandBoundPolicy:
+    """Stage-local demand clamp applied before reporting.
+
+    OOOPS-style static throttling (paper §I, "static and uncoordinated
+    control"): each stage caps what it even *asks* for. Used as a
+    non-SDS baseline in the examples to show why coordinated control
+    utilises the PFS better.
+    """
+
+    per_stage_cap_iops: float
+
+    def __post_init__(self) -> None:
+        if self.per_stage_cap_iops <= 0:
+            raise PolicyError(f"cap must be positive: {self.per_stage_cap_iops}")
+
+    def clamp(self, demand: float) -> float:
+        return min(demand, self.per_stage_cap_iops)

@@ -1,0 +1,27 @@
+"""Data-plane components: stages, rate limiters, and the I/O shim.
+
+The data plane sits between each application and the PFS client
+(paper Fig. 1). Two stage implementations are provided:
+
+* :class:`~repro.dataplane.stage.DataPlaneStage` — the full stage: it
+  mediates a job's simulated I/O through token-bucket rate limiters and
+  enforces the controller's rules, used by the QoS examples;
+* :class:`~repro.dataplane.virtual_stage.VirtualStage` — the paper's
+  lightweight stress-test stage: it only answers metric requests and
+  acknowledges rules, letting 10,000 stages run on a small simulation
+  footprint exactly as the study ran 50 per physical node.
+"""
+
+from repro.dataplane.stage import DataPlaneStage
+from repro.dataplane.token_bucket import TokenBucket
+from repro.dataplane.virtual_stage import MetricSource, VirtualStage
+from repro.dataplane.interceptor import IOInterceptor, IOOp
+
+__all__ = [
+    "DataPlaneStage",
+    "IOInterceptor",
+    "IOOp",
+    "MetricSource",
+    "TokenBucket",
+    "VirtualStage",
+]

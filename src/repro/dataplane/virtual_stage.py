@@ -1,0 +1,133 @@
+"""Virtual data-plane stages — the paper's stress-test endpoints.
+
+A virtual stage "mimics the behavior of a regular stage without the need
+to run real applications" (paper §III-C): it answers every metric request
+with current data/metadata IOPS readings and acknowledges every
+enforcement rule. Fifty of them run per physical compute node in the
+study; here each is a reactive endpoint handler, so 10,000 stages cost
+only their message traffic.
+
+The IOPS values come from a :class:`MetricSource`, which the workload
+generators in :mod:`repro.jobs.workloads` implement; the stress workload
+simply reports a constant-plus-noise demand, because under stress testing
+"regardless of the value of each collected metric" the control plane does
+the same work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, Tuple
+
+from repro.core.costs import CostModel, FRONTERA_COST_MODEL
+from repro.core.metrics import StageMetrics
+from repro.core.rules import EnforcementRule
+from repro.simnet.engine import Environment
+from repro.simnet.node import SimHost
+from repro.simnet.transport import Connection, Endpoint, Message
+
+__all__ = ["MetricSource", "VirtualStage"]
+
+
+class MetricSource(Protocol):
+    """Provides the IOPS readings a stage reports each cycle."""
+
+    def sample(self, stage_id: str, now: float) -> Tuple[float, float]:
+        """Return (data_iops, metadata_iops) at simulated time ``now``."""
+        ...
+
+
+class ConstantSource:
+    """Fixed demand — the degenerate stress-test source."""
+
+    def __init__(self, data_iops: float = 1000.0, metadata_iops: float = 200.0):
+        if data_iops < 0 or metadata_iops < 0:
+            raise ValueError("negative IOPS")
+        self.data_iops = data_iops
+        self.metadata_iops = metadata_iops
+
+    def sample(self, stage_id: str, now: float) -> Tuple[float, float]:
+        return (self.data_iops, self.metadata_iops)
+
+
+class VirtualStage:
+    """A lightweight stage: replies to metric requests, acks rules.
+
+    Attach to an endpoint with :meth:`bind`; the stage then serves all
+    controllers connected to that endpoint. Stale rules (an epoch not
+    newer than the applied one) are ignored but still acknowledged, so a
+    recovering controller cannot roll a stage's limit backwards.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        stage_id: str,
+        job_id: str,
+        source: Optional[MetricSource] = None,
+        costs: CostModel = FRONTERA_COST_MODEL,
+    ) -> None:
+        self.env = env
+        self.stage_id = stage_id
+        self.job_id = job_id
+        self.source = source or ConstantSource()
+        self.costs = costs
+        self.endpoint: Optional[Endpoint] = None
+        self.applied_rule: Optional[EnforcementRule] = None
+        self.requests_served = 0
+        self.rules_applied = 0
+        self.rules_ignored_stale = 0
+
+    def bind(self, endpoint: Endpoint) -> None:
+        """Serve requests arriving at ``endpoint``."""
+        self.endpoint = endpoint
+        endpoint.set_handler(self._on_message)
+
+    # -- message handling -------------------------------------------------------
+    def _on_message(self, message: Message, connection: Connection) -> None:
+        cm = self.costs
+        host = self.endpoint.host
+        host.charge(cm.stage_cpu_per_msg_s)
+        if message.kind == "collect_req":
+            epoch = message.payload
+            data_iops, metadata_iops = self.source.sample(self.stage_id, self.env.now)
+            report = StageMetrics(
+                stage_id=self.stage_id,
+                job_id=self.job_id,
+                data_iops=data_iops,
+                metadata_iops=metadata_iops,
+                timestamp=self.env.now,
+            )
+            self.requests_served += 1
+            connection.send(
+                self.endpoint,
+                "metrics_reply",
+                (epoch, report),
+                cm.metrics_reply_bytes,
+                extra_delay=cm.stage_service_s,
+            )
+        elif message.kind == "rule":
+            epoch, rule = message.payload
+            if rule.supersedes(self.applied_rule):
+                self.applied_rule = rule
+                self.rules_applied += 1
+                self._apply(rule)
+            else:
+                self.rules_ignored_stale += 1
+            connection.send(
+                self.endpoint,
+                "rule_ack",
+                epoch,
+                cm.ack_bytes,
+                extra_delay=cm.stage_service_s,
+            )
+        # Unknown kinds are silently dropped (virtual stages are passive).
+
+    def _apply(self, rule: EnforcementRule) -> None:
+        """Hook for subclasses (the full stage wires its token buckets)."""
+
+    @property
+    def current_limit(self) -> float:
+        """The enforced total IOPS limit (inf before any rule arrives)."""
+        if self.applied_rule is None:
+            return float("inf")
+        return self.applied_rule.data_iops_limit

@@ -1,0 +1,20 @@
+"""Experiment harness: paper targets, calibration, runners, reporting."""
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    run_coordinated_experiment,
+    run_flat_experiment,
+    run_hierarchical_experiment,
+)
+from repro.harness.paper import PAPER
+from repro.harness.report import format_figure_series, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "PAPER",
+    "format_figure_series",
+    "format_table",
+    "run_coordinated_experiment",
+    "run_flat_experiment",
+    "run_hierarchical_experiment",
+]

@@ -1,0 +1,241 @@
+"""Analysis utilities: latency-model fitting and capacity planning.
+
+The paper's Discussion (§V) leaves the operator with a judgement call:
+*how many aggregators does my machine need for my reaction-time target?*
+This module turns the study's data into that answer:
+
+* :func:`fit_linear_latency` — recover per-stage cost and fixed overhead
+  from measured (N, latency) points, the empirical counterpart of the
+  analytic predictors in :mod:`repro.harness.calibration`;
+* :class:`CapacityPlanner` — given a node count, a control-cycle latency
+  target, and the per-node connection ceiling, recommend a design (flat
+  vs hierarchical) and the minimum aggregator count that meets the
+  target, with the predicted latency and controller-node cost;
+* :func:`find_crossover` — locate where one design overtakes another
+  along a swept parameter (used for the hierarchy-depth ablation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.costs import CostModel, FRONTERA_COST_MODEL
+from repro.harness.calibration import predict_flat_ms, predict_hier_ms
+
+__all__ = [
+    "CapacityPlanner",
+    "DesignRecommendation",
+    "LinearLatencyFit",
+    "find_crossover",
+    "fit_linear_latency",
+]
+
+
+@dataclass(frozen=True)
+class LinearLatencyFit:
+    """Least-squares fit of ``latency_ms = fixed_ms + per_stage_ms * N``."""
+
+    fixed_ms: float
+    per_stage_us: float
+    r_squared: float
+
+    def predict_ms(self, n_stages: int) -> float:
+        if n_stages < 0:
+            raise ValueError(f"negative n_stages: {n_stages}")
+        return self.fixed_ms + self.per_stage_us * n_stages / 1e3
+
+
+def fit_linear_latency(
+    node_counts: Sequence[int],
+    latencies_ms: Sequence[float],
+) -> LinearLatencyFit:
+    """Fit the flat design's near-linear latency curve (Fig. 4's trend).
+
+    Returns the fixed overhead (round trips, compute setup) and the
+    marginal cost of one more managed stage — the number that determines
+    where a single controller stops being viable.
+    """
+    x = np.asarray(node_counts, dtype=float)
+    y = np.asarray(latencies_ms, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (N, latency) points")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = intercept + slope * x
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearLatencyFit(
+        fixed_ms=float(intercept),
+        per_stage_us=float(slope) * 1e3,
+        r_squared=r2,
+    )
+
+
+@dataclass(frozen=True)
+class DesignRecommendation:
+    """The planner's answer for one deployment question."""
+
+    design: str  # "flat" | "hierarchical"
+    n_aggregators: int
+    predicted_latency_ms: float
+    controller_nodes: int
+    meets_target: bool
+    reason: str
+
+    def summary(self) -> str:
+        verdict = "meets" if self.meets_target else "CANNOT MEET"
+        return (
+            f"{self.design} ({self.n_aggregators} aggregators, "
+            f"{self.controller_nodes} controller node(s)): "
+            f"{self.predicted_latency_ms:.1f} ms/cycle — {verdict} target. "
+            f"{self.reason}"
+        )
+
+
+class CapacityPlanner:
+    """Recommend a control-plane design for a target infrastructure.
+
+    Uses the calibrated analytic predictors, so recommendations carry the
+    same fidelity caveats as the cost model (shapes and crossovers, not
+    testbed-exact milliseconds).
+    """
+
+    def __init__(
+        self,
+        costs: CostModel = FRONTERA_COST_MODEL,
+        connection_limit: int = 2500,
+        max_aggregators: int = 512,
+    ) -> None:
+        if connection_limit < 1:
+            raise ValueError(f"connection_limit must be >= 1: {connection_limit}")
+        if max_aggregators < 1:
+            raise ValueError(f"max_aggregators must be >= 1: {max_aggregators}")
+        self.costs = costs
+        self.connection_limit = int(connection_limit)
+        self.max_aggregators = int(max_aggregators)
+
+    # -- building blocks ------------------------------------------------------
+    def min_aggregators(self, n_nodes: int) -> int:
+        """Connection-ceiling floor on the aggregator count."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1: {n_nodes}")
+        return math.ceil(n_nodes / self.connection_limit)
+
+    def flat_viable(self, n_nodes: int) -> bool:
+        return n_nodes <= self.connection_limit
+
+    def predicted_flat_ms(self, n_nodes: int) -> float:
+        return predict_flat_ms(self.costs, n_nodes)["total"]
+
+    def predicted_hier_ms(self, n_nodes: int, n_aggregators: int) -> float:
+        return predict_hier_ms(self.costs, n_nodes, n_aggregators)["total"]
+
+    # -- the planner ------------------------------------------------------------
+    def recommend(
+        self,
+        n_nodes: int,
+        target_latency_ms: float,
+        prefer_fewest_controllers: bool = True,
+    ) -> DesignRecommendation:
+        """Pick the cheapest design meeting ``target_latency_ms``.
+
+        Preference order (paper §V): a flat single controller when it is
+        both viable and fast enough; otherwise the hierarchical design
+        with the fewest aggregators that meets the target; if no explored
+        configuration meets it, the fastest achievable one, flagged.
+        """
+        if target_latency_ms <= 0:
+            raise ValueError(f"target must be positive: {target_latency_ms}")
+        if self.flat_viable(n_nodes):
+            flat_ms = self.predicted_flat_ms(n_nodes)
+            if flat_ms <= target_latency_ms:
+                return DesignRecommendation(
+                    design="flat",
+                    n_aggregators=0,
+                    predicted_latency_ms=flat_ms,
+                    controller_nodes=1,
+                    meets_target=True,
+                    reason=(
+                        f"{n_nodes} nodes fit under the "
+                        f"{self.connection_limit}-connection ceiling and one "
+                        "controller meets the reaction-time target "
+                        "(Obs. #1)."
+                    ),
+                )
+
+        floor = self.min_aggregators(n_nodes)
+        best: Optional[Tuple[int, float]] = None
+        for a in range(floor, self.max_aggregators + 1):
+            ms = self.predicted_hier_ms(n_nodes, a)
+            if best is None or ms < best[1]:
+                best = (a, ms)
+            if ms <= target_latency_ms and prefer_fewest_controllers:
+                return DesignRecommendation(
+                    design="hierarchical",
+                    n_aggregators=a,
+                    predicted_latency_ms=ms,
+                    controller_nodes=1 + a,
+                    meets_target=True,
+                    reason=(
+                        f"smallest aggregator count >= the connection floor "
+                        f"({floor}) whose predicted cycle meets "
+                        f"{target_latency_ms:.0f} ms (Obs. #5 trade-off)."
+                    ),
+                )
+            # Adding aggregators stops helping once the per-partition term
+            # is negligible; bail out when improvements stall.
+            if a > floor + 4 and best is not None and ms > best[1] * 0.999:
+                break
+        assert best is not None
+        a_best, ms_best = best
+        return DesignRecommendation(
+            design="hierarchical",
+            n_aggregators=a_best,
+            predicted_latency_ms=ms_best,
+            controller_nodes=1 + a_best,
+            meets_target=ms_best <= target_latency_ms,
+            reason=(
+                "no explored configuration meets the target; reporting the "
+                "fastest one. Lower-latency control would need a faster "
+                "controller substrate (see the CPU-scaling ablation)."
+            ),
+        )
+
+    def sweep(
+        self, n_nodes: int, aggregator_counts: Sequence[int]
+    ) -> Dict[int, float]:
+        """Predicted latency per aggregator count (Fig. 5's x-axis)."""
+        floor = self.min_aggregators(n_nodes)
+        out: Dict[int, float] = {}
+        for a in aggregator_counts:
+            if a < floor:
+                continue
+            out[a] = self.predicted_hier_ms(n_nodes, a)
+        return out
+
+
+def find_crossover(
+    f: Callable[[int], float],
+    g: Callable[[int], float],
+    lo: int,
+    hi: int,
+) -> Optional[int]:
+    """Smallest x in [lo, hi] where ``f(x) >= g(x)`` flips to ``f < g``.
+
+    Scans integer points (the functions here are cheap analytic models);
+    returns None if the ordering never flips. Used to locate e.g. where a
+    three-level tree starts beating a two-level one.
+    """
+    if lo > hi:
+        raise ValueError(f"empty range: [{lo}, {hi}]")
+    previous = f(lo) >= g(lo)
+    for x in range(lo + 1, hi + 1):
+        current = f(x) >= g(x)
+        if previous and not current:
+            return x
+        previous = current
+    return None

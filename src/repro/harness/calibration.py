@@ -1,0 +1,201 @@
+"""Analytic latency predictors and cost-model calibration.
+
+The DES executes the full protocol; this module holds the *closed-form*
+composition of the same per-operation costs. It serves three purposes:
+
+1. **Calibration** — :func:`fit_cost_model` least-squares-fits a handful
+   of scale factors (one per cost group) so the predicted latencies match
+   the paper's reported Frontera numbers. The shipped defaults in
+   :data:`repro.core.costs.FRONTERA_COST_MODEL` were derived this way.
+2. **Validation** — tests assert the simulator's *measured* latencies
+   agree with the analytic predictions (the sim adds only round trips and
+   service-time tails), catching protocol/cost drift.
+3. **Portability** — to model a different machine, fit against its
+   observed latencies and pass the resulting :class:`CostModel` into
+   :class:`~repro.core.control_plane.ControlPlaneConfig`.
+
+Model correspondence (matching the controllers' phase structure):
+
+* flat collect   = fixed + N·(tx_request + rx_reply)
+* flat compute   = compute_fixed + N·psfa
+* flat enforce   = fixed + N·(rule_build + tx_rule + rx_ack)
+* hier collect   = fixed + A·(tx_request + rx_agg_fixed) +
+                   n·(tx_request + rx_reply + merge) + N·rx_agg_entry
+* hier compute   = compute_fixed + N·psfa_hier
+* hier enforce   = fixed + N·rule_build_hier + A·(tx_batch + rx_agg_ack) +
+                   n·(unpack + tx_rule + rx_ack)
+
+with n = ceil(N/A) the per-aggregator partition size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.costs import CostModel, FRONTERA_COST_MODEL
+from repro.harness.paper import PAPER, PaperReference
+
+__all__ = [
+    "FitResult",
+    "fit_cost_model",
+    "predict_flat_ms",
+    "predict_hier_ms",
+    "prediction_errors",
+]
+
+#: Round-trip wire/service fixed time per request-reply exchange (s):
+#: two 4-hop one-way latencies plus the stage service delay.
+def _rtt_fixed(cm: CostModel) -> float:
+    hop = 1.0e-6
+    return 2 * 4 * hop + cm.stage_service_s
+
+
+def predict_flat_ms(cm: CostModel, n_stages: int) -> Dict[str, float]:
+    """Per-phase analytic latency (ms) of the flat design."""
+    if n_stages < 1:
+        raise ValueError(f"n_stages must be >= 1: {n_stages}")
+    n = n_stages
+    collect = _rtt_fixed(cm) + n * (cm.tx_request_s + cm.rx_reply_s)
+    compute = cm.compute_fixed_s + n * cm.psfa_per_stage_s
+    enforce = _rtt_fixed(cm) + n * (cm.rule_build_s + cm.tx_rule_s + cm.rx_ack_s)
+    return {
+        "collect": collect * 1e3,
+        "compute": compute * 1e3,
+        "enforce": enforce * 1e3,
+        "total": (collect + compute + enforce) * 1e3,
+    }
+
+
+def predict_hier_ms(
+    cm: CostModel, n_stages: int, n_aggregators: int
+) -> Dict[str, float]:
+    """Per-phase analytic latency (ms) of the hierarchical design."""
+    if n_stages < 1 or n_aggregators < 1:
+        raise ValueError("n_stages and n_aggregators must be >= 1")
+    n_total = n_stages
+    a = n_aggregators
+    n = math.ceil(n_total / a)
+    collect = (
+        2 * _rtt_fixed(cm)
+        + a * (cm.tx_request_s + cm.rx_agg_reply_fixed_s)
+        + n * (cm.tx_request_s + cm.rx_reply_s + cm.agg_merge_s)
+        + cm.agg_summarize_fixed_s
+        + n_total * cm.rx_agg_entry_s
+    )
+    compute = cm.compute_fixed_s + n_total * cm.psfa_per_stage_hier_s
+    enforce = (
+        2 * _rtt_fixed(cm)
+        + n_total * cm.rule_build_hier_s
+        + a * (cm.tx_batch_s + cm.rx_agg_ack_s)
+        + n * (cm.batch_unpack_s + cm.tx_rule_s + cm.rx_ack_s)
+    )
+    return {
+        "collect": collect * 1e3,
+        "compute": compute * 1e3,
+        "enforce": enforce * 1e3,
+        "total": (collect + compute + enforce) * 1e3,
+    }
+
+
+def prediction_errors(
+    cm: CostModel, paper: PaperReference = PAPER
+) -> Dict[str, float]:
+    """Relative error of every predicted headline latency vs the paper."""
+    errors: Dict[str, float] = {}
+    for n, target in paper.flat_latency_ms.items():
+        pred = predict_flat_ms(cm, n)["total"]
+        errors[f"flat@{n}"] = (pred - target) / target
+    for a, target in paper.hier_latency_ms.items():
+        pred = predict_hier_ms(cm, paper.hier_n_stages, a)["total"]
+        errors[f"hier@10000/A={a}"] = (pred - target) / target
+    pred = predict_hier_ms(cm, 2500, 1)["total"]
+    errors["hier@2500/A=1"] = (pred - paper.fig6_hier_ms) / paper.fig6_hier_ms
+    return errors
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a calibration fit."""
+
+    cost_model: CostModel
+    scale_factors: Dict[str, float]
+    errors: Dict[str, float]
+
+    @property
+    def mean_abs_error(self) -> float:
+        return float(np.mean(np.abs(list(self.errors.values()))))
+
+    @property
+    def max_abs_error(self) -> float:
+        return float(np.max(np.abs(list(self.errors.values()))))
+
+
+# Cost groups scaled jointly during fitting. Scaling groups rather than
+# all 20 constants keeps the fit well-conditioned (9 targets) while
+# preserving the hand-derived within-phase ratios.
+_FIT_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "flat_collect": ("tx_request_s", "rx_reply_s"),
+    "flat_compute": ("psfa_per_stage_s",),
+    "flat_enforce": ("rule_build_s", "tx_rule_s", "rx_ack_s"),
+    "agg_path": ("agg_merge_s", "batch_unpack_s"),
+    "hier_global": (
+        "rx_agg_entry_s",
+        "psfa_per_stage_hier_s",
+        "rule_build_hier_s",
+    ),
+    "fixed": ("compute_fixed_s", "stage_service_s", "agg_summarize_fixed_s"),
+}
+
+
+def fit_cost_model(
+    base: Optional[CostModel] = None,
+    paper: PaperReference = PAPER,
+    bounds: Tuple[float, float] = (0.6, 1.6),
+) -> FitResult:
+    """Fit group scale factors so predictions match the paper's latencies.
+
+    Minimises squared relative error over all nine headline latencies
+    (four flat, four hierarchical at 10k, one hierarchical at 2.5k).
+
+    ``bounds`` constrain each group's scale around the base model. The
+    default +/-60 % window keeps the per-phase ratios — which are visual
+    estimates from the stacked bars of Figs. 4–6 and qualitative facts
+    (enforce > collect; hierarchical compute < flat compute) — from being
+    distorted to chase a single scalar target. Widening the bounds lowers
+    the total-latency error further at the cost of phase-shape fidelity
+    (the hier@2500/A=1 point is mildly inconsistent with a linear
+    per-stage cost model; see EXPERIMENTS.md).
+    """
+    from scipy.optimize import least_squares
+
+    base = base or FRONTERA_COST_MODEL
+    group_names = list(_FIT_GROUPS)
+
+    def apply(scales: np.ndarray) -> CostModel:
+        updates = {}
+        for scale, group in zip(scales, group_names):
+            for field_name in _FIT_GROUPS[group]:
+                updates[field_name] = getattr(base, field_name) * float(scale)
+        return replace(base, **updates)
+
+    def residuals(scales: np.ndarray) -> np.ndarray:
+        cm = apply(scales)
+        return np.array(list(prediction_errors(cm, paper).values()))
+
+    fit = least_squares(
+        residuals,
+        x0=np.ones(len(group_names)),
+        bounds=bounds,
+        xtol=1e-12,
+        ftol=1e-12,
+    )
+    fitted = apply(fit.x)
+    return FitResult(
+        cost_model=fitted,
+        scale_factors=dict(zip(group_names, map(float, fit.x))),
+        errors=prediction_errors(fitted, paper),
+    )

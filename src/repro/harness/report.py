@@ -1,0 +1,98 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Benches print the exact rows the paper reports next to the measured
+values; these helpers keep that formatting in one place. Figures are
+rendered as value series (and optionally coarse ASCII bars) since the
+original bar charts carry per-phase stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "compare_row",
+    "format_figure_series",
+    "format_table",
+    "relative_error",
+]
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """Signed relative error; inf-safe for zero references."""
+    if reference == 0:
+        return float("inf") if measured != 0 else 0.0
+    return (measured - reference) / reference
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned, pipe-separated table."""
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def compare_row(
+    label: str,
+    measured: float,
+    reference: float,
+    unit: str = "ms",
+) -> List:
+    """One paper-vs-measured comparison row (label, paper, ours, error)."""
+    return [
+        label,
+        reference,
+        measured,
+        f"{relative_error(measured, reference):+.1%}",
+    ]
+
+
+def format_figure_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+    bar_width: int = 40,
+    unit: str = "ms",
+) -> str:
+    """Render a figure as per-x stacked series plus ASCII total bars.
+
+    ``series`` maps phase name to per-x values; a ``total`` row and a bar
+    chart of totals are appended, mirroring the stacked-bar figures.
+    """
+    headers = [x_label, *series.keys(), f"total ({unit})"]
+    totals = [sum(values[i] for values in series.values()) for i in range(len(xs))]
+    rows = [
+        [xs[i], *(values[i] for values in series.values()), totals[i]]
+        for i in range(len(xs))
+    ]
+    table = format_table(headers, rows, title=title)
+    peak = max(totals) if totals else 1.0
+    bars = [
+        f"  {str(xs[i]).rjust(6)} | "
+        + "#" * max(1, round(bar_width * totals[i] / peak))
+        + f" {totals[i]:.2f}"
+        for i in range(len(xs))
+    ]
+    return table + "\n" + "\n".join(bars)

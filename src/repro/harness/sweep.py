@@ -1,0 +1,63 @@
+"""Parameter sweeps over experiment configurations.
+
+Small conveniences used by benches and examples to run a family of
+experiments (varying node counts, aggregator counts, cost scalings) and
+collect results keyed by the swept value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.core.costs import CostModel, FRONTERA_COST_MODEL
+from repro.harness.experiment import (
+    ExperimentResult,
+    run_flat_experiment,
+    run_hierarchical_experiment,
+)
+
+__all__ = ["sweep_aggregators", "sweep_cost_scaling", "sweep_flat_nodes"]
+
+
+def sweep_flat_nodes(
+    node_counts: Sequence[int],
+    cycles: int = 12,
+    repeats: int = 1,
+    costs: CostModel = FRONTERA_COST_MODEL,
+) -> Dict[int, ExperimentResult]:
+    """Fig. 4's sweep: flat design over increasing node counts."""
+    return {
+        n: run_flat_experiment(n, cycles=cycles, repeats=repeats, costs=costs)
+        for n in node_counts
+    }
+
+
+def sweep_aggregators(
+    n_stages: int,
+    aggregator_counts: Sequence[int],
+    cycles: int = 10,
+    repeats: int = 1,
+    costs: CostModel = FRONTERA_COST_MODEL,
+    decision_offload: bool = False,
+) -> Dict[int, ExperimentResult]:
+    """Fig. 5's sweep: hierarchical design over aggregator counts."""
+    return {
+        a: run_hierarchical_experiment(
+            n_stages,
+            a,
+            cycles=cycles,
+            repeats=repeats,
+            costs=costs,
+            decision_offload=decision_offload,
+        )
+        for a in aggregator_counts
+    }
+
+
+def sweep_cost_scaling(
+    run: Callable[[CostModel], ExperimentResult],
+    cpu_factors: Sequence[float],
+    base: CostModel = FRONTERA_COST_MODEL,
+) -> Dict[float, ExperimentResult]:
+    """Ablation: rerun an experiment under scaled controller CPU costs."""
+    return {f: run(base.scaled(cpu_factor=f)) for f in cpu_factors}

@@ -1,0 +1,39 @@
+"""HPC job and workload models.
+
+Supplies both sides of the study's workload story:
+
+* **Metric sources** (:mod:`repro.jobs.workloads`) — what virtual stages
+  report each cycle: the paper's constant *stress* source plus the
+  dynamic patterns its Discussion reasons about (bursty on/off, DL
+  training epochs, checkpoint storms);
+* **Job processes** (:mod:`repro.jobs.job`) — generator-based jobs that
+  issue real (simulated) I/O through a data-plane stage and the PFS, used
+  by the QoS enforcement examples;
+* **Churn** (:mod:`repro.jobs.scheduler`) — Poisson job arrivals and
+  departures that register/deregister stages on a running control plane.
+"""
+
+from repro.jobs.job import Job, JobPhase, run_job
+from repro.jobs.scheduler import ChurnEvent, JobScheduler
+from repro.jobs.workloads import (
+    BurstySource,
+    CheckpointSource,
+    DLTrainingSource,
+    PoissonSource,
+    StressSource,
+    source_factory,
+)
+
+__all__ = [
+    "BurstySource",
+    "CheckpointSource",
+    "ChurnEvent",
+    "DLTrainingSource",
+    "Job",
+    "JobPhase",
+    "JobScheduler",
+    "PoissonSource",
+    "StressSource",
+    "run_job",
+    "source_factory",
+]

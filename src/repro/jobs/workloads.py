@@ -1,0 +1,209 @@
+"""Synthetic workload generators (metric sources for virtual stages).
+
+The paper stress-tests the control plane with virtual stages whose
+reported values do not matter ("regardless of the value of each collected
+metric, it must run its computation"). :class:`StressSource` reproduces
+that. The other sources model the workload classes the paper's motivation
+and discussion describe, and drive the beyond-the-paper examples:
+
+* :class:`BurstySource` — on/off traffic; the Discussion's argument for
+  low-latency control cycles;
+* :class:`DLTrainingSource` — epoch-structured deep-learning I/O: steady
+  read demand, metadata storms at epoch boundaries (many small file
+  opens), matching the DL/LLM characterisations the paper cites [10–13];
+* :class:`CheckpointSource` — long quiet compute phases punctuated by
+  massive write bursts (classic HPC checkpoint/restart);
+* :class:`PoissonSource` — memoryless fluctuation around a mean.
+
+All sources are deterministic functions of (seed, stage_id, simulated
+time), so experiments are reproducible and flat/hierarchical comparisons
+see identical demand.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.simnet.rng import RandomStreams
+
+__all__ = [
+    "BurstySource",
+    "CheckpointSource",
+    "DLTrainingSource",
+    "PoissonSource",
+    "StressSource",
+    "source_factory",
+]
+
+
+def _stage_phase(stage_id: str) -> float:
+    """A stable per-stage phase offset in [0, 1) so stages don't sync up."""
+    return (zlib.crc32(stage_id.encode("utf-8")) % 10_000) / 10_000.0
+
+
+class StressSource:
+    """The paper's stress workload: constant demand plus small noise."""
+
+    def __init__(
+        self,
+        streams: RandomStreams,
+        data_iops: float = 1000.0,
+        metadata_iops: float = 200.0,
+        noise_fraction: float = 0.05,
+    ) -> None:
+        if data_iops < 0 or metadata_iops < 0:
+            raise ValueError("negative IOPS")
+        if not 0 <= noise_fraction < 1:
+            raise ValueError(f"noise fraction must be in [0, 1): {noise_fraction}")
+        self._rng = streams.stream("stress")
+        self.data_iops = data_iops
+        self.metadata_iops = metadata_iops
+        self.noise_fraction = noise_fraction
+
+    def sample(self, stage_id: str, now: float) -> Tuple[float, float]:
+        if self.noise_fraction == 0:
+            return (self.data_iops, self.metadata_iops)
+        jitter = 1.0 + self.noise_fraction * float(self._rng.uniform(-1, 1))
+        return (self.data_iops * jitter, self.metadata_iops * jitter)
+
+
+class BurstySource:
+    """On/off demand: ``burst_iops`` for ``on_s``, near zero for ``off_s``."""
+
+    def __init__(
+        self,
+        burst_iops: float = 5000.0,
+        idle_iops: float = 10.0,
+        on_s: float = 2.0,
+        off_s: float = 8.0,
+        metadata_fraction: float = 0.1,
+    ) -> None:
+        if burst_iops < idle_iops:
+            raise ValueError("burst must be >= idle demand")
+        if on_s <= 0 or off_s < 0:
+            raise ValueError("invalid on/off durations")
+        if not 0 <= metadata_fraction <= 1:
+            raise ValueError(f"metadata fraction out of range: {metadata_fraction}")
+        self.burst_iops = burst_iops
+        self.idle_iops = idle_iops
+        self.on_s = on_s
+        self.off_s = off_s
+        self.metadata_fraction = metadata_fraction
+
+    def sample(self, stage_id: str, now: float) -> Tuple[float, float]:
+        period = self.on_s + self.off_s
+        position = (now + _stage_phase(stage_id) * period) % period
+        total = self.burst_iops if position < self.on_s else self.idle_iops
+        meta = total * self.metadata_fraction
+        return (total - meta, meta)
+
+
+class DLTrainingSource:
+    """Deep-learning training I/O: steady reads + epoch-boundary metadata storms.
+
+    Within each ``epoch_s``-long epoch the job streams training samples
+    (high data IOPS, low metadata); during the first ``storm_fraction`` of
+    the epoch it re-opens shards/listings (metadata-heavy), the pattern
+    [11–13] report for TensorFlow/PyTorch input pipelines on PFSes.
+    """
+
+    def __init__(
+        self,
+        read_iops: float = 3000.0,
+        storm_metadata_iops: float = 4000.0,
+        steady_metadata_iops: float = 50.0,
+        epoch_s: float = 30.0,
+        storm_fraction: float = 0.1,
+    ) -> None:
+        if min(read_iops, storm_metadata_iops, steady_metadata_iops) < 0:
+            raise ValueError("negative IOPS")
+        if epoch_s <= 0 or not 0 < storm_fraction < 1:
+            raise ValueError("invalid epoch shape")
+        self.read_iops = read_iops
+        self.storm_metadata_iops = storm_metadata_iops
+        self.steady_metadata_iops = steady_metadata_iops
+        self.epoch_s = epoch_s
+        self.storm_fraction = storm_fraction
+
+    def sample(self, stage_id: str, now: float) -> Tuple[float, float]:
+        position = ((now + _stage_phase(stage_id) * self.epoch_s) % self.epoch_s) / self.epoch_s
+        if position < self.storm_fraction:
+            return (self.read_iops * 0.3, self.storm_metadata_iops)
+        return (self.read_iops, self.steady_metadata_iops)
+
+
+class CheckpointSource:
+    """Compute-dominated job with periodic checkpoint write bursts."""
+
+    def __init__(
+        self,
+        checkpoint_iops: float = 8000.0,
+        quiet_iops: float = 20.0,
+        period_s: float = 60.0,
+        checkpoint_s: float = 5.0,
+    ) -> None:
+        if checkpoint_iops < 0 or quiet_iops < 0:
+            raise ValueError("negative IOPS")
+        if period_s <= 0 or not 0 < checkpoint_s < period_s:
+            raise ValueError("invalid checkpoint timing")
+        self.checkpoint_iops = checkpoint_iops
+        self.quiet_iops = quiet_iops
+        self.period_s = period_s
+        self.checkpoint_s = checkpoint_s
+
+    def sample(self, stage_id: str, now: float) -> Tuple[float, float]:
+        position = (now + _stage_phase(stage_id) * self.period_s) % self.period_s
+        if position < self.checkpoint_s:
+            return (self.checkpoint_iops, self.checkpoint_iops * 0.02)
+        return (self.quiet_iops, self.quiet_iops * 0.5)
+
+
+class PoissonSource:
+    """Memoryless fluctuation: demand ~ Poisson(mean) each observation."""
+
+    def __init__(
+        self,
+        streams: RandomStreams,
+        mean_data_iops: float = 1000.0,
+        mean_metadata_iops: float = 100.0,
+    ) -> None:
+        if mean_data_iops < 0 or mean_metadata_iops < 0:
+            raise ValueError("negative IOPS")
+        self._rng = streams.stream("poisson")
+        self.mean_data_iops = mean_data_iops
+        self.mean_metadata_iops = mean_metadata_iops
+
+    def sample(self, stage_id: str, now: float) -> Tuple[float, float]:
+        return (
+            float(self._rng.poisson(self.mean_data_iops)),
+            float(self._rng.poisson(self.mean_metadata_iops)),
+        )
+
+
+_KINDS = {
+    "stress": lambda streams: StressSource(streams),
+    "bursty": lambda streams: BurstySource(),
+    "dl-training": lambda streams: DLTrainingSource(),
+    "checkpoint": lambda streams: CheckpointSource(),
+    "poisson": lambda streams: PoissonSource(streams),
+}
+
+
+def source_factory(kind: str, seed: int = 0) -> Callable[[str], object]:
+    """A ``ControlPlaneConfig.source_factory`` for the named workload.
+
+    Each stage gets its own source instance (so stateful RNG sources do
+    not share streams) with a per-stage seed derived from ``seed``.
+    """
+    builder = _KINDS.get(kind)
+    if builder is None:
+        raise ValueError(f"unknown workload kind {kind!r}; choose from {sorted(_KINDS)}")
+
+    def factory(stage_id: str):
+        streams = RandomStreams(seed).spawn(stage_id)
+        return builder(streams)
+
+    return factory

@@ -1,0 +1,21 @@
+"""A real (non-simulated) deployment of the control plane.
+
+Everything in :mod:`repro.core` above the transport is reused — PSFA, the
+policy model, rule/metric semantics — but here the controller and the
+virtual stages are genuine asyncio TCP services exchanging length-prefixed
+messages over localhost. This validates that the control plane is real
+software, and lets a laptop reproduce the *small-N* end of Fig. 4 with
+wall-clock latencies (the paper's 50-node point runs in a few ms of real
+time per cycle; absolute values differ from Frontera's, shapes hold).
+
+Entry point: :func:`~repro.live.harness.run_live_flat` (or the
+``examples/live_cluster.py`` script).
+"""
+
+from repro.live.harness import (
+    LiveRunResult,
+    run_live_flat,
+    run_live_hierarchical,
+)
+
+__all__ = ["LiveRunResult", "run_live_flat", "run_live_hierarchical"]

@@ -1,0 +1,197 @@
+"""Live aggregator controller: the hierarchical design over real TCP.
+
+A :class:`LiveAggregator` is simultaneously a server (stages connect to it
+and register, exactly as they would to a flat controller) and a client (it
+registers upstream with the global controller once its partition is
+complete). Per control cycle it
+
+1. receives ``agg_collect_req`` from the global controller,
+2. fans ``collect_req`` out to its stages and gathers replies,
+3. replies upstream with one compact ``agg_metrics_reply`` carrying the
+   whole partition's demand vectors,
+4. receives a ``rule_batch``, forwards per-stage ``rule`` messages,
+   gathers acks, and acknowledges the batch.
+
+This is the same state machine as the simulated
+:class:`~repro.core.controller.AggregatorController`, over sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+from repro.live.protocol import read_message, write_message
+
+__all__ = ["LiveAggregator"]
+
+
+class _StageSession:
+    def __init__(self, stage_id: str, job_id: str, reader, writer) -> None:
+        self.stage_id = stage_id
+        self.job_id = job_id
+        self.reader = reader
+        self.writer = writer
+
+
+class LiveAggregator:
+    """One aggregator: serves a stage partition, reports upstream."""
+
+    def __init__(
+        self,
+        aggregator_id: str,
+        global_host: str,
+        global_port: int,
+        expected_stages: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if expected_stages < 1:
+            raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
+        self.aggregator_id = aggregator_id
+        self.global_host = global_host
+        self.global_port = global_port
+        self.expected_stages = expected_stages
+        self.host = host
+        self.port = port
+        self.sessions: Dict[str, _StageSession] = {}
+        self.cycles_served = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._all_registered = asyncio.Event()
+        self._stop = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        """Listen for stage registrations; ``self.port`` gets the bound port."""
+        self._server = await asyncio.start_server(
+            self._on_stage_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _on_stage_connection(self, reader, writer) -> None:
+        try:
+            hello = await read_message(reader)
+        except asyncio.IncompleteReadError:
+            writer.close()
+            return
+        if hello.get("kind") != "register":
+            writer.close()
+            return
+        session = _StageSession(hello["stage_id"], hello["job_id"], reader, writer)
+        self.sessions[session.stage_id] = session
+        await write_message(writer, {"kind": "registered"})
+        if len(self.sessions) >= self.expected_stages:
+            self._all_registered.set()
+
+    async def run(self, stage_timeout_s: float = 30.0) -> None:
+        """Register upstream once the partition is complete, then serve."""
+        await asyncio.wait_for(self._all_registered.wait(), timeout=stage_timeout_s)
+        reader, writer = await asyncio.open_connection(
+            self.global_host, self.global_port
+        )
+        try:
+            await write_message(
+                writer,
+                {
+                    "kind": "register_aggregator",
+                    "aggregator_id": self.aggregator_id,
+                    "stage_ids": sorted(self.sessions),
+                    "job_ids": [
+                        self.sessions[s].job_id for s in sorted(self.sessions)
+                    ],
+                },
+            )
+            ack = await read_message(reader)
+            if ack["kind"] != "registered":
+                raise RuntimeError(f"unexpected registration reply: {ack}")
+            while not self._stop.is_set():
+                try:
+                    message = await read_message(reader)
+                except asyncio.IncompleteReadError:
+                    break
+                await self._handle(message, writer)
+        finally:
+            await self._shutdown_stages()
+            writer.close()
+            if self._server is not None:
+                self._server.close()
+
+    async def _handle(self, message, up_writer) -> None:
+        kind = message["kind"]
+        if kind == "agg_collect_req":
+            await self._collect(message["epoch"], up_writer)
+        elif kind == "rule_batch":
+            await self._distribute(message, up_writer)
+        elif kind == "shutdown":
+            self._stop.set()
+
+    # -- cycle halves ---------------------------------------------------------
+    async def _collect(self, epoch: int, up_writer) -> None:
+        self.cycles_served += 1
+        sessions = [self.sessions[s] for s in sorted(self.sessions)]
+        for s in sessions:
+            await write_message(s.writer, {"kind": "collect_req", "epoch": epoch})
+        demands: Dict[str, float] = {}
+
+        async def read_reply(s: _StageSession) -> None:
+            while True:
+                m = await read_message(s.reader)
+                if m["kind"] == "metrics_reply" and m["epoch"] == epoch:
+                    demands[s.stage_id] = m["data_iops"] + m["metadata_iops"]
+                    return
+
+        await asyncio.gather(*(read_reply(s) for s in sessions))
+        await write_message(
+            up_writer,
+            {
+                "kind": "agg_metrics_reply",
+                "epoch": epoch,
+                "aggregator_id": self.aggregator_id,
+                "stage_ids": [s.stage_id for s in sessions],
+                "job_ids": [s.job_id for s in sessions],
+                "demands": [demands[s.stage_id] for s in sessions],
+            },
+        )
+
+    async def _distribute(self, message, up_writer) -> None:
+        epoch = message["epoch"]
+        rules = message["rules"]
+        targets = []
+        for rule in rules:
+            session = self.sessions.get(rule["stage_id"])
+            if session is None:
+                continue
+            await write_message(
+                session.writer,
+                {
+                    "kind": "rule",
+                    "epoch": epoch,
+                    "stage_id": rule["stage_id"],
+                    "data_iops_limit": rule["data_iops_limit"],
+                },
+            )
+            targets.append(session)
+
+        async def read_ack(s: _StageSession) -> None:
+            while True:
+                m = await read_message(s.reader)
+                if m["kind"] == "rule_ack" and m["epoch"] == epoch:
+                    return
+
+        await asyncio.gather(*(read_ack(s) for s in targets))
+        await write_message(
+            up_writer,
+            {
+                "kind": "batch_ack",
+                "epoch": epoch,
+                "aggregator_id": self.aggregator_id,
+            },
+        )
+
+    async def _shutdown_stages(self) -> None:
+        for session in self.sessions.values():
+            try:
+                await write_message(session.writer, {"kind": "shutdown"})
+                session.writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass

@@ -1,0 +1,359 @@
+"""Live global controller: an asyncio TCP server running control cycles.
+
+The same collect → compute → enforce loop as the simulated
+:class:`~repro.core.controller.GlobalController`, timed with the
+wall clock and executing the *same* PSFA implementation
+(:class:`repro.core.algorithms.psfa.PSFA`) over the collected demand.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.algorithms.base import ControlAlgorithm
+from repro.core.algorithms.psfa import PSFA
+from repro.core.cycle import ControlCycle
+from repro.core.policies import QoSPolicy
+from repro.live.protocol import read_message, write_message
+
+__all__ = ["LiveGlobalController", "LiveHierGlobalController"]
+
+
+class _StageSession:
+    """Server-side state for one connected stage."""
+
+    def __init__(self, stage_id: str, job_id: str, reader, writer) -> None:
+        self.stage_id = stage_id
+        self.job_id = job_id
+        self.reader = reader
+        self.writer = writer
+        self.latest_demand = 0.0
+
+
+class LiveGlobalController:
+    """Flat-design controller over real TCP connections.
+
+    Usage::
+
+        ctrl = LiveGlobalController(policy, expected_stages=50)
+        await ctrl.start()                 # begins listening; port assigned
+        ... stages connect ...
+        await ctrl.wait_for_stages()
+        cycles = await ctrl.run_cycles(20)
+        await ctrl.shutdown()
+    """
+
+    def __init__(
+        self,
+        policy: QoSPolicy,
+        expected_stages: int,
+        algorithm: Optional[ControlAlgorithm] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if expected_stages < 1:
+            raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
+        self.policy = policy
+        self.algorithm = algorithm or PSFA()
+        self.expected_stages = expected_stages
+        self.host = host
+        self.port = port
+        self.sessions: Dict[str, _StageSession] = {}
+        self.cycles: List[ControlCycle] = []
+        self.epoch = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._all_registered = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        """Start listening; ``self.port`` holds the bound port."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_for_stages(self, timeout_s: float = 30.0) -> None:
+        """Block until every expected stage has registered."""
+        await asyncio.wait_for(self._all_registered.wait(), timeout=timeout_s)
+
+    async def shutdown(self) -> None:
+        """Tell stages to stop and close the server."""
+        for session in self.sessions.values():
+            try:
+                await write_message(session.writer, {"kind": "shutdown"})
+                session.writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            hello = await read_message(reader)
+        except asyncio.IncompleteReadError:
+            writer.close()
+            return
+        if hello.get("kind") != "register":
+            writer.close()
+            return
+        session = _StageSession(hello["stage_id"], hello["job_id"], reader, writer)
+        self.sessions[session.stage_id] = session
+        await write_message(writer, {"kind": "registered"})
+        if len(self.sessions) >= self.expected_stages:
+            self._all_registered.set()
+        # The controller drives all further I/O on this connection; the
+        # handler returns and the streams stay owned by the session.
+
+    # -- control loop -----------------------------------------------------------
+    async def run_cycles(self, n_cycles: int) -> List[ControlCycle]:
+        """Run ``n_cycles`` back-to-back cycles; returns their records."""
+        if n_cycles < 1:
+            raise ValueError(f"n_cycles must be >= 1: {n_cycles}")
+        for _ in range(n_cycles):
+            await self._cycle()
+        return self.cycles
+
+    async def _cycle(self) -> None:
+        self.epoch += 1
+        epoch = self.epoch
+        sessions = list(self.sessions.values())
+        started = time.perf_counter()
+
+        # ---- collect ----
+        for s in sessions:
+            await write_message(s.writer, {"kind": "collect_req", "epoch": epoch})
+
+        async def read_reply(s: _StageSession) -> None:
+            while True:
+                message = await read_message(s.reader)
+                if message["kind"] == "metrics_reply" and message["epoch"] == epoch:
+                    s.latest_demand = (
+                        message["data_iops"] + message["metadata_iops"]
+                    )
+                    return
+
+        await asyncio.gather(*(read_reply(s) for s in sessions))
+        t_collect = time.perf_counter() - started
+
+        # ---- compute (the real PSFA) ----
+        compute_started = time.perf_counter()
+        job_ids = [s.job_id for s in sessions]
+        demands = np.array([s.latest_demand for s in sessions])
+        weights = self.policy.weights(job_ids)
+        result = self.algorithm.allocate(
+            demands, weights, self.policy.allocatable_iops
+        )
+        limits = result.allocations
+        t_compute = time.perf_counter() - compute_started
+
+        # ---- enforce ----
+        enforce_started = time.perf_counter()
+        for s, limit in zip(sessions, limits):
+            await write_message(
+                s.writer,
+                {
+                    "kind": "rule",
+                    "epoch": epoch,
+                    "stage_id": s.stage_id,
+                    "data_iops_limit": float(limit),
+                },
+            )
+
+        async def read_ack(s: _StageSession) -> None:
+            while True:
+                message = await read_message(s.reader)
+                if message["kind"] == "rule_ack" and message["epoch"] == epoch:
+                    return
+
+        await asyncio.gather(*(read_ack(s) for s in sessions))
+        t_enforce = time.perf_counter() - enforce_started
+
+        self.cycles.append(
+            ControlCycle(
+                epoch=epoch,
+                started_at=started,
+                collect_s=t_collect,
+                compute_s=t_compute,
+                enforce_s=t_enforce,
+                n_stages=len(sessions),
+            )
+        )
+
+
+class _AggregatorSession:
+    """Server-side state for one registered aggregator."""
+
+    def __init__(self, aggregator_id, stage_ids, job_ids, reader, writer) -> None:
+        self.aggregator_id = aggregator_id
+        self.stage_ids = list(stage_ids)
+        self.job_ids = list(job_ids)
+        self.reader = reader
+        self.writer = writer
+        self.latest_demands: Dict[str, float] = {}
+
+
+class LiveHierGlobalController:
+    """Hierarchical-design global controller over real TCP.
+
+    Talks only to :class:`~repro.live.aggregator_server.LiveAggregator`
+    instances; runs the same PSFA computation over the union of their
+    partitions and ships per-aggregator rule batches — the live
+    counterpart of the paper's Fig. 3 deployment.
+    """
+
+    def __init__(
+        self,
+        policy: QoSPolicy,
+        expected_aggregators: int,
+        algorithm: Optional[ControlAlgorithm] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if expected_aggregators < 1:
+            raise ValueError(
+                f"expected_aggregators must be >= 1: {expected_aggregators}"
+            )
+        self.policy = policy
+        self.algorithm = algorithm or PSFA()
+        self.expected_aggregators = expected_aggregators
+        self.host = host
+        self.port = port
+        self.sessions: Dict[str, _AggregatorSession] = {}
+        self.cycles: List[ControlCycle] = []
+        self.epoch = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._all_registered = asyncio.Event()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_for_aggregators(self, timeout_s: float = 30.0) -> None:
+        await asyncio.wait_for(self._all_registered.wait(), timeout=timeout_s)
+
+    async def shutdown(self) -> None:
+        for session in self.sessions.values():
+            try:
+                await write_message(session.writer, {"kind": "shutdown"})
+                session.writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            hello = await read_message(reader)
+        except asyncio.IncompleteReadError:
+            writer.close()
+            return
+        if hello.get("kind") != "register_aggregator":
+            writer.close()
+            return
+        session = _AggregatorSession(
+            hello["aggregator_id"],
+            hello["stage_ids"],
+            hello["job_ids"],
+            reader,
+            writer,
+        )
+        self.sessions[session.aggregator_id] = session
+        await write_message(writer, {"kind": "registered"})
+        if len(self.sessions) >= self.expected_aggregators:
+            self._all_registered.set()
+
+    @property
+    def n_stages(self) -> int:
+        return sum(len(s.stage_ids) for s in self.sessions.values())
+
+    async def run_cycles(self, n_cycles: int) -> List[ControlCycle]:
+        if n_cycles < 1:
+            raise ValueError(f"n_cycles must be >= 1: {n_cycles}")
+        for _ in range(n_cycles):
+            await self._cycle()
+        return self.cycles
+
+    async def _cycle(self) -> None:
+        self.epoch += 1
+        epoch = self.epoch
+        sessions = [self.sessions[a] for a in sorted(self.sessions)]
+        started = time.perf_counter()
+
+        # ---- collect (via aggregators) ----
+        for s in sessions:
+            await write_message(
+                s.writer, {"kind": "agg_collect_req", "epoch": epoch}
+            )
+
+        async def read_agg_reply(s: _AggregatorSession) -> None:
+            while True:
+                m = await read_message(s.reader)
+                if m["kind"] == "agg_metrics_reply" and m["epoch"] == epoch:
+                    s.latest_demands = dict(zip(m["stage_ids"], m["demands"]))
+                    return
+
+        await asyncio.gather(*(read_agg_reply(s) for s in sessions))
+        t_collect = time.perf_counter() - started
+
+        # ---- compute (PSFA over all partitions) ----
+        compute_started = time.perf_counter()
+        stage_ids: List[str] = []
+        job_ids: List[str] = []
+        demands: List[float] = []
+        for s in sessions:
+            for stage_id, job_id in zip(s.stage_ids, s.job_ids):
+                stage_ids.append(stage_id)
+                job_ids.append(job_id)
+                demands.append(s.latest_demands.get(stage_id, 0.0))
+        result = self.algorithm.allocate(
+            np.array(demands), self.policy.weights(job_ids),
+            self.policy.allocatable_iops,
+        )
+        limit_of = dict(zip(stage_ids, result.allocations))
+        t_compute = time.perf_counter() - compute_started
+
+        # ---- enforce (rule batches) ----
+        enforce_started = time.perf_counter()
+        for s in sessions:
+            await write_message(
+                s.writer,
+                {
+                    "kind": "rule_batch",
+                    "epoch": epoch,
+                    "rules": [
+                        {
+                            "stage_id": stage_id,
+                            "data_iops_limit": float(limit_of[stage_id]),
+                        }
+                        for stage_id in s.stage_ids
+                    ],
+                },
+            )
+
+        async def read_batch_ack(s: _AggregatorSession) -> None:
+            while True:
+                m = await read_message(s.reader)
+                if m["kind"] == "batch_ack" and m["epoch"] == epoch:
+                    return
+
+        await asyncio.gather(*(read_batch_ack(s) for s in sessions))
+        t_enforce = time.perf_counter() - enforce_started
+
+        self.cycles.append(
+            ControlCycle(
+                epoch=epoch,
+                started_at=started,
+                collect_s=t_collect,
+                compute_s=t_compute,
+                enforce_s=t_enforce,
+                n_stages=len(stage_ids),
+            )
+        )

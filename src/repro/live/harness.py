@@ -1,0 +1,149 @@
+"""One-call live cluster runner.
+
+Spins up a :class:`~repro.live.controller_server.LiveGlobalController` and
+``n_stages`` :class:`~repro.live.stage_client.LiveVirtualStage` clients in
+a single asyncio loop over localhost TCP, runs the stress workload, and
+returns wall-clock cycle statistics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.control_plane import default_policy
+from repro.core.cycle import ControlCycle, CycleStats
+from repro.core.policies import QoSPolicy
+from repro.core.registry import partition_stages
+from repro.live.aggregator_server import LiveAggregator
+from repro.live.controller_server import LiveGlobalController, LiveHierGlobalController
+from repro.live.stage_client import LiveVirtualStage
+
+__all__ = ["LiveRunResult", "run_live_flat", "run_live_hierarchical"]
+
+
+@dataclass
+class LiveRunResult:
+    """Outcome of a live run: real cycle timings plus stage-side checks."""
+
+    n_stages: int
+    cycles: List[ControlCycle]
+    rules_applied_total: int
+    rules_stale_total: int
+
+    def stats(self, warmup: int = 2) -> CycleStats:
+        return CycleStats(self.cycles, warmup=min(warmup, max(len(self.cycles) - 1, 0)))
+
+
+async def _run(
+    n_stages: int,
+    n_cycles: int,
+    policy: Optional[QoSPolicy],
+) -> LiveRunResult:
+    policy = policy or default_policy(n_stages)
+    controller = LiveGlobalController(policy, expected_stages=n_stages)
+    await controller.start()
+
+    stages = [
+        LiveVirtualStage(
+            controller.host,
+            controller.port,
+            stage_id=f"stage-{i:05d}",
+            job_id=f"job-{i:05d}",
+        )
+        for i in range(n_stages)
+    ]
+    stage_tasks = [asyncio.create_task(s.run()) for s in stages]
+    try:
+        await controller.wait_for_stages()
+        cycles = await controller.run_cycles(n_cycles)
+    finally:
+        await controller.shutdown()
+        for task in stage_tasks:
+            task.cancel()
+        await asyncio.gather(*stage_tasks, return_exceptions=True)
+    return LiveRunResult(
+        n_stages=n_stages,
+        cycles=list(cycles),
+        rules_applied_total=sum(s.rules_applied for s in stages),
+        rules_stale_total=sum(s.rules_ignored_stale for s in stages),
+    )
+
+
+def run_live_flat(
+    n_stages: int = 50,
+    n_cycles: int = 20,
+    policy: Optional[QoSPolicy] = None,
+) -> LiveRunResult:
+    """Run a flat control plane over real localhost TCP sockets."""
+    if n_stages < 1 or n_cycles < 1:
+        raise ValueError("n_stages and n_cycles must be >= 1")
+    return asyncio.run(_run(n_stages, n_cycles, policy))
+
+
+async def _run_hier(
+    n_stages: int,
+    n_aggregators: int,
+    n_cycles: int,
+    policy: Optional[QoSPolicy],
+) -> LiveRunResult:
+    policy = policy or default_policy(n_stages)
+    controller = LiveHierGlobalController(
+        policy, expected_aggregators=n_aggregators
+    )
+    await controller.start()
+
+    stage_ids = [f"stage-{i:05d}" for i in range(n_stages)]
+    partitions = partition_stages(stage_ids, n_aggregators)
+    aggregators = []
+    stage_tasks = []
+    agg_tasks = []
+    stages = []
+    for a, owned in enumerate(partitions):
+        agg = LiveAggregator(
+            f"aggregator-{a:02d}",
+            controller.host,
+            controller.port,
+            expected_stages=len(owned),
+        )
+        await agg.start()
+        aggregators.append(agg)
+        for stage_id in owned:
+            stage = LiveVirtualStage(
+                agg.host,
+                agg.port,
+                stage_id=stage_id,
+                job_id=stage_id.replace("stage", "job"),
+            )
+            stages.append(stage)
+            stage_tasks.append(asyncio.create_task(stage.run()))
+        agg_tasks.append(asyncio.create_task(agg.run()))
+    try:
+        await controller.wait_for_aggregators()
+        cycles = await controller.run_cycles(n_cycles)
+    finally:
+        await controller.shutdown()
+        for task in (*agg_tasks, *stage_tasks):
+            task.cancel()
+        await asyncio.gather(*agg_tasks, *stage_tasks, return_exceptions=True)
+    return LiveRunResult(
+        n_stages=n_stages,
+        cycles=list(cycles),
+        rules_applied_total=sum(s.rules_applied for s in stages),
+        rules_stale_total=sum(s.rules_ignored_stale for s in stages),
+    )
+
+
+def run_live_hierarchical(
+    n_stages: int = 40,
+    n_aggregators: int = 4,
+    n_cycles: int = 10,
+    policy: Optional[QoSPolicy] = None,
+) -> LiveRunResult:
+    """Run the hierarchical design over real localhost TCP sockets."""
+    if n_stages < 1 or n_cycles < 1:
+        raise ValueError("n_stages and n_cycles must be >= 1")
+    if not 1 <= n_aggregators <= n_stages:
+        raise ValueError("n_aggregators must be in [1, n_stages]")
+    return asyncio.run(_run_hier(n_stages, n_aggregators, n_cycles, policy))

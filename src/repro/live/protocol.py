@@ -1,0 +1,65 @@
+"""Wire protocol for the live control plane: length-prefixed JSON.
+
+Frames are ``[4-byte big-endian length][UTF-8 JSON body]``. Bodies are
+dicts with a mandatory ``kind`` field; the kinds mirror the simulated
+protocol exactly (``collect_req``, ``metrics_reply``, ``rule``,
+``rule_ack``, plus ``register``/``registered`` for session setup).
+
+JSON keeps the protocol inspectable; the framing keeps reads exact. A
+4 GiB frame cap guards against corrupt length headers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict
+
+__all__ = ["ProtocolError", "read_message", "write_message"]
+
+_HEADER = struct.Struct(">I")
+#: Sanity cap on frame size (16 MiB is orders beyond any control message).
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame or unexpected message."""
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """Encode a message dict into one wire frame."""
+    if "kind" not in message:
+        raise ProtocolError("message missing 'kind'")
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {len(body)}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "kind" not in message:
+        raise ProtocolError(f"frame is not a message: {message!r}")
+    return message
+
+
+async def read_message(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    """Read one framed message (raises ``IncompleteReadError`` on EOF)."""
+    header = await reader.readexactly(_HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds cap {MAX_FRAME}")
+    body = await reader.readexactly(length)
+    return decode_body(body)
+
+
+async def write_message(
+    writer: asyncio.StreamWriter, message: Dict[str, Any]
+) -> None:
+    """Write one framed message and drain the transport."""
+    writer.write(encode(message))
+    await writer.drain()

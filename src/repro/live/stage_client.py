@@ -1,0 +1,100 @@
+"""Live virtual stage: an asyncio TCP client serving metric requests.
+
+Mirrors :class:`repro.dataplane.virtual_stage.VirtualStage` over real
+sockets: register with the controller, then answer ``collect_req`` with
+metrics and ``rule`` with an ack, applying the epoch staleness check.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from repro.live.protocol import read_message, write_message
+
+__all__ = ["LiveVirtualStage"]
+
+
+class LiveVirtualStage:
+    """One stage endpoint; run with ``await stage.run()`` as a task."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        stage_id: str,
+        job_id: str,
+        demand: Tuple[float, float] = (1000.0, 200.0),
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.stage_id = stage_id
+        self.job_id = job_id
+        self.demand = demand
+        self.applied_epoch = -1
+        self.applied_limit: Optional[float] = None
+        self.requests_served = 0
+        self.rules_applied = 0
+        self.rules_ignored_stale = 0
+        self._stop = asyncio.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    async def run(self) -> None:
+        """Connect, register, and serve until EOF or :meth:`stop`."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            await write_message(
+                writer,
+                {
+                    "kind": "register",
+                    "stage_id": self.stage_id,
+                    "job_id": self.job_id,
+                },
+            )
+            ack = await read_message(reader)
+            if ack["kind"] != "registered":
+                raise RuntimeError(f"unexpected registration reply: {ack}")
+            while not self._stop.is_set():
+                try:
+                    message = await read_message(reader)
+                except asyncio.IncompleteReadError:
+                    break
+                await self._handle(message, writer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _handle(self, message, writer) -> None:
+        kind = message["kind"]
+        if kind == "collect_req":
+            self.requests_served += 1
+            await write_message(
+                writer,
+                {
+                    "kind": "metrics_reply",
+                    "epoch": message["epoch"],
+                    "stage_id": self.stage_id,
+                    "job_id": self.job_id,
+                    "data_iops": self.demand[0],
+                    "metadata_iops": self.demand[1],
+                },
+            )
+        elif kind == "rule":
+            epoch = message["epoch"]
+            if epoch > self.applied_epoch:
+                self.applied_epoch = epoch
+                self.applied_limit = message["data_iops_limit"]
+                self.rules_applied += 1
+            else:
+                self.rules_ignored_stale += 1
+            await write_message(
+                writer, {"kind": "rule_ack", "epoch": epoch, "stage_id": self.stage_id}
+            )
+        elif kind == "shutdown":
+            self._stop.set()
+        # Unknown kinds ignored (passive endpoint, like the simulated stage).

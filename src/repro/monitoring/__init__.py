@@ -1,0 +1,11 @@
+"""Resource-usage monitoring (REMORA substitute)."""
+
+from repro.monitoring.histogram import LatencyHistogram
+from repro.monitoring.remora import ControllerUsage, RemoraReport, RemoraSession
+
+__all__ = [
+    "ControllerUsage",
+    "LatencyHistogram",
+    "RemoraReport",
+    "RemoraSession",
+]

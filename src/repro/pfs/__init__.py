@@ -1,0 +1,25 @@
+"""A Lustre-like parallel file system model.
+
+The PFS is the shared resource the whole control plane exists to protect
+(paper Fig. 1). The model captures what matters for storage QoS studies:
+
+* a **metadata server** (MDS) with a bounded metadata-op service rate —
+  the resource that metadata-heavy jobs (DL training, LLM data loading)
+  exhaust first;
+* **object storage servers** (OSS), each fronting several object storage
+  targets (OST), with per-OSS bandwidth/IOPS budgets and round-robin file
+  striping;
+* **contention**: service time inflates as offered load approaches
+  capacity (M/M/1-style), so uncoordinated overload shows up as the
+  latency collapse the paper's motivation describes.
+"""
+
+from repro.pfs.filesystem import PFSClient, ParallelFileSystem
+from repro.pfs.servers import MetadataServer, ObjectStorageServer
+
+__all__ = [
+    "MetadataServer",
+    "ObjectStorageServer",
+    "PFSClient",
+    "ParallelFileSystem",
+]

@@ -1,0 +1,100 @@
+"""The parallel file system façade and its client.
+
+:class:`ParallelFileSystem` owns one MDS and several OSS stations;
+:class:`PFSClient` is the per-node handle jobs submit operations through
+(via the data-plane interceptor). Data operations are striped across OSSes
+round-robin per client, like Lustre's default striping.
+
+The aggregate operation budget the control plane should enforce
+(``recommended_capacity_iops``) is the point before queueing inflation
+gets steep — administrators set PSFA's capacity from it (paper §III-C:
+"the maximum rate of operations that can be handled efficiently by the
+PFS ... defined by system administrators").
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.pfs.servers import MetadataServer, ObjectStorageServer
+from repro.simnet.engine import Environment
+
+__all__ = ["PFSClient", "ParallelFileSystem"]
+
+
+class ParallelFileSystem:
+    """A shared Lustre-like file system: one MDS + ``n_oss`` OSSes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        n_oss: int = 8,
+        mds: Optional[MetadataServer] = None,
+        oss_capacity_ops: float = 50_000.0,
+        oss_bandwidth_Bps: float = 5e9,
+    ) -> None:
+        if n_oss < 1:
+            raise ValueError(f"n_oss must be >= 1: {n_oss}")
+        self.env = env
+        self.mds = mds or MetadataServer(env)
+        self.oss: List[ObjectStorageServer] = [
+            ObjectStorageServer(
+                env,
+                capacity_ops=oss_capacity_ops,
+                bandwidth_Bps=oss_bandwidth_Bps,
+                name=f"oss-{i}",
+            )
+            for i in range(n_oss)
+        ]
+
+    @property
+    def recommended_capacity_iops(self) -> float:
+        """The op budget the control plane should enforce (80 % of peak)."""
+        data = sum(s.capacity_ops for s in self.oss)
+        return 0.8 * (data + self.mds.capacity_ops)
+
+    def client(self) -> "PFSClient":
+        """A new per-node client handle."""
+        return PFSClient(self)
+
+    # -- observability ------------------------------------------------------
+    def total_ops(self) -> int:
+        return self.mds.total_ops + sum(s.total_ops for s in self.oss)
+
+    def peak_utilisation(self) -> float:
+        """Highest current windowed utilisation across all stations."""
+        return max(
+            [self.mds.utilisation] + [s.utilisation for s in self.oss]
+        )
+
+
+class PFSClient:
+    """Submits operations to the PFS, experiencing queueing delays.
+
+    Driven from simulation processes with ``yield from client.submit(...)``.
+    """
+
+    def __init__(self, pfs: ParallelFileSystem) -> None:
+        self.pfs = pfs
+        self._stripe = 0
+        self.ops_completed = 0
+        self.total_service_s = 0.0
+
+    def submit(self, op_class: str, size_bytes: int = 0) -> Generator:
+        """Submit one operation; returns its service time in seconds."""
+        env = self.pfs.env
+        if op_class == "metadata":
+            station = self.pfs.mds
+            service = station.service_time()
+            station.record(service)
+        elif op_class == "data":
+            station = self.pfs.oss[self._stripe]
+            self._stripe = (self._stripe + 1) % len(self.pfs.oss)
+            service = station.data_service_time(size_bytes)
+            station.record_data(service, size_bytes)
+        else:
+            raise ValueError(f"unknown op class: {op_class!r}")
+        yield env.timeout(service)
+        self.ops_completed += 1
+        self.total_service_s += service
+        return service

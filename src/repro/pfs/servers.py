@@ -1,0 +1,133 @@
+"""PFS server models: metadata server and object storage servers.
+
+Each server is an open queueing station with a capacity (operations per
+second) and a load-dependent service time. We use the M/M/1-style
+inflation ``t = t0 / max(1 - rho, floor)`` where ``rho`` is the observed
+utilisation over a sliding window — cheap to evaluate per operation and
+faithful enough to show the contention cliff the paper motivates (service
+time explodes as aggregate demand crosses capacity, which is exactly what
+the control plane's rate limits prevent).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simnet.engine import Environment
+
+__all__ = ["MetadataServer", "ObjectStorageServer", "QueueingStation"]
+
+
+class QueueingStation:
+    """Shared load/service-time machinery for PFS servers."""
+
+    #: Utilisation beyond which service inflation saturates (keeps waits
+    #: finite under transient overload).
+    MAX_RHO = 0.98
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        capacity_ops: float,
+        base_service_s: float,
+        window_s: float = 1.0,
+    ) -> None:
+        if capacity_ops <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_ops}")
+        if base_service_s <= 0:
+            raise ValueError(f"base service time must be positive: {base_service_s}")
+        if window_s <= 0:
+            raise ValueError(f"window must be positive: {window_s}")
+        self.env = env
+        self.name = name
+        self.capacity_ops = float(capacity_ops)
+        self.base_service_s = float(base_service_s)
+        self.window_s = float(window_s)
+        self._window_started = env.now
+        self._window_ops = 0
+        self._last_rho = 0.0
+        self.total_ops = 0
+        self.total_busy_s = 0.0
+
+    # -- load tracking ---------------------------------------------------------
+    def _advance_window(self) -> None:
+        now = self.env.now
+        elapsed = now - self._window_started
+        if elapsed >= self.window_s:
+            self._last_rho = min(
+                self._window_ops / (elapsed * self.capacity_ops), 2.0
+            )
+            self._window_started = now
+            self._window_ops = 0
+
+    @property
+    def utilisation(self) -> float:
+        """Most recent windowed utilisation estimate (rho)."""
+        return self._last_rho
+
+    def service_time(self) -> float:
+        """Load-inflated service time for the next operation."""
+        self._advance_window()
+        rho = min(self._last_rho, self.MAX_RHO)
+        return self.base_service_s / (1.0 - rho)
+
+    def record(self, service_s: float) -> None:
+        self._window_ops += 1
+        self.total_ops += 1
+        self.total_busy_s += service_s
+
+
+class MetadataServer(QueueingStation):
+    """The MDS: serves opens, stats, closes, directory ops.
+
+    Lustre deployments typically sustain on the order of 10^5 metadata
+    ops/s per MDS; the default mirrors that scale.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity_ops: float = 200_000.0,
+        base_service_s: float = 50e-6,
+        name: str = "mds-0",
+        window_s: float = 1.0,
+    ) -> None:
+        super().__init__(env, name, capacity_ops, base_service_s, window_s)
+
+
+class ObjectStorageServer(QueueingStation):
+    """One OSS fronting ``n_osts`` storage targets.
+
+    ``bandwidth_Bps`` bounds bulk-data throughput; IOPS-style capacity
+    bounds small-op rate. A data operation's service time combines both.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity_ops: float = 50_000.0,
+        bandwidth_Bps: float = 5e9,
+        base_service_s: float = 100e-6,
+        n_osts: int = 8,
+        name: str = "oss-0",
+        window_s: float = 1.0,
+    ) -> None:
+        super().__init__(env, name, capacity_ops, base_service_s, window_s)
+        if bandwidth_Bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_Bps}")
+        if n_osts < 1:
+            raise ValueError(f"n_osts must be >= 1: {n_osts}")
+        self.bandwidth_Bps = float(bandwidth_Bps)
+        self.n_osts = int(n_osts)
+        self.total_bytes = 0
+
+    def data_service_time(self, size_bytes: int) -> float:
+        """Service time for a data op of ``size_bytes`` under current load."""
+        if size_bytes < 0:
+            raise ValueError(f"negative size: {size_bytes}")
+        return self.service_time() + size_bytes / self.bandwidth_Bps
+
+    def record_data(self, service_s: float, size_bytes: int) -> None:
+        self.record(service_s)
+        self.total_bytes += size_bytes

@@ -1,0 +1,121 @@
+"""Simulation audits: cross-cutting conservation and consistency checks.
+
+A calibrated simulator earns trust by being *checkable*. :func:`audit`
+inspects a finished (or paused) simulation and verifies the invariants
+that must hold regardless of workload or cost constants:
+
+* **byte conservation** — total NIC TX across hosts equals total NIC RX
+  once the event queue has drained (no message lost inside the fabric);
+* **message conservation** — same for message counts;
+* **connection accounting** — every pool's open-connection count is
+  non-negative and within its limit;
+* **CPU sanity** — no host's busy time exceeds ``elapsed x cores``;
+* **memory sanity** — resident never exceeds capacity, peak >= current.
+
+Deployments call ``audit(plane.cluster.network, plane.cluster.hosts)``
+after a run (the integration tests do this for every design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.simnet.engine import Environment
+from repro.simnet.node import SimHost
+from repro.simnet.transport import Network
+
+__all__ = ["AuditReport", "audit"]
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit pass."""
+
+    violations: List[str] = field(default_factory=list)
+    checked_hosts: int = 0
+    total_tx_bytes: int = 0
+    total_rx_bytes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_on_violation(self) -> None:
+        if self.violations:
+            raise AssertionError(
+                "simulation audit failed:\n  " + "\n  ".join(self.violations)
+            )
+
+
+def audit(
+    network: Network,
+    hosts: Iterable[SimHost],
+    env: Optional[Environment] = None,
+) -> AuditReport:
+    """Check conservation/consistency invariants across a simulation.
+
+    Run after the event queue drains (in-flight messages count as TX but
+    not yet RX; the byte-conservation check tolerates them only if the
+    queue is non-empty).
+    """
+    report = AuditReport()
+    hosts = list(hosts)
+    env = env or network.env
+
+    tx_bytes = rx_bytes = tx_msgs = rx_msgs = 0
+    for host in hosts:
+        report.checked_hosts += 1
+        tx_bytes += host.nic.tx_bytes
+        rx_bytes += host.nic.rx_bytes
+        tx_msgs += host.nic.tx_messages
+        rx_msgs += host.nic.rx_messages
+
+        if host.busy_seconds < 0:
+            report.violations.append(f"{host.name}: negative busy time")
+        if env.now > 0 and host.busy_seconds > env.now * host.cores * (1 + 1e-9):
+            report.violations.append(
+                f"{host.name}: busy {host.busy_seconds:.6f}s exceeds "
+                f"{env.now:.6f}s x {host.cores} cores"
+            )
+        if host.resident_bytes > host.memory_capacity:
+            report.violations.append(f"{host.name}: resident above capacity")
+        if host.peak_resident_bytes < host.resident_bytes:
+            report.violations.append(f"{host.name}: peak below current resident")
+        if host.resident_bytes < 0:
+            report.violations.append(f"{host.name}: negative resident memory")
+
+        pool = network.pool_of(host)
+        if pool.open_connections < 0:
+            report.violations.append(f"{host.name}: negative open connections")
+        if pool.open_connections > pool.max_connections:
+            report.violations.append(
+                f"{host.name}: {pool.open_connections} connections over the "
+                f"{pool.max_connections} limit"
+            )
+
+    report.total_tx_bytes = tx_bytes
+    report.total_rx_bytes = rx_bytes
+
+    drained = env.peek() == float("inf")
+    if drained:
+        if tx_bytes != rx_bytes:
+            report.violations.append(
+                f"byte conservation: TX {tx_bytes} != RX {rx_bytes} "
+                "with a drained event queue"
+            )
+        if tx_msgs != rx_msgs:
+            report.violations.append(
+                f"message conservation: TX {tx_msgs} != RX {rx_msgs}"
+            )
+    else:
+        if rx_bytes > tx_bytes:
+            report.violations.append(
+                f"byte conservation: RX {rx_bytes} exceeds TX {tx_bytes}"
+            )
+    if network.bytes_sent != tx_bytes:
+        report.violations.append(
+            f"network counter mismatch: fabric saw {network.bytes_sent} "
+            f"bytes, hosts sent {tx_bytes}"
+        )
+    return report

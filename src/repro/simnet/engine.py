@@ -1,0 +1,524 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, SimPy-flavoured event loop. The design goals are:
+
+* **Determinism** — given the same seed streams, two runs produce identical
+  event orderings. Ties on the clock are broken by (priority, insertion
+  sequence), never by object identity.
+* **Process-style modelling** — simulation actors are plain Python
+  generators that ``yield`` events (:class:`Timeout`, :class:`Event`,
+  other :class:`Process` objects, or :class:`AllOf`/:class:`AnyOf`
+  compositions) and are resumed when those events fire.
+* **No dependencies** — the kernel uses only ``heapq`` and ``itertools``,
+  keeping the hot loop cheap enough to push hundreds of thousands of
+  events per second in CPython.
+
+The public surface mirrors a stripped-down SimPy: ``Environment.process``,
+``Environment.timeout``, ``Environment.event``, ``Environment.run``,
+``Process.interrupt``. This is the substrate the whole reproduction runs
+on, so it is tested exhaustively (see ``tests/simnet/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+#: Default priority for scheduled events. Lower fires first at equal time.
+NORMAL = 1
+#: Priority used for events that must fire before normal ones at the same
+#: simulated instant (e.g. process resumption after an interrupt).
+URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-trigger, yielding non-events, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt`` so the
+    interrupted process can decide how to react (e.g. a controller failure
+    event in the dependability experiments).
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when given a value (or
+    exception) and scheduled on the environment queue, and is *processed*
+    once its callbacks have run. Processes waiting on the event are resumed
+    with the event's value; if the event *failed*, the exception is thrown
+    into them instead.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: Optional[list] = []
+        self._value: Any = Event._PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._processed = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the queue."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception, if it failed)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes get the exception thrown into them. If nobody is
+        waiting when the event is processed, the exception propagates out of
+        :meth:`Environment.run` to avoid silently swallowed failures.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def _mark_scheduled(self) -> None:
+        if self._scheduled:
+            raise SimulationError(f"{self!r} scheduled twice")
+        self._scheduled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self._processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=self.delay, priority=NORMAL)
+
+
+class _ConditionBase(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events: tuple = tuple(events)
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise SimulationError(f"condition members must be events: {ev!r}")
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_member(ev)
+            else:
+                ev.callbacks.append(self._on_member)
+
+    def _collect(self) -> dict:
+        """Values of all processed member events, in declaration order."""
+        return {
+            i: ev.value
+            for i, ev in enumerate(self.events)
+            if ev.processed and ev.ok
+        }
+
+    def _on_member(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_ConditionBase):
+    """Fires once *all* member events have fired.
+
+    The value is a dict mapping member index to member value. If any member
+    fails, the condition fails immediately with that exception.
+    """
+
+    __slots__ = ()
+
+    def _on_member(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_ConditionBase):
+    """Fires as soon as *any* member event fires (or fails)."""
+
+    __slots__ = ()
+
+    def _on_member(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())
+
+
+class Process(Event):
+    """A generator-driven simulation actor.
+
+    The process *is itself an event* that fires when the generator returns
+    (value = the generator's return value) or raises (the process event
+    fails). This lets processes wait on each other with ``yield other``.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator: {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process at the current simulated instant.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting detaches it from the waited-on event (the event may
+        still fire later — the process simply no longer cares).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        trigger = Event(self.env)
+        trigger.callbacks.append(self._resume_interrupt)
+        trigger._value = Interrupt(cause)
+        trigger._ok = False
+        self.env._schedule(trigger, delay=0.0, priority=URGENT)
+
+    # -- internal resumption ----------------------------------------------
+    def _detach(self) -> None:
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # already removed / never attached
+                pass
+            # Withdraw cancellable claims (queue gets, resource requests)
+            # so an interrupted process does not black-hole the item or
+            # slot it was waiting for.
+            cancel = getattr(target, "cancel", None)
+            if cancel is not None and not target.triggered:
+                cancel()
+        self._waiting_on = None
+
+    def _resume_interrupt(self, trigger: Event) -> None:
+        if self.triggered:  # finished in the meantime; interrupt is moot
+            return
+        self._detach()
+        self._step(trigger)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active_process = None
+            self.succeed(stop.value, priority=URGENT)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self.fail(exc, priority=URGENT)
+            return
+        env._active_process = None
+
+        if not isinstance(target, Event):
+            message = (
+                f"process {self.name!r} yielded a non-event: {target!r}. "
+                "Yield Timeout/Event/Process/AllOf/AnyOf instances."
+            )
+            try:
+                self._generator.throw(SimulationError(message))
+            except StopIteration as stop:
+                self.succeed(stop.value, priority=URGENT)
+            except BaseException as exc:
+                self.fail(exc, priority=URGENT)
+            return
+        if target.env is not env:
+            raise SimulationError("yielded event belongs to another environment")
+
+        if target.processed:
+            # Already fired: resume immediately (same instant, urgent).
+            trigger = Event(env)
+            trigger.callbacks.append(self._resume)
+            trigger._ok = target._ok
+            trigger._value = target._value
+            env._schedule(trigger, delay=0.0, priority=URGENT)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Environment:
+    """The simulation kernel: clock, event queue, and process scheduler.
+
+    Typical usage::
+
+        env = Environment()
+
+        def ping(env):
+            yield env.timeout(1.0)
+            return "pong"
+
+        proc = env.process(ping(env))
+        env.run()
+        assert env.now == 1.0 and proc.value == "pong"
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+        #: Number of events processed so far (for tests and stats).
+        self.processed_events = 0
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event construction ------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Register ``generator`` as a process starting at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when every member has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first member fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        event._mark_scheduled()
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def call_at(
+        self, when: float, callback: Callable[[], None], priority: int = NORMAL
+    ) -> Event:
+        """Run ``callback()`` at absolute simulated time ``when``.
+
+        Returns the underlying event (useful for tests). ``when`` must not be
+        in the past.
+        """
+        if when < self._now:
+            raise SimulationError(f"call_at into the past: {when} < {self._now}")
+        ev = Event(self)
+        ev.callbacks.append(lambda _ev: callback())
+        ev._ok = True
+        ev._value = None
+        self._schedule(ev, delay=when - self._now, priority=priority)
+        return ev
+
+    # -- main loop ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event. Raises if the queue is empty."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by _schedule
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        self.processed_events += 1
+        if not event._ok and not callbacks:
+            # A failed event nobody waits for: surface the error loudly.
+            raise event._value
+        for callback in callbacks:
+            callback(event)
+
+    def run(
+        self,
+        until: Optional[float | Event] = None,
+        max_events: Optional[int] = None,
+    ) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (re-raising its exception if it failed).
+
+        ``max_events`` is a runaway guard: processing more than this many
+        events in this call raises :class:`SimulationError` instead of
+        spinning forever (zero-delay loops and immortal processes are the
+        classic DES footguns — see the token-bucket clamp in
+        ``repro.dataplane.stage`` for one we hit).
+        """
+        budget_floor = self.processed_events
+
+        def check_budget() -> None:
+            if (
+                max_events is not None
+                and self.processed_events - budget_floor > max_events
+            ):
+                raise SimulationError(
+                    f"run() exceeded max_events={max_events} at t={self._now}; "
+                    "likely a zero-delay loop or an immortal process"
+                )
+
+        if max_events is not None and max_events < 1:
+            raise SimulationError(f"max_events must be >= 1: {max_events}")
+        if until is None:
+            while self._queue:
+                self.step()
+                check_budget()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired"
+                    )
+                self.step()
+                check_budget()
+            if not sentinel.ok:
+                raise sentinel.value
+            return sentinel.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"run(until={horizon}) is in the past")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+            check_budget()
+        self._now = horizon
+        return None

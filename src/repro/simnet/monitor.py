@@ -1,0 +1,146 @@
+"""Periodic resource sampling of simulated hosts.
+
+:class:`HostSampler` is the simulation-side half of the REMORA substitute
+(:mod:`repro.monitoring.remora` adds the reporting conventions). It runs as
+a simulation process, waking every ``interval`` seconds and recording, per
+monitored host:
+
+* CPU utilisation (%) over the elapsed window (busy core-seconds /
+  window / cores — whole-node normalisation, like REMORA);
+* resident memory (bytes);
+* NIC transmit/receive rates (bytes/s) over the window.
+
+Samples accumulate into :class:`ResourceSeries`, which exposes the summary
+statistics the paper's tables report (steady-state averages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.simnet.engine import Environment, Process
+from repro.simnet.node import SimHost
+
+__all__ = ["HostSample", "HostSampler", "ResourceSeries"]
+
+
+@dataclass(frozen=True)
+class HostSample:
+    """One observation of one host."""
+
+    time: float
+    cpu_percent: float
+    resident_bytes: int
+    tx_bytes_per_s: float
+    rx_bytes_per_s: float
+
+
+@dataclass
+class ResourceSeries:
+    """Time series of :class:`HostSample` for one host, with summaries."""
+
+    host_name: str
+    samples: List[HostSample] = field(default_factory=list)
+
+    def append(self, sample: HostSample) -> None:
+        self.samples.append(sample)
+
+    def _column(self, attr: str, skip: int) -> np.ndarray:
+        return np.array([getattr(s, attr) for s in self.samples[skip:]], dtype=float)
+
+    def mean(self, attr: str, warmup_samples: int = 0) -> float:
+        """Mean of ``attr`` after discarding ``warmup_samples`` leading samples."""
+        col = self._column(attr, warmup_samples)
+        if col.size == 0:
+            return 0.0
+        return float(col.mean())
+
+    def maximum(self, attr: str, warmup_samples: int = 0) -> float:
+        col = self._column(attr, warmup_samples)
+        if col.size == 0:
+            return 0.0
+        return float(col.max())
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class HostSampler:
+    """Samples a set of hosts every ``interval`` simulated seconds."""
+
+    def __init__(
+        self,
+        env: Environment,
+        hosts: List[SimHost],
+        interval: float = 1.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.env = env
+        self.hosts = list(hosts)
+        self.interval = float(interval)
+        self.series: Dict[str, ResourceSeries] = {
+            h.name: ResourceSeries(h.name) for h in self.hosts
+        }
+        self._last_busy: Dict[str, float] = {}
+        self._last_tx: Dict[str, int] = {}
+        self._last_rx: Dict[str, int] = {}
+        self._last_time: float = env.now
+        self._process: Optional[Process] = None
+        self._reset_baselines()
+
+    def _reset_baselines(self) -> None:
+        for host in self.hosts:
+            self._last_busy[host.name] = host.busy_seconds
+            self._last_tx[host.name] = host.nic.tx_bytes
+            self._last_rx[host.name] = host.nic.rx_bytes
+        self._last_time = self.env.now
+
+    def start(self) -> Process:
+        """Begin sampling; returns the sampling process."""
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError("sampler already running")
+        self._reset_baselines()
+        self._process = self.env.process(self._run(), name="host-sampler")
+        return self._process
+
+    def stop(self) -> None:
+        """Stop sampling (takes one final sample first)."""
+        if self._process is not None and self._process.is_alive:
+            self.sample_now()
+            self._process.interrupt("stop")
+            self._process = None
+
+    def sample_now(self) -> None:
+        """Take one sample immediately (independent of the schedule)."""
+        now = self.env.now
+        window = now - self._last_time
+        if window <= 0:
+            return
+        for host in self.hosts:
+            busy_delta = host.busy_seconds - self._last_busy[host.name]
+            tx_delta = host.nic.tx_bytes - self._last_tx[host.name]
+            rx_delta = host.nic.rx_bytes - self._last_rx[host.name]
+            self.series[host.name].append(
+                HostSample(
+                    time=now,
+                    cpu_percent=100.0 * busy_delta / (window * host.cores),
+                    resident_bytes=host.resident_bytes,
+                    tx_bytes_per_s=tx_delta / window,
+                    rx_bytes_per_s=rx_delta / window,
+                )
+            )
+        self._reset_baselines()
+
+    def _run(self) -> Generator:
+        from repro.simnet.engine import Interrupt
+
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                self.sample_now()
+        except Interrupt:
+            return

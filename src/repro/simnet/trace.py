@@ -1,0 +1,98 @@
+"""Structured event tracing for simulations.
+
+A lightweight, allocation-conscious tracer: components emit
+``tracer.record(category, **fields)`` and tests/analysis code filter the
+collected records. Tracing is off by default (a no-op recorder), so the
+hot paths pay one attribute check per emission.
+
+Categories used across the reproduction:
+
+* ``"cycle"`` — control-cycle boundaries and phase transitions;
+* ``"message"`` — transport sends/deliveries (very verbose);
+* ``"rule"`` — enforcement rule application at stages;
+* ``"failure"`` — injected controller failures and recoveries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+__all__ = ["NullTracer", "TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered by category."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        categories: Optional[Iterable[str]] = None,
+        max_records: int = 1_000_000,
+    ) -> None:
+        self._clock = clock
+        self.categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None
+        )
+        self.max_records = int(max_records)
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def wants(self, category: str) -> bool:
+        """Cheap pre-check so callers can skip building field dicts."""
+        return self.categories is None or category in self.categories
+
+    def record(self, category: str, **fields: Any) -> None:
+        if not self.wants(category):
+            return
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(self._clock(), category, fields))
+
+    def filter(self, category: str) -> List[TraceRecord]:
+        """All records of one category, in emission order."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+
+class NullTracer:
+    """The default no-op tracer; records nothing, costs almost nothing."""
+
+    records: List[TraceRecord] = []
+    dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def wants(self, category: str) -> bool:
+        return False
+
+    def record(self, category: str, **fields: Any) -> None:
+        pass
+
+    def filter(self, category: str) -> List[TraceRecord]:
+        return []
+
+    def clear(self) -> None:
+        pass

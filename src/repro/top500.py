@@ -1,0 +1,70 @@
+"""Table I: the Top500 systems the paper uses to motivate scale.
+
+Data is reproduced verbatim from the paper (June 2024 Top500 list):
+rank, Rmax in PFlop/s, compute-node count, and installation year.
+:func:`table_rows` regenerates Table I; the helpers answer the motivating
+questions (how many nodes do modern systems have; how many aggregators
+would each need under the 2,500-connection constraint).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["SUPERCOMPUTERS", "Supercomputer", "min_aggregators", "table_rows"]
+
+#: Frontera's observed per-node connection ceiling (paper §IV-A).
+CONNECTION_LIMIT = 2500
+
+
+@dataclass(frozen=True)
+class Supercomputer:
+    """One row of Table I."""
+
+    name: str
+    rank: int
+    rmax_pflops: float
+    n_nodes: int
+    year: int
+
+    def __post_init__(self) -> None:
+        if self.rank < 1 or self.n_nodes < 1:
+            raise ValueError("rank and node count must be positive")
+
+
+SUPERCOMPUTERS: List[Supercomputer] = [
+    Supercomputer("Frontier", 1, 1206.0, 9408, 2021),
+    Supercomputer("Aurora", 2, 1012.0, 10624, 2023),
+    Supercomputer("Fugaku", 4, 442.0, 158976, 2020),
+    Supercomputer("Summit", 9, 148.6, 4608, 2018),
+    Supercomputer("Frontera", 33, 23.52, 8368, 2019),
+]
+
+
+def min_aggregators(n_nodes: int, connection_limit: int = CONNECTION_LIMIT) -> int:
+    """Minimum aggregator controllers to manage ``n_nodes`` stages.
+
+    The paper sets 4 for its 10,000-node experiments because each Frontera
+    node sustains at most 2,500 connections.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1: {n_nodes}")
+    if connection_limit < 1:
+        raise ValueError(f"connection_limit must be >= 1: {connection_limit}")
+    return math.ceil(n_nodes / connection_limit)
+
+
+def table_rows() -> List[dict]:
+    """Table I as a list of dicts (one per system, paper order)."""
+    return [
+        {
+            "System": sc.name,
+            "Rank": sc.rank,
+            "Rmax (PFlop/s)": sc.rmax_pflops,
+            "Number of nodes": sc.n_nodes,
+            "Year": sc.year,
+        }
+        for sc in SUPERCOMPUTERS
+    ]

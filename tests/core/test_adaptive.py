@@ -1,0 +1,158 @@
+"""Tests for the volatility-adaptive control period."""
+
+import pytest
+
+from repro.core.adaptive import AdaptivePeriodController
+from repro.core.control_plane import ControlPlaneConfig, FlatControlPlane
+from repro.jobs.workloads import BurstySource, source_factory
+
+
+def build(source_factory_fn=None, n=20):
+    kwargs = {}
+    if source_factory_fn is not None:
+        kwargs["source_factory"] = source_factory_fn
+    plane = FlatControlPlane.build(ControlPlaneConfig(n_stages=n, **kwargs))
+    return plane
+
+
+class TestAdaptivePeriod:
+    def test_steady_demand_relaxes_to_max_period(self):
+        plane = build()  # constant source: zero volatility
+        adaptive = AdaptivePeriodController(
+            plane.global_controller,
+            min_period_s=0.05,
+            max_period_s=1.0,
+            smoothing=1.0,
+        )
+        proc = adaptive.run_for(duration_s=5.0)
+        plane.env.run(proc)
+        # After the first couple of cycles, pacing sits at the maximum.
+        late = [s.period_s for s in adaptive.samples[2:]]
+        assert all(p == pytest.approx(1.0) for p in late)
+        # Few cycles were spent on a calm system.
+        assert len(plane.global_controller.cycles) <= 8
+
+    def test_volatile_demand_tightens_period(self):
+        plane = build(source_factory("poisson", seed=1))
+        adaptive = AdaptivePeriodController(
+            plane.global_controller,
+            min_period_s=0.05,
+            max_period_s=1.0,
+            target_volatility=0.02,
+            smoothing=1.0,
+        )
+        proc = adaptive.run_for(duration_s=5.0)
+        plane.env.run(proc)
+        assert adaptive.mean_period_s() < 0.5
+        assert len(plane.global_controller.cycles) > 8
+
+    def test_volatile_beats_steady_on_cycle_count(self):
+        def run(factory):
+            plane = build(factory)
+            adaptive = AdaptivePeriodController(
+                plane.global_controller,
+                min_period_s=0.05,
+                max_period_s=1.0,
+                target_volatility=0.02,
+                smoothing=1.0,
+            )
+            plane.env.run(adaptive.run_for(duration_s=5.0))
+            return len(plane.global_controller.cycles)
+
+        assert run(source_factory("poisson", seed=2)) > 2 * run(None)
+
+    def test_period_respects_bounds(self):
+        plane = build(source_factory("poisson", seed=3))
+        adaptive = AdaptivePeriodController(
+            plane.global_controller,
+            min_period_s=0.2,
+            max_period_s=0.4,
+        )
+        plane.env.run(adaptive.run_for(duration_s=3.0))
+        for s in adaptive.samples:
+            assert 0.2 <= s.period_s <= 0.4
+
+    def test_bursty_phases_modulate_period(self):
+        """On/off traffic: pacing tightens at transitions, relaxes inside
+        steady phases."""
+        plane = FlatControlPlane.build(
+            ControlPlaneConfig(
+                n_stages=20,
+                source_factory=lambda sid: BurstySource(on_s=3.0, off_s=3.0),
+            )
+        )
+        adaptive = AdaptivePeriodController(
+            plane.global_controller,
+            min_period_s=0.1,
+            max_period_s=2.0,
+            target_volatility=0.5,
+            smoothing=1.0,
+        )
+        plane.env.run(adaptive.run_for(duration_s=12.0))
+        periods = [s.period_s for s in adaptive.samples]
+        assert min(periods) == pytest.approx(0.1)  # hit the floor at flips
+        assert max(periods) == pytest.approx(2.0)  # relaxed in steady spans
+
+    def test_validation(self):
+        plane = build()
+        ctrl = plane.global_controller
+        with pytest.raises(ValueError):
+            AdaptivePeriodController(ctrl, min_period_s=0)
+        with pytest.raises(ValueError):
+            AdaptivePeriodController(ctrl, min_period_s=1.0, max_period_s=0.5)
+        with pytest.raises(ValueError):
+            AdaptivePeriodController(ctrl, target_volatility=0)
+        with pytest.raises(ValueError):
+            AdaptivePeriodController(ctrl, smoothing=0)
+        adaptive = AdaptivePeriodController(ctrl)
+        with pytest.raises(ValueError):
+            adaptive.run_for(0)
+
+    def test_default_before_data(self):
+        plane = build()
+        adaptive = AdaptivePeriodController(plane.global_controller)
+        assert adaptive.current_period_s == adaptive.max_period_s
+
+
+class TestMetricsSmoothing:
+    def test_smoothing_damps_allocation_swings(self):
+        """alpha < 1 shrinks cycle-to-cycle limit movement under noise."""
+        import numpy as np
+
+        from repro.core.control_plane import ControlPlaneConfig, FlatControlPlane
+        from repro.core.policies import QoSPolicy
+
+        def mean_swing(alpha):
+            plane = FlatControlPlane.build(
+                ControlPlaneConfig(
+                    n_stages=20,
+                    policy=QoSPolicy(pfs_capacity_iops=100_000.0),
+                    metrics_alpha=alpha,
+                    source_factory=source_factory("poisson", seed=9),
+                )
+            )
+            history = []
+
+            def record():
+                history.append(
+                    np.array([s.current_limit for s in plane.stages])
+                )
+
+            for t in range(1, 10):
+                plane.env.call_at(t * 0.01, record)
+            plane.global_controller.run_for(duration_s=0.1, period_s=0.01)
+            plane.env.run()
+            diffs = [
+                np.abs(b - a).mean() for a, b in zip(history[2:-1], history[3:])
+            ]
+            return float(np.mean(diffs))
+
+        assert mean_swing(0.2) < mean_swing(1.0)
+
+    def test_alpha_validated_through_config(self):
+        from repro.core.control_plane import ControlPlaneConfig, FlatControlPlane
+
+        with pytest.raises(ValueError):
+            FlatControlPlane.build(
+                ControlPlaneConfig(n_stages=2, metrics_alpha=0.0)
+            )

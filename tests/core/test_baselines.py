@@ -1,0 +1,120 @@
+"""Unit tests for baseline allocation algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.baselines import (
+    MaxMinFair,
+    NaiveProportional,
+    StaticPartition,
+    UniformShare,
+)
+from repro.core.algorithms.psfa import PSFA
+
+
+class TestStaticPartition:
+    def test_allocates_to_idle_jobs(self):
+        """The 'false allocation' failure mode PSFA avoids."""
+        algo = StaticPartition()
+        d = np.array([0.0, 1000.0])
+        res = algo.allocate(d, np.ones(2), capacity=100.0)
+        assert res.allocations[0] == pytest.approx(50.0)  # stranded on idle job
+
+    def test_weight_proportional(self):
+        algo = StaticPartition()
+        res = algo.allocate(np.ones(2), np.array([3.0, 1.0]), capacity=100.0)
+        assert np.allclose(res.allocations, [75.0, 25.0])
+
+    def test_strands_capacity_vs_psfa(self):
+        """Static partition under-serves a hot job where PSFA would not."""
+        d = np.array([0.0, 0.0, 0.0, 1000.0])
+        w = np.ones(4)
+        static = StaticPartition().allocate(d, w, capacity=400.0)
+        psfa = PSFA().allocate(d, w, capacity=400.0)
+        assert static.allocations[3] == pytest.approx(100.0)
+        assert psfa.allocations[3] == pytest.approx(400.0)
+
+
+class TestUniformShare:
+    def test_equal_among_active(self):
+        algo = UniformShare()
+        d = np.array([10.0, 0.0, 10.0, 10.0])
+        res = algo.allocate(d, np.ones(4), capacity=90.0)
+        assert np.allclose(res.allocations, [30.0, 0.0, 30.0, 30.0])
+
+    def test_ignores_weights(self):
+        algo = UniformShare()
+        d = np.array([100.0, 100.0])
+        res = algo.allocate(d, np.array([8.0, 1.0]), capacity=100.0)
+        assert res.allocations[0] == res.allocations[1]
+
+    def test_no_active_jobs(self):
+        res = UniformShare().allocate(np.zeros(3), np.ones(3), capacity=100.0)
+        assert res.unallocated == 100.0
+
+
+class TestNaiveProportional:
+    def test_demand_blind_overshoot(self):
+        """A tiny job gets a huge share it cannot use."""
+        algo = NaiveProportional()
+        d = np.array([1.0, 10_000.0])
+        res = algo.allocate(d, np.ones(2), capacity=1000.0)
+        assert res.allocations[0] == pytest.approx(500.0)  # 499 wasted
+
+    def test_weighted_among_active(self):
+        algo = NaiveProportional()
+        d = np.array([10.0, 10.0, 0.0])
+        w = np.array([2.0, 1.0, 5.0])
+        res = algo.allocate(d, w, capacity=90.0)
+        assert np.allclose(res.allocations, [60.0, 30.0, 0.0])
+
+
+class TestMaxMinFair:
+    def test_unweighted_waterfill(self):
+        algo = MaxMinFair()
+        d = np.array([10.0, 1000.0, 1000.0])
+        res = algo.allocate(d, np.ones(3), capacity=100.0)
+        assert np.allclose(res.allocations, [10.0, 45.0, 45.0])
+
+    def test_weights_ignored(self):
+        algo = MaxMinFair()
+        d = np.array([1000.0, 1000.0])
+        res = algo.allocate(d, np.array([8.0, 1.0]), capacity=100.0)
+        assert res.allocations[0] == pytest.approx(res.allocations[1])
+
+    def test_leftover_not_redistributed(self):
+        algo = MaxMinFair()
+        d = np.array([10.0, 10.0])
+        res = algo.allocate(d, np.ones(2), capacity=100.0)
+        assert res.unallocated == pytest.approx(80.0)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "algo",
+        [PSFA(), StaticPartition(), UniformShare(), NaiveProportional(), MaxMinFair()],
+        ids=lambda a: a.name,
+    )
+    def test_capacity_never_exceeded(self, algo):
+        rng = np.random.default_rng(7)
+        d = rng.uniform(0, 500, 64)
+        w = rng.uniform(1, 8, 64)
+        res = algo.allocate(d, w, capacity=3000.0)
+        assert res.total_allocated <= 3000.0 + 1e-6
+
+    @pytest.mark.parametrize(
+        "algo",
+        [PSFA(), StaticPartition(), UniformShare(), NaiveProportional(), MaxMinFair()],
+        ids=lambda a: a.name,
+    )
+    def test_nonnegative_allocations(self, algo):
+        rng = np.random.default_rng(8)
+        d = rng.uniform(0, 500, 32)
+        w = rng.uniform(1, 8, 32)
+        res = algo.allocate(d, w, capacity=1000.0)
+        assert np.all(res.allocations >= 0)
+
+    def test_names_unique(self):
+        algos = [PSFA(), StaticPartition(), UniformShare(), NaiveProportional(), MaxMinFair()]
+        names = [a.name for a in algos]
+        assert len(set(names)) == len(names)

@@ -1,0 +1,193 @@
+"""Tests for hot-standby failover and changed-only rule enforcement."""
+
+import pytest
+
+from repro.core.control_plane import ControlPlaneConfig, FlatControlPlane
+from repro.core.failover import HotStandby, attach_flat_standby
+
+
+def build_protected_plane(n_stages=30, hb=0.01, missed=3):
+    plane = FlatControlPlane.build(ControlPlaneConfig(n_stages=n_stages))
+    standby = attach_flat_standby(plane)
+    hs = HotStandby(
+        plane.env,
+        plane.global_controller,
+        standby,
+        heartbeat_interval_s=hb,
+        missed_heartbeats=missed,
+    )
+    return plane, standby, hs
+
+
+class TestHotStandby:
+    def test_clean_run_never_fails_over(self):
+        plane, standby, hs = build_protected_plane()
+        watch = hs.start(n_cycles=20)
+        plane.env.run(watch)
+        assert hs.failover is None
+        assert len(plane.global_controller.cycles) == 20
+        assert len(standby.cycles) == 0  # standby stayed passive
+
+    def test_takeover_completes_remaining_cycles(self):
+        plane, standby, hs = build_protected_plane()
+        watch = hs.start(n_cycles=50)
+        plane.env.call_at(0.01, hs.kill_primary)
+        plane.env.run(watch)
+        assert hs.failover is not None
+        assert hs.total_cycles() == 50
+        assert len(standby.cycles) > 0
+        assert hs.active_controller is standby
+
+    def test_epochs_never_regress_at_stages(self):
+        plane, standby, hs = build_protected_plane()
+        watch = hs.start(n_cycles=40)
+        plane.env.call_at(0.008, hs.kill_primary)
+        plane.env.run(watch)
+        # The standby resumed above the primary's last epoch, so no stage
+        # ever ignored a post-failover rule as stale.
+        assert all(s.rules_ignored_stale == 0 for s in plane.stages)
+        assert hs.failover.resumed_epoch > hs.failover.last_primary_epoch
+
+    def test_takeover_gap_bounded_by_heartbeat_budget(self):
+        plane, standby, hs = build_protected_plane(hb=0.02, missed=3)
+        watch = hs.start(n_cycles=200)
+        kill_at = 0.015
+        plane.env.call_at(kill_at, hs.kill_primary)
+        plane.env.run(watch)
+        gap = hs.failover.time - kill_at
+        # Detection within heartbeat_interval * missed + one interval slack.
+        assert gap <= 0.02 * (3 + 1) + 1e-9
+
+    def test_standby_rules_reach_all_stages(self):
+        plane, standby, hs = build_protected_plane()
+        watch = hs.start(n_cycles=30)
+        plane.env.call_at(0.005, hs.kill_primary)
+        plane.env.run(watch)
+        final = standby.epoch
+        assert all(
+            s.applied_rule is not None and s.applied_rule.epoch == final
+            for s in plane.stages
+        )
+
+    def test_validation(self):
+        plane, standby, hs = build_protected_plane()
+        with pytest.raises(ValueError):
+            HotStandby(plane.env, plane.global_controller, plane.global_controller)
+        with pytest.raises(ValueError):
+            HotStandby(
+                plane.env,
+                plane.global_controller,
+                standby,
+                heartbeat_interval_s=0,
+            )
+        with pytest.raises(ValueError):
+            hs.start(0)
+
+    def test_standby_costs_connections_and_memory(self):
+        plane = FlatControlPlane.build(ControlPlaneConfig(n_stages=10))
+        net = plane.cluster.network
+        stage_host = plane.stage_hosts[0]
+        before = net.pool_of(stage_host).open_connections
+        standby = attach_flat_standby(plane)
+        # One extra connection per stage (the §VI dependability price).
+        assert net.pool_of(stage_host).open_connections == before + 10
+        assert standby.host.resident_bytes > 0
+
+
+class TestEnforceChangedOnly:
+    def test_steady_state_suppresses_rules(self):
+        plane = FlatControlPlane.build(
+            ControlPlaneConfig(n_stages=20, enforce_changed_only=True)
+        )
+        plane.run_stress(n_cycles=6)
+        ctrl = plane.global_controller
+        # Constant demand: after the first cycle every rule repeats.
+        assert ctrl.rules_suppressed == 20 * 5
+
+    def test_enforce_phase_cheaper(self):
+        base = FlatControlPlane.build(ControlPlaneConfig(n_stages=100))
+        base.run_stress(n_cycles=6)
+        diffed = FlatControlPlane.build(
+            ControlPlaneConfig(n_stages=100, enforce_changed_only=True)
+        )
+        diffed.run_stress(n_cycles=6)
+        assert (
+            diffed.stats().breakdown().enforce_ms
+            < base.stats().breakdown().enforce_ms / 2
+        )
+
+    def test_collect_unchanged(self):
+        base = FlatControlPlane.build(ControlPlaneConfig(n_stages=100))
+        base.run_stress(n_cycles=6)
+        diffed = FlatControlPlane.build(
+            ControlPlaneConfig(n_stages=100, enforce_changed_only=True)
+        )
+        diffed.run_stress(n_cycles=6)
+        assert diffed.stats().breakdown().collect_ms == pytest.approx(
+            base.stats().breakdown().collect_ms, rel=0.01
+        )
+
+    def test_changing_demand_still_ships_rules(self):
+        # Capacity above total demand: allocations track each stage's
+        # fluctuating demand (saturated stages would all sit at the
+        # demand-independent water level and legitimately never change).
+        from repro.core.policies import QoSPolicy
+        from repro.jobs.workloads import source_factory
+
+        plane = FlatControlPlane.build(
+            ControlPlaneConfig(
+                n_stages=20,
+                policy=QoSPolicy(pfs_capacity_iops=50_000.0),
+                enforce_changed_only=True,
+                source_factory=source_factory("poisson", seed=3),
+            )
+        )
+        plane.run_stress(n_cycles=6)
+        # Fluctuating demand means rules keep changing: few suppressions.
+        assert plane.global_controller.rules_suppressed < 20 * 2
+
+    def test_tolerance_suppresses_small_changes(self):
+        from repro.core.policies import QoSPolicy
+        from repro.jobs.workloads import source_factory
+
+        def build(tol):
+            plane = FlatControlPlane.build(
+                ControlPlaneConfig(
+                    n_stages=20,
+                    policy=QoSPolicy(pfs_capacity_iops=50_000.0),
+                    enforce_changed_only=True,
+                    rule_change_tolerance=tol,
+                    source_factory=source_factory("poisson", seed=3),
+                )
+            )
+            plane.run_stress(n_cycles=6)
+            return plane.global_controller.rules_suppressed
+
+        assert build(0.2) > build(0.0)
+
+    def test_stages_keep_valid_limits(self):
+        plane = FlatControlPlane.build(
+            ControlPlaneConfig(n_stages=10, enforce_changed_only=True)
+        )
+        plane.run_stress(n_cycles=5)
+        # Every stage got the (identical) rule at least once.
+        assert all(s.applied_rule is not None for s in plane.stages)
+
+    def test_negative_tolerance_rejected(self):
+        from repro.core.controller import GlobalController
+        from repro.core.policies import QoSPolicy
+        from repro.simnet.engine import Environment
+        from repro.simnet.node import SimHost
+        from repro.simnet.transport import Network
+
+        env = Environment()
+        host = SimHost(env, "c")
+        net = Network(env)
+        with pytest.raises(ValueError):
+            GlobalController(
+                env,
+                host,
+                net.attach(host, "c"),
+                QoSPolicy(pfs_capacity_iops=10),
+                rule_change_tolerance=-0.1,
+            )

@@ -1,0 +1,173 @@
+"""Unit tests for metric records, aggregation, and enforcement rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    AggregatedMetrics,
+    MetricsWindow,
+    StageMetrics,
+    aggregate,
+)
+from repro.core.rules import UNLIMITED, EnforcementRule, RuleBatch, diff_rules
+
+
+def sm(stage, job="j", data=100.0, meta=10.0):
+    return StageMetrics(stage_id=stage, job_id=job, data_iops=data, metadata_iops=meta)
+
+
+class TestStageMetrics:
+    def test_total(self):
+        assert sm("s1").total_iops == 110.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StageMetrics("s", "j", data_iops=-1, metadata_iops=0)
+        with pytest.raises(ValueError):
+            StageMetrics("s", "j", data_iops=0, metadata_iops=-1)
+
+
+class TestAggregate:
+    def test_preserves_per_stage_vectors(self):
+        merged = aggregate("agg-0", [sm("s1", "a"), sm("s2", "b", data=200.0)])
+        assert merged.stage_ids == ("s1", "s2")
+        assert merged.data_iops == (100.0, 200.0)
+        assert merged.n_stages == 2
+
+    def test_job_totals_summed(self):
+        merged = aggregate("agg-0", [sm("s1", "a"), sm("s2", "a"), sm("s3", "b")])
+        assert merged.job_totals["a"] == pytest.approx(220.0)
+        assert merged.job_totals["b"] == pytest.approx(110.0)
+
+    def test_total_iops(self):
+        merged = aggregate("agg-0", [sm("s1"), sm("s2")])
+        assert merged.total_iops == pytest.approx(220.0)
+
+    def test_empty_partition(self):
+        merged = aggregate("agg-0", [])
+        assert merged.n_stages == 0 and merged.job_totals == {}
+
+    def test_vector_length_validation(self):
+        with pytest.raises(ValueError):
+            AggregatedMetrics(
+                aggregator_id="a",
+                stage_ids=("s1",),
+                job_ids=(),
+                data_iops=(1.0,),
+                metadata_iops=(1.0,),
+                job_totals={},
+            )
+
+
+class TestMetricsWindow:
+    def test_alpha_one_uses_latest(self):
+        w = MetricsWindow(alpha=1.0)
+        w.update("s1", 100.0)
+        w.update("s1", 50.0)
+        assert w.demand("s1") == 50.0
+
+    def test_ewma_smoothing(self):
+        w = MetricsWindow(alpha=0.5)
+        w.update("s1", 100.0)
+        w.update("s1", 0.0)
+        assert w.demand("s1") == pytest.approx(50.0)
+
+    def test_unknown_stage_zero(self):
+        assert MetricsWindow().demand("nope") == 0.0
+
+    def test_demands_vector_order(self):
+        w = MetricsWindow()
+        w.update("a", 1.0)
+        w.update("b", 2.0)
+        assert np.allclose(w.demands(["b", "a", "c"]), [2.0, 1.0, 0.0])
+
+    def test_forget(self):
+        w = MetricsWindow()
+        w.update("a", 1.0)
+        w.forget("a")
+        assert w.demand("a") == 0.0
+        assert len(w) == 0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            MetricsWindow(alpha=0.0)
+        with pytest.raises(ValueError):
+            MetricsWindow(alpha=1.5)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsWindow().update("s", -1.0)
+
+
+class TestEnforcementRule:
+    def test_supersedes_by_epoch(self):
+        old = EnforcementRule("s1", epoch=3, data_iops_limit=10.0)
+        new = EnforcementRule("s1", epoch=4, data_iops_limit=20.0)
+        assert new.supersedes(old)
+        assert not old.supersedes(new)
+        assert new.supersedes(None)
+
+    def test_total_limit(self):
+        r = EnforcementRule("s", 1, data_iops_limit=10.0, metadata_iops_limit=5.0)
+        assert r.total_limit == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnforcementRule("s", epoch=-1, data_iops_limit=1.0)
+        with pytest.raises(ValueError):
+            EnforcementRule("s", epoch=0, data_iops_limit=-1.0)
+
+
+class TestRuleBatch:
+    def _rules(self, n, epoch=1):
+        return tuple(
+            EnforcementRule(f"s{i}", epoch=epoch, data_iops_limit=float(i))
+            for i in range(n)
+        )
+
+    def test_epoch_consistency_enforced(self):
+        rules = self._rules(2, epoch=1)
+        with pytest.raises(ValueError):
+            RuleBatch("agg", epoch=2, rules=rules)
+
+    def test_len_and_iter(self):
+        batch = RuleBatch("agg", 1, self._rules(3))
+        assert len(batch) == 3
+        assert [r.stage_id for r in batch] == ["s0", "s1", "s2"]
+
+    def test_split_covers_all(self):
+        batch = RuleBatch("agg", 1, self._rules(10))
+        parts = batch.split(3)
+        assert sum(len(p) for p in parts) == 10
+        seen = [r.stage_id for p in parts for r in p]
+        assert seen == [f"s{i}" for i in range(10)]
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            RuleBatch("agg", 1, self._rules(2)).split(0)
+
+
+class TestDiffRules:
+    def test_new_stage_always_included(self):
+        new = [EnforcementRule("s1", 1, 10.0)]
+        assert diff_rules({}, new) == new
+
+    def test_unchanged_excluded(self):
+        rule = EnforcementRule("s1", 1, 10.0)
+        next_rule = EnforcementRule("s1", 2, 10.0)
+        assert diff_rules({"s1": rule}, [next_rule]) == []
+
+    def test_change_beyond_tolerance_included(self):
+        old = {"s1": EnforcementRule("s1", 1, 100.0)}
+        new = [EnforcementRule("s1", 2, 120.0)]
+        assert diff_rules(old, new, tolerance=0.1) == new
+        assert diff_rules(old, new, tolerance=0.5) == []
+
+    def test_infinite_limits_compare_equal(self):
+        old = {"s1": EnforcementRule("s1", 1, 10.0, metadata_iops_limit=UNLIMITED)}
+        new = [EnforcementRule("s1", 2, 10.0, metadata_iops_limit=UNLIMITED)]
+        assert diff_rules(old, new) == []
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_rules({}, [], tolerance=-0.1)

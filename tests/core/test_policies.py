@@ -1,0 +1,97 @@
+"""Unit tests for QoS policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    DEFAULT_CLASSES,
+    DemandBoundPolicy,
+    PolicyError,
+    PriorityClass,
+    QoSPolicy,
+)
+
+
+class TestPriorityClass:
+    def test_positive_weight_required(self):
+        with pytest.raises(PolicyError):
+            PriorityClass("bad", 0.0)
+
+    def test_default_classes_ordered(self):
+        assert (
+            DEFAULT_CLASSES["interactive"].weight
+            > DEFAULT_CLASSES["normal"].weight
+            > DEFAULT_CLASSES["batch"].weight
+            > DEFAULT_CLASSES["scavenger"].weight
+        )
+
+
+class TestQoSPolicy:
+    def test_capacity_validation(self):
+        with pytest.raises(PolicyError):
+            QoSPolicy(pfs_capacity_iops=0)
+
+    def test_default_class_must_exist(self):
+        with pytest.raises(PolicyError):
+            QoSPolicy(pfs_capacity_iops=100, default_class="nope")
+
+    def test_unknown_job_class_rejected(self):
+        with pytest.raises(PolicyError):
+            QoSPolicy(pfs_capacity_iops=100, job_classes={"j1": "nope"})
+
+    def test_weight_lookup_with_default(self):
+        p = QoSPolicy(pfs_capacity_iops=100, job_classes={"j1": "interactive"})
+        assert p.weight_of("j1") == 8.0
+        assert p.weight_of("unknown") == 4.0  # default "normal"
+
+    def test_weights_vector(self):
+        p = QoSPolicy(pfs_capacity_iops=100, job_classes={"a": "interactive", "b": "scavenger"})
+        assert np.allclose(p.weights(["a", "b"]), [8.0, 1.0])
+
+    def test_assign_job(self):
+        p = QoSPolicy(pfs_capacity_iops=100)
+        p.assign_job("j1", "batch")
+        assert p.weight_of("j1") == 2.0
+        with pytest.raises(PolicyError):
+            p.assign_job("j1", "nope")
+
+    def test_guarantees_capped_by_capacity(self):
+        p = QoSPolicy(pfs_capacity_iops=100)
+        p.set_guarantee("j1", 60.0)
+        with pytest.raises(PolicyError):
+            p.set_guarantee("j2", 50.0)
+
+    def test_guarantee_vector(self):
+        p = QoSPolicy(pfs_capacity_iops=100, min_guarantee_iops={"a": 10.0})
+        assert np.allclose(p.guarantees(["a", "b"]), [10.0, 0.0])
+
+    def test_negative_guarantee_rejected(self):
+        with pytest.raises(PolicyError):
+            QoSPolicy(pfs_capacity_iops=100, min_guarantee_iops={"a": -1.0})
+
+    def test_headroom_reduces_allocatable(self):
+        p = QoSPolicy(pfs_capacity_iops=1000, headroom_fraction=0.2)
+        assert p.allocatable_iops == pytest.approx(800.0)
+
+    def test_headroom_bounds(self):
+        with pytest.raises(PolicyError):
+            QoSPolicy(pfs_capacity_iops=100, headroom_fraction=1.0)
+
+    def test_guarantees_checked_against_headroom(self):
+        with pytest.raises(PolicyError):
+            QoSPolicy(
+                pfs_capacity_iops=100,
+                headroom_fraction=0.5,
+                min_guarantee_iops={"a": 60.0},
+            )
+
+
+class TestDemandBoundPolicy:
+    def test_clamp(self):
+        p = DemandBoundPolicy(per_stage_cap_iops=100.0)
+        assert p.clamp(50.0) == 50.0
+        assert p.clamp(500.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            DemandBoundPolicy(per_stage_cap_iops=0)

@@ -1,0 +1,104 @@
+"""Unit tests for the stage registry and partitioning."""
+
+import pytest
+
+from repro.core.registry import (
+    RegistryError,
+    StageRecord,
+    StageRegistry,
+    partition_stages,
+)
+
+
+def rec(stage, job="j1", host="h0"):
+    return StageRecord(stage_id=stage, job_id=job, host_name=host)
+
+
+class TestStageRegistry:
+    def test_register_and_lookup(self):
+        reg = StageRegistry()
+        reg.register(rec("s1", "jobA"))
+        assert "s1" in reg
+        assert reg.job_of("s1") == "jobA"
+        assert len(reg) == 1
+
+    def test_duplicate_rejected(self):
+        reg = StageRegistry()
+        reg.register(rec("s1"))
+        with pytest.raises(RegistryError):
+            reg.register(rec("s1"))
+
+    def test_deregister(self):
+        reg = StageRegistry()
+        reg.register(rec("s1", "jobA"))
+        removed = reg.deregister("s1")
+        assert removed.job_id == "jobA"
+        assert "s1" not in reg
+        assert "jobA" not in reg.job_ids
+
+    def test_deregister_unknown_raises(self):
+        with pytest.raises(RegistryError):
+            StageRegistry().deregister("nope")
+
+    def test_registration_order_preserved(self):
+        reg = StageRegistry()
+        for i in (3, 1, 2):
+            reg.register(rec(f"s{i}"))
+        assert reg.stage_ids == ["s3", "s1", "s2"]
+
+    def test_job_grouping(self):
+        reg = StageRegistry()
+        reg.register(rec("s1", "a"))
+        reg.register(rec("s2", "b"))
+        reg.register(rec("s3", "a"))
+        assert reg.stages_of("a") == ["s1", "s3"]
+        assert reg.job_ids == ["a", "b"]
+
+    def test_job_survives_partial_deregistration(self):
+        reg = StageRegistry()
+        reg.register(rec("s1", "a"))
+        reg.register(rec("s2", "a"))
+        reg.deregister("s1")
+        assert reg.stages_of("a") == ["s2"]
+
+    def test_generation_bumps_on_change(self):
+        reg = StageRegistry()
+        g0 = reg.generation
+        reg.register(rec("s1"))
+        g1 = reg.generation
+        reg.deregister("s1")
+        assert g0 < g1 < reg.generation
+
+    def test_unknown_lookups_raise(self):
+        reg = StageRegistry()
+        with pytest.raises(RegistryError):
+            reg.get("nope")
+        with pytest.raises(RegistryError):
+            reg.stages_of("nope")
+
+
+class TestPartitionStages:
+    def test_paper_partition_4x2500(self):
+        ids = [f"s{i}" for i in range(10_000)]
+        parts = partition_stages(ids, 4)
+        assert [len(p) for p in parts] == [2500] * 4
+
+    def test_disjoint_and_complete(self):
+        ids = [f"s{i}" for i in range(103)]
+        parts = partition_stages(ids, 7)
+        flat = [s for p in parts for s in p]
+        assert flat == ids  # order-preserving, complete, disjoint
+
+    def test_sizes_differ_by_at_most_one(self):
+        parts = partition_stages([f"s{i}" for i in range(10)], 3)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_stages(["a"], 0)
+        with pytest.raises(ValueError):
+            partition_stages(["a"], 2)
+
+    def test_single_partition(self):
+        assert partition_stages(["a", "b"], 1) == [["a", "b"]]

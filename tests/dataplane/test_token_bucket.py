@@ -1,0 +1,109 @@
+"""Unit tests for the token-bucket rate limiter."""
+
+import pytest
+
+from repro.dataplane.token_bucket import TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTokenBucket:
+    def test_starts_full(self, clock):
+        b = TokenBucket(rate=10.0, clock=clock)
+        assert b.tokens == pytest.approx(10.0)
+
+    def test_acquire_consumes(self, clock):
+        b = TokenBucket(rate=10.0, clock=clock)
+        assert b.try_acquire(3)
+        assert b.tokens == pytest.approx(7.0)
+
+    def test_refill_over_time(self, clock):
+        b = TokenBucket(rate=10.0, clock=clock)
+        for _ in range(10):
+            assert b.try_acquire(1)
+        assert not b.try_acquire(1)
+        clock.advance(0.5)
+        assert b.tokens == pytest.approx(5.0)
+        assert b.try_acquire(5)
+
+    def test_burst_caps_accumulation(self, clock):
+        b = TokenBucket(rate=10.0, clock=clock, burst=10.0)
+        clock.advance(100.0)
+        assert b.tokens == pytest.approx(10.0)
+
+    def test_sustained_rate_enforced(self, clock):
+        """Over a long window, admitted ops/second converges to the rate."""
+        b = TokenBucket(rate=100.0, clock=clock, burst=10.0)
+        admitted = 0
+        for _ in range(10_000):
+            clock.advance(0.001)
+            if b.try_acquire(1):
+                admitted += 1
+        # 10 seconds at 100/s plus initial burst of 10
+        assert admitted == pytest.approx(1010, abs=5)
+
+    def test_delay_for(self, clock):
+        b = TokenBucket(rate=10.0, clock=clock, burst=1.0)
+        assert b.try_acquire(1)
+        assert b.delay_for(1) == pytest.approx(0.1)
+        clock.advance(0.1)
+        assert b.delay_for(1) == pytest.approx(0.0)
+
+    def test_zero_rate_infinite_delay(self, clock):
+        b = TokenBucket(rate=0.0, clock=clock, burst=1.0)
+        assert b.try_acquire(1)
+        assert b.delay_for(1) == float("inf")
+
+    def test_infinite_rate_never_blocks(self, clock):
+        b = TokenBucket(rate=float("inf"), clock=clock, burst=5.0)
+        for _ in range(1000):
+            assert b.try_acquire(1)
+
+    def test_set_rate_clamps_tokens(self, clock):
+        b = TokenBucket(rate=100.0, clock=clock)  # burst 100, full
+        b.set_rate(10.0)  # new burst 10
+        assert b.tokens == pytest.approx(10.0)
+
+    def test_set_rate_keeps_partial_tokens(self, clock):
+        b = TokenBucket(rate=10.0, clock=clock)
+        b.try_acquire(8)  # 2 left
+        b.set_rate(100.0)
+        assert b.tokens == pytest.approx(2.0)
+
+    def test_clock_backwards_rejected(self, clock):
+        b = TokenBucket(rate=10.0, clock=clock)
+        clock.t = -1.0
+        with pytest.raises(ValueError):
+            _ = b.tokens
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, clock=clock)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, clock=clock, burst=0.0)
+        b = TokenBucket(rate=1.0, clock=clock)
+        with pytest.raises(ValueError):
+            b.try_acquire(0)
+        with pytest.raises(ValueError):
+            b.delay_for(-1)
+
+    def test_counters(self, clock):
+        b = TokenBucket(rate=1.0, clock=clock, burst=1.0)
+        b.try_acquire(1)
+        b.delay_for(1)
+        assert b.granted == 1
+        assert b.delayed == 1

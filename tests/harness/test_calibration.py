@@ -1,0 +1,113 @@
+"""Tests for analytic predictors and the calibration fit."""
+
+import pytest
+
+from repro.core.costs import FRONTERA_COST_MODEL
+from repro.harness.calibration import (
+    fit_cost_model,
+    predict_flat_ms,
+    predict_hier_ms,
+    prediction_errors,
+)
+from repro.harness.paper import PAPER
+
+
+class TestPredictors:
+    def test_flat_headline_points(self):
+        """Shipped constants hit the two exact flat targets within 5%."""
+        for n in PAPER.flat_latency_exact:
+            pred = predict_flat_ms(FRONTERA_COST_MODEL, n)["total"]
+            target = PAPER.flat_latency_ms[n]
+            assert pred == pytest.approx(target, rel=0.05)
+
+    def test_hier_10k_points_within_tolerance(self):
+        for a, target in PAPER.hier_latency_ms.items():
+            pred = predict_hier_ms(FRONTERA_COST_MODEL, 10_000, a)["total"]
+            assert pred == pytest.approx(target, rel=0.10)
+
+    def test_hier_2500_known_outlier_bounded(self):
+        """The A=1@2500 point is the model's worst case; keep it < 15% off."""
+        pred = predict_hier_ms(FRONTERA_COST_MODEL, 2500, 1)["total"]
+        assert pred == pytest.approx(PAPER.fig6_hier_ms, rel=0.15)
+
+    def test_flat_enforce_exceeds_collect(self):
+        """Fig. 4's qualitative fact holds at every scale."""
+        for n in (50, 500, 1250, 2500):
+            phases = predict_flat_ms(FRONTERA_COST_MODEL, n)
+            assert phases["enforce"] > phases["collect"]
+
+    def test_hier_compute_constant_in_aggregators(self):
+        """Fig. 5: the compute phase does not depend on A."""
+        computes = [
+            predict_hier_ms(FRONTERA_COST_MODEL, 10_000, a)["compute"]
+            for a in (4, 5, 10, 20)
+        ]
+        assert max(computes) - min(computes) < 1e-9
+
+    def test_hier_collect_enforce_shrink_with_aggregators(self):
+        prev = None
+        for a in (4, 5, 10, 20):
+            phases = predict_hier_ms(FRONTERA_COST_MODEL, 10_000, a)
+            if prev is not None:
+                assert phases["collect"] < prev["collect"]
+                assert phases["enforce"] < prev["enforce"]
+            prev = phases
+
+    def test_obs7_hier_compute_cheaper(self):
+        flat = predict_flat_ms(FRONTERA_COST_MODEL, 2500)
+        hier = predict_hier_ms(FRONTERA_COST_MODEL, 2500, 1)
+        assert hier["compute"] < flat["compute"]
+
+    def test_phase_sum_equals_total(self):
+        for phases in (
+            predict_flat_ms(FRONTERA_COST_MODEL, 100),
+            predict_hier_ms(FRONTERA_COST_MODEL, 1000, 4),
+        ):
+            assert phases["total"] == pytest.approx(
+                phases["collect"] + phases["compute"] + phases["enforce"]
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predict_flat_ms(FRONTERA_COST_MODEL, 0)
+        with pytest.raises(ValueError):
+            predict_hier_ms(FRONTERA_COST_MODEL, 10, 0)
+
+
+class TestPredictionErrors:
+    def test_covers_all_headline_targets(self):
+        errors = prediction_errors(FRONTERA_COST_MODEL)
+        assert len(errors) == 9
+
+    def test_shipped_model_mean_error_small(self):
+        import numpy as np
+
+        errors = prediction_errors(FRONTERA_COST_MODEL)
+        assert float(np.mean(np.abs(list(errors.values())))) < 0.05
+
+
+class TestFit:
+    def test_fit_improves_or_matches_shipped(self):
+        import numpy as np
+
+        result = fit_cost_model()
+        shipped = prediction_errors(FRONTERA_COST_MODEL)
+        assert result.mean_abs_error <= float(
+            np.mean(np.abs(list(shipped.values())))
+        ) + 1e-9
+
+    def test_fit_achieves_under_5_percent_mean(self):
+        result = fit_cost_model()
+        assert result.mean_abs_error < 0.05
+        assert result.max_abs_error < 0.10
+
+    def test_fit_scales_within_bounds(self):
+        result = fit_cost_model(bounds=(0.6, 1.6))
+        for scale in result.scale_factors.values():
+            assert 0.6 - 1e-9 <= scale <= 1.6 + 1e-9
+
+    def test_fitted_model_preserves_phase_ordering(self):
+        cm = fit_cost_model().cost_model
+        phases = predict_flat_ms(cm, 2500)
+        assert phases["enforce"] > phases["collect"]
+        assert cm.psfa_per_stage_hier_s < cm.psfa_per_stage_s

@@ -1,0 +1,82 @@
+"""Tests for result serialisation and the run archive."""
+
+import json
+
+import pytest
+
+from repro.harness.experiment import run_flat_experiment
+from repro.harness.store import RunArchive, result_from_dict, result_to_dict
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_flat_experiment(n_stages=20, cycles=6)
+
+
+class TestRoundTrip:
+    def test_lossless_statistics(self, result):
+        clone = result_from_dict(result_to_dict(result))
+        assert clone.mean_ms == pytest.approx(result.mean_ms)
+        assert clone.phase_means_ms() == pytest.approx(result.phase_means_ms())
+        assert clone.design == result.design
+        assert clone.n_stages == result.n_stages
+
+    def test_usage_preserved(self, result):
+        clone = result_from_dict(result_to_dict(result))
+        assert clone.global_usage.as_dict() == pytest.approx(
+            result.global_usage.as_dict()
+        )
+        assert clone.aggregator_usage is None
+
+    def test_cycles_preserved_individually(self, result):
+        clone = result_from_dict(result_to_dict(result))
+        assert len(clone.latency.cycles) == len(result.latency.cycles)
+        assert clone.latency.cycles[0].epoch == result.latency.cycles[0].epoch
+
+    def test_json_serialisable(self, result):
+        json.dumps(result_to_dict(result))
+
+    def test_version_check(self, result):
+        data = result_to_dict(result)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+
+class TestRunArchive:
+    def test_save_and_load(self, tmp_path, result):
+        archive = RunArchive(tmp_path / "runs")
+        archive.save("flat-20", result)
+        loaded = archive.load("flat-20")
+        assert loaded.mean_ms == pytest.approx(result.mean_ms)
+        assert archive.names() == ["flat-20"]
+        assert "flat-20" in archive
+
+    def test_overwrite_protection(self, tmp_path, result):
+        archive = RunArchive(tmp_path)
+        archive.save("x", result)
+        with pytest.raises(FileExistsError):
+            archive.save("x", result)
+        archive.save("x", result, overwrite=True)
+
+    def test_delete(self, tmp_path, result):
+        archive = RunArchive(tmp_path)
+        archive.save("x", result)
+        archive.delete("x")
+        assert "x" not in archive
+        with pytest.raises(KeyError):
+            archive.load("x")
+        with pytest.raises(KeyError):
+            archive.delete("x")
+
+    def test_bad_names_rejected(self, tmp_path, result):
+        archive = RunArchive(tmp_path)
+        with pytest.raises(ValueError):
+            archive.save("../escape", result)
+        with pytest.raises(ValueError):
+            archive.save("spaces here", result)
+
+    def test_archive_survives_reopen(self, tmp_path, result):
+        RunArchive(tmp_path).save("persist", result)
+        again = RunArchive(tmp_path)
+        assert again.load("persist").n_stages == result.n_stages

@@ -1,0 +1,142 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.jobs.workloads import (
+    BurstySource,
+    CheckpointSource,
+    DLTrainingSource,
+    PoissonSource,
+    StressSource,
+    source_factory,
+)
+from repro.simnet.rng import RandomStreams
+
+
+class TestStressSource:
+    def test_constant_when_noiseless(self):
+        src = StressSource(RandomStreams(0), 1000.0, 200.0, noise_fraction=0.0)
+        assert src.sample("s1", 0.0) == (1000.0, 200.0)
+        assert src.sample("s1", 99.0) == (1000.0, 200.0)
+
+    def test_noise_bounded(self):
+        src = StressSource(RandomStreams(0), 1000.0, 200.0, noise_fraction=0.1)
+        for t in range(100):
+            d, m = src.sample("s1", float(t))
+            assert 900.0 <= d <= 1100.0
+            assert 180.0 <= m <= 220.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StressSource(RandomStreams(0), data_iops=-1)
+        with pytest.raises(ValueError):
+            StressSource(RandomStreams(0), noise_fraction=1.0)
+
+
+class TestBurstySource:
+    def test_on_off_pattern(self):
+        src = BurstySource(burst_iops=5000.0, idle_iops=10.0, on_s=2.0, off_s=8.0)
+        samples = [sum(src.sample("sX", t * 0.5)) for t in range(40)]
+        assert max(samples) == pytest.approx(5000.0)
+        assert min(samples) == pytest.approx(10.0)
+
+    def test_duty_cycle(self):
+        src = BurstySource(on_s=2.0, off_s=8.0)
+        n_on = sum(
+            1 for t in range(1000) if sum(src.sample("sX", t * 0.01)) > 100
+        )
+        assert n_on == pytest.approx(200, abs=10)  # 20% duty
+
+    def test_stage_phase_decorrelates(self):
+        src = BurstySource(on_s=2.0, off_s=8.0)
+        now = 0.0
+        values = {s: sum(src.sample(s, now)) for s in (f"s{i}" for i in range(50))}
+        assert len(set(values.values())) > 1  # not all in the same state
+
+    def test_metadata_fraction(self):
+        src = BurstySource(metadata_fraction=0.25)
+        d, m = src.sample("s", 0.5)
+        assert m / (d + m) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstySource(burst_iops=1.0, idle_iops=10.0)
+        with pytest.raises(ValueError):
+            BurstySource(on_s=0)
+
+
+class TestDLTrainingSource:
+    def test_metadata_storm_at_epoch_start(self):
+        src = DLTrainingSource(epoch_s=10.0, storm_fraction=0.1)
+        # scan one epoch at this stage's own phase
+        samples = [src.sample("sX", t * 0.05) for t in range(400)]
+        meta = [m for _, m in samples]
+        assert max(meta) == src.storm_metadata_iops
+        assert min(meta) == src.steady_metadata_iops
+
+    def test_storm_duration_fraction(self):
+        src = DLTrainingSource(epoch_s=10.0, storm_fraction=0.2)
+        n_storm = sum(
+            1
+            for t in range(1000)
+            if src.sample("sX", t * 0.01)[1] == src.storm_metadata_iops
+        )
+        assert n_storm == pytest.approx(200, abs=10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DLTrainingSource(epoch_s=0)
+        with pytest.raises(ValueError):
+            DLTrainingSource(storm_fraction=1.0)
+
+
+class TestCheckpointSource:
+    def test_burst_then_quiet(self):
+        src = CheckpointSource(period_s=10.0, checkpoint_s=1.0)
+        data = [src.sample("sX", t * 0.05)[0] for t in range(400)]
+        assert max(data) == src.checkpoint_iops
+        assert min(data) == src.quiet_iops
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointSource(period_s=5.0, checkpoint_s=5.0)
+
+
+class TestPoissonSource:
+    def test_mean_approximate(self):
+        src = PoissonSource(RandomStreams(1), mean_data_iops=1000.0)
+        samples = [src.sample("s", float(t))[0] for t in range(500)]
+        assert sum(samples) / len(samples) == pytest.approx(1000.0, rel=0.05)
+
+    def test_nonnegative(self):
+        src = PoissonSource(RandomStreams(1), mean_data_iops=2.0)
+        assert all(src.sample("s", t)[0] >= 0 for t in range(100))
+
+
+class TestSourceFactory:
+    @pytest.mark.parametrize(
+        "kind", ["stress", "bursty", "dl-training", "checkpoint", "poisson"]
+    )
+    def test_known_kinds(self, kind):
+        factory = source_factory(kind, seed=3)
+        src = factory("stage-1")
+        d, m = src.sample("stage-1", 0.0)
+        assert d >= 0 and m >= 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            source_factory("nope")
+
+    def test_per_stage_instances_independent(self):
+        factory = source_factory("poisson", seed=5)
+        a = factory("stage-a")
+        b = factory("stage-b")
+        assert a is not b
+        sa = [a.sample("stage-a", t)[0] for t in range(20)]
+        sb = [b.sample("stage-b", t)[0] for t in range(20)]
+        assert sa != sb
+
+    def test_deterministic_per_seed(self):
+        s1 = source_factory("poisson", seed=5)("stage-a").sample("stage-a", 0.0)
+        s2 = source_factory("poisson", seed=5)("stage-a").sample("stage-a", 0.0)
+        assert s1 == s2

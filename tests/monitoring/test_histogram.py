@@ -1,0 +1,116 @@
+"""Tests for the log-bucketed latency histogram."""
+
+import pytest
+
+from repro.monitoring.histogram import LatencyHistogram
+
+
+class TestRecording:
+    def test_counts_and_mean(self):
+        h = LatencyHistogram()
+        for v in (0.001, 0.002, 0.003):
+            h.record(v)
+        assert h.total == 3
+        assert h.mean == pytest.approx(0.002)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1.0)
+
+    def test_under_and_overflow_clamped(self):
+        h = LatencyHistogram(min_value_s=1e-3, max_value_s=1.0)
+        h.record(1e-9)
+        h.record(100.0)
+        assert h.underflow == 1 and h.overflow == 1
+        assert h.total == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value_s=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value_s=1.0, max_value_s=0.5)
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets_per_decade=0)
+
+
+class TestPercentiles:
+    def test_empty_is_zero(self):
+        assert LatencyHistogram().percentile(99) == 0.0
+
+    def test_p100_is_exact_max(self):
+        h = LatencyHistogram()
+        for v in (0.001, 0.5, 0.02):
+            h.record(v)
+        assert h.percentile(100) == 0.5
+
+    def test_percentile_conservative_but_close(self):
+        """Estimates land within one bucket (~26%) above the true value."""
+        h = LatencyHistogram(buckets_per_decade=10)
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1 ms .. 1 s uniform
+        for v in values:
+            h.record(v)
+        p50 = h.percentile(50)
+        assert 0.5 <= p50 <= 0.5 * 1.3
+        p99 = h.percentile(99)
+        assert 0.99 <= p99 <= 1.0
+
+    def test_monotone_in_q(self):
+        h = LatencyHistogram()
+        for i in range(1, 200):
+            h.record(i * 1e-4)
+        qs = [h.percentile(q) for q in (10, 50, 90, 99, 100)]
+        assert qs == sorted(qs)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
+
+
+class TestMergeAndSummary:
+    def test_merge_combines(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(0.001)
+        b.record(0.1)
+        a.merge(b)
+        assert a.total == 2
+        assert a.percentile(100) == 0.1
+
+    def test_merge_requires_same_config(self):
+        a = LatencyHistogram(buckets_per_decade=10)
+        b = LatencyHistogram(buckets_per_decade=5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_summary_keys(self):
+        h = LatencyHistogram()
+        h.record(0.01)
+        s = h.summary()
+        assert set(s) == {"count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"}
+
+    def test_nonzero_buckets(self):
+        h = LatencyHistogram()
+        h.record(0.001)
+        h.record(0.001)
+        buckets = h.nonzero_buckets()
+        assert len(buckets) == 1 and buckets[0][1] == 2
+
+
+class TestInterceptorIntegration:
+    def test_interceptor_records_latencies(self):
+        from repro.dataplane.interceptor import IOInterceptor
+        from repro.dataplane.stage import DataPlaneStage
+        from repro.simnet.engine import Environment
+
+        env = Environment()
+        stage = DataPlaneStage(env, "s", "j", initial_data_limit=10.0, burst_seconds=0.1)
+        io = IOInterceptor(env, stage)
+
+        def proc(env, io):
+            for _ in range(20):
+                yield from io.read(1)
+
+        env.process(proc(env, io))
+        env.run()
+        assert io.latency.total == 20
+        # Throttled at 10/s: p99 close to the 0.1 s inter-token wait.
+        assert io.latency.percentile(99) >= 0.05

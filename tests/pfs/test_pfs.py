@@ -1,0 +1,141 @@
+"""Unit tests for the parallel file system model."""
+
+import pytest
+
+from repro.pfs.filesystem import ParallelFileSystem
+from repro.pfs.servers import MetadataServer, ObjectStorageServer, QueueingStation
+from repro.simnet.engine import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestQueueingStation:
+    def test_base_service_at_no_load(self, env):
+        st = QueueingStation(env, "q", capacity_ops=1000.0, base_service_s=1e-3)
+        assert st.service_time() == pytest.approx(1e-3)
+
+    def test_service_inflates_with_load(self, env):
+        st = QueueingStation(env, "q", capacity_ops=100.0, base_service_s=1e-3, window_s=1.0)
+        # Offer 80 ops in the first second -> rho = 0.8 next window.
+        for _ in range(80):
+            st.record(1e-3)
+        env.run(until=1.0)
+        inflated = st.service_time()
+        assert inflated == pytest.approx(1e-3 / (1 - 0.8))
+
+    def test_inflation_saturates(self, env):
+        st = QueueingStation(env, "q", capacity_ops=10.0, base_service_s=1e-3, window_s=1.0)
+        for _ in range(1000):
+            st.record(1e-3)
+        env.run(until=1.5)
+        assert st.service_time() <= 1e-3 / (1 - st.MAX_RHO) + 1e-9
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            QueueingStation(env, "q", capacity_ops=0, base_service_s=1e-3)
+        with pytest.raises(ValueError):
+            QueueingStation(env, "q", capacity_ops=10, base_service_s=0)
+
+    def test_counters(self, env):
+        st = QueueingStation(env, "q", capacity_ops=100.0, base_service_s=1e-3)
+        st.record(2e-3)
+        assert st.total_ops == 1
+        assert st.total_busy_s == pytest.approx(2e-3)
+
+
+class TestServers:
+    def test_oss_data_service_includes_bandwidth(self, env):
+        oss = ObjectStorageServer(env, bandwidth_Bps=1e9, base_service_s=1e-4)
+        t = oss.data_service_time(10**9)  # 1 GB at 1 GB/s
+        assert t == pytest.approx(1.0 + 1e-4)
+
+    def test_oss_validation(self, env):
+        with pytest.raises(ValueError):
+            ObjectStorageServer(env, bandwidth_Bps=0)
+        with pytest.raises(ValueError):
+            ObjectStorageServer(env, n_osts=0)
+        oss = ObjectStorageServer(env)
+        with pytest.raises(ValueError):
+            oss.data_service_time(-1)
+
+    def test_record_data_tracks_bytes(self, env):
+        oss = ObjectStorageServer(env)
+        oss.record_data(1e-3, 4096)
+        assert oss.total_bytes == 4096
+
+
+class TestParallelFileSystem:
+    def test_client_striping_round_robin(self, env):
+        pfs = ParallelFileSystem(env, n_oss=4)
+        client = pfs.client()
+
+        def proc(env, client):
+            for _ in range(8):
+                yield from client.submit("data", 1024)
+
+        env.process(proc(env, client))
+        env.run()
+        assert [s.total_ops for s in pfs.oss] == [2, 2, 2, 2]
+
+    def test_metadata_goes_to_mds(self, env):
+        pfs = ParallelFileSystem(env, n_oss=2)
+        client = pfs.client()
+
+        def proc(env, client):
+            for _ in range(5):
+                yield from client.submit("metadata")
+
+        env.process(proc(env, client))
+        env.run()
+        assert pfs.mds.total_ops == 5
+        assert all(s.total_ops == 0 for s in pfs.oss)
+
+    def test_unknown_class_rejected(self, env):
+        pfs = ParallelFileSystem(env)
+        client = pfs.client()
+        with pytest.raises(ValueError):
+            list(client.submit("bogus"))
+
+    def test_recommended_capacity(self, env):
+        pfs = ParallelFileSystem(env, n_oss=2, oss_capacity_ops=1000.0)
+        expected = 0.8 * (2 * 1000.0 + pfs.mds.capacity_ops)
+        assert pfs.recommended_capacity_iops == pytest.approx(expected)
+
+    def test_contention_slows_service(self, env):
+        """Overloading the MDS inflates later metadata latencies."""
+        pfs = ParallelFileSystem(
+            env,
+            n_oss=1,
+            mds=MetadataServer(env, capacity_ops=1000.0, window_s=0.02),
+        )
+        client = pfs.client()
+        latencies = []
+
+        def hammer(env, client):
+            for _ in range(3000):
+                t = yield from client.submit("metadata")
+                latencies.append(t)
+
+        env.process(hammer(env, client))
+        env.run()
+        assert latencies[-1] > latencies[0]
+
+    def test_total_ops(self, env):
+        pfs = ParallelFileSystem(env, n_oss=2)
+        client = pfs.client()
+
+        def proc(env, client):
+            yield from client.submit("data", 10)
+            yield from client.submit("metadata")
+
+        env.process(proc(env, client))
+        env.run()
+        assert pfs.total_ops() == 2
+        assert client.ops_completed == 2
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            ParallelFileSystem(env, n_oss=0)

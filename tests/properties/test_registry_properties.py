@@ -1,0 +1,68 @@
+"""Property-based tests for registry churn and partitioning invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import StageRecord, StageRegistry, partition_stages
+
+
+# Sequences of (op, stage_index) churn operations.
+churn_ops = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 49)),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestRegistryChurnProperties:
+    @given(churn_ops)
+    @settings(max_examples=100, deadline=None)
+    def test_membership_matches_reference_model(self, ops):
+        """The registry agrees with a plain-set reference under any churn."""
+        reg = StageRegistry()
+        model = {}
+        for op, i in ops:
+            sid = f"s{i}"
+            if op == "add" and sid not in model:
+                reg.register(StageRecord(sid, f"job{i % 7}", "h0"))
+                model[sid] = f"job{i % 7}"
+            elif op == "remove" and sid in model:
+                reg.deregister(sid)
+                del model[sid]
+        assert set(reg.stage_ids) == set(model)
+        for sid, job in model.items():
+            assert reg.job_of(sid) == job
+        # Job grouping is the exact inverse mapping.
+        for job in reg.job_ids:
+            for sid in reg.stages_of(job):
+                assert model[sid] == job
+
+    @given(churn_ops)
+    @settings(max_examples=50, deadline=None)
+    def test_order_is_registration_order(self, ops):
+        reg = StageRegistry()
+        order = []
+        for op, i in ops:
+            sid = f"s{i}"
+            if op == "add" and sid not in reg:
+                reg.register(StageRecord(sid, "j", "h0"))
+                order.append(sid)
+            elif op == "remove" and sid in reg:
+                reg.deregister(sid)
+                order.remove(sid)
+        assert reg.stage_ids == order
+
+
+class TestPartitionProperties:
+    @given(st.integers(1, 500), st.integers(1, 40))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_is_a_partition(self, n, k):
+        if k > n:
+            k = n
+        ids = [f"s{i}" for i in range(n)]
+        parts = partition_stages(ids, k)
+        assert len(parts) == k
+        flat = [s for p in parts for s in p]
+        assert flat == ids  # complete, disjoint, order-preserving
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1

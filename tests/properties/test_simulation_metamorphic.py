@@ -1,0 +1,86 @@
+"""Metamorphic tests: known transformations must move results predictably.
+
+Rather than asserting absolute numbers, these assert *relations between
+runs* — the strongest kind of check for a calibrated simulator, because
+they hold regardless of the constants' values.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import FRONTERA_COST_MODEL
+from repro.harness.experiment import run_flat_experiment, run_hierarchical_experiment
+
+# Small sizes keep each hypothesis example fast; relations hold at any N.
+N_SMALL = st.integers(min_value=10, max_value=60)
+
+
+class TestCostScalingMetamorphic:
+    @given(N_SMALL, st.floats(1.5, 4.0))
+    @settings(max_examples=10, deadline=None)
+    def test_cpu_scaling_scales_latency_superlinearly_bounded(self, n, factor):
+        """Scaling every CPU cost by f scales latency by ~f (fixed wire
+        time dilutes it slightly below f)."""
+        base = run_flat_experiment(n, cycles=4).mean_ms
+        scaled = run_flat_experiment(
+            n, cycles=4, costs=FRONTERA_COST_MODEL.scaled(cpu_factor=factor)
+        ).mean_ms
+        ratio = scaled / base
+        assert 0.85 * factor <= ratio <= 1.01 * factor
+
+    @given(N_SMALL)
+    @settings(max_examples=10, deadline=None)
+    def test_doubling_stages_roughly_doubles_variable_cost(self, n):
+        small = run_flat_experiment(n, cycles=4).mean_ms
+        large = run_flat_experiment(2 * n, cycles=4).mean_ms
+        # latency = fixed + k*N: the variable part doubles exactly.
+        assert small < large < 2.0 * small + 1.0
+
+    @given(N_SMALL, st.floats(2.0, 8.0))
+    @settings(max_examples=10, deadline=None)
+    def test_payload_scaling_scales_throughput_not_latency(self, n, factor):
+        base = run_flat_experiment(n, cycles=4)
+        fat = run_flat_experiment(
+            n, cycles=4, costs=FRONTERA_COST_MODEL.scaled(net_factor=factor)
+        )
+        assert fat.global_usage.transmitted_mb_s == pytest.approx(
+            base.global_usage.transmitted_mb_s * factor, rel=0.1
+        )
+        assert fat.mean_ms == pytest.approx(base.mean_ms, rel=0.05)
+
+
+class TestDeterminismMetamorphic:
+    @given(N_SMALL, st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_identical_runs_identical_results(self, n, aggs):
+        a = run_hierarchical_experiment(n, min(aggs, n), cycles=4)
+        b = run_hierarchical_experiment(n, min(aggs, n), cycles=4)
+        assert a.mean_ms == b.mean_ms
+        assert a.phase_means_ms() == b.phase_means_ms()
+        assert a.global_usage.as_dict() == b.global_usage.as_dict()
+
+    @given(N_SMALL)
+    @settings(max_examples=10, deadline=None)
+    def test_cycle_count_does_not_change_steady_mean(self, n):
+        short = run_flat_experiment(n, cycles=5).mean_ms
+        long = run_flat_experiment(n, cycles=10).mean_ms
+        assert short == pytest.approx(long, rel=1e-9)
+
+
+class TestDesignRelations:
+    @given(st.integers(40, 120))
+    @settings(max_examples=8, deadline=None)
+    def test_hier_single_agg_always_slower_than_flat(self, n):
+        """One aggregator is pure overhead at any scale (Obs. #6)."""
+        flat = run_flat_experiment(n, cycles=4).mean_ms
+        hier = run_hierarchical_experiment(n, 1, cycles=4).mean_ms
+        assert hier > flat
+
+    @given(st.integers(60, 120))
+    @settings(max_examples=8, deadline=None)
+    def test_aggregator_monotonicity_under_halving(self, n):
+        """Doubling the aggregator count never hurts at these sizes."""
+        two = run_hierarchical_experiment(n, 2, cycles=4).mean_ms
+        four = run_hierarchical_experiment(n, 4, cycles=4).mean_ms
+        assert four < two

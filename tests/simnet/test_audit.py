@@ -1,0 +1,99 @@
+"""Tests for the simulation audit."""
+
+import pytest
+
+from repro.core.control_plane import (
+    ControlPlaneConfig,
+    FlatControlPlane,
+    HierarchicalControlPlane,
+)
+from repro.simnet.audit import audit
+from repro.simnet.engine import Environment
+from repro.simnet.node import SimHost
+from repro.simnet.topology import build_cluster
+
+
+class TestAuditOnCleanRuns:
+    def test_flat_plane_passes(self):
+        plane = FlatControlPlane.build(ControlPlaneConfig(n_stages=30))
+        plane.run_stress(n_cycles=4)
+        report = audit(plane.cluster.network, plane.cluster.hosts, plane.env)
+        report.raise_on_violation()
+        assert report.ok
+        assert report.total_tx_bytes > 0
+
+    def test_hierarchical_plane_passes(self):
+        plane = HierarchicalControlPlane.build(
+            ControlPlaneConfig(n_stages=40), n_aggregators=4
+        )
+        plane.run_stress(n_cycles=4)
+        report = audit(plane.cluster.network, plane.cluster.hosts, plane.env)
+        report.raise_on_violation()
+
+    def test_conservation_after_full_drain(self):
+        env = Environment()
+        cluster = build_cluster(env, 3)
+        net = cluster.network
+        a = net.attach(cluster.host(0), "a")
+        b = net.attach(cluster.host(1), "b")
+        conn = net.connect(a, b)
+        b.set_handler(lambda m, c: None)
+        for i in range(10):
+            conn.send(a, "x", size_bytes=100)
+        env.run()  # full drain
+        report = audit(net, cluster.hosts, env)
+        assert report.ok
+        assert report.total_tx_bytes == report.total_rx_bytes == 1000
+
+
+class TestAuditDetectsCorruption:
+    def test_lost_bytes_flagged(self):
+        env = Environment()
+        cluster = build_cluster(env, 2)
+        net = cluster.network
+        a = net.attach(cluster.host(0), "a")
+        b = net.attach(cluster.host(1), "b")
+        conn = net.connect(a, b)
+        b.set_handler(lambda m, c: None)
+        conn.send(a, "x", size_bytes=100)
+        env.run()
+        # Corrupt a counter to simulate a lost message.
+        cluster.host(1).nic.rx_bytes -= 50
+        report = audit(net, cluster.hosts, env)
+        assert not report.ok
+        assert any("byte conservation" in v for v in report.violations)
+        with pytest.raises(AssertionError):
+            report.raise_on_violation()
+
+    def test_overdrawn_cpu_flagged(self):
+        env = Environment()
+        cluster = build_cluster(env, 1)
+        env.run(until=1.0)
+        host = cluster.host(0)
+        host.charge(1000.0)  # impossible: 1000 core-s in 1 s on 56 cores
+        report = audit(cluster.network, cluster.hosts, env)
+        assert any("exceeds" in v for v in report.violations)
+
+    def test_connection_overrun_flagged(self):
+        env = Environment()
+        cluster = build_cluster(env, 2)
+        net = cluster.network
+        pool = net.pool_of(cluster.host(0))
+        pool.open_connections = pool.max_connections + 1
+        report = audit(net, cluster.hosts, env)
+        assert any("over the" in v for v in report.violations)
+
+    def test_in_flight_tolerated_rx_overrun_not(self):
+        env = Environment()
+        cluster = build_cluster(env, 2)
+        net = cluster.network
+        a = net.attach(cluster.host(0), "a")
+        b = net.attach(cluster.host(1), "b")
+        conn = net.connect(a, b)
+        b.set_handler(lambda m, c: None)
+        conn.send(a, "x", size_bytes=100)  # still in flight
+        report = audit(net, cluster.hosts, env)
+        assert report.ok  # TX > RX is fine with a live queue
+        cluster.host(1).nic.rx_bytes += 500
+        report = audit(net, cluster.hosts, env)
+        assert any("RX" in v for v in report.violations)

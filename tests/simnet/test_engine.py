@@ -1,0 +1,438 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.simnet.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_run_until_time_advances_clock(self):
+        env = Environment()
+        env.run(until=3.5)
+        assert env.now == 3.5
+
+    def test_run_until_past_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(SimulationError):
+            env.run(until=5.0)
+
+    def test_clock_is_monotonic_across_events(self):
+        env = Environment()
+        seen = []
+
+        def proc(env):
+            for _ in range(10):
+                yield env.timeout(0.1)
+                seen.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert seen == sorted(seen)
+        assert seen[-1] == pytest.approx(1.0)
+
+
+class TestTimeout:
+    def test_timeout_fires_after_delay(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2.0)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 2.0
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+
+        def proc(env):
+            got = yield env.timeout(1.0, value="payload")
+            return got
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "payload"
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_zero_delay_fires_at_current_time(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(0.0)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        ev = env.event()
+
+        def waiter(env, ev):
+            got = yield ev
+            return got
+
+        def trigger(env, ev):
+            yield env.timeout(1.0)
+            ev.succeed(42)
+
+        p = env.process(waiter(env, ev))
+        env.process(trigger(env, ev))
+        env.run()
+        assert p.value == 42
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_throws_into_waiter(self):
+        env = Environment()
+        ev = env.event()
+
+        def waiter(env, ev):
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught:{exc}"
+
+        p = env.process(waiter(env, ev))
+        ev.fail(RuntimeError("boom"))
+        env.run()
+        assert p.value == "caught:boom"
+
+    def test_unwaited_failed_event_raises_from_run(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+
+class TestProcess:
+    def test_return_value_is_event_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "done"
+        assert not p.is_alive
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(2.0)
+            return 7
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return result * 2
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == 14
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(1.0)
+            raise ValueError("child died")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except ValueError as exc:
+                return f"saw:{exc}"
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == "saw:child died"
+
+    def test_unwaited_crash_surfaces_from_run(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            raise KeyError("lost")
+
+        env.process(proc(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_yield_non_event_raises_inside_process(self):
+        env = Environment()
+
+        def proc(env):
+            try:
+                yield 42
+            except SimulationError:
+                return "rejected"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "rejected"
+
+    def test_waiting_on_already_processed_event(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("early")
+        env.run()  # process the event with no waiters
+        assert ev.processed
+
+        def late(env, ev):
+            got = yield ev
+            return got
+
+        p = env.process(late(env, ev))
+        env.run()
+        assert p.value == "early"
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeping_process(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as i:
+                return ("interrupted", i.cause, env.now)
+
+        p = env.process(sleeper(env))
+
+        def killer(env, p):
+            yield env.timeout(1.0)
+            p.interrupt("failure")
+
+        env.process(killer(env, p))
+        env.run()
+        assert p.value == ("interrupted", "failure", 1.0)
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+
+        def resilient(env):
+            total = 0.0
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            return env.now
+
+        p = env.process(resilient(env))
+
+        def killer(env, p):
+            yield env.timeout(0.5)
+            p.interrupt()
+
+        env.process(killer(env, p))
+        env.run()
+        assert p.value == pytest.approx(1.5)
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+
+        def proc(env):
+            events = [env.timeout(d, value=d) for d in (1.0, 3.0, 2.0)]
+            got = yield env.all_of(events)
+            return (env.now, got)
+
+        p = env.process(proc(env))
+        env.run()
+        now, got = p.value
+        assert now == 3.0
+        assert got == {0: 1.0, 1: 3.0, 2: 2.0}
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def proc(env):
+            events = [env.timeout(5.0, "slow"), env.timeout(1.0, "fast")]
+            got = yield env.any_of(events)
+            return (env.now, got)
+
+        p = env.process(proc(env))
+        env.run()
+        now, got = p.value
+        assert now == 1.0
+        assert got == {1: "fast"}
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.all_of([])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+    def test_all_of_fails_if_member_fails(self):
+        env = Environment()
+        bad = env.event()
+
+        def proc(env, bad):
+            try:
+                yield env.all_of([env.timeout(10.0), bad])
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = env.process(proc(env, bad))
+        bad.fail(RuntimeError("member failed"))
+        env.run()
+        assert p.value == "member failed"
+
+    def test_cross_environment_events_rejected(self):
+        env1, env2 = Environment(), Environment()
+        ev2 = env2.event()
+        with pytest.raises(SimulationError):
+            env1.all_of([ev2])
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_schedule_order(self):
+        env = Environment()
+        order = []
+
+        for tag in ("a", "b", "c"):
+            env.call_at(1.0, lambda t=tag: order.append(t))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_call_at_past_rejected(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(SimulationError):
+            env.call_at(1.0, lambda: None)
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2.0)
+            return "finished"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "finished"
+
+    def test_run_until_event_never_firing_raises(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError, match="drained"):
+            env.run(until=ev)
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_processed_event_count(self):
+        env = Environment()
+
+        def proc(env):
+            for _ in range(5):
+                yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert env.processed_events > 5
+
+
+class TestRunawayGuard:
+    def test_zero_delay_loop_caught(self):
+        env = Environment()
+
+        def spinner(env):
+            while True:
+                yield env.timeout(0.0)
+
+        env.process(spinner(env))
+        with pytest.raises(SimulationError, match="max_events"):
+            env.run(max_events=1000)
+
+    def test_budget_not_triggered_by_honest_work(self):
+        env = Environment()
+
+        def worker(env):
+            for _ in range(100):
+                yield env.timeout(0.01)
+
+        env.process(worker(env))
+        env.run(max_events=10_000)  # completes well within budget
+        assert env.now == pytest.approx(1.0)
+
+    def test_budget_applies_to_until_event(self):
+        env = Environment()
+        never = env.event()
+
+        def spinner(env):
+            while True:
+                yield env.timeout(0.0)
+
+        env.process(spinner(env))
+        with pytest.raises(SimulationError, match="max_events"):
+            env.run(until=never, max_events=500)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment().run(max_events=0)

@@ -1,0 +1,71 @@
+"""Unit tests for link delay models."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.link import (
+    DEFAULT_HOP_LATENCY,
+    HDR100_BANDWIDTH,
+    DelayModel,
+    FixedDelay,
+    Link,
+    NormalJitterDelay,
+)
+
+
+class TestLink:
+    def test_transfer_time_composition(self):
+        link = Link(hop_latency=1e-6, bandwidth=1e9)
+        assert link.transfer_time(0, hops=1) == pytest.approx(1e-6)
+        assert link.transfer_time(1000, hops=2) == pytest.approx(2e-6 + 1e-6)
+
+    def test_zero_hops_is_loopback(self):
+        link = Link(hop_latency=1e-6, bandwidth=1e9)
+        assert link.transfer_time(0, hops=0) == 0.0
+
+    def test_defaults_are_hdr100(self):
+        link = Link()
+        assert link.bandwidth == HDR100_BANDWIDTH
+        assert link.hop_latency == DEFAULT_HOP_LATENCY
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link(hop_latency=-1)
+        with pytest.raises(ValueError):
+            Link(bandwidth=0)
+        link = Link()
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+        with pytest.raises(ValueError):
+            link.transfer_time(10, hops=-1)
+
+    def test_monotone_in_size(self):
+        link = Link()
+        times = [link.transfer_time(s) for s in (0, 100, 10_000, 1_000_000)]
+        assert times == sorted(times)
+
+
+class TestDelayModels:
+    def test_base_model_is_zero(self):
+        assert DelayModel().sample() == 0.0
+
+    def test_fixed_delay(self):
+        assert FixedDelay(1e-3).sample() == 1e-3
+        with pytest.raises(ValueError):
+            FixedDelay(-1)
+
+    def test_normal_jitter_nonnegative(self):
+        rng = np.random.default_rng(0)
+        jitter = NormalJitterDelay(rng, mean=0.0, std=1e-3)
+        samples = [jitter.sample() for _ in range(1000)]
+        assert all(s >= 0 for s in samples)
+        assert max(s for s in samples) > 0
+
+    def test_normal_jitter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            NormalJitterDelay(rng, std=-1)
+
+    def test_jitter_feeds_transfer_time(self):
+        link = Link(hop_latency=0, bandwidth=1e12, jitter=FixedDelay(0.25))
+        assert link.transfer_time(0, hops=1) == pytest.approx(0.25)

@@ -1,0 +1,35 @@
+"""Unit tests for deterministic random streams."""
+
+import numpy as np
+
+from repro.simnet.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).stream("jitter")
+        b = RandomStreams(7).stream("jitter")
+        assert np.allclose(a.random(100), b.random(100))
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(7)
+        a = streams.stream("jitter").random(100)
+        b = streams.stream("workload").random(100)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(50)
+        b = RandomStreams(2).stream("x").random(50)
+        assert not np.allclose(a, b)
+
+    def test_stream_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_spawn_children_independent_and_deterministic(self):
+        parent = RandomStreams(3)
+        c1 = parent.spawn("stage-1").stream("demand").random(20)
+        c2 = parent.spawn("stage-2").stream("demand").random(20)
+        c1_again = RandomStreams(3).spawn("stage-1").stream("demand").random(20)
+        assert not np.allclose(c1, c2)
+        assert np.allclose(c1, c1_again)

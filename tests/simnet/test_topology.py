@@ -1,0 +1,160 @@
+"""Unit tests for cluster topologies."""
+
+import pytest
+
+from repro.simnet.engine import Environment
+from repro.simnet.topology import Cluster, FatTreeTopology, build_cluster
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestFatTree:
+    def test_same_host_zero_hops(self, env):
+        cluster = build_cluster(env, 2)
+        h = cluster.host(0)
+        assert cluster.topology.hops(h, h) == 0
+
+    def test_same_rack_two_hops(self, env):
+        cluster = build_cluster(env, 4, rack_size=56)
+        assert cluster.topology.hops(cluster.host(0), cluster.host(1)) == 2
+
+    def test_cross_rack_four_hops(self, env):
+        cluster = build_cluster(env, 120, rack_size=56)
+        assert cluster.topology.hops(cluster.host(0), cluster.host(100)) == 4
+
+    def test_three_level_cross_pod(self, env):
+        topo = FatTreeTopology(rack_size=2, levels=3, racks_per_pod=2)
+        cluster_env = Environment()
+        from repro.simnet.node import SimHost
+
+        hosts = [SimHost(cluster_env, f"h{i}") for i in range(10)]
+        for i, h in enumerate(hosts):
+            topo.place(h, i)
+        # hosts 0,1 rack0; 2,3 rack1 (same pod); 4.. pod1
+        assert topo.hops(hosts[0], hosts[2]) == 4
+        assert topo.hops(hosts[0], hosts[8]) == 6
+
+    def test_unplaced_host_worst_case(self, env):
+        cluster = build_cluster(env, 2)
+        from repro.simnet.node import SimHost
+
+        stray = SimHost(env, "stray")
+        assert cluster.topology.hops(cluster.host(0), stray) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FatTreeTopology(rack_size=0)
+        with pytest.raises(ValueError):
+            FatTreeTopology(levels=4)
+        with pytest.raises(ValueError):
+            FatTreeTopology(racks_per_pod=0)
+
+
+class TestCluster:
+    def test_build_cluster_size(self, env):
+        cluster = build_cluster(env, 10)
+        assert len(cluster) == 10
+        assert len(list(cluster)) == 10
+
+    def test_host_lookup_by_index_and_name(self, env):
+        cluster = build_cluster(env, 3)
+        assert cluster.host(1) is cluster.host("node-00001")
+
+    def test_add_host_places_in_topology(self, env):
+        cluster = build_cluster(env, 1, rack_size=2)
+        extra = cluster.add_host(name="ctrl")
+        assert cluster.topology.hops(cluster.host(0), extra) in (2, 4)
+
+    def test_duplicate_host_name_rejected(self, env):
+        cluster = build_cluster(env, 1)
+        cluster.add_host(name="x")
+        with pytest.raises(ValueError):
+            cluster.add_host(name="x")
+
+    def test_negative_size_rejected(self, env):
+        with pytest.raises(ValueError):
+            build_cluster(env, -1)
+
+    def test_network_uses_topology_hops(self, env):
+        cluster = build_cluster(env, 60, rack_size=56)
+        net = cluster.network
+        a = net.attach(cluster.host(0), "a")
+        b = net.attach(cluster.host(59), "b")  # different rack
+        conn = net.connect(a, b)
+        arrivals = []
+        b.set_handler(lambda m, c: arrivals.append(env.now))
+        conn.send(a, "x", size_bytes=0)
+        env.run()
+        assert arrivals[0] == pytest.approx(4 * 1e-6)
+
+
+class TestDragonfly:
+    def _placed_hosts(self, env, n, hosts_per_router=2, routers_per_group=2):
+        from repro.simnet.node import SimHost
+        from repro.simnet.topology import DragonflyTopology
+
+        topo = DragonflyTopology(
+            hosts_per_router=hosts_per_router,
+            routers_per_group=routers_per_group,
+        )
+        hosts = [SimHost(env, f"d{i}") for i in range(n)]
+        for i, h in enumerate(hosts):
+            topo.place(h, i)
+        return topo, hosts
+
+    def test_same_host_zero(self, env):
+        topo, hosts = self._placed_hosts(env, 2)
+        assert topo.hops(hosts[0], hosts[0]) == 0
+
+    def test_same_router_two_hops(self, env):
+        topo, hosts = self._placed_hosts(env, 4)
+        assert topo.hops(hosts[0], hosts[1]) == 2
+
+    def test_same_group_three_hops(self, env):
+        # routers 0,1 share group 0: hosts 0-1 router 0, hosts 2-3 router 1
+        topo, hosts = self._placed_hosts(env, 8)
+        assert topo.hops(hosts[0], hosts[2]) == 3
+
+    def test_cross_group_five_hops(self, env):
+        topo, hosts = self._placed_hosts(env, 8)
+        # group 0 = hosts 0-3; group 1 = hosts 4-7
+        assert topo.hops(hosts[0], hosts[5]) == 5
+
+    def test_unplaced_worst_case(self, env):
+        from repro.simnet.node import SimHost
+
+        topo, hosts = self._placed_hosts(env, 2)
+        stray = SimHost(env, "stray-dragonfly")
+        assert topo.hops(hosts[0], stray) == 5
+
+    def test_validation(self):
+        from repro.simnet.topology import DragonflyTopology
+
+        with pytest.raises(ValueError):
+            DragonflyTopology(hosts_per_router=0)
+        with pytest.raises(ValueError):
+            DragonflyTopology(routers_per_group=0)
+
+    def test_usable_as_network_resolver(self, env):
+        from repro.simnet.link import Link
+        from repro.simnet.node import SimHost
+        from repro.simnet.transport import Network
+        from repro.simnet.topology import DragonflyTopology
+
+        topo = DragonflyTopology(hosts_per_router=1, routers_per_group=2)
+        net = Network(env, link=Link(hop_latency=1e-6, bandwidth=1e18),
+                      hop_resolver=topo.hops)
+        hosts = [SimHost(env, f"n{i}") for i in range(4)]
+        for i, h in enumerate(hosts):
+            topo.place(h, i)
+        a = net.attach(hosts[0], "a")
+        b = net.attach(hosts[3], "b")  # different group
+        conn = net.connect(a, b)
+        arrivals = []
+        b.set_handler(lambda m, c: arrivals.append(env.now))
+        conn.send(a, "x", size_bytes=0)
+        env.run()
+        assert arrivals[0] == pytest.approx(5e-6)

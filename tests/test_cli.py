@@ -1,0 +1,199 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_flat_requires_nodes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flat"])
+
+
+class TestFlat:
+    def test_table_output(self, capsys):
+        code, out = run_cli(capsys, "flat", "--nodes", "50", "--cycles", "5")
+        assert code == 0
+        assert "mean cycle (ms)" in out
+        assert "flat" in out
+
+    def test_json_output(self, capsys):
+        code, out = run_cli(
+            capsys, "flat", "--nodes", "50", "--cycles", "5", "--json"
+        )
+        payload = json.loads(out)
+        assert payload["design"] == "flat"
+        assert payload["mean_ms"] > 0
+
+
+class TestHier:
+    def test_runs(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "hier", "--nodes", "80", "--aggregators", "4", "--cycles", "5",
+            "--json",
+        )
+        payload = json.loads(out)
+        assert code == 0
+        assert payload["design"] == "hierarchical"
+        assert payload["n_aggregators"] == 4
+        assert "aggregator_cpu_percent" in payload
+
+    def test_offload_flag(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "hier", "--nodes", "40", "--aggregators", "2", "--cycles", "4",
+            "--offload", "--json",
+        )
+        assert json.loads(out)["design"] == "hierarchical-offload"
+
+
+class TestCoordinated:
+    def test_runs(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "coordinated", "--nodes", "40", "--controllers", "2",
+            "--cycles", "4", "--json",
+        )
+        assert json.loads(out)["design"] == "coordinated-flat"
+
+
+class TestReproduce:
+    def test_table1_fast(self, capsys):
+        code, out = run_cli(capsys, "reproduce", "table1")
+        assert code == 0
+        assert "Frontier" in out and "Fugaku" in out
+
+    def test_fig4_small_cycles(self, capsys):
+        code, out = run_cli(capsys, "reproduce", "fig4", "--cycles", "5")
+        assert code == 0
+        assert "flat @ 2500" in out
+        assert "paper (ms)" in out
+
+    def test_json_payload_keys(self, capsys):
+        code, out = run_cli(
+            capsys, "reproduce", "table1", "--json"
+        )
+        payload = json.loads(out)
+        assert "table1" in payload
+
+
+class TestPlan:
+    def test_flat_recommendation(self, capsys):
+        code, out = run_cli(capsys, "plan", "--nodes", "500", "--target-ms", "30")
+        assert code == 0
+        assert "flat" in out
+
+    def test_hier_recommendation(self, capsys):
+        code, out = run_cli(
+            capsys, "plan", "--nodes", "9408", "--target-ms", "150", "--json"
+        )
+        payload = json.loads(out)
+        assert payload["design"] == "hierarchical"
+        assert payload["n_aggregators"] >= 4
+
+    def test_unmeetable_target_exit_code(self, capsys):
+        code, out = run_cli(
+            capsys, "plan", "--nodes", "10000", "--target-ms", "1"
+        )
+        assert code == 2
+
+    def test_custom_connection_limit(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "plan", "--nodes", "10000", "--target-ms", "500",
+            "--connection-limit", "20000", "--json",
+        )
+        assert json.loads(out)["design"] == "flat"
+
+
+class TestLive:
+    def test_runs_real_sockets(self, capsys):
+        code, out = run_cli(
+            capsys, "live", "--stages", "8", "--cycles", "6", "--json"
+        )
+        payload = json.loads(out)
+        assert code == 0
+        assert payload["rules_applied"] == 8 * 6
+        assert payload["mean_ms"] > 0
+
+
+class TestCalibrate:
+    def test_reports_errors(self, capsys):
+        code, out = run_cli(capsys, "calibrate")
+        assert code == 0
+        assert "flat@2500" in out
+        assert "refit error" in out
+
+
+class TestReport:
+    def test_scaled_report_to_stdout(self, capsys):
+        code, out = run_cli(capsys, "report", "--scale", "50", "--cycles", "4")
+        assert code == 0
+        assert "# Reproduction report" in out
+        assert "## Qualitative findings" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        code, out = run_cli(
+            capsys,
+            "report", "--scale", "50", "--cycles", "4",
+            "--output", str(target),
+        )
+        assert code == 0
+        assert target.exists()
+        assert "## Fig. 5" in target.read_text()
+
+
+class TestArchive:
+    def test_run_list_show_roundtrip(self, capsys, tmp_path, monkeypatch):
+        d = str(tmp_path / "runs")
+        code, out = run_cli(
+            capsys,
+            "archive", "run", "--dir", d, "--name", "flat-20",
+            "--nodes", "20", "--cycles", "4",
+        )
+        assert code == 0 and "saved flat run" in out
+        code, out = run_cli(capsys, "archive", "list", "--dir", d)
+        assert code == 0 and "flat-20" in out
+        code, out = run_cli(
+            capsys, "archive", "show", "--dir", d, "--name", "flat-20", "--json"
+        )
+        payload = json.loads(out)
+        assert payload["design"] == "flat" and payload["n_stages"] == 20
+
+    def test_hier_run_saved(self, capsys, tmp_path):
+        d = str(tmp_path / "runs")
+        code, out = run_cli(
+            capsys,
+            "archive", "run", "--dir", d, "--name", "h", "--nodes", "20",
+            "--aggregators", "2", "--cycles", "4", "--json",
+        )
+        assert json.loads(out)["design"] == "hierarchical"
+
+    def test_missing_args_error(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "archive", "run", "--dir", str(tmp_path)
+        )
+        assert code == 1
+
+    def test_empty_list(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "archive", "list", "--dir", str(tmp_path))
+        assert code == 0 and "(empty)" in out
