@@ -22,7 +22,7 @@ import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from repro.harness.report import compare_row, format_table
+from repro.harness.report import compare_row, degraded_note, format_table
 
 __all__ = ["build_parser", "main"]
 
@@ -57,7 +57,12 @@ def _result_text(result) -> str:
             ["per-agg CPU %", f"{agg.cpu_percent:.2f}"],
             ["per-agg memory GB", f"{agg.memory_gb:.3f}"],
         ]
-    return format_table(["metric", "value"], rows)
+    note = degraded_note(result.latency)
+    if note:
+        rows.append(["degraded cycles", f"{result.latency.degraded_cycles}"])
+        rows.append(["missing replies", f"{result.latency.missing_total}"])
+    table = format_table(["metric", "value"], rows)
+    return table + ("\n" + note if note else "")
 
 
 # -- subcommand implementations -------------------------------------------------
@@ -258,9 +263,23 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_live(args) -> int:
-    from repro.live import run_live_flat
+    from repro.live import run_live_flat, run_live_hierarchical
 
-    result = run_live_flat(n_stages=args.stages, n_cycles=args.cycles)
+    if args.aggregators:
+        result = run_live_hierarchical(
+            n_stages=args.stages,
+            n_aggregators=args.aggregators,
+            n_cycles=args.cycles,
+            collect_timeout_s=args.collect_timeout,
+            enforce_timeout_s=args.enforce_timeout,
+        )
+    else:
+        result = run_live_flat(
+            n_stages=args.stages,
+            n_cycles=args.cycles,
+            collect_timeout_s=args.collect_timeout,
+            enforce_timeout_s=args.enforce_timeout,
+        )
     stats = result.stats()
     bd = stats.breakdown()
     payload = {
@@ -269,12 +288,19 @@ def _cmd_live(args) -> int:
         "mean_ms": stats.mean_ms,
         **{f"{k}_ms": v for k, v in bd.as_dict().items()},
         "rules_applied": result.rules_applied_total,
+        "degraded_cycles": result.degraded_cycles,
+        "missing_total": result.missing_total,
+        "evictions": result.evictions,
+        "reconnects": result.reconnects,
     }
     text = format_table(
         ["metric", "value"],
         [[k, f"{v:.3f}" if isinstance(v, float) else v] for k, v in payload.items()],
         title=f"Live TCP control plane, {args.stages} stages",
     )
+    note = degraded_note(stats)
+    if note:
+        text += "\n" + note
     _emit(payload, text, args.json)
     return 0
 
@@ -416,6 +442,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("live", help="run the real asyncio/TCP control plane")
     p.add_argument("--stages", type=int, default=50)
     p.add_argument("--cycles", type=int, default=20)
+    p.add_argument("--aggregators", type=int, default=0,
+                   help="run the hierarchical live design with N aggregators")
+    p.add_argument("--collect-timeout", type=float, default=None,
+                   help="collect-phase deadline in seconds (partial collect)")
+    p.add_argument("--enforce-timeout", type=float, default=None,
+                   help="enforce-phase deadline (defaults to collect timeout)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_live)
 

@@ -22,7 +22,13 @@ PHASES = ("collect", "compute", "enforce")
 
 @dataclass(frozen=True)
 class ControlCycle:
-    """Timing record of one completed control cycle (seconds)."""
+    """Timing record of one completed control cycle (seconds).
+
+    ``n_missing`` and ``timed_out`` describe *degraded* cycles: a cycle
+    that proceeded on partial metrics because some children never
+    replied (dead sockets, phase deadline). Both default to the healthy
+    values, so records built by older callers are unchanged.
+    """
 
     epoch: int
     started_at: float
@@ -30,11 +36,20 @@ class ControlCycle:
     compute_s: float
     enforce_s: float
     n_stages: int
+    n_missing: int = 0
+    timed_out: bool = False
 
     def __post_init__(self) -> None:
         for name in ("collect_s", "compute_s", "enforce_s"):
             if getattr(self, name) < 0:
                 raise ValueError(f"negative phase duration: {name}")
+        if self.n_missing < 0:
+            raise ValueError(f"negative n_missing: {self.n_missing}")
+
+    @property
+    def degraded(self) -> bool:
+        """True when the cycle ran on partial metrics or hit a deadline."""
+        return self.n_missing > 0 or self.timed_out
 
     @property
     def total_s(self) -> float:
@@ -117,6 +132,22 @@ class CycleStats:
             return 0.0
         return float(np.percentile(self._totals_ms(), q))
 
+    # -- degraded-cycle accounting -------------------------------------------
+    @property
+    def degraded_cycles(self) -> int:
+        """Cycles that ran on partial metrics or hit a phase deadline."""
+        return sum(1 for c in self.cycles if c.degraded)
+
+    @property
+    def missing_total(self) -> int:
+        """Total missing child replies across all (post-warmup) cycles."""
+        return sum(c.n_missing for c in self.cycles)
+
+    @property
+    def timeout_cycles(self) -> int:
+        """Cycles in which a collect/enforce deadline fired."""
+        return sum(1 for c in self.cycles if c.timed_out)
+
     def phase_percentile_ms(self, phase: str, q: float) -> float:
         """Percentile of one phase's per-cycle latency (ms).
 
@@ -158,4 +189,6 @@ class CycleStats:
             "enforce_ms": bd.enforce_ms,
             "collect_p99_ms": self.phase_percentile_ms("collect", 99.0),
             "enforce_p99_ms": self.phase_percentile_ms("enforce", 99.0),
+            "degraded_cycles": float(self.degraded_cycles),
+            "missing_total": float(self.missing_total),
         }

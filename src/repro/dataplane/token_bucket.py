@@ -96,22 +96,27 @@ class TokenBucket:
             self._tokens = max(self._tokens - n, 0.0)
             self.granted += 1
             return True
+        self.delayed += 1
         return False
 
     def delay_for(self, n: float = 1.0) -> float:
         """Seconds until ``n`` tokens will be available (0 if now).
 
-        Does not consume tokens; callers waiting out the delay should then
-        :meth:`try_acquire`. With a zero rate the wait is infinite.
+        A pure query: consumes no tokens and touches no counters (the
+        ``delayed`` metric is counted where an acquisition actually
+        fails, in :meth:`try_acquire`). Uses the same ``_SLACK``
+        tolerance as :meth:`try_acquire`, so ``delay_for(n) == 0``
+        exactly when ``try_acquire(n)`` would succeed. Callers waiting
+        out the delay should then :meth:`try_acquire`. With a zero rate
+        the wait is infinite.
         """
         if n <= 0:
             raise ValueError(f"token count must be positive: {n}")
         self._refill(float(self._clock()))
-        if self._tokens >= n:
+        if self._tokens >= n - self._SLACK:
             return 0.0
         if self.rate == 0:
             return float("inf")
-        self.delayed += 1
         return (n - self._tokens) / self.rate
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

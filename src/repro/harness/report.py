@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 __all__ = [
     "compare_row",
+    "degraded_note",
     "format_figure_series",
     "format_table",
     "relative_error",
@@ -23,6 +24,23 @@ def relative_error(measured: float, reference: float) -> float:
     if reference == 0:
         return float("inf") if measured != 0 else 0.0
     return (measured - reference) / reference
+
+
+def degraded_note(stats) -> str:
+    """One-line description of a run's degraded cycles ('' when healthy).
+
+    ``stats`` is a :class:`~repro.core.cycle.CycleStats`; any table built
+    from one can append this to surface partial-metrics cycles without
+    changing its columns.
+    """
+    degraded = stats.degraded_cycles
+    if not degraded:
+        return ""
+    return (
+        f"degraded: {degraded}/{stats.n_cycles} cycles ran on partial "
+        f"metrics ({stats.missing_total} missing replies, "
+        f"{stats.timeout_cycles} deadline hits)"
+    )
 
 
 def format_table(

@@ -62,6 +62,8 @@ def result_to_dict(result: ExperimentResult) -> Dict:
                 "compute_s": c.compute_s,
                 "enforce_s": c.enforce_s,
                 "n_stages": c.n_stages,
+                "n_missing": c.n_missing,
+                "timed_out": c.timed_out,
             }
             for c in result.latency.cycles
         ],
@@ -81,6 +83,9 @@ def result_from_dict(data: Dict) -> ExperimentResult:
             compute_s=c["compute_s"],
             enforce_s=c["enforce_s"],
             n_stages=c["n_stages"],
+            # Absent in archives written before degraded-cycle tracking.
+            n_missing=c.get("n_missing", 0),
+            timed_out=c.get("timed_out", False),
         )
         for c in data["cycles"]
     ]

@@ -8,14 +8,33 @@ software, and lets a laptop reproduce the *small-N* end of Fig. 4 with
 wall-clock latencies (the paper's 50-node point runs in a few ms of real
 time per cycle; absolute values differ from Frontera's, shapes hold).
 
+The live plane carries the same failure semantics as the simulated one
+(paper §VI): phase deadlines with partial collect, dead-session
+eviction, stage reconnect with backoff, and a fault injector
+(:mod:`repro.live.faults`) for kill/stall/flaky-socket scenarios.
+
 Entry point: :func:`~repro.live.harness.run_live_flat` (or the
 ``examples/live_cluster.py`` script).
 """
 
+from repro.live.faults import (
+    LiveFaultLog,
+    flaky_socket,
+    kill_stage,
+    stall_stage,
+)
 from repro.live.harness import (
     LiveRunResult,
     run_live_flat,
     run_live_hierarchical,
 )
 
-__all__ = ["LiveRunResult", "run_live_flat", "run_live_hierarchical"]
+__all__ = [
+    "LiveFaultLog",
+    "LiveRunResult",
+    "flaky_socket",
+    "kill_stage",
+    "run_live_flat",
+    "run_live_hierarchical",
+    "stall_stage",
+]

@@ -14,6 +14,12 @@ complete). Per control cycle it
 
 This is the same state machine as the simulated
 :class:`~repro.core.controller.AggregatorController`, over sockets.
+
+Failure semantics mirror the live global controller: a stage whose
+socket dies is evicted (and may re-register); with ``collect_timeout_s``
+set, slow stages are left behind at their last-known demand and the
+upstream reply reports how many were missing (``n_missing``), so the
+global controller's degraded-cycle accounting spans the whole hierarchy.
 """
 
 from __future__ import annotations
@@ -21,17 +27,21 @@ from __future__ import annotations
 import asyncio
 from typing import Dict, List, Optional
 
-from repro.live.protocol import read_message, write_message
+from repro.live.protocol import ProtocolError, read_message, write_message
+from repro.live.sessions import Session, SessionClosed, gather_phase
 
 __all__ = ["LiveAggregator"]
 
 
-class _StageSession:
+class _StageSession(Session):
     def __init__(self, stage_id: str, job_id: str, reader, writer) -> None:
-        self.stage_id = stage_id
+        super().__init__(stage_id, reader, writer)
         self.job_id = job_id
-        self.reader = reader
-        self.writer = writer
+        self.latest_demand = 0.0
+
+    @property
+    def stage_id(self) -> str:
+        return self.peer_id
 
 
 class LiveAggregator:
@@ -45,17 +55,31 @@ class LiveAggregator:
         expected_stages: int,
         host: str = "127.0.0.1",
         port: int = 0,
+        collect_timeout_s: Optional[float] = None,
+        enforce_timeout_s: Optional[float] = None,
     ) -> None:
         if expected_stages < 1:
             raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
+        for name, value in (
+            ("collect_timeout_s", collect_timeout_s),
+            ("enforce_timeout_s", enforce_timeout_s),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive: {value}")
         self.aggregator_id = aggregator_id
         self.global_host = global_host
         self.global_port = global_port
         self.expected_stages = expected_stages
         self.host = host
         self.port = port
+        self.collect_timeout_s = collect_timeout_s
+        self.enforce_timeout_s = (
+            enforce_timeout_s if enforce_timeout_s is not None else collect_timeout_s
+        )
         self.sessions: Dict[str, _StageSession] = {}
         self.cycles_served = 0
+        self.evictions = 0
+        self.registrations_rejected = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._all_registered = asyncio.Event()
         self._stop = asyncio.Event()
@@ -71,17 +95,45 @@ class LiveAggregator:
     async def _on_stage_connection(self, reader, writer) -> None:
         try:
             hello = await read_message(reader)
-        except asyncio.IncompleteReadError:
+        except (asyncio.IncompleteReadError, ProtocolError, ConnectionError, OSError):
             writer.close()
             return
         if hello.get("kind") != "register":
             writer.close()
             return
-        session = _StageSession(hello["stage_id"], hello["job_id"], reader, writer)
+        stage_id = hello.get("stage_id")
+        job_id = hello.get("job_id")
+        error = None
+        if not stage_id or not job_id:
+            error = "register requires stage_id and job_id"
+        elif stage_id in self.sessions:
+            error = f"stage_id already registered: {stage_id}"
+        if error is not None:
+            self.registrations_rejected += 1
+            try:
+                await write_message(
+                    writer, {"kind": "register_error", "reason": error}
+                )
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return
+        session = _StageSession(stage_id, job_id, reader, writer)
         self.sessions[session.stage_id] = session
         await write_message(writer, {"kind": "registered"})
+        session.start()
         if len(self.sessions) >= self.expected_stages:
             self._all_registered.set()
+
+    async def _evict(self, session: _StageSession) -> None:
+        if self.sessions.get(session.stage_id) is session:
+            del self.sessions[session.stage_id]
+            self.evictions += 1
+        await session.close()
 
     async def run(self, stage_timeout_s: float = 30.0) -> None:
         """Register upstream once the partition is complete, then serve."""
@@ -113,6 +165,10 @@ class LiveAggregator:
         finally:
             await self._shutdown_stages()
             writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
             if self._server is not None:
                 self._server.close()
 
@@ -129,18 +185,28 @@ class LiveAggregator:
     async def _collect(self, epoch: int, up_writer) -> None:
         self.cycles_served += 1
         sessions = [self.sessions[s] for s in sorted(self.sessions)]
+        polled: List[_StageSession] = []
+        missing_ids = set()
         for s in sessions:
-            await write_message(s.writer, {"kind": "collect_req", "epoch": epoch})
-        demands: Dict[str, float] = {}
+            try:
+                await s.send({"kind": "collect_req", "epoch": epoch})
+                polled.append(s)
+            except SessionClosed:
+                await self._evict(s)
+                missing_ids.add(s.stage_id)
 
         async def read_reply(s: _StageSession) -> None:
-            while True:
-                m = await read_message(s.reader)
-                if m["kind"] == "metrics_reply" and m["epoch"] == epoch:
-                    demands[s.stage_id] = m["data_iops"] + m["metadata_iops"]
-                    return
+            m = await s.expect("metrics_reply", epoch)
+            s.latest_demand = m["data_iops"] + m["metadata_iops"]
 
-        await asyncio.gather(*(read_reply(s) for s in sessions))
+        missing, _ = await gather_phase(polled, read_reply, self.collect_timeout_s)
+        for s in missing:
+            missing_ids.add(s.stage_id)
+            if not s.connected:
+                await self._evict(s)
+        # Report the full partition upstream — absent stages ride at their
+        # last-known demand and are flagged so the global controller's
+        # degraded-cycle accounting sees through the aggregation.
         await write_message(
             up_writer,
             {
@@ -149,36 +215,38 @@ class LiveAggregator:
                 "aggregator_id": self.aggregator_id,
                 "stage_ids": [s.stage_id for s in sessions],
                 "job_ids": [s.job_id for s in sessions],
-                "demands": [demands[s.stage_id] for s in sessions],
+                "demands": [s.latest_demand for s in sessions],
+                "n_missing": len(missing_ids),
             },
         )
 
     async def _distribute(self, message, up_writer) -> None:
         epoch = message["epoch"]
         rules = message["rules"]
-        targets = []
+        targets: List[_StageSession] = []
         for rule in rules:
             session = self.sessions.get(rule["stage_id"])
             if session is None:
                 continue
-            await write_message(
-                session.writer,
-                {
-                    "kind": "rule",
-                    "epoch": epoch,
-                    "stage_id": rule["stage_id"],
-                    "data_iops_limit": rule["data_iops_limit"],
-                },
-            )
-            targets.append(session)
+            try:
+                await session.send(
+                    {
+                        "kind": "rule",
+                        "epoch": epoch,
+                        "stage_id": rule["stage_id"],
+                        "data_iops_limit": rule["data_iops_limit"],
+                    }
+                )
+                targets.append(session)
+            except SessionClosed:
+                await self._evict(session)
 
-        async def read_ack(s: _StageSession) -> None:
-            while True:
-                m = await read_message(s.reader)
-                if m["kind"] == "rule_ack" and m["epoch"] == epoch:
-                    return
-
-        await asyncio.gather(*(read_ack(s) for s in targets))
+        missing, _ = await gather_phase(
+            targets, lambda s: s.expect("rule_ack", epoch), self.enforce_timeout_s
+        )
+        for s in missing:
+            if not s.connected:
+                await self._evict(s)
         await write_message(
             up_writer,
             {
@@ -189,9 +257,10 @@ class LiveAggregator:
         )
 
     async def _shutdown_stages(self) -> None:
-        for session in self.sessions.values():
+        for session in list(self.sessions.values()):
             try:
-                await write_message(session.writer, {"kind": "shutdown"})
-                session.writer.close()
-            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                await session.send({"kind": "shutdown"})
+            except SessionClosed:
                 pass
+            await session.close()
+        self.sessions.clear()

@@ -4,13 +4,27 @@ The same collect → compute → enforce loop as the simulated
 :class:`~repro.core.controller.GlobalController`, timed with the
 wall clock and executing the *same* PSFA implementation
 (:class:`repro.core.algorithms.psfa.PSFA`) over the collected demand.
+
+Failure semantics match the simulated plane (paper §VI dependability):
+
+* ``collect_timeout_s`` / ``enforce_timeout_s`` put a deadline on each
+  reply-gathering phase. A cycle that misses replies proceeds on partial
+  metrics — absent stages fall back to their last-known demand — and
+  records the damage in :class:`~repro.core.cycle.ControlCycle` via the
+  ``n_missing`` / ``timed_out`` fields.
+* A session whose socket dies (EOF, reset) is *evicted* instead of
+  poisoning the cycle; even without a timeout configured, the cycle
+  completes over the survivors rather than hanging forever.
+* Evicted stage ids become free again, so a restarted stage re-registers
+  (see :class:`~repro.live.stage_client.LiveVirtualStage`'s reconnect
+  loop) and is picked up by the next cycle.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
@@ -18,53 +32,41 @@ from repro.core.algorithms.base import ControlAlgorithm
 from repro.core.algorithms.psfa import PSFA
 from repro.core.cycle import ControlCycle
 from repro.core.policies import QoSPolicy
-from repro.live.protocol import read_message, write_message
+from repro.live.protocol import ProtocolError, read_message, write_message
+from repro.live.sessions import Session, SessionClosed, gather_phase
 
 __all__ = ["LiveGlobalController", "LiveHierGlobalController"]
 
 
-class _StageSession:
+class _StageSession(Session):
     """Server-side state for one connected stage."""
 
     def __init__(self, stage_id: str, job_id: str, reader, writer) -> None:
-        self.stage_id = stage_id
+        super().__init__(stage_id, reader, writer)
         self.job_id = job_id
-        self.reader = reader
-        self.writer = writer
         self.latest_demand = 0.0
 
+    @property
+    def stage_id(self) -> str:
+        return self.peer_id
 
-class LiveGlobalController:
-    """Flat-design controller over real TCP connections.
 
-    Usage::
+class _LiveControllerBase:
+    """Registration, eviction, and teardown shared by both designs."""
 
-        ctrl = LiveGlobalController(policy, expected_stages=50)
-        await ctrl.start()                 # begins listening; port assigned
-        ... stages connect ...
-        await ctrl.wait_for_stages()
-        cycles = await ctrl.run_cycles(20)
-        await ctrl.shutdown()
-    """
+    #: ``kind`` a valid hello frame must carry (set by subclasses).
+    _register_kind = "register"
 
-    def __init__(
-        self,
-        policy: QoSPolicy,
-        expected_stages: int,
-        algorithm: Optional[ControlAlgorithm] = None,
-        host: str = "127.0.0.1",
-        port: int = 0,
-    ) -> None:
-        if expected_stages < 1:
-            raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
-        self.policy = policy
-        self.algorithm = algorithm or PSFA()
-        self.expected_stages = expected_stages
+    def __init__(self, host: str, port: int) -> None:
         self.host = host
         self.port = port
-        self.sessions: Dict[str, _StageSession] = {}
+        self.sessions: Dict[str, Session] = {}
         self.cycles: List[ControlCycle] = []
         self.epoch = 0
+        #: Sessions evicted because their socket died mid-cycle.
+        self.evictions = 0
+        #: Registrations rejected (duplicate id, malformed hello).
+        self.registrations_rejected = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._all_registered = asyncio.Event()
 
@@ -76,38 +78,146 @@ class LiveGlobalController:
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def wait_for_stages(self, timeout_s: float = 30.0) -> None:
-        """Block until every expected stage has registered."""
-        await asyncio.wait_for(self._all_registered.wait(), timeout=timeout_s)
-
     async def shutdown(self) -> None:
-        """Tell stages to stop and close the server."""
-        for session in self.sessions.values():
+        """Tell children to stop, flush the frames, and close the server."""
+        for session in list(self.sessions.values()):
             try:
-                await write_message(session.writer, {"kind": "shutdown"})
-                session.writer.close()
-            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                await session.send({"kind": "shutdown"})
+            except SessionClosed:
                 pass
+            await session.close()
+        self.sessions.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
 
+    @property
+    def stale_messages(self) -> int:
+        """Frames drained as stale across all live sessions."""
+        return sum(s.stale_messages for s in self.sessions.values())
+
+    # -- registration -------------------------------------------------------
     async def _on_connection(self, reader, writer) -> None:
         try:
             hello = await read_message(reader)
-        except asyncio.IncompleteReadError:
+        except (asyncio.IncompleteReadError, ProtocolError, ConnectionError, OSError):
             writer.close()
             return
-        if hello.get("kind") != "register":
+        if hello.get("kind") != self._register_kind:
             writer.close()
             return
-        session = _StageSession(hello["stage_id"], hello["job_id"], reader, writer)
-        self.sessions[session.stage_id] = session
+        error = self._validate_hello(hello)
+        if error is not None:
+            await self._reject(writer, error)
+            return
+        session = self._make_session(hello, reader, writer)
+        self.sessions[session.peer_id] = session
         await write_message(writer, {"kind": "registered"})
-        if len(self.sessions) >= self.expected_stages:
+        session.start()
+        if len(self.sessions) >= self._expected:
             self._all_registered.set()
-        # The controller drives all further I/O on this connection; the
-        # handler returns and the streams stay owned by the session.
+        # The controller drives all further I/O through the session's
+        # frame pump; the handler returns and the streams stay owned by
+        # the session.
+
+    async def _reject(self, writer, reason: str) -> None:
+        """Refuse a registration: error reply, then close the connection."""
+        self.registrations_rejected += 1
+        try:
+            await write_message(
+                writer, {"kind": "register_error", "reason": reason}
+            )
+        except (ConnectionError, OSError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _evict(self, session: Session) -> None:
+        """Drop a dead session so its id can register again."""
+        if self.sessions.get(session.peer_id) is session:
+            del self.sessions[session.peer_id]
+            self.evictions += 1
+        await session.close()
+
+    # Subclass hooks ---------------------------------------------------------
+    def _validate_hello(self, hello: dict) -> Optional[str]:
+        raise NotImplementedError
+
+    def _make_session(self, hello: dict, reader, writer) -> Session:
+        raise NotImplementedError
+
+    @property
+    def _expected(self) -> int:
+        raise NotImplementedError
+
+
+class LiveGlobalController(_LiveControllerBase):
+    """Flat-design controller over real TCP connections.
+
+    Usage::
+
+        ctrl = LiveGlobalController(policy, expected_stages=50)
+        await ctrl.start()                 # begins listening; port assigned
+        ... stages connect ...
+        await ctrl.wait_for_stages()
+        cycles = await ctrl.run_cycles(20)
+        await ctrl.shutdown()
+
+    ``collect_timeout_s`` / ``enforce_timeout_s`` bound the collect and
+    enforce phases; ``enforce_timeout_s`` defaults to the collect value.
+    """
+
+    _register_kind = "register"
+
+    def __init__(
+        self,
+        policy: QoSPolicy,
+        expected_stages: int,
+        algorithm: Optional[ControlAlgorithm] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        collect_timeout_s: Optional[float] = None,
+        enforce_timeout_s: Optional[float] = None,
+    ) -> None:
+        if expected_stages < 1:
+            raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
+        for name, value in (
+            ("collect_timeout_s", collect_timeout_s),
+            ("enforce_timeout_s", enforce_timeout_s),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive: {value}")
+        super().__init__(host, port)
+        self.policy = policy
+        self.algorithm = algorithm or PSFA()
+        self.expected_stages = expected_stages
+        self.collect_timeout_s = collect_timeout_s
+        self.enforce_timeout_s = (
+            enforce_timeout_s if enforce_timeout_s is not None else collect_timeout_s
+        )
+
+    async def wait_for_stages(self, timeout_s: float = 30.0) -> None:
+        """Block until every expected stage has registered."""
+        await asyncio.wait_for(self._all_registered.wait(), timeout=timeout_s)
+
+    def _validate_hello(self, hello: dict) -> Optional[str]:
+        stage_id = hello.get("stage_id")
+        job_id = hello.get("job_id")
+        if not stage_id or not job_id:
+            return "register requires stage_id and job_id"
+        if stage_id in self.sessions:
+            return f"stage_id already registered: {stage_id}"
+        return None
+
+    def _make_session(self, hello: dict, reader, writer) -> _StageSession:
+        return _StageSession(hello["stage_id"], hello["job_id"], reader, writer)
+
+    @property
+    def _expected(self) -> int:
+        return self.expected_stages
 
     # -- control loop -----------------------------------------------------------
     async def run_cycles(self, n_cycles: int) -> List[ControlCycle]:
@@ -121,26 +231,36 @@ class LiveGlobalController:
     async def _cycle(self) -> None:
         self.epoch += 1
         epoch = self.epoch
-        sessions = list(self.sessions.values())
+        sessions: List[_StageSession] = list(self.sessions.values())
         started = time.perf_counter()
+        missing_ids: Set[str] = set()
+        timed_out = False
 
-        # ---- collect ----
+        # ---- collect (partial on deadline, evict dead sockets) ----
+        polled: List[_StageSession] = []
         for s in sessions:
-            await write_message(s.writer, {"kind": "collect_req", "epoch": epoch})
+            try:
+                await s.send({"kind": "collect_req", "epoch": epoch})
+                polled.append(s)
+            except SessionClosed:
+                await self._evict(s)
+                missing_ids.add(s.stage_id)
 
         async def read_reply(s: _StageSession) -> None:
-            while True:
-                message = await read_message(s.reader)
-                if message["kind"] == "metrics_reply" and message["epoch"] == epoch:
-                    s.latest_demand = (
-                        message["data_iops"] + message["metadata_iops"]
-                    )
-                    return
+            message = await s.expect("metrics_reply", epoch)
+            s.latest_demand = message["data_iops"] + message["metadata_iops"]
 
-        await asyncio.gather(*(read_reply(s) for s in sessions))
+        missing, phase_timed_out = await gather_phase(
+            polled, read_reply, self.collect_timeout_s
+        )
+        timed_out |= phase_timed_out
+        for s in missing:
+            missing_ids.add(s.stage_id)
+            if not s.connected:
+                await self._evict(s)
         t_collect = time.perf_counter() - started
 
-        # ---- compute (the real PSFA) ----
+        # ---- compute (the real PSFA; absent stages at last-known demand) ----
         compute_started = time.perf_counter()
         job_ids = [s.job_id for s in sessions]
         demands = np.array([s.latest_demand for s in sessions])
@@ -153,24 +273,32 @@ class LiveGlobalController:
 
         # ---- enforce ----
         enforce_started = time.perf_counter()
+        ruled: List[_StageSession] = []
         for s, limit in zip(sessions, limits):
-            await write_message(
-                s.writer,
-                {
-                    "kind": "rule",
-                    "epoch": epoch,
-                    "stage_id": s.stage_id,
-                    "data_iops_limit": float(limit),
-                },
-            )
+            if not s.connected:
+                continue
+            try:
+                await s.send(
+                    {
+                        "kind": "rule",
+                        "epoch": epoch,
+                        "stage_id": s.stage_id,
+                        "data_iops_limit": float(limit),
+                    }
+                )
+                ruled.append(s)
+            except SessionClosed:
+                await self._evict(s)
+                missing_ids.add(s.stage_id)
 
-        async def read_ack(s: _StageSession) -> None:
-            while True:
-                message = await read_message(s.reader)
-                if message["kind"] == "rule_ack" and message["epoch"] == epoch:
-                    return
-
-        await asyncio.gather(*(read_ack(s) for s in sessions))
+        missing, phase_timed_out = await gather_phase(
+            ruled, lambda s: s.expect("rule_ack", epoch), self.enforce_timeout_s
+        )
+        timed_out |= phase_timed_out
+        for s in missing:
+            missing_ids.add(s.stage_id)
+            if not s.connected:
+                await self._evict(s)
         t_enforce = time.perf_counter() - enforce_started
 
         self.cycles.append(
@@ -181,30 +309,41 @@ class LiveGlobalController:
                 compute_s=t_compute,
                 enforce_s=t_enforce,
                 n_stages=len(sessions),
+                n_missing=len(missing_ids),
+                timed_out=timed_out,
             )
         )
 
 
-class _AggregatorSession:
+class _AggregatorSession(Session):
     """Server-side state for one registered aggregator."""
 
     def __init__(self, aggregator_id, stage_ids, job_ids, reader, writer) -> None:
-        self.aggregator_id = aggregator_id
+        super().__init__(aggregator_id, reader, writer)
         self.stage_ids = list(stage_ids)
         self.job_ids = list(job_ids)
-        self.reader = reader
-        self.writer = writer
         self.latest_demands: Dict[str, float] = {}
+        #: Stages the aggregator itself reported missing last cycle.
+        self.last_missing = 0
+
+    @property
+    def aggregator_id(self) -> str:
+        return self.peer_id
 
 
-class LiveHierGlobalController:
+class LiveHierGlobalController(_LiveControllerBase):
     """Hierarchical-design global controller over real TCP.
 
     Talks only to :class:`~repro.live.aggregator_server.LiveAggregator`
     instances; runs the same PSFA computation over the union of their
     partitions and ships per-aggregator rule batches — the live
-    counterpart of the paper's Fig. 3 deployment.
+    counterpart of the paper's Fig. 3 deployment. ``n_missing`` on a
+    degraded cycle counts *stages* without fresh metrics: every stage
+    behind an absent aggregator, plus stages the aggregators themselves
+    reported missing.
     """
+
+    _register_kind = "register_aggregator"
 
     def __init__(
         self,
@@ -213,68 +352,63 @@ class LiveHierGlobalController:
         algorithm: Optional[ControlAlgorithm] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        collect_timeout_s: Optional[float] = None,
+        enforce_timeout_s: Optional[float] = None,
     ) -> None:
         if expected_aggregators < 1:
             raise ValueError(
                 f"expected_aggregators must be >= 1: {expected_aggregators}"
             )
+        for name, value in (
+            ("collect_timeout_s", collect_timeout_s),
+            ("enforce_timeout_s", enforce_timeout_s),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive: {value}")
+        super().__init__(host, port)
         self.policy = policy
         self.algorithm = algorithm or PSFA()
         self.expected_aggregators = expected_aggregators
-        self.host = host
-        self.port = port
-        self.sessions: Dict[str, _AggregatorSession] = {}
-        self.cycles: List[ControlCycle] = []
-        self.epoch = 0
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._all_registered = asyncio.Event()
-
-    async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
+        self.collect_timeout_s = collect_timeout_s
+        self.enforce_timeout_s = (
+            enforce_timeout_s if enforce_timeout_s is not None else collect_timeout_s
         )
-        self.port = self._server.sockets[0].getsockname()[1]
 
     async def wait_for_aggregators(self, timeout_s: float = 30.0) -> None:
+        """Block until every expected aggregator has registered."""
         await asyncio.wait_for(self._all_registered.wait(), timeout=timeout_s)
 
-    async def shutdown(self) -> None:
-        for session in self.sessions.values():
-            try:
-                await write_message(session.writer, {"kind": "shutdown"})
-                session.writer.close()
-            except (ConnectionError, OSError):  # pragma: no cover - teardown
-                pass
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+    def _validate_hello(self, hello: dict) -> Optional[str]:
+        aggregator_id = hello.get("aggregator_id")
+        stage_ids = hello.get("stage_ids")
+        job_ids = hello.get("job_ids")
+        if not aggregator_id or stage_ids is None or job_ids is None:
+            return "register_aggregator requires aggregator_id, stage_ids, job_ids"
+        if len(stage_ids) != len(job_ids):
+            return "stage_ids and job_ids lengths differ"
+        if aggregator_id in self.sessions:
+            return f"aggregator_id already registered: {aggregator_id}"
+        return None
 
-    async def _on_connection(self, reader, writer) -> None:
-        try:
-            hello = await read_message(reader)
-        except asyncio.IncompleteReadError:
-            writer.close()
-            return
-        if hello.get("kind") != "register_aggregator":
-            writer.close()
-            return
-        session = _AggregatorSession(
+    def _make_session(self, hello: dict, reader, writer) -> _AggregatorSession:
+        return _AggregatorSession(
             hello["aggregator_id"],
             hello["stage_ids"],
             hello["job_ids"],
             reader,
             writer,
         )
-        self.sessions[session.aggregator_id] = session
-        await write_message(writer, {"kind": "registered"})
-        if len(self.sessions) >= self.expected_aggregators:
-            self._all_registered.set()
+
+    @property
+    def _expected(self) -> int:
+        return self.expected_aggregators
 
     @property
     def n_stages(self) -> int:
         return sum(len(s.stage_ids) for s in self.sessions.values())
 
     async def run_cycles(self, n_cycles: int) -> List[ControlCycle]:
+        """Run ``n_cycles`` back-to-back cycles; returns their records."""
         if n_cycles < 1:
             raise ValueError(f"n_cycles must be >= 1: {n_cycles}")
         for _ in range(n_cycles):
@@ -284,26 +418,49 @@ class LiveHierGlobalController:
     async def _cycle(self) -> None:
         self.epoch += 1
         epoch = self.epoch
-        sessions = [self.sessions[a] for a in sorted(self.sessions)]
+        sessions: List[_AggregatorSession] = [
+            self.sessions[a] for a in sorted(self.sessions)
+        ]
         started = time.perf_counter()
+        n_missing = 0
+        timed_out = False
 
         # ---- collect (via aggregators) ----
+        polled: List[_AggregatorSession] = []
+        absent: List[_AggregatorSession] = []
         for s in sessions:
-            await write_message(
-                s.writer, {"kind": "agg_collect_req", "epoch": epoch}
-            )
+            try:
+                await s.send({"kind": "agg_collect_req", "epoch": epoch})
+                polled.append(s)
+            except SessionClosed:
+                await self._evict(s)
+                absent.append(s)
 
         async def read_agg_reply(s: _AggregatorSession) -> None:
-            while True:
-                m = await read_message(s.reader)
-                if m["kind"] == "agg_metrics_reply" and m["epoch"] == epoch:
-                    s.latest_demands = dict(zip(m["stage_ids"], m["demands"]))
-                    return
+            m = await s.expect("agg_metrics_reply", epoch)
+            s.latest_demands.update(zip(m["stage_ids"], m["demands"]))
+            # Missing = stages the aggregator flagged as silent, plus any
+            # registered stages it evicted and no longer reports at all.
+            s.last_missing = int(m.get("n_missing", 0)) + max(
+                0, len(s.stage_ids) - len(m["stage_ids"])
+            )
 
-        await asyncio.gather(*(read_agg_reply(s) for s in sessions))
+        missing, phase_timed_out = await gather_phase(
+            polled, read_agg_reply, self.collect_timeout_s
+        )
+        timed_out |= phase_timed_out
+        for s in missing:
+            absent.append(s)
+            if not s.connected:
+                await self._evict(s)
+        for s in sessions:
+            if s in absent:
+                n_missing += len(s.stage_ids)
+            else:
+                n_missing += s.last_missing
         t_collect = time.perf_counter() - started
 
-        # ---- compute (PSFA over all partitions) ----
+        # ---- compute (PSFA over all partitions, last-known for absent) ----
         compute_started = time.perf_counter()
         stage_ids: List[str] = []
         job_ids: List[str] = []
@@ -322,29 +479,35 @@ class LiveHierGlobalController:
 
         # ---- enforce (rule batches) ----
         enforce_started = time.perf_counter()
+        batched: List[_AggregatorSession] = []
         for s in sessions:
-            await write_message(
-                s.writer,
-                {
-                    "kind": "rule_batch",
-                    "epoch": epoch,
-                    "rules": [
-                        {
-                            "stage_id": stage_id,
-                            "data_iops_limit": float(limit_of[stage_id]),
-                        }
-                        for stage_id in s.stage_ids
-                    ],
-                },
-            )
+            if not s.connected:
+                continue
+            try:
+                await s.send(
+                    {
+                        "kind": "rule_batch",
+                        "epoch": epoch,
+                        "rules": [
+                            {
+                                "stage_id": stage_id,
+                                "data_iops_limit": float(limit_of[stage_id]),
+                            }
+                            for stage_id in s.stage_ids
+                        ],
+                    }
+                )
+                batched.append(s)
+            except SessionClosed:
+                await self._evict(s)
 
-        async def read_batch_ack(s: _AggregatorSession) -> None:
-            while True:
-                m = await read_message(s.reader)
-                if m["kind"] == "batch_ack" and m["epoch"] == epoch:
-                    return
-
-        await asyncio.gather(*(read_batch_ack(s) for s in sessions))
+        missing, phase_timed_out = await gather_phase(
+            batched, lambda s: s.expect("batch_ack", epoch), self.enforce_timeout_s
+        )
+        timed_out |= phase_timed_out
+        for s in missing:
+            if not s.connected:
+                await self._evict(s)
         t_enforce = time.perf_counter() - enforce_started
 
         self.cycles.append(
@@ -355,5 +518,7 @@ class LiveHierGlobalController:
                 compute_s=t_compute,
                 enforce_s=t_enforce,
                 n_stages=len(stage_ids),
+                n_missing=n_missing,
+                timed_out=timed_out,
             )
         )

@@ -1,0 +1,158 @@
+"""Live fault injection: kill, stall, and flaky-socket wrappers.
+
+The live counterpart of :mod:`repro.core.failures` — the same fault
+menagerie, but inflicted on real asyncio TCP endpoints instead of
+simulated actors:
+
+* :func:`kill_stage` — abort the stage's socket mid-flight (SIGKILL /
+  node loss). The controller sees EOF and evicts the session; with the
+  stage's reconnect loop enabled the "restarted" process re-registers
+  after backoff, like the simulated ``crash_stage`` recovery.
+* :func:`stall_stage` — freeze the stage's reply loop for a window
+  without closing the socket (GC pause, overloaded node, network
+  partition with a live TCP session). Only a ``collect_timeout_s``
+  lets cycles make progress past a stalled stage.
+* :func:`flaky_socket` — wrap the stage's current connection so it
+  aborts after N more frames are written, exercising mid-phase
+  connection loss (enforce-time and collect-time eviction paths).
+* :class:`LiveFaultLog` — wall-clock record of injected events, for
+  assertions, mirroring :class:`repro.core.failures.FailureLog`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.live.stage_client import LiveVirtualStage
+
+__all__ = [
+    "FlakySocket",
+    "LiveFaultEvent",
+    "LiveFaultLog",
+    "flaky_socket",
+    "kill_stage",
+    "stall_stage",
+]
+
+
+@dataclass(frozen=True)
+class LiveFaultEvent:
+    """One injected fault or recovery (wall-clock seconds)."""
+
+    time: float
+    target: str
+    action: str  # "kill" | "stall" | "resume" | "flaky"
+
+
+@dataclass
+class LiveFaultLog:
+    """Chronological record of injected live faults."""
+
+    events: List[LiveFaultEvent] = field(default_factory=list)
+
+    def record(self, target: str, action: str) -> None:
+        self.events.append(LiveFaultEvent(time.monotonic(), target, action))
+
+    def kills(self) -> List[LiveFaultEvent]:
+        return [e for e in self.events if e.action == "kill"]
+
+    def stalls(self) -> List[LiveFaultEvent]:
+        return [e for e in self.events if e.action == "stall"]
+
+
+def kill_stage(
+    stage: LiveVirtualStage,
+    restart: bool = True,
+    log: Optional[LiveFaultLog] = None,
+) -> LiveFaultLog:
+    """Abort ``stage``'s connection right now (simulated process kill).
+
+    With ``restart`` (default) the stage's reconnect loop brings it back
+    with backoff + re-registration; with ``restart=False`` it stays dead
+    (the serve loop exits instead of retrying).
+    """
+    log = log if log is not None else LiveFaultLog()
+    if not restart:
+        stage.reconnect = False
+    stage.kill()
+    log.record(stage.stage_id, "kill")
+    return log
+
+
+async def stall_stage(
+    stage: LiveVirtualStage,
+    duration_s: float,
+    log: Optional[LiveFaultLog] = None,
+) -> LiveFaultLog:
+    """Freeze ``stage``'s reply loop for ``duration_s`` seconds.
+
+    The socket stays open, so the controller sees silence rather than
+    EOF: without a phase timeout the cycle blocks; with one, the stage
+    goes missing and rides at last-known demand. On resume, the stage
+    serves its backlog — late replies are drained as stale by epoch
+    checks on the controller side.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive: {duration_s}")
+    log = log if log is not None else LiveFaultLog()
+    stage.pause()
+    log.record(stage.stage_id, "stall")
+    try:
+        await asyncio.sleep(duration_s)
+    finally:
+        stage.resume()
+        log.record(stage.stage_id, "resume")
+    return log
+
+
+class FlakySocket:
+    """StreamWriter proxy that aborts the connection after N writes.
+
+    Models a failing NIC/link: traffic flows, then the connection dies
+    mid-phase. Reads pass through untouched; the failure surfaces as a
+    ``ConnectionResetError`` on the writing side and an EOF on the peer.
+    """
+
+    def __init__(self, writer, fail_after_writes: int) -> None:
+        if fail_after_writes < 0:
+            raise ValueError(f"negative fail_after_writes: {fail_after_writes}")
+        self._writer = writer
+        self.fail_after_writes = fail_after_writes
+        self.writes = 0
+
+    def write(self, data: bytes) -> None:
+        if self.writes >= self.fail_after_writes:
+            transport = self._writer.transport
+            if transport is not None:
+                transport.abort()
+            raise ConnectionResetError("flaky socket: injected write failure")
+        self.writes += 1
+        self._writer.write(data)
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    def __getattr__(self, name):
+        return getattr(self._writer, name)
+
+
+def flaky_socket(
+    stage: LiveVirtualStage,
+    fail_after_writes: int,
+    log: Optional[LiveFaultLog] = None,
+) -> LiveFaultLog:
+    """Make ``stage``'s *current* connection fail after N more replies.
+
+    The wrapper lasts until the connection dies; the reconnected session
+    (if the stage retries) uses a clean socket again.
+    """
+    log = log if log is not None else LiveFaultLog()
+    writer = stage._writer
+    if writer is None:
+        raise RuntimeError(f"stage {stage.stage_id} is not connected")
+    stage._writer = FlakySocket(writer, fail_after_writes)
+    log.record(stage.stage_id, "flaky")
+    return log

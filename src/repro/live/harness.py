@@ -4,6 +4,11 @@ Spins up a :class:`~repro.live.controller_server.LiveGlobalController` and
 ``n_stages`` :class:`~repro.live.stage_client.LiveVirtualStage` clients in
 a single asyncio loop over localhost TCP, runs the stress workload, and
 returns wall-clock cycle statistics.
+
+``collect_timeout_s`` / ``enforce_timeout_s`` arm the controllers' phase
+deadlines (degraded cycles instead of stalls when stages die or stall);
+the result carries per-cycle ``n_missing``/``timed_out`` so degraded
+cycles are visible in every table built from :class:`CycleStats`.
 """
 
 from __future__ import annotations
@@ -31,18 +36,39 @@ class LiveRunResult:
     cycles: List[ControlCycle]
     rules_applied_total: int
     rules_stale_total: int
+    #: Sessions evicted by the controller(s) after their socket died.
+    evictions: int = 0
+    #: Successful stage re-registrations (reconnect loop recoveries).
+    reconnects: int = 0
 
     def stats(self, warmup: int = 2) -> CycleStats:
         return CycleStats(self.cycles, warmup=min(warmup, max(len(self.cycles) - 1, 0)))
+
+    @property
+    def degraded_cycles(self) -> int:
+        """Cycles that ran on partial metrics or hit a phase deadline."""
+        return sum(1 for c in self.cycles if c.degraded)
+
+    @property
+    def missing_total(self) -> int:
+        """Missing child replies summed over every cycle."""
+        return sum(c.n_missing for c in self.cycles)
 
 
 async def _run(
     n_stages: int,
     n_cycles: int,
     policy: Optional[QoSPolicy],
+    collect_timeout_s: Optional[float] = None,
+    enforce_timeout_s: Optional[float] = None,
 ) -> LiveRunResult:
     policy = policy or default_policy(n_stages)
-    controller = LiveGlobalController(policy, expected_stages=n_stages)
+    controller = LiveGlobalController(
+        policy,
+        expected_stages=n_stages,
+        collect_timeout_s=collect_timeout_s,
+        enforce_timeout_s=enforce_timeout_s,
+    )
     await controller.start()
 
     stages = [
@@ -68,6 +94,8 @@ async def _run(
         cycles=list(cycles),
         rules_applied_total=sum(s.rules_applied for s in stages),
         rules_stale_total=sum(s.rules_ignored_stale for s in stages),
+        evictions=controller.evictions,
+        reconnects=sum(s.reconnects for s in stages),
     )
 
 
@@ -75,11 +103,15 @@ def run_live_flat(
     n_stages: int = 50,
     n_cycles: int = 20,
     policy: Optional[QoSPolicy] = None,
+    collect_timeout_s: Optional[float] = None,
+    enforce_timeout_s: Optional[float] = None,
 ) -> LiveRunResult:
     """Run a flat control plane over real localhost TCP sockets."""
     if n_stages < 1 or n_cycles < 1:
         raise ValueError("n_stages and n_cycles must be >= 1")
-    return asyncio.run(_run(n_stages, n_cycles, policy))
+    return asyncio.run(
+        _run(n_stages, n_cycles, policy, collect_timeout_s, enforce_timeout_s)
+    )
 
 
 async def _run_hier(
@@ -87,10 +119,15 @@ async def _run_hier(
     n_aggregators: int,
     n_cycles: int,
     policy: Optional[QoSPolicy],
+    collect_timeout_s: Optional[float] = None,
+    enforce_timeout_s: Optional[float] = None,
 ) -> LiveRunResult:
     policy = policy or default_policy(n_stages)
     controller = LiveHierGlobalController(
-        policy, expected_aggregators=n_aggregators
+        policy,
+        expected_aggregators=n_aggregators,
+        collect_timeout_s=collect_timeout_s,
+        enforce_timeout_s=enforce_timeout_s,
     )
     await controller.start()
 
@@ -106,6 +143,8 @@ async def _run_hier(
             controller.host,
             controller.port,
             expected_stages=len(owned),
+            collect_timeout_s=collect_timeout_s,
+            enforce_timeout_s=enforce_timeout_s,
         )
         await agg.start()
         aggregators.append(agg)
@@ -132,6 +171,8 @@ async def _run_hier(
         cycles=list(cycles),
         rules_applied_total=sum(s.rules_applied for s in stages),
         rules_stale_total=sum(s.rules_ignored_stale for s in stages),
+        evictions=controller.evictions + sum(a.evictions for a in aggregators),
+        reconnects=sum(s.reconnects for s in stages),
     )
 
 
@@ -140,10 +181,21 @@ def run_live_hierarchical(
     n_aggregators: int = 4,
     n_cycles: int = 10,
     policy: Optional[QoSPolicy] = None,
+    collect_timeout_s: Optional[float] = None,
+    enforce_timeout_s: Optional[float] = None,
 ) -> LiveRunResult:
     """Run the hierarchical design over real localhost TCP sockets."""
     if n_stages < 1 or n_cycles < 1:
         raise ValueError("n_stages and n_cycles must be >= 1")
     if not 1 <= n_aggregators <= n_stages:
         raise ValueError("n_aggregators must be in [1, n_stages]")
-    return asyncio.run(_run_hier(n_stages, n_aggregators, n_cycles, policy))
+    return asyncio.run(
+        _run_hier(
+            n_stages,
+            n_aggregators,
+            n_cycles,
+            policy,
+            collect_timeout_s,
+            enforce_timeout_s,
+        )
+    )

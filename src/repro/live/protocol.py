@@ -6,7 +6,9 @@ protocol exactly (``collect_req``, ``metrics_reply``, ``rule``,
 ``rule_ack``, plus ``register``/``registered`` for session setup).
 
 JSON keeps the protocol inspectable; the framing keeps reads exact. A
-4 GiB frame cap guards against corrupt length headers.
+16 MiB frame cap (``MAX_FRAME``) guards against corrupt length headers —
+orders of magnitude above any control message, far below the 4 GiB the
+4-byte length field could express.
 """
 
 from __future__ import annotations

@@ -1,0 +1,140 @@
+"""Server-side session plumbing shared by the live controllers.
+
+A :class:`Session` owns one connected peer's streams and runs a *frame
+pump*: a background task that is the socket's only reader, feeding
+complete frames into an inbox queue. Phase waits consume from the inbox
+(:meth:`Session.expect`), so a deadline can cancel them at any instant
+without tearing a half-read frame — cancellation always lands on
+``Queue.get``, never mid-``readexactly``.
+
+:func:`gather_phase` runs one reply-reader per session under a single
+optional deadline and reports which sessions produced nothing (dead
+socket or deadline), which is how the controllers implement partial
+collect/enforce (paper §VI dependability, live counterpart of the
+simulated ``collect_timeout_s``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
+
+from repro.live.protocol import ProtocolError, read_message, write_message
+
+__all__ = ["Session", "SessionClosed", "gather_phase"]
+
+
+class SessionClosed(ConnectionError):
+    """The peer's socket reached EOF or errored; the session is dead."""
+
+
+class Session:
+    """One connected peer: its streams plus the frame pump and inbox."""
+
+    def __init__(self, peer_id: str, reader, writer) -> None:
+        self.peer_id = peer_id
+        self.reader = reader
+        self.writer = writer
+        self.inbox: asyncio.Queue = asyncio.Queue()
+        self.connected = True
+        #: Frames drained because they were for a finished epoch or an
+        #: unexpected kind (late replies after a deadline, duplicates).
+        self.stale_messages = 0
+        self._pump_task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        """Begin pumping frames; call once after registration."""
+        self._pump_task = asyncio.create_task(self._pump())
+
+    async def _pump(self) -> None:
+        try:
+            while True:
+                self.inbox.put_nowait(await read_message(self.reader))
+        except (
+            asyncio.IncompleteReadError,
+            ProtocolError,
+            ConnectionError,
+            OSError,
+        ):
+            pass
+        finally:
+            self.connected = False
+            self.inbox.put_nowait(None)  # EOF sentinel for waiting readers
+
+    async def send(self, message: dict) -> None:
+        """Write one frame; raises :class:`SessionClosed` on a dead socket."""
+        if not self.connected:
+            raise SessionClosed(f"{self.peer_id}: session closed")
+        try:
+            await write_message(self.writer, message)
+        except (ConnectionError, OSError) as exc:
+            self.connected = False
+            raise SessionClosed(f"{self.peer_id}: {exc}") from exc
+
+    async def expect(self, kind: str, epoch: int) -> dict:
+        """Next ``kind`` frame for ``epoch``; drains stale frames silently.
+
+        Raises :class:`SessionClosed` when the socket dies first.
+        """
+        while True:
+            message = await self.inbox.get()
+            if message is None:
+                raise SessionClosed(f"{self.peer_id}: connection lost")
+            if message.get("kind") == kind and message.get("epoch") == epoch:
+                return message
+            self.stale_messages += 1
+
+    async def close(self) -> None:
+        """Stop the pump and close the socket, flushing pending writes."""
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        self.connected = False
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def gather_phase(
+    sessions: Sequence[Session],
+    reply_fn: Callable[[Session], Awaitable],
+    timeout_s: Optional[float],
+) -> Tuple[List[Session], bool]:
+    """Run ``reply_fn(session)`` for every session under one deadline.
+
+    Returns ``(missing, timed_out)``: the sessions that produced no reply
+    — their socket died (:class:`SessionClosed`) or the deadline fired
+    before they answered — and whether the deadline fired at all. With
+    ``timeout_s=None`` a dead socket still resolves its reader (the pump
+    delivers the EOF sentinel), so a killed peer cannot hang the phase;
+    only a silent-but-connected peer blocks, as in the seed. Exceptions
+    other than :class:`SessionClosed` propagate.
+    """
+    if not sessions:
+        return [], False
+    tasks = {asyncio.ensure_future(reply_fn(s)): s for s in sessions}
+    done, pending = await asyncio.wait(tasks, timeout=timeout_s)
+    timed_out = bool(pending)
+    for task in pending:
+        task.cancel()
+    if pending:
+        await asyncio.wait(pending)
+        for task in pending:
+            if not task.cancelled():
+                task.exception()  # retrieve, silencing the asyncio warning
+    missing = [tasks[t] for t in pending]
+    for task in done:
+        exc = task.exception()
+        if exc is None:
+            continue
+        if isinstance(exc, SessionClosed):
+            missing.append(tasks[task])
+        else:
+            raise exc
+    return missing, timed_out

@@ -3,20 +3,46 @@
 Mirrors :class:`repro.dataplane.virtual_stage.VirtualStage` over real
 sockets: register with the controller, then answer ``collect_req`` with
 metrics and ``rule`` with an ack, applying the epoch staleness check.
+
+Dependability: when ``reconnect`` is enabled (the default) a stage whose
+connection drops — killed socket, controller eviction, restart — retries
+with exponential backoff plus jitter and *re-registers*, so it is picked
+up again by the controller's next cycle. A rejected registration (e.g.
+its old session has not been evicted yet) is retried the same way.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Optional, Tuple
 
-from repro.live.protocol import read_message, write_message
+from repro.live.protocol import ProtocolError, read_message, write_message
 
 __all__ = ["LiveVirtualStage"]
 
 
+class _RegistrationRejected(RuntimeError):
+    """The controller answered the register frame with an error."""
+
+
 class LiveVirtualStage:
-    """One stage endpoint; run with ``await stage.run()`` as a task."""
+    """One stage endpoint; run with ``await stage.run()`` as a task.
+
+    Parameters
+    ----------
+    reconnect:
+        Retry dropped connections (with re-registration) instead of
+        exiting on the first EOF.
+    backoff_base_s / backoff_factor / backoff_max_s / backoff_jitter:
+        Exponential backoff between reconnect attempts: the ``k``-th
+        consecutive failure waits ``base * factor**(k-1)`` seconds,
+        capped at ``backoff_max_s``, stretched by a random factor in
+        ``[1, 1 + jitter]`` to avoid thundering-herd re-registration.
+    max_retries:
+        Give up after this many consecutive failed attempts
+        (``None`` = retry forever until :meth:`stop`).
+    """
 
     def __init__(
         self,
@@ -25,25 +51,112 @@ class LiveVirtualStage:
         stage_id: str,
         job_id: str,
         demand: Tuple[float, float] = (1000.0, 200.0),
+        reconnect: bool = True,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max_s: float = 2.0,
+        backoff_jitter: float = 0.25,
+        max_retries: Optional[int] = None,
     ) -> None:
+        if backoff_base_s <= 0 or backoff_max_s <= 0:
+            raise ValueError("backoff delays must be positive")
+        if backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1: {backoff_factor}")
+        if backoff_jitter < 0:
+            raise ValueError(f"negative backoff_jitter: {backoff_jitter}")
         self.host = host
         self.port = port
         self.stage_id = stage_id
         self.job_id = job_id
         self.demand = demand
+        self.reconnect = reconnect
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.backoff_max_s = backoff_max_s
+        self.backoff_jitter = backoff_jitter
+        self.max_retries = max_retries
         self.applied_epoch = -1
         self.applied_limit: Optional[float] = None
         self.requests_served = 0
         self.rules_applied = 0
         self.rules_ignored_stale = 0
+        #: Successful registrations (1 on a fault-free run).
+        self.connects = 0
+        #: Successful registrations after the first (i.e. recoveries).
+        self.reconnects = 0
+        self.registrations_rejected = 0
+        self.gave_up = False
         self._stop = asyncio.Event()
+        self._paused = asyncio.Event()
+        self._paused.set()
+        self._writer: Optional[asyncio.StreamWriter] = None
 
     def stop(self) -> None:
+        """Ask the serve/reconnect loop to exit."""
         self._stop.set()
 
+    # -- fault-injection hooks (see repro.live.faults) -----------------------
+    def kill(self) -> None:
+        """Abort the current connection without flushing (process kill).
+
+        With ``reconnect`` enabled the stage later comes back through the
+        backoff loop, modelling a crashed-and-restarted stage process.
+        """
+        writer = self._writer
+        if writer is not None and writer.transport is not None:
+            writer.transport.abort()
+
+    def pause(self) -> None:
+        """Freeze request handling (stall): socket open, no replies."""
+        self._paused.clear()
+
+    def resume(self) -> None:
+        """Resume handling after :meth:`pause`; backlog is served."""
+        self._paused.set()
+
+    # -- serve loop -----------------------------------------------------------
     async def run(self) -> None:
-        """Connect, register, and serve until EOF or :meth:`stop`."""
+        """Connect, register, and serve; reconnects with backoff if enabled."""
+        failures = 0
+        while not self._stop.is_set():
+            try:
+                registered = await self._serve_once()
+            except _RegistrationRejected:
+                registered = False
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+                ProtocolError,
+            ):
+                registered = False
+            if not self.reconnect or self._stop.is_set():
+                return
+            # A spell of healthy service resets the backoff schedule.
+            failures = 1 if registered else failures + 1
+            if self.max_retries is not None and failures > self.max_retries:
+                self.gave_up = True
+                return
+            delay = min(
+                self.backoff_max_s,
+                self.backoff_base_s * self.backoff_factor ** (failures - 1),
+            )
+            delay *= 1.0 + random.uniform(0.0, self.backoff_jitter)
+            try:
+                await asyncio.wait_for(self._stop.wait(), timeout=delay)
+                return
+            except asyncio.TimeoutError:
+                pass
+
+    async def _serve_once(self) -> bool:
+        """One connect → register → serve pass.
+
+        Returns True once registration succeeded, even if the connection
+        later dropped (so a spell of healthy service resets the backoff);
+        raises on pre-registration connection errors and rejections.
+        """
         reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._writer = writer
         try:
             await write_message(
                 writer,
@@ -55,21 +168,34 @@ class LiveVirtualStage:
             )
             ack = await read_message(reader)
             if ack["kind"] != "registered":
-                raise RuntimeError(f"unexpected registration reply: {ack}")
-            while not self._stop.is_set():
-                try:
+                self.registrations_rejected += 1
+                raise _RegistrationRejected(f"registration refused: {ack}")
+            self.connects += 1
+            if self.connects > 1:
+                self.reconnects += 1
+            try:
+                while not self._stop.is_set():
                     message = await read_message(reader)
-                except asyncio.IncompleteReadError:
-                    break
-                await self._handle(message, writer)
+                    await self._paused.wait()
+                    await self._handle(message)
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+                ProtocolError,
+            ):
+                pass  # connection lost after a healthy registration
+            return True
         finally:
+            self._writer = None
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - teardown race
                 pass
 
-    async def _handle(self, message, writer) -> None:
+    async def _handle(self, message) -> None:
+        writer = self._writer
         kind = message["kind"]
         if kind == "collect_req":
             self.requests_served += 1

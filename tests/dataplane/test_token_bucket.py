@@ -103,7 +103,26 @@ class TestTokenBucket:
 
     def test_counters(self, clock):
         b = TokenBucket(rate=1.0, clock=clock, burst=1.0)
-        b.try_acquire(1)
-        b.delay_for(1)
+        b.try_acquire(1)  # granted
+        b.try_acquire(1)  # empty bucket: delayed
         assert b.granted == 1
         assert b.delayed == 1
+
+    def test_delay_for_is_a_pure_query(self, clock):
+        b = TokenBucket(rate=1.0, clock=clock, burst=1.0)
+        b.try_acquire(1)
+        before = b.tokens
+        for _ in range(5):
+            b.delay_for(1)
+        assert b.delayed == 0
+        assert b.tokens == pytest.approx(before)
+
+    def test_delay_for_agrees_with_try_acquire(self, clock):
+        # Refill for exactly the computed delay: try_acquire succeeds via
+        # the _SLACK tolerance, so delay_for must report 0 as well.
+        b = TokenBucket(rate=3.0, clock=clock, burst=1.0)
+        assert b.try_acquire(1)
+        delay = b.delay_for(1)
+        clock.advance(delay)
+        assert b.delay_for(1) == 0.0
+        assert b.try_acquire(1)

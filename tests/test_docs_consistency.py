@@ -98,3 +98,14 @@ class TestReadmeClaims:
         for pkg in ("simnet", "core", "dataplane", "pfs", "jobs", "monitoring",
                     "harness", "live"):
             assert pkg in design, pkg
+
+
+class TestProtocolDocs:
+    def test_frame_cap_docstring_matches_constant(self):
+        # The module docstring once claimed a 4 GiB cap while MAX_FRAME
+        # was 16 MiB; keep the prose tied to the constant.
+        from repro.live import protocol
+
+        assert protocol.MAX_FRAME == 16 * 1024 * 1024
+        assert "16 MiB" in protocol.__doc__
+        assert "4 GiB cap" not in protocol.__doc__
