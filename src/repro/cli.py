@@ -22,9 +22,22 @@ import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from repro.harness.report import compare_row, degraded_note, format_table
+from repro.harness.report import (
+    compare_row,
+    degraded_note,
+    format_table,
+    format_usage_table,
+)
 
 __all__ = ["build_parser", "main"]
+
+
+def _write_trace(path: str, spans, clock_domain: str) -> None:
+    """Export spans as a Chrome trace and note where it went."""
+    from repro.obs.chrome_trace import write_chrome_trace
+
+    write_chrome_trace(path, spans, clock_domain=clock_domain)
+    print(f"wrote {len(spans)} spans ({clock_domain} clock) -> {path}", file=sys.stderr)
 
 
 def _emit(payload: Dict, text: str, as_json: bool) -> None:
@@ -72,8 +85,13 @@ def _cmd_flat(args) -> int:
     from repro.harness.experiment import run_flat_experiment
 
     result = run_flat_experiment(
-        args.nodes, cycles=args.cycles, repeats=args.repeats
+        args.nodes,
+        cycles=args.cycles,
+        repeats=args.repeats,
+        trace_spans=bool(args.trace_out),
     )
+    if args.trace_out:
+        _write_trace(args.trace_out, result.spans, "sim")
     _emit(_result_payload(result), _result_text(result), args.json)
     return 0
 
@@ -88,7 +106,10 @@ def _cmd_hier(args) -> int:
         repeats=args.repeats,
         decision_offload=args.offload,
         levels=args.levels,
+        trace_spans=bool(args.trace_out),
     )
+    if args.trace_out:
+        _write_trace(args.trace_out, result.spans, "sim")
     _emit(_result_payload(result), _result_text(result), args.json)
     return 0
 
@@ -97,8 +118,14 @@ def _cmd_coordinated(args) -> int:
     from repro.harness.experiment import run_coordinated_experiment
 
     result = run_coordinated_experiment(
-        args.nodes, args.controllers, cycles=args.cycles, repeats=args.repeats
+        args.nodes,
+        args.controllers,
+        cycles=args.cycles,
+        repeats=args.repeats,
+        trace_spans=bool(args.trace_out),
     )
+    if args.trace_out:
+        _write_trace(args.trace_out, result.spans, "sim")
     _emit(_result_payload(result), _result_text(result), args.json)
     return 0
 
@@ -265,6 +292,7 @@ def _cmd_plan(args) -> int:
 def _cmd_live(args) -> int:
     from repro.live import run_live_flat, run_live_hierarchical
 
+    observe = bool(args.obs_out) or args.metrics_port is not None
     if args.aggregators:
         result = run_live_hierarchical(
             n_stages=args.stages,
@@ -272,6 +300,8 @@ def _cmd_live(args) -> int:
             n_cycles=args.cycles,
             collect_timeout_s=args.collect_timeout,
             enforce_timeout_s=args.enforce_timeout,
+            observe=observe,
+            metrics_port=args.metrics_port,
         )
     else:
         result = run_live_flat(
@@ -279,7 +309,11 @@ def _cmd_live(args) -> int:
             n_cycles=args.cycles,
             collect_timeout_s=args.collect_timeout,
             enforce_timeout_s=args.enforce_timeout,
+            observe=observe,
+            metrics_port=args.metrics_port,
         )
+    if args.obs_out:
+        _write_trace(args.obs_out, result.spans, "wall")
     stats = result.stats()
     bd = stats.breakdown()
     payload = {
@@ -298,6 +332,17 @@ def _cmd_live(args) -> int:
         [[k, f"{v:.3f}" if isinstance(v, float) else v] for k, v in payload.items()],
         title=f"Live TCP control plane, {args.stages} stages",
     )
+    if result.usage_report is not None:
+        payload["usage"] = {
+            name: usage.as_dict()
+            for name, usage in result.usage_report.per_host.items()
+        }
+        text += "\n\n" + format_usage_table(
+            result.usage_report,
+            title="Per-controller usage (live /proc + frame accounting)",
+        )
+    if result.metrics_port is not None:
+        payload["metrics_port"] = result.metrics_port
     note = degraded_note(stats)
     if note:
         text += "\n" + note
@@ -397,16 +442,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, cycles_default=10):
+    def common(p, cycles_default=10, trace=False):
         p.add_argument("--cycles", type=int, default=cycles_default,
                        help="control cycles per run")
         p.add_argument("--repeats", type=int, default=1,
                        help="independent repetitions to pool")
         p.add_argument("--json", action="store_true", help="JSON output")
+        if trace:
+            p.add_argument("--trace-out", type=str, default=None,
+                           help="write cycle spans as a Chrome trace "
+                                "(sim clock; open in Perfetto)")
 
     p = sub.add_parser("flat", help="run a flat control-plane experiment")
     p.add_argument("--nodes", type=int, required=True)
-    common(p, cycles_default=12)
+    common(p, cycles_default=12, trace=True)
     p.set_defaults(func=_cmd_flat)
 
     p = sub.add_parser("hier", help="run a hierarchical experiment")
@@ -415,13 +464,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--offload", action="store_true",
                    help="run PSFA at the aggregators (decision offloading)")
     p.add_argument("--levels", type=int, choices=(2, 3), default=2)
-    common(p)
+    common(p, trace=True)
     p.set_defaults(func=_cmd_hier)
 
     p = sub.add_parser("coordinated", help="run a coordinated-flat experiment")
     p.add_argument("--nodes", type=int, required=True)
     p.add_argument("--controllers", type=int, required=True)
-    common(p)
+    common(p, trace=True)
     p.set_defaults(func=_cmd_coordinated)
 
     p = sub.add_parser(
@@ -448,6 +497,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect-phase deadline in seconds (partial collect)")
     p.add_argument("--enforce-timeout", type=float, default=None,
                    help="enforce-phase deadline (defaults to collect timeout)")
+    p.add_argument("--obs-out", type=str, default=None,
+                   help="record wall-clock spans and /proc usage; write the "
+                        "Chrome trace here")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve GET /metrics on this port during the run "
+                        "(0 picks an ephemeral port)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_live)
 

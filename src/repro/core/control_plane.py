@@ -35,6 +35,7 @@ from repro.core.policies import QoSPolicy
 from repro.core.registry import partition_stages
 from repro.dataplane.virtual_stage import ConstantSource, MetricSource, VirtualStage
 from repro.monitoring.remora import RemoraReport, RemoraSession
+from repro.obs.spans import SpanRecord, SpanTracer, sim_clock
 from repro.simnet.engine import Environment
 from repro.simnet.link import Link
 from repro.simnet.node import SimHost
@@ -78,6 +79,9 @@ class ControlPlaneConfig:
     enforce_changed_only: bool = False
     rule_change_tolerance: float = 0.0
     metrics_alpha: float = 1.0
+    #: Record every control cycle as spans (sim-clock domain) exportable
+    #: with :func:`repro.obs.chrome_trace.export_chrome_trace`.
+    trace_spans: bool = False
     job_of: Callable[[int], str] = field(default=lambda i: f"job-{i:05d}")
     source_factory: Callable[[str], MetricSource] = field(
         default=lambda stage_id: ConstantSource()
@@ -110,6 +114,27 @@ class _DeployedPlane:
         self.global_controller: Optional[GlobalController] = None
         self.aggregators: List[AggregatorController] = []
         self.remora: Optional[RemoraSession] = None
+        #: Root span tracer (sim clock) when ``config.trace_spans`` is set;
+        #: controllers trace onto per-component tracks sharing its list.
+        self.span_tracer: Optional[SpanTracer] = (
+            SpanTracer(
+                clock=sim_clock(env), track="global-ctrl", clock_domain="sim"
+            )
+            if config.trace_spans
+            else None
+        )
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        """All spans recorded so far (empty unless ``trace_spans``)."""
+        return self.span_tracer.spans if self.span_tracer is not None else []
+
+    def _tracer_for(self, track: str):
+        return (
+            self.span_tracer.for_track(track)
+            if self.span_tracer is not None
+            else None
+        )
 
     # -- construction helpers ------------------------------------------------
     def _build_stages(self) -> List[Endpoint]:
@@ -210,6 +235,7 @@ class FlatControlPlane(_DeployedPlane):
             enforce_changed_only=config.enforce_changed_only,
             rule_change_tolerance=config.rule_change_tolerance,
             metrics_alpha=config.metrics_alpha,
+            span_tracer=plane._tracer_for("global-ctrl"),
         )
         # One connection per stage: this is where the 2,500-connection
         # NIC limit bites (ConnectionLimitExceeded beyond it).
@@ -274,6 +300,7 @@ class HierarchicalControlPlane(_DeployedPlane):
             enforce_changed_only=config.enforce_changed_only,
             rule_change_tolerance=config.rule_change_tolerance,
             metrics_alpha=config.metrics_alpha,
+            span_tracer=plane._tracer_for("global-ctrl"),
         )
 
         partitions = partition_stages(stage_ids, n_aggregators)
@@ -291,6 +318,7 @@ class HierarchicalControlPlane(_DeployedPlane):
                 costs=config.costs,
                 policy=config.policy if decision_offload else None,
                 algorithm=PSFA() if decision_offload else None,
+                span_tracer=plane._tracer_for(agg_id),
             )
             if level >= 3 and len(owned) >= fanout:
                 sub_parts = partition_stages(list(owned), fanout)
@@ -391,6 +419,7 @@ class CoordinatedFlatControlPlane(_DeployedPlane):
                 policy=config.policy,
                 algorithm=config.algorithm,
                 costs=config.costs,
+                span_tracer=plane._tracer_for(f"peer-ctrl-{k:02d}"),
             )
             for stage_id in owned:
                 stage, ep = by_id[stage_id]

@@ -49,6 +49,7 @@ from repro.core.metrics import AggregatedMetrics, MetricsWindow, StageMetrics, a
 from repro.core.policies import QoSPolicy
 from repro.core.registry import StageRegistry, StageRecord
 from repro.core.rules import EnforcementRule, RuleBatch
+from repro.obs.spans import NullSpanTracer
 from repro.simnet.engine import Environment, Process
 from repro.simnet.node import SimHost
 from repro.simnet.transport import Connection, Endpoint
@@ -248,8 +249,10 @@ class GlobalController(_ControllerBase):
         rule_change_tolerance: float = 0.0,
         metrics_alpha: float = 1.0,
         name: str = "global",
+        span_tracer=None,
     ) -> None:
         super().__init__(env, host, endpoint, costs, name)
+        self.tracer = span_tracer if span_tracer is not None else NullSpanTracer()
         self.policy = policy
         self.algorithm = algorithm or PSFA()
         self.collect_timeout_s = collect_timeout_s
@@ -499,6 +502,23 @@ class GlobalController(_ControllerBase):
                 n_stages=n,
             )
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "collect", started, t_collect, parent="cycle", epoch=epoch
+            )
+            self.tracer.emit(
+                "compute", compute_started, t_compute, parent="cycle", epoch=epoch
+            )
+            self.tracer.emit(
+                "enforce", enforce_started, t_enforce, parent="cycle", epoch=epoch
+            )
+            self.tracer.emit(
+                "cycle",
+                started,
+                self.env.now - started,
+                epoch=epoch,
+                n_stages=n,
+            )
 
     # -- compute helpers -----------------------------------------------------
     def _job_indices(self, stage_ids: List[str]) -> Tuple[List[str], np.ndarray]:
@@ -777,8 +797,10 @@ class AggregatorController(_ControllerBase):
         costs: CostModel = FRONTERA_COST_MODEL,
         policy: Optional[QoSPolicy] = None,
         algorithm: Optional[ControlAlgorithm] = None,
+        span_tracer=None,
     ) -> None:
         super().__init__(env, host, endpoint, costs, agg_id)
+        self.tracer = span_tracer if span_tracer is not None else NullSpanTracer()
         self.agg_id = agg_id
         self.policy = policy
         self.algorithm = algorithm or PSFA()
@@ -855,6 +877,7 @@ class AggregatorController(_ControllerBase):
     def _collect(self, epoch: int, uplink: Connection) -> Generator:
         cm = self.costs
         self.cycles_served += 1
+        started = self.env.now
         stage_children = [c for c in self.children if c.kind == "stage"]
         agg_children = [c for c in self.children if c.kind == "aggregator"]
         expected = 0
@@ -920,11 +943,20 @@ class AggregatorController(_ControllerBase):
         self.host.charge(
             cm.bg_fixed_s + len(self.children) * cm.bg_per_stage_direct_s
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "collect",
+                started,
+                self.env.now - started,
+                parent="cycle",
+                epoch=epoch,
+            )
 
     # -- enforce (rule distribution) ---------------------------------------------
     def _distribute(self, payload, uplink: Connection) -> Generator:
         epoch, batch = payload
         cm = self.costs
+        started = self.env.now
         yield self._execute(len(batch) * cm.batch_unpack_s)
         rule_of = {rule.stage_id: rule for rule in batch}
         stage_children = [c for c in self.children if c.kind == "stage"]
@@ -960,6 +992,14 @@ class AggregatorController(_ControllerBase):
             lambda msg: None,
         )
         uplink.send(self.endpoint, "batch_ack", epoch, cm.agg_ack_bytes)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "enforce",
+                started,
+                self.env.now - started,
+                parent="cycle",
+                epoch=epoch,
+            )
 
     # -- decision offload (§VI) ------------------------------------------------
     def _offloaded_cycle(self, payload, uplink: Connection) -> Generator:

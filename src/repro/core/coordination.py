@@ -36,6 +36,7 @@ from repro.core.metrics import StageMetrics
 from repro.core.policies import QoSPolicy
 from repro.core.registry import StageRegistry, StageRecord
 from repro.core.rules import EnforcementRule
+from repro.obs.spans import NullSpanTracer
 from repro.simnet.engine import Environment, Process
 from repro.simnet.node import SimHost
 from repro.simnet.transport import Connection, Endpoint
@@ -55,8 +56,10 @@ class PeerController(_ControllerBase):
         policy: QoSPolicy,
         algorithm: Optional[ControlAlgorithm] = None,
         costs: CostModel = FRONTERA_COST_MODEL,
+        span_tracer=None,
     ) -> None:
         super().__init__(env, host, endpoint, costs, peer_id)
+        self.tracer = span_tracer if span_tracer is not None else NullSpanTracer()
         self.peer_id = peer_id
         self.policy = policy
         self.algorithm = algorithm or PSFA()
@@ -236,6 +239,23 @@ class PeerController(_ControllerBase):
                 n_stages=len(self.children),
             )
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "collect", started, t_collect, parent="cycle", epoch=epoch
+            )
+            self.tracer.emit(
+                "compute", compute_started, t_compute, parent="cycle", epoch=epoch
+            )
+            self.tracer.emit(
+                "enforce", enforce_started, t_enforce, parent="cycle", epoch=epoch
+            )
+            self.tracer.emit(
+                "cycle",
+                started,
+                self.env.now - started,
+                epoch=epoch,
+                n_stages=len(self.children),
+            )
 
 
 def merge_peer_cycles(

@@ -49,6 +49,10 @@ class ExperimentResult:
     global_usage: ControllerUsage
     aggregator_usage: Optional[ControllerUsage]
     per_repeat_mean_ms: List[float] = field(default_factory=list)
+    #: Sim-clock spans from the *last* repetition (repetitions replay the
+    #: same virtual timeline, so pooling them would overlap); empty
+    #: unless the runner was asked to ``trace_spans``.
+    spans: List = field(default_factory=list)
 
     @property
     def mean_ms(self) -> float:
@@ -109,8 +113,9 @@ def _pool(
     global_rows: List[ControllerUsage] = []
     agg_rows: List[ControllerUsage] = []
     per_repeat: List[float] = []
+    spans: List = []
     for rep in range(repeats):
-        cycles, report = build_and_run(rep)
+        cycles, report, spans = build_and_run(rep)
         kept = cycles[warmup:] if len(cycles) > warmup else cycles
         pooled.extend(kept)
         per_repeat.append(CycleStats(kept).mean_ms)
@@ -129,6 +134,7 @@ def _pool(
             _average_usage(agg_rows, "aggregator (mean)") if agg_rows else None
         ),
         per_repeat_mean_ms=per_repeat,
+        spans=spans,
     )
 
 
@@ -140,16 +146,20 @@ def run_flat_experiment(
     costs: CostModel = FRONTERA_COST_MODEL,
     config_kwargs: Optional[dict] = None,
     warmup: int = DEFAULT_WARMUP,
+    trace_spans: bool = False,
 ) -> ExperimentResult:
     """The paper's flat-design experiment (Fig. 4 / Table II points)."""
 
     def build_and_run(rep: int):
         cfg = ControlPlaneConfig(
-            n_stages=n_stages, costs=costs, **(config_kwargs or {})
+            n_stages=n_stages,
+            costs=costs,
+            trace_spans=trace_spans,
+            **(config_kwargs or {}),
         )
         plane = FlatControlPlane.build(cfg)
         plane.run_stress(n_cycles=cycles)
-        return plane.global_controller.cycles, plane.resource_report()
+        return plane.global_controller.cycles, plane.resource_report(), plane.spans
 
     return _pool("flat", n_stages, 0, build_and_run, repeats, warmup)
 
@@ -165,12 +175,16 @@ def run_hierarchical_experiment(
     levels: int = 2,
     config_kwargs: Optional[dict] = None,
     warmup: int = DEFAULT_WARMUP,
+    trace_spans: bool = False,
 ) -> ExperimentResult:
     """The paper's hierarchical experiment (Figs. 5–6 / Tables III–IV)."""
 
     def build_and_run(rep: int):
         cfg = ControlPlaneConfig(
-            n_stages=n_stages, costs=costs, **(config_kwargs or {})
+            n_stages=n_stages,
+            costs=costs,
+            trace_spans=trace_spans,
+            **(config_kwargs or {}),
         )
         plane = HierarchicalControlPlane.build(
             cfg,
@@ -179,7 +193,7 @@ def run_hierarchical_experiment(
             levels=levels,
         )
         plane.run_stress(n_cycles=cycles)
-        return plane.global_controller.cycles, plane.resource_report()
+        return plane.global_controller.cycles, plane.resource_report(), plane.spans
 
     design = "hierarchical-offload" if decision_offload else "hierarchical"
     if levels == 3:
@@ -195,18 +209,22 @@ def run_coordinated_experiment(
     costs: CostModel = FRONTERA_COST_MODEL,
     config_kwargs: Optional[dict] = None,
     warmup: int = DEFAULT_WARMUP,
+    trace_spans: bool = False,
 ) -> ExperimentResult:
     """The §VI coordinated-flat design (beyond-the-paper experiment)."""
     from repro.core.coordination import merge_peer_cycles
 
     def build_and_run(rep: int):
         cfg = ControlPlaneConfig(
-            n_stages=n_stages, costs=costs, **(config_kwargs or {})
+            n_stages=n_stages,
+            costs=costs,
+            trace_spans=trace_spans,
+            **(config_kwargs or {}),
         )
         plane = CoordinatedFlatControlPlane.build(cfg, n_controllers=n_controllers)
         plane.run_stress(n_cycles=cycles)
         merged = merge_peer_cycles([p.cycles for p in plane.peers])
-        return merged, plane.resource_report()
+        return merged, plane.resource_report(), plane.spans
 
     return _pool(
         "coordinated-flat", n_stages, n_controllers, build_and_run, repeats, warmup

@@ -15,6 +15,7 @@ __all__ = [
     "degraded_note",
     "format_figure_series",
     "format_table",
+    "format_usage_table",
     "relative_error",
 ]
 
@@ -41,6 +42,22 @@ def degraded_note(stats) -> str:
         f"metrics ({stats.missing_total} missing replies, "
         f"{stats.timeout_cycles} deadline hits)"
     )
+
+
+def format_usage_table(report, title: Optional[str] = None) -> str:
+    """Tables II–IV rows from a :class:`~repro.monitoring.remora.RemoraReport`.
+
+    Works for either source of the report — the simulated plane's
+    :class:`~repro.monitoring.remora.RemoraSession` or the live plane's
+    :class:`~repro.obs.procfs.LiveUsageSession` — rendering the global
+    controller's row plus, when present, the per-aggregator mean
+    (Table III's convention).
+    """
+    headers = ["controller", "CPU (%)", "memory (GB)", "TX (MB/s)", "RX (MB/s)"]
+    rows = [report.table_row("global")]
+    if report.aggregator_usage() is not None:
+        rows.append(report.table_row("aggregator"))
+    return format_table(headers, rows, title=title)
 
 
 def format_table(

@@ -25,17 +25,19 @@ global controller's degraded-cycle accounting spans the whole hierarchy.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from typing import Dict, List, Optional
 
 from repro.live.protocol import ProtocolError, read_message, write_message
 from repro.live.sessions import Session, SessionClosed, gather_phase
+from repro.obs.spans import NullSpanTracer
 
 __all__ = ["LiveAggregator"]
 
 
 class _StageSession(Session):
-    def __init__(self, stage_id: str, job_id: str, reader, writer) -> None:
-        super().__init__(stage_id, reader, writer)
+    def __init__(self, stage_id: str, job_id: str, reader, writer, meter=None) -> None:
+        super().__init__(stage_id, reader, writer, meter=meter)
         self.job_id = job_id
         self.latest_demand = 0.0
 
@@ -57,6 +59,9 @@ class LiveAggregator:
         port: int = 0,
         collect_timeout_s: Optional[float] = None,
         enforce_timeout_s: Optional[float] = None,
+        span_tracer=None,
+        usage_meter=None,
+        metrics=None,
     ) -> None:
         if expected_stages < 1:
             raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
@@ -76,6 +81,19 @@ class LiveAggregator:
         self.enforce_timeout_s = (
             enforce_timeout_s if enforce_timeout_s is not None else collect_timeout_s
         )
+        self.tracer = span_tracer if span_tracer is not None else NullSpanTracer()
+        self.meter = usage_meter
+        self.metrics = metrics
+        # Resolved once; registry lookups are too slow per cycle.
+        if metrics is not None:
+            self._m_cycles = metrics.counter(
+                "repro_cycles_total", "control cycles completed", role="aggregator"
+            )
+            self._m_evictions = metrics.counter(
+                "repro_evictions_total",
+                "sessions dropped after their socket died",
+                role="aggregator",
+            )
         self.sessions: Dict[str, _StageSession] = {}
         self.cycles_served = 0
         self.evictions = 0
@@ -83,6 +101,16 @@ class LiveAggregator:
         self._server: Optional[asyncio.AbstractServer] = None
         self._all_registered = asyncio.Event()
         self._stop = asyncio.Event()
+
+    def _cpu(self):
+        """CPU-attribution context for synchronous critical sections."""
+        return self.meter.cpu() if self.meter is not None else contextlib.nullcontext()
+
+    async def _send_up(self, up_writer, message: dict) -> None:
+        """Write an upstream frame, charging its bytes to this aggregator."""
+        nbytes = await write_message(up_writer, message)
+        if self.meter is not None:
+            self.meter.add_tx(nbytes)
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -122,7 +150,7 @@ class LiveAggregator:
             except (ConnectionError, OSError):
                 pass
             return
-        session = _StageSession(stage_id, job_id, reader, writer)
+        session = _StageSession(stage_id, job_id, reader, writer, meter=self.meter)
         self.sessions[session.stage_id] = session
         await write_message(writer, {"kind": "registered"})
         session.start()
@@ -133,6 +161,8 @@ class LiveAggregator:
         if self.sessions.get(session.stage_id) is session:
             del self.sessions[session.stage_id]
             self.evictions += 1
+            if self.metrics is not None:
+                self._m_evictions.inc()
         await session.close()
 
     async def run(self, stage_timeout_s: float = 30.0) -> None:
@@ -142,7 +172,7 @@ class LiveAggregator:
             self.global_host, self.global_port
         )
         try:
-            await write_message(
+            await self._send_up(
                 writer,
                 {
                     "kind": "register_aggregator",
@@ -156,11 +186,15 @@ class LiveAggregator:
             ack = await read_message(reader)
             if ack["kind"] != "registered":
                 raise RuntimeError(f"unexpected registration reply: {ack}")
+            from repro.live.protocol import read_frame
+
             while not self._stop.is_set():
                 try:
-                    message = await read_message(reader)
+                    message, nbytes = await read_frame(reader)
                 except asyncio.IncompleteReadError:
                     break
+                if self.meter is not None:
+                    self.meter.add_rx(nbytes)
                 await self._handle(message, writer)
         finally:
             await self._shutdown_stages()
@@ -184,16 +218,20 @@ class LiveAggregator:
     # -- cycle halves ---------------------------------------------------------
     async def _collect(self, epoch: int, up_writer) -> None:
         self.cycles_served += 1
+        started = self.tracer.now()
+        if self.metrics is not None:
+            self._m_cycles.inc()
         sessions = [self.sessions[s] for s in sorted(self.sessions)]
         polled: List[_StageSession] = []
         missing_ids = set()
-        for s in sessions:
-            try:
-                await s.send({"kind": "collect_req", "epoch": epoch})
-                polled.append(s)
-            except SessionClosed:
-                await self._evict(s)
-                missing_ids.add(s.stage_id)
+        with self._cpu():
+            for s in sessions:
+                try:
+                    await s.send({"kind": "collect_req", "epoch": epoch})
+                    polled.append(s)
+                except SessionClosed:
+                    await self._evict(s)
+                    missing_ids.add(s.stage_id)
 
         async def read_reply(s: _StageSession) -> None:
             m = await s.expect("metrics_reply", epoch)
@@ -207,39 +245,47 @@ class LiveAggregator:
         # Report the full partition upstream — absent stages ride at their
         # last-known demand and are flagged so the global controller's
         # degraded-cycle accounting sees through the aggregation.
-        await write_message(
-            up_writer,
-            {
-                "kind": "agg_metrics_reply",
-                "epoch": epoch,
-                "aggregator_id": self.aggregator_id,
-                "stage_ids": [s.stage_id for s in sessions],
-                "job_ids": [s.job_id for s in sessions],
-                "demands": [s.latest_demand for s in sessions],
-                "n_missing": len(missing_ids),
-            },
-        )
+        with self._cpu():
+            await self._send_up(
+                up_writer,
+                {
+                    "kind": "agg_metrics_reply",
+                    "epoch": epoch,
+                    "aggregator_id": self.aggregator_id,
+                    "stage_ids": [s.stage_id for s in sessions],
+                    "job_ids": [s.job_id for s in sessions],
+                    "demands": [s.latest_demand for s in sessions],
+                    "n_missing": len(missing_ids),
+                },
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "collect", started, self.tracer.now() - started,
+                parent="cycle", epoch=epoch, n_missing=len(missing_ids),
+            )
 
     async def _distribute(self, message, up_writer) -> None:
         epoch = message["epoch"]
         rules = message["rules"]
+        started = self.tracer.now()
         targets: List[_StageSession] = []
-        for rule in rules:
-            session = self.sessions.get(rule["stage_id"])
-            if session is None:
-                continue
-            try:
-                await session.send(
-                    {
-                        "kind": "rule",
-                        "epoch": epoch,
-                        "stage_id": rule["stage_id"],
-                        "data_iops_limit": rule["data_iops_limit"],
-                    }
-                )
-                targets.append(session)
-            except SessionClosed:
-                await self._evict(session)
+        with self._cpu():
+            for rule in rules:
+                session = self.sessions.get(rule["stage_id"])
+                if session is None:
+                    continue
+                try:
+                    await session.send(
+                        {
+                            "kind": "rule",
+                            "epoch": epoch,
+                            "stage_id": rule["stage_id"],
+                            "data_iops_limit": rule["data_iops_limit"],
+                        }
+                    )
+                    targets.append(session)
+                except SessionClosed:
+                    await self._evict(session)
 
         missing, _ = await gather_phase(
             targets, lambda s: s.expect("rule_ack", epoch), self.enforce_timeout_s
@@ -247,14 +293,20 @@ class LiveAggregator:
         for s in missing:
             if not s.connected:
                 await self._evict(s)
-        await write_message(
-            up_writer,
-            {
-                "kind": "batch_ack",
-                "epoch": epoch,
-                "aggregator_id": self.aggregator_id,
-            },
-        )
+        with self._cpu():
+            await self._send_up(
+                up_writer,
+                {
+                    "kind": "batch_ack",
+                    "epoch": epoch,
+                    "aggregator_id": self.aggregator_id,
+                },
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "enforce", started, self.tracer.now() - started,
+                parent="cycle", epoch=epoch, n_rules=len(rules),
+            )
 
     async def _shutdown_stages(self) -> None:
         for session in list(self.sessions.values()):

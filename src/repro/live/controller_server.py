@@ -18,11 +18,19 @@ Failure semantics match the simulated plane (paper §VI dependability):
 * Evicted stage ids become free again, so a restarted stage re-registers
   (see :class:`~repro.live.stage_client.LiveVirtualStage`'s reconnect
   loop) and is picked up by the next cycle.
+
+Observability (``repro.obs``): pass ``span_tracer`` to record every
+cycle as a ``cycle`` span with ``collect``/``compute``/``enforce``
+children plus per-session RPC spans; pass ``usage_meter`` to charge
+framed bytes and synchronous CPU sections to this controller's Tables
+II–IV row; pass ``metrics`` (a registry) for Prometheus counters and
+latency histograms.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
 from typing import Dict, List, Optional, Set
 
@@ -34,6 +42,7 @@ from repro.core.cycle import ControlCycle
 from repro.core.policies import QoSPolicy
 from repro.live.protocol import ProtocolError, read_message, write_message
 from repro.live.sessions import Session, SessionClosed, gather_phase
+from repro.obs.spans import NullSpanTracer
 
 __all__ = ["LiveGlobalController", "LiveHierGlobalController"]
 
@@ -41,8 +50,8 @@ __all__ = ["LiveGlobalController", "LiveHierGlobalController"]
 class _StageSession(Session):
     """Server-side state for one connected stage."""
 
-    def __init__(self, stage_id: str, job_id: str, reader, writer) -> None:
-        super().__init__(stage_id, reader, writer)
+    def __init__(self, stage_id: str, job_id: str, reader, writer, meter=None) -> None:
+        super().__init__(stage_id, reader, writer, meter=meter)
         self.job_id = job_id
         self.latest_demand = 0.0
 
@@ -57,9 +66,22 @@ class _LiveControllerBase:
     #: ``kind`` a valid hello frame must carry (set by subclasses).
     _register_kind = "register"
 
-    def __init__(self, host: str, port: int) -> None:
+    #: Role label used on metric series ("global" | "hier-global").
+    _role = "global"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        span_tracer=None,
+        usage_meter=None,
+        metrics=None,
+    ) -> None:
         self.host = host
         self.port = port
+        self.tracer = span_tracer if span_tracer is not None else NullSpanTracer()
+        self.meter = usage_meter
+        self.metrics = metrics
         self.sessions: Dict[str, Session] = {}
         self.cycles: List[ControlCycle] = []
         self.epoch = 0
@@ -69,6 +91,77 @@ class _LiveControllerBase:
         self.registrations_rejected = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._all_registered = asyncio.Event()
+        # Instruments resolved once — registry lookups (label-key sort +
+        # dict walk) are too slow for a per-cycle hot path.
+        if metrics is not None:
+            role = self._role
+            self._m_cycles = metrics.counter(
+                "repro_cycles_total", "control cycles completed", role=role
+            )
+            self._m_degraded = metrics.counter(
+                "repro_degraded_cycles_total",
+                "cycles run on partial metrics or past a deadline",
+                role=role,
+            )
+            self._m_missing = metrics.counter(
+                "repro_missing_replies_total",
+                "child replies missing across cycles",
+                role=role,
+            )
+            self._m_sessions = metrics.gauge(
+                "repro_sessions", "currently registered children", role=role
+            )
+            self._m_cycle_seconds = metrics.histogram(
+                "repro_cycle_seconds", "end-to-end control cycle latency", role=role
+            )
+            self._m_phase_seconds = {
+                phase: metrics.histogram(
+                    "repro_phase_seconds",
+                    "per-phase control cycle latency",
+                    role=role,
+                    phase=phase,
+                )
+                for phase in ("collect", "compute", "enforce")
+            }
+            self._m_evictions = metrics.counter(
+                "repro_evictions_total",
+                "sessions dropped after their socket died",
+                role=role,
+            )
+
+    def _cpu(self):
+        """CPU-attribution context for synchronous critical sections."""
+        return self.meter.cpu() if self.meter is not None else contextlib.nullcontext()
+
+    def _record_cycle(self, cycle: ControlCycle, started: float) -> None:
+        """Append the record and emit its spans/metrics (obs enabled)."""
+        self.cycles.append(cycle)
+        tracer = self.tracer
+        if tracer.enabled:
+            t = started
+            for phase in ("collect", "compute", "enforce"):
+                dur = cycle.phase(phase)
+                tracer.emit(phase, t, dur, parent="cycle", epoch=cycle.epoch)
+                t += dur
+            tracer.emit(
+                "cycle",
+                started,
+                cycle.total_s,
+                epoch=cycle.epoch,
+                n_stages=cycle.n_stages,
+                n_missing=cycle.n_missing,
+                timed_out=cycle.timed_out,
+            )
+        if self.metrics is not None:
+            self._m_cycles.inc()
+            if cycle.degraded:
+                self._m_degraded.inc()
+            if cycle.n_missing:
+                self._m_missing.inc(cycle.n_missing)
+            self._m_sessions.set(len(self.sessions))
+            self._m_cycle_seconds.observe(cycle.total_s)
+            for phase in ("collect", "compute", "enforce"):
+                self._m_phase_seconds[phase].observe(cycle.phase(phase))
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -140,6 +233,8 @@ class _LiveControllerBase:
         if self.sessions.get(session.peer_id) is session:
             del self.sessions[session.peer_id]
             self.evictions += 1
+            if self.metrics is not None:
+                self._m_evictions.inc()
         await session.close()
 
     # Subclass hooks ---------------------------------------------------------
@@ -181,6 +276,9 @@ class LiveGlobalController(_LiveControllerBase):
         port: int = 0,
         collect_timeout_s: Optional[float] = None,
         enforce_timeout_s: Optional[float] = None,
+        span_tracer=None,
+        usage_meter=None,
+        metrics=None,
     ) -> None:
         if expected_stages < 1:
             raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
@@ -190,7 +288,13 @@ class LiveGlobalController(_LiveControllerBase):
         ):
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive: {value}")
-        super().__init__(host, port)
+        super().__init__(
+            host,
+            port,
+            span_tracer=span_tracer,
+            usage_meter=usage_meter,
+            metrics=metrics,
+        )
         self.policy = policy
         self.algorithm = algorithm or PSFA()
         self.expected_stages = expected_stages
@@ -213,7 +317,9 @@ class LiveGlobalController(_LiveControllerBase):
         return None
 
     def _make_session(self, hello: dict, reader, writer) -> _StageSession:
-        return _StageSession(hello["stage_id"], hello["job_id"], reader, writer)
+        return _StageSession(
+            hello["stage_id"], hello["job_id"], reader, writer, meter=self.meter
+        )
 
     @property
     def _expected(self) -> int:
@@ -235,20 +341,31 @@ class LiveGlobalController(_LiveControllerBase):
         started = time.perf_counter()
         missing_ids: Set[str] = set()
         timed_out = False
+        tracer = self.tracer
+        sent_at: Dict[str, float] = {}
 
         # ---- collect (partial on deadline, evict dead sockets) ----
         polled: List[_StageSession] = []
-        for s in sessions:
-            try:
-                await s.send({"kind": "collect_req", "epoch": epoch})
-                polled.append(s)
-            except SessionClosed:
-                await self._evict(s)
-                missing_ids.add(s.stage_id)
+        with self._cpu():
+            for s in sessions:
+                try:
+                    await s.send({"kind": "collect_req", "epoch": epoch})
+                    polled.append(s)
+                    if tracer.enabled:
+                        sent_at[s.stage_id] = tracer.now()
+                except SessionClosed:
+                    await self._evict(s)
+                    missing_ids.add(s.stage_id)
 
         async def read_reply(s: _StageSession) -> None:
             message = await s.expect("metrics_reply", epoch)
             s.latest_demand = message["data_iops"] + message["metadata_iops"]
+            if tracer.enabled:
+                t0 = sent_at.get(s.stage_id, started)
+                tracer.for_track(s.stage_id).emit(
+                    "collect_rpc", t0, tracer.now() - t0,
+                    parent="collect", epoch=epoch,
+                )
 
         missing, phase_timed_out = await gather_phase(
             polled, read_reply, self.collect_timeout_s
@@ -262,37 +379,50 @@ class LiveGlobalController(_LiveControllerBase):
 
         # ---- compute (the real PSFA; absent stages at last-known demand) ----
         compute_started = time.perf_counter()
-        job_ids = [s.job_id for s in sessions]
-        demands = np.array([s.latest_demand for s in sessions])
-        weights = self.policy.weights(job_ids)
-        result = self.algorithm.allocate(
-            demands, weights, self.policy.allocatable_iops
-        )
-        limits = result.allocations
+        with self._cpu():
+            job_ids = [s.job_id for s in sessions]
+            demands = np.array([s.latest_demand for s in sessions])
+            weights = self.policy.weights(job_ids)
+            result = self.algorithm.allocate(
+                demands, weights, self.policy.allocatable_iops
+            )
+            limits = result.allocations
         t_compute = time.perf_counter() - compute_started
 
         # ---- enforce ----
         enforce_started = time.perf_counter()
         ruled: List[_StageSession] = []
-        for s, limit in zip(sessions, limits):
-            if not s.connected:
-                continue
-            try:
-                await s.send(
-                    {
-                        "kind": "rule",
-                        "epoch": epoch,
-                        "stage_id": s.stage_id,
-                        "data_iops_limit": float(limit),
-                    }
+        with self._cpu():
+            for s, limit in zip(sessions, limits):
+                if not s.connected:
+                    continue
+                try:
+                    await s.send(
+                        {
+                            "kind": "rule",
+                            "epoch": epoch,
+                            "stage_id": s.stage_id,
+                            "data_iops_limit": float(limit),
+                        }
+                    )
+                    ruled.append(s)
+                    if tracer.enabled:
+                        sent_at[s.stage_id] = tracer.now()
+                except SessionClosed:
+                    await self._evict(s)
+                    missing_ids.add(s.stage_id)
+
+        async def read_ack(s: _StageSession) -> None:
+            await s.expect("rule_ack", epoch)
+            if tracer.enabled:
+                t0 = sent_at.get(s.stage_id, enforce_started)
+                tracer.for_track(s.stage_id).emit(
+                    "enforce_rpc", t0, tracer.now() - t0,
+                    parent="enforce", epoch=epoch,
                 )
-                ruled.append(s)
-            except SessionClosed:
-                await self._evict(s)
-                missing_ids.add(s.stage_id)
 
         missing, phase_timed_out = await gather_phase(
-            ruled, lambda s: s.expect("rule_ack", epoch), self.enforce_timeout_s
+            ruled, read_ack, self.enforce_timeout_s
         )
         timed_out |= phase_timed_out
         for s in missing:
@@ -301,7 +431,7 @@ class LiveGlobalController(_LiveControllerBase):
                 await self._evict(s)
         t_enforce = time.perf_counter() - enforce_started
 
-        self.cycles.append(
+        self._record_cycle(
             ControlCycle(
                 epoch=epoch,
                 started_at=started,
@@ -311,15 +441,18 @@ class LiveGlobalController(_LiveControllerBase):
                 n_stages=len(sessions),
                 n_missing=len(missing_ids),
                 timed_out=timed_out,
-            )
+            ),
+            started,
         )
 
 
 class _AggregatorSession(Session):
     """Server-side state for one registered aggregator."""
 
-    def __init__(self, aggregator_id, stage_ids, job_ids, reader, writer) -> None:
-        super().__init__(aggregator_id, reader, writer)
+    def __init__(
+        self, aggregator_id, stage_ids, job_ids, reader, writer, meter=None
+    ) -> None:
+        super().__init__(aggregator_id, reader, writer, meter=meter)
         self.stage_ids = list(stage_ids)
         self.job_ids = list(job_ids)
         self.latest_demands: Dict[str, float] = {}
@@ -345,6 +478,8 @@ class LiveHierGlobalController(_LiveControllerBase):
 
     _register_kind = "register_aggregator"
 
+    _role = "hier-global"
+
     def __init__(
         self,
         policy: QoSPolicy,
@@ -354,6 +489,9 @@ class LiveHierGlobalController(_LiveControllerBase):
         port: int = 0,
         collect_timeout_s: Optional[float] = None,
         enforce_timeout_s: Optional[float] = None,
+        span_tracer=None,
+        usage_meter=None,
+        metrics=None,
     ) -> None:
         if expected_aggregators < 1:
             raise ValueError(
@@ -365,7 +503,13 @@ class LiveHierGlobalController(_LiveControllerBase):
         ):
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive: {value}")
-        super().__init__(host, port)
+        super().__init__(
+            host,
+            port,
+            span_tracer=span_tracer,
+            usage_meter=usage_meter,
+            metrics=metrics,
+        )
         self.policy = policy
         self.algorithm = algorithm or PSFA()
         self.expected_aggregators = expected_aggregators
@@ -397,6 +541,7 @@ class LiveHierGlobalController(_LiveControllerBase):
             hello["job_ids"],
             reader,
             writer,
+            meter=self.meter,
         )
 
     @property
@@ -424,17 +569,22 @@ class LiveHierGlobalController(_LiveControllerBase):
         started = time.perf_counter()
         n_missing = 0
         timed_out = False
+        tracer = self.tracer
+        sent_at: Dict[str, float] = {}
 
         # ---- collect (via aggregators) ----
         polled: List[_AggregatorSession] = []
         absent: List[_AggregatorSession] = []
-        for s in sessions:
-            try:
-                await s.send({"kind": "agg_collect_req", "epoch": epoch})
-                polled.append(s)
-            except SessionClosed:
-                await self._evict(s)
-                absent.append(s)
+        with self._cpu():
+            for s in sessions:
+                try:
+                    await s.send({"kind": "agg_collect_req", "epoch": epoch})
+                    polled.append(s)
+                    if tracer.enabled:
+                        sent_at[s.aggregator_id] = tracer.now()
+                except SessionClosed:
+                    await self._evict(s)
+                    absent.append(s)
 
         async def read_agg_reply(s: _AggregatorSession) -> None:
             m = await s.expect("agg_metrics_reply", epoch)
@@ -444,6 +594,12 @@ class LiveHierGlobalController(_LiveControllerBase):
             s.last_missing = int(m.get("n_missing", 0)) + max(
                 0, len(s.stage_ids) - len(m["stage_ids"])
             )
+            if tracer.enabled:
+                t0 = sent_at.get(s.aggregator_id, started)
+                tracer.for_track(s.aggregator_id).emit(
+                    "collect_rpc", t0, tracer.now() - t0,
+                    parent="collect", epoch=epoch,
+                )
 
         missing, phase_timed_out = await gather_phase(
             polled, read_agg_reply, self.collect_timeout_s
@@ -462,47 +618,60 @@ class LiveHierGlobalController(_LiveControllerBase):
 
         # ---- compute (PSFA over all partitions, last-known for absent) ----
         compute_started = time.perf_counter()
-        stage_ids: List[str] = []
-        job_ids: List[str] = []
-        demands: List[float] = []
-        for s in sessions:
-            for stage_id, job_id in zip(s.stage_ids, s.job_ids):
-                stage_ids.append(stage_id)
-                job_ids.append(job_id)
-                demands.append(s.latest_demands.get(stage_id, 0.0))
-        result = self.algorithm.allocate(
-            np.array(demands), self.policy.weights(job_ids),
-            self.policy.allocatable_iops,
-        )
-        limit_of = dict(zip(stage_ids, result.allocations))
+        with self._cpu():
+            stage_ids: List[str] = []
+            job_ids: List[str] = []
+            demands: List[float] = []
+            for s in sessions:
+                for stage_id, job_id in zip(s.stage_ids, s.job_ids):
+                    stage_ids.append(stage_id)
+                    job_ids.append(job_id)
+                    demands.append(s.latest_demands.get(stage_id, 0.0))
+            result = self.algorithm.allocate(
+                np.array(demands), self.policy.weights(job_ids),
+                self.policy.allocatable_iops,
+            )
+            limit_of = dict(zip(stage_ids, result.allocations))
         t_compute = time.perf_counter() - compute_started
 
         # ---- enforce (rule batches) ----
         enforce_started = time.perf_counter()
         batched: List[_AggregatorSession] = []
-        for s in sessions:
-            if not s.connected:
-                continue
-            try:
-                await s.send(
-                    {
-                        "kind": "rule_batch",
-                        "epoch": epoch,
-                        "rules": [
-                            {
-                                "stage_id": stage_id,
-                                "data_iops_limit": float(limit_of[stage_id]),
-                            }
-                            for stage_id in s.stage_ids
-                        ],
-                    }
+        with self._cpu():
+            for s in sessions:
+                if not s.connected:
+                    continue
+                try:
+                    await s.send(
+                        {
+                            "kind": "rule_batch",
+                            "epoch": epoch,
+                            "rules": [
+                                {
+                                    "stage_id": stage_id,
+                                    "data_iops_limit": float(limit_of[stage_id]),
+                                }
+                                for stage_id in s.stage_ids
+                            ],
+                        }
+                    )
+                    batched.append(s)
+                    if tracer.enabled:
+                        sent_at[s.aggregator_id] = tracer.now()
+                except SessionClosed:
+                    await self._evict(s)
+
+        async def read_batch_ack(s: _AggregatorSession) -> None:
+            await s.expect("batch_ack", epoch)
+            if tracer.enabled:
+                t0 = sent_at.get(s.aggregator_id, enforce_started)
+                tracer.for_track(s.aggregator_id).emit(
+                    "enforce_rpc", t0, tracer.now() - t0,
+                    parent="enforce", epoch=epoch,
                 )
-                batched.append(s)
-            except SessionClosed:
-                await self._evict(s)
 
         missing, phase_timed_out = await gather_phase(
-            batched, lambda s: s.expect("batch_ack", epoch), self.enforce_timeout_s
+            batched, read_batch_ack, self.enforce_timeout_s
         )
         timed_out |= phase_timed_out
         for s in missing:
@@ -510,7 +679,7 @@ class LiveHierGlobalController(_LiveControllerBase):
                 await self._evict(s)
         t_enforce = time.perf_counter() - enforce_started
 
-        self.cycles.append(
+        self._record_cycle(
             ControlCycle(
                 epoch=epoch,
                 started_at=started,
@@ -520,5 +689,6 @@ class LiveHierGlobalController(_LiveControllerBase):
                 n_stages=len(stage_ids),
                 n_missing=n_missing,
                 timed_out=timed_out,
-            )
+            ),
+            started,
         )

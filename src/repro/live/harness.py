@@ -9,12 +9,19 @@ returns wall-clock cycle statistics.
 deadlines (degraded cycles instead of stalls when stages die or stall);
 the result carries per-cycle ``n_missing``/``timed_out`` so degraded
 cycles are visible in every table built from :class:`CycleStats`.
+
+``observe=True`` turns on the :mod:`repro.obs` instrumentation: every
+cycle is recorded as wall-clock spans (Chrome-trace exportable), the run
+is sampled REMORA-style from ``/proc`` with per-controller attribution
+(:class:`~repro.obs.procfs.LiveUsageSession`), and control-plane metrics
+accumulate in a :class:`~repro.obs.metrics.MetricsRegistry` — optionally
+scrapeable over HTTP while the run cycles (``metrics_port``).
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.control_plane import default_policy
@@ -24,6 +31,10 @@ from repro.core.registry import partition_stages
 from repro.live.aggregator_server import LiveAggregator
 from repro.live.controller_server import LiveGlobalController, LiveHierGlobalController
 from repro.live.stage_client import LiveVirtualStage
+from repro.monitoring.remora import RemoraReport
+from repro.obs.metrics import MetricsRegistry, MetricsServer
+from repro.obs.procfs import LiveUsageSession
+from repro.obs.spans import SpanRecord, SpanTracer
 
 __all__ = ["LiveRunResult", "run_live_flat", "run_live_hierarchical"]
 
@@ -40,6 +51,14 @@ class LiveRunResult:
     evictions: int = 0
     #: Successful stage re-registrations (reconnect loop recoveries).
     reconnects: int = 0
+    #: Wall-clock spans recorded during the run (empty unless observed).
+    spans: List[SpanRecord] = field(default_factory=list)
+    #: Per-controller usage rows (Tables II–IV style); None unless observed.
+    usage_report: Optional[RemoraReport] = None
+    #: Final Prometheus text exposition; None unless observed.
+    metrics_text: Optional[str] = None
+    #: Bound ``GET /metrics`` port; None unless a server was requested.
+    metrics_port: Optional[int] = None
 
     def stats(self, warmup: int = 2) -> CycleStats:
         return CycleStats(self.cycles, warmup=min(warmup, max(len(self.cycles) - 1, 0)))
@@ -55,21 +74,77 @@ class LiveRunResult:
         return sum(c.n_missing for c in self.cycles)
 
 
+class _Obs:
+    """Per-run observability bundle (tracer + usage session + metrics)."""
+
+    def __init__(
+        self, observe: bool, metrics_port: Optional[int], sample_interval_s: float
+    ) -> None:
+        self.tracer: Optional[SpanTracer] = None
+        self.usage: Optional[LiveUsageSession] = None
+        self.registry: Optional[MetricsRegistry] = None
+        self.server: Optional[MetricsServer] = None
+        self._metrics_port = metrics_port
+        if observe:
+            self.tracer = SpanTracer(track="global-ctrl", clock_domain="wall")
+            self.usage = LiveUsageSession(interval_s=sample_interval_s)
+            self.registry = MetricsRegistry()
+
+    def tracer_for(self, track: str):
+        return self.tracer.for_track(track) if self.tracer is not None else None
+
+    def meter_for(self, name: str):
+        return self.usage.meter(name) if self.usage is not None else None
+
+    async def start(self) -> None:
+        if self.registry is not None and self._metrics_port is not None:
+            self.server = MetricsServer(self.registry, port=self._metrics_port)
+            await self.server.start()
+        if self.usage is not None:
+            self.usage.start()
+
+    async def stop(self) -> None:
+        if self.usage is not None:
+            await self.usage.stop()
+        if self.server is not None:
+            await self.server.stop()
+
+    def finish(self, result: LiveRunResult) -> LiveRunResult:
+        """Attach whatever was observed to the run result."""
+        if self.tracer is not None:
+            result.spans = self.tracer.spans
+        if self.usage is not None:
+            result.usage_report = self.usage.report()
+        if self.registry is not None:
+            result.metrics_text = self.registry.render()
+        if self.server is not None:
+            result.metrics_port = self.server.port
+        return result
+
+
 async def _run(
     n_stages: int,
     n_cycles: int,
     policy: Optional[QoSPolicy],
     collect_timeout_s: Optional[float] = None,
     enforce_timeout_s: Optional[float] = None,
+    observe: bool = False,
+    metrics_port: Optional[int] = None,
+    sample_interval_s: float = 0.05,
 ) -> LiveRunResult:
     policy = policy or default_policy(n_stages)
+    obs = _Obs(observe, metrics_port, sample_interval_s)
     controller = LiveGlobalController(
         policy,
         expected_stages=n_stages,
         collect_timeout_s=collect_timeout_s,
         enforce_timeout_s=enforce_timeout_s,
+        span_tracer=obs.tracer_for("global-ctrl"),
+        usage_meter=obs.meter_for("global-ctrl"),
+        metrics=obs.registry,
     )
     await controller.start()
+    await obs.start()
 
     stages = [
         LiveVirtualStage(
@@ -86,16 +161,19 @@ async def _run(
         cycles = await controller.run_cycles(n_cycles)
     finally:
         await controller.shutdown()
+        await obs.stop()
         for task in stage_tasks:
             task.cancel()
         await asyncio.gather(*stage_tasks, return_exceptions=True)
-    return LiveRunResult(
-        n_stages=n_stages,
-        cycles=list(cycles),
-        rules_applied_total=sum(s.rules_applied for s in stages),
-        rules_stale_total=sum(s.rules_ignored_stale for s in stages),
-        evictions=controller.evictions,
-        reconnects=sum(s.reconnects for s in stages),
+    return obs.finish(
+        LiveRunResult(
+            n_stages=n_stages,
+            cycles=list(cycles),
+            rules_applied_total=sum(s.rules_applied for s in stages),
+            rules_stale_total=sum(s.rules_ignored_stale for s in stages),
+            evictions=controller.evictions,
+            reconnects=sum(s.reconnects for s in stages),
+        )
     )
 
 
@@ -105,12 +183,24 @@ def run_live_flat(
     policy: Optional[QoSPolicy] = None,
     collect_timeout_s: Optional[float] = None,
     enforce_timeout_s: Optional[float] = None,
+    observe: bool = False,
+    metrics_port: Optional[int] = None,
+    sample_interval_s: float = 0.05,
 ) -> LiveRunResult:
     """Run a flat control plane over real localhost TCP sockets."""
     if n_stages < 1 or n_cycles < 1:
         raise ValueError("n_stages and n_cycles must be >= 1")
     return asyncio.run(
-        _run(n_stages, n_cycles, policy, collect_timeout_s, enforce_timeout_s)
+        _run(
+            n_stages,
+            n_cycles,
+            policy,
+            collect_timeout_s,
+            enforce_timeout_s,
+            observe=observe,
+            metrics_port=metrics_port,
+            sample_interval_s=sample_interval_s,
+        )
     )
 
 
@@ -121,15 +211,23 @@ async def _run_hier(
     policy: Optional[QoSPolicy],
     collect_timeout_s: Optional[float] = None,
     enforce_timeout_s: Optional[float] = None,
+    observe: bool = False,
+    metrics_port: Optional[int] = None,
+    sample_interval_s: float = 0.05,
 ) -> LiveRunResult:
     policy = policy or default_policy(n_stages)
+    obs = _Obs(observe, metrics_port, sample_interval_s)
     controller = LiveHierGlobalController(
         policy,
         expected_aggregators=n_aggregators,
         collect_timeout_s=collect_timeout_s,
         enforce_timeout_s=enforce_timeout_s,
+        span_tracer=obs.tracer_for("global-ctrl"),
+        usage_meter=obs.meter_for("global-ctrl"),
+        metrics=obs.registry,
     )
     await controller.start()
+    await obs.start()
 
     stage_ids = [f"stage-{i:05d}" for i in range(n_stages)]
     partitions = partition_stages(stage_ids, n_aggregators)
@@ -138,13 +236,17 @@ async def _run_hier(
     agg_tasks = []
     stages = []
     for a, owned in enumerate(partitions):
+        agg_id = f"aggregator-{a:02d}"
         agg = LiveAggregator(
-            f"aggregator-{a:02d}",
+            agg_id,
             controller.host,
             controller.port,
             expected_stages=len(owned),
             collect_timeout_s=collect_timeout_s,
             enforce_timeout_s=enforce_timeout_s,
+            span_tracer=obs.tracer_for(agg_id),
+            usage_meter=obs.meter_for(agg_id),
+            metrics=obs.registry,
         )
         await agg.start()
         aggregators.append(agg)
@@ -163,16 +265,19 @@ async def _run_hier(
         cycles = await controller.run_cycles(n_cycles)
     finally:
         await controller.shutdown()
+        await obs.stop()
         for task in (*agg_tasks, *stage_tasks):
             task.cancel()
         await asyncio.gather(*agg_tasks, *stage_tasks, return_exceptions=True)
-    return LiveRunResult(
-        n_stages=n_stages,
-        cycles=list(cycles),
-        rules_applied_total=sum(s.rules_applied for s in stages),
-        rules_stale_total=sum(s.rules_ignored_stale for s in stages),
-        evictions=controller.evictions + sum(a.evictions for a in aggregators),
-        reconnects=sum(s.reconnects for s in stages),
+    return obs.finish(
+        LiveRunResult(
+            n_stages=n_stages,
+            cycles=list(cycles),
+            rules_applied_total=sum(s.rules_applied for s in stages),
+            rules_stale_total=sum(s.rules_ignored_stale for s in stages),
+            evictions=controller.evictions + sum(a.evictions for a in aggregators),
+            reconnects=sum(s.reconnects for s in stages),
+        )
     )
 
 
@@ -183,6 +288,9 @@ def run_live_hierarchical(
     policy: Optional[QoSPolicy] = None,
     collect_timeout_s: Optional[float] = None,
     enforce_timeout_s: Optional[float] = None,
+    observe: bool = False,
+    metrics_port: Optional[int] = None,
+    sample_interval_s: float = 0.05,
 ) -> LiveRunResult:
     """Run the hierarchical design over real localhost TCP sockets."""
     if n_stages < 1 or n_cycles < 1:
@@ -197,5 +305,8 @@ def run_live_hierarchical(
             policy,
             collect_timeout_s,
             enforce_timeout_s,
+            observe=observe,
+            metrics_port=metrics_port,
+            sample_interval_s=sample_interval_s,
         )
     )

@@ -16,9 +16,9 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
-__all__ = ["ProtocolError", "read_message", "write_message"]
+__all__ = ["ProtocolError", "read_frame", "read_message", "write_message"]
 
 _HEADER = struct.Struct(">I")
 #: Sanity cap on frame size (16 MiB is orders beyond any control message).
@@ -49,19 +49,34 @@ def decode_body(body: bytes) -> Dict[str, Any]:
     return message
 
 
-async def read_message(reader: asyncio.StreamReader) -> Dict[str, Any]:
-    """Read one framed message (raises ``IncompleteReadError`` on EOF)."""
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Tuple[Dict[str, Any], int]:
+    """Read one framed message plus its on-wire size in bytes.
+
+    The size includes the 4-byte length header — what NIC accounting
+    (:mod:`repro.obs.procfs`) charges per frame. Raises
+    ``IncompleteReadError`` on EOF.
+    """
     header = await reader.readexactly(_HEADER.size)
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME:
         raise ProtocolError(f"frame length {length} exceeds cap {MAX_FRAME}")
     body = await reader.readexactly(length)
-    return decode_body(body)
+    return decode_body(body), _HEADER.size + length
+
+
+async def read_message(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    """Read one framed message (raises ``IncompleteReadError`` on EOF)."""
+    message, _ = await read_frame(reader)
+    return message
 
 
 async def write_message(
     writer: asyncio.StreamWriter, message: Dict[str, Any]
-) -> None:
-    """Write one framed message and drain the transport."""
-    writer.write(encode(message))
+) -> int:
+    """Write one framed message and drain; returns the frame's size."""
+    frame = encode(message)
+    writer.write(frame)
     await writer.drain()
+    return len(frame)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
 
-from repro.live.protocol import ProtocolError, read_message, write_message
+from repro.live.protocol import ProtocolError, read_frame, write_message
 
 __all__ = ["Session", "SessionClosed", "gather_phase"]
 
@@ -29,17 +29,26 @@ class SessionClosed(ConnectionError):
 
 
 class Session:
-    """One connected peer: its streams plus the frame pump and inbox."""
+    """One connected peer: its streams plus the frame pump and inbox.
 
-    def __init__(self, peer_id: str, reader, writer) -> None:
+    ``meter`` is an optional :class:`repro.obs.procfs.ComponentUsageMeter`;
+    when set, every framed byte written to or pumped from this peer is
+    charged to the owning controller's NIC columns.
+    """
+
+    def __init__(self, peer_id: str, reader, writer, meter=None) -> None:
         self.peer_id = peer_id
         self.reader = reader
         self.writer = writer
+        self.meter = meter
         self.inbox: asyncio.Queue = asyncio.Queue()
         self.connected = True
         #: Frames drained because they were for a finished epoch or an
         #: unexpected kind (late replies after a deadline, duplicates).
         self.stale_messages = 0
+        #: On-wire bytes exchanged with this peer (frames incl. headers).
+        self.tx_bytes = 0
+        self.rx_bytes = 0
         self._pump_task: Optional[asyncio.Task] = None
 
     def start(self) -> None:
@@ -49,7 +58,11 @@ class Session:
     async def _pump(self) -> None:
         try:
             while True:
-                self.inbox.put_nowait(await read_message(self.reader))
+                message, nbytes = await read_frame(self.reader)
+                self.rx_bytes += nbytes
+                if self.meter is not None:
+                    self.meter.add_rx(nbytes)
+                self.inbox.put_nowait(message)
         except (
             asyncio.IncompleteReadError,
             ProtocolError,
@@ -66,10 +79,13 @@ class Session:
         if not self.connected:
             raise SessionClosed(f"{self.peer_id}: session closed")
         try:
-            await write_message(self.writer, message)
+            nbytes = await write_message(self.writer, message)
         except (ConnectionError, OSError) as exc:
             self.connected = False
             raise SessionClosed(f"{self.peer_id}: {exc}") from exc
+        self.tx_bytes += nbytes
+        if self.meter is not None:
+            self.meter.add_tx(nbytes)
 
     async def expect(self, kind: str, epoch: int) -> dict:
         """Next ``kind`` frame for ``epoch``; drains stale frames silently.

@@ -97,6 +97,32 @@ class RemoraReport:
             return None
         return self.average(agg_hosts, "aggregator (mean)")
 
+    def table_row(self, role: str = "global") -> List[str]:
+        """One formatted row of Tables II–IV.
+
+        ``role`` is ``"global"`` (peer-mean fallback for coordinated
+        planes), ``"aggregator"`` (mean across aggregator hosts, as in
+        Table III), or an exact monitored host name. Columns: name,
+        CPU %, memory GB, transmitted MB/s, received MB/s — the same
+        order the paper's tables use, so simulated and live
+        (:mod:`repro.obs.procfs`) sources render identically.
+        """
+        if role == "global":
+            usage = self.global_usage()
+        elif role == "aggregator":
+            usage = self.aggregator_usage()
+            if usage is None:
+                raise KeyError("no aggregator hosts monitored")
+        else:
+            usage = self.usage(role)
+        return [
+            usage.name,
+            f"{usage.cpu_percent:.1f}",
+            f"{usage.memory_gb:.3f}",
+            f"{usage.transmitted_mb_s:.3f}",
+            f"{usage.received_mb_s:.3f}",
+        ]
+
 
 class RemoraSession:
     """Monitors a set of controller hosts for the duration of a run."""

@@ -1,0 +1,125 @@
+"""Degraded-cycle statistics: summaries over healthy/partial/timeout mixes."""
+
+import pytest
+
+from repro.core.cycle import PHASES, ControlCycle, CycleStats
+
+
+def healthy(epoch, collect=0.010, compute=0.002, enforce=0.005):
+    return ControlCycle(
+        epoch=epoch,
+        started_at=float(epoch),
+        collect_s=collect,
+        compute_s=compute,
+        enforce_s=enforce,
+        n_stages=16,
+    )
+
+
+def degraded(epoch, n_missing=0, timed_out=False, collect=0.250):
+    return ControlCycle(
+        epoch=epoch,
+        started_at=float(epoch),
+        collect_s=collect,
+        compute_s=0.002,
+        enforce_s=0.005,
+        n_stages=16,
+        n_missing=n_missing,
+        timed_out=timed_out,
+    )
+
+
+@pytest.fixture
+def mixed_stats():
+    cycles = [healthy(e) for e in range(6)]
+    cycles.append(degraded(6, n_missing=3))
+    cycles.append(degraded(7, timed_out=True))
+    cycles.append(degraded(8, n_missing=2, timed_out=True))
+    return CycleStats(cycles)
+
+
+class TestDegradedAccounting:
+    def test_counts_partial_and_timeout_cycles(self, mixed_stats):
+        assert mixed_stats.degraded_cycles == 3
+        assert mixed_stats.missing_total == 5
+        assert mixed_stats.timeout_cycles == 2
+
+    def test_all_healthy_reports_zero(self):
+        stats = CycleStats([healthy(e) for e in range(4)])
+        assert stats.degraded_cycles == 0
+        assert stats.missing_total == 0
+        assert stats.timeout_cycles == 0
+
+    def test_warmup_drops_early_degradation(self):
+        cycles = [degraded(0, n_missing=4), healthy(1), healthy(2)]
+        stats = CycleStats(cycles, warmup=1)
+        assert stats.degraded_cycles == 0
+        assert stats.missing_total == 0
+        assert stats.n_cycles == 2
+
+    def test_degraded_flag_definition(self):
+        assert not healthy(0).degraded
+        assert degraded(0, n_missing=1).degraded
+        assert degraded(0, timed_out=True).degraded
+
+
+class TestSummary:
+    def test_summary_carries_degraded_fields(self, mixed_stats):
+        summary = mixed_stats.summary()
+        assert summary["cycles"] == 9.0
+        assert summary["degraded_cycles"] == 3.0
+        assert summary["missing_total"] == 5.0
+
+    def test_summary_phase_tails_present(self, mixed_stats):
+        summary = mixed_stats.summary()
+        assert summary["collect_p99_ms"] == pytest.approx(
+            mixed_stats.phase_percentile_ms("collect", 99.0)
+        )
+        assert summary["enforce_p99_ms"] == pytest.approx(
+            mixed_stats.phase_percentile_ms("enforce", 99.0)
+        )
+
+    def test_empty_stats_summary_is_zeroed(self):
+        summary = CycleStats([]).summary()
+        assert summary["cycles"] == 0.0
+        assert summary["mean_ms"] == 0.0
+        assert summary["degraded_cycles"] == 0.0
+
+
+class TestPhasePercentiles:
+    def test_timeout_extended_collect_dominates_tail(self, mixed_stats):
+        # The three degraded cycles pin the collect tail at 250 ms while
+        # the median stays at the healthy 10 ms.
+        p50 = mixed_stats.phase_percentile_ms("collect", 50.0)
+        p99 = mixed_stats.phase_percentile_ms("collect", 99.0)
+        assert p50 == pytest.approx(10.0)
+        assert p99 > 200.0
+
+    def test_unaffected_phase_tail_stays_flat(self, mixed_stats):
+        assert mixed_stats.phase_percentile_ms(
+            "enforce", 99.0
+        ) == pytest.approx(5.0)
+
+    def test_unknown_phase_rejected(self, mixed_stats):
+        with pytest.raises(ValueError, match="unknown phase"):
+            mixed_stats.phase_percentile_ms("observe", 99.0)
+
+    def test_empty_returns_zero(self):
+        assert CycleStats([]).phase_percentile_ms("collect", 99.0) == 0.0
+
+
+class TestBreakdown:
+    def test_breakdown_means_include_degraded_cycles(self, mixed_stats):
+        bd = mixed_stats.breakdown()
+        # (6 * 10ms + 3 * 250ms) / 9
+        assert bd.collect_ms == pytest.approx((6 * 10.0 + 3 * 250.0) / 9)
+        assert bd.compute_ms == pytest.approx(2.0)
+        assert bd.enforce_ms == pytest.approx(5.0)
+
+    def test_fractions_sum_to_one(self, mixed_stats):
+        bd = mixed_stats.breakdown()
+        assert sum(bd.fraction(p) for p in PHASES) == pytest.approx(1.0)
+
+    def test_negative_missing_rejected(self):
+        with pytest.raises(ValueError, match="n_missing"):
+            degraded(0, n_missing=-1)

@@ -1,0 +1,103 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import json
+
+import pytest
+
+from repro.obs.chrome_trace import (
+    export_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import SpanRecord
+
+
+def sample_spans():
+    return [
+        SpanRecord("global", "cycle", 10.0, 3.0, args={"epoch": 1}),
+        SpanRecord("global", "collect", 10.0, 1.0, parent="cycle"),
+        SpanRecord("aggregator-00", "collect_rpc", 10.1, 0.4, parent="collect"),
+        SpanRecord("global", "compute", 11.0, 0.5, parent="cycle"),
+    ]
+
+
+class TestExport:
+    def test_one_metadata_event_per_track(self):
+        doc = export_chrome_trace(sample_spans())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 2
+        assert {e["args"]["name"] for e in meta} == {"global", "aggregator-00"}
+
+    def test_tracks_in_first_appearance_order(self):
+        doc = export_chrome_trace(sample_spans())
+        assert doc["otherData"]["tracks"] == ["global", "aggregator-00"]
+
+    def test_timestamps_rebased_to_origin_in_us(self):
+        doc = export_chrome_trace(sample_spans())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        cycle = next(e for e in xs if e["name"] == "cycle")
+        compute = next(e for e in xs if e["name"] == "compute")
+        assert cycle["ts"] == pytest.approx(0.0)
+        assert cycle["dur"] == pytest.approx(3e6)
+        assert compute["ts"] == pytest.approx(1e6)
+
+    def test_parent_recorded_in_args(self):
+        doc = export_chrome_trace(sample_spans())
+        collect = next(
+            e for e in doc["traceEvents"] if e.get("name") == "collect"
+        )
+        assert collect["args"]["parent"] == "cycle"
+
+    def test_clock_domain_recorded(self):
+        doc = export_chrome_trace(sample_spans(), clock_domain="sim")
+        assert doc["otherData"]["clock_domain"] == "sim"
+
+    def test_empty_spans(self):
+        doc = export_chrome_trace([])
+        assert doc["traceEvents"] == []
+        assert validate_chrome_trace(doc) == []
+
+
+class TestWrite:
+    def test_written_file_parses_and_validates(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "trace.json", sample_spans(), clock_domain="wall"
+        )
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        names = validate_chrome_trace(doc)
+        assert "cycle" in names
+        assert len(names) == 4
+
+
+class TestValidate:
+    def test_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"foo": []})
+
+    def test_unsupported_phase(self):
+        doc = {"traceEvents": [{"ph": "B", "name": "x", "pid": 1, "tid": 0}]}
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace(doc)
+
+    def test_missing_mandatory_field(self):
+        doc = {"traceEvents": [{"ph": "X", "name": "x", "pid": 1}]}
+        with pytest.raises(ValueError, match="tid"):
+            validate_chrome_trace(doc)
+
+    def test_missing_duration(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": 0.0}
+            ]
+        }
+        with pytest.raises(ValueError, match="ts/dur"):
+            validate_chrome_trace(doc)
+
+    def test_negative_times_rejected(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": -1.0, "dur": 1.0}
+            ]
+        }
+        with pytest.raises(ValueError, match="negative"):
+            validate_chrome_trace(doc)

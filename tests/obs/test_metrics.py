@@ -1,0 +1,109 @@
+"""Tests for the metrics registry and the /metrics HTTP endpoint."""
+
+import asyncio
+
+import pytest
+
+from repro.monitoring.histogram import LatencyHistogram
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, MetricsServer
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(5)
+        g.dec(2)
+        g.inc(0.5)
+        assert g.value == pytest.approx(3.5)
+
+
+class TestRegistry:
+    def test_same_name_labels_returns_same_metric(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_cycles_total", role="global")
+        b = reg.counter("repro_cycles_total", role="global")
+        assert a is b
+        assert reg.counter("repro_cycles_total", role="aggregator") is not a
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total")
+
+    def test_render_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_cycles_total", "cycles", role="global").inc(4)
+        reg.gauge("repro_sessions", "live sessions").set(7)
+        text = reg.render()
+        assert "# TYPE repro_cycles_total counter" in text
+        assert 'repro_cycles_total{role="global"} 4.0' in text
+        assert "# HELP repro_cycles_total cycles" in text
+        assert "repro_sessions 7.0" in text
+
+    def test_render_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_cycle_seconds", "latency", role="global")
+        for v in (0.001, 0.002, 0.004):
+            h.observe(v)
+        text = reg.render()
+        assert "# TYPE repro_cycle_seconds histogram" in text
+        assert 'le="+Inf"} 3' in text
+        assert 'repro_cycle_seconds_count{role="global"} 3' in text
+        # Bucket counts are cumulative: the last finite bucket sees all 3.
+        bucket_lines = [
+            l for l in text.splitlines() if "repro_cycle_seconds_bucket" in l
+        ]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in bucket_lines]
+        assert counts == sorted(counts)
+
+    def test_histogram_accepts_custom_backing(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "x_seconds", histogram=LatencyHistogram(buckets_per_decade=5)
+        )
+        h.observe(0.5)
+        assert h.histogram.total == 1
+
+
+class TestMetricsServer:
+    def test_get_metrics_and_404(self):
+        async def scenario():
+            reg = MetricsRegistry()
+            reg.counter("repro_cycles_total", role="global").inc()
+            server = MetricsServer(reg, port=0)
+            await server.start()
+            assert server.port > 0
+
+            async def get(path):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+                )
+                await writer.drain()
+                data = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                return data.decode()
+
+            ok = await get("/metrics")
+            missing = await get("/nope")
+            await server.stop()
+            return ok, missing
+
+        ok, missing = asyncio.run(scenario())
+        assert ok.startswith("HTTP/1.1 200 OK")
+        assert "repro_cycles_total" in ok
+        assert missing.startswith("HTTP/1.1 404")

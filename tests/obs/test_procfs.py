@@ -1,0 +1,123 @@
+"""Tests for the live REMORA counterpart (/proc sampling + meters)."""
+
+import asyncio
+
+import pytest
+
+from repro.monitoring.remora import ControllerUsage
+from repro.obs.procfs import (
+    ComponentUsageMeter,
+    LiveUsageSession,
+    ProcessSampler,
+    procfs_available,
+    read_cpu_seconds,
+    read_net_bytes,
+    read_rss_bytes,
+)
+
+
+class TestReaders:
+    def test_cpu_seconds_nonnegative_and_increasing(self):
+        a = read_cpu_seconds()
+        # Burn a little CPU so the counter visibly moves.
+        sum(i * i for i in range(200_000))
+        b = read_cpu_seconds()
+        assert a >= 0.0
+        assert b >= a
+
+    def test_rss_positive(self):
+        assert read_rss_bytes() > 0
+
+    @pytest.mark.skipif(not procfs_available(), reason="no /proc")
+    def test_net_counters_have_interfaces(self):
+        counters = read_net_bytes()
+        assert counters  # at least loopback on any Linux box
+        for rx, tx in counters.values():
+            assert rx >= 0 and tx >= 0
+
+
+class TestProcessSampler:
+    def test_usage_over_window(self):
+        async def scenario():
+            sampler = ProcessSampler(interval_s=0.01)
+            sampler.start()
+            await asyncio.sleep(0.05)
+            sum(i * i for i in range(100_000))
+            await sampler.stop()
+            return sampler
+
+        sampler = asyncio.run(scenario())
+        assert sampler.elapsed_s > 0
+        assert len(sampler.samples) >= 2
+        usage = sampler.usage("process", cores=1)
+        assert isinstance(usage, ControllerUsage)
+        assert usage.cpu_percent >= 0.0
+        assert usage.memory_gb > 0.0
+
+    def test_usage_requires_window(self):
+        sampler = ProcessSampler()
+        with pytest.raises(RuntimeError):
+            sampler.usage()
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            ProcessSampler(interval_s=0.0)
+
+
+class TestComponentUsageMeter:
+    def test_byte_accounting_is_exact(self):
+        meter = ComponentUsageMeter("global-ctrl")
+        meter.add_tx(1_000_000)
+        meter.add_tx(500_000)
+        meter.add_rx(2_000_000)
+        usage = meter.usage(elapsed_s=2.0, rss_bytes=1024**3)
+        assert usage.transmitted_mb_s == pytest.approx(0.75)
+        assert usage.received_mb_s == pytest.approx(1.0)
+        assert usage.memory_gb == pytest.approx(1.0)
+        assert usage.name == "global-ctrl"
+
+    def test_cpu_context_attributes_work(self):
+        meter = ComponentUsageMeter("x")
+        with meter.cpu():
+            sum(i * i for i in range(300_000))
+        assert meter.cpu_seconds > 0.0
+
+    def test_rejects_empty_window(self):
+        meter = ComponentUsageMeter("x")
+        with pytest.raises(ValueError):
+            meter.usage(elapsed_s=0.0, rss_bytes=0)
+
+
+class TestLiveUsageSession:
+    def test_meters_are_singletons(self):
+        session = LiveUsageSession()
+        assert session.meter("a") is session.meter("a")
+        assert session.meter("a") is not session.meter("b")
+
+    def test_report_rows_named_for_remora_roles(self):
+        async def scenario():
+            session = LiveUsageSession(interval_s=0.01)
+            g = session.meter("global-ctrl")
+            a = session.meter("aggregator-00")
+            session.start()
+            with g.cpu():
+                sum(i * i for i in range(100_000))
+            g.add_tx(1000)
+            a.add_rx(4000)
+            await asyncio.sleep(0.03)
+            await session.stop()
+            return session.report()
+
+        report = asyncio.run(scenario())
+        assert set(report.per_host) == {"global-ctrl", "aggregator-00"}
+        # The RemoraReport role accessors must resolve these names.
+        assert report.global_usage().name == "global-ctrl"
+        agg = report.aggregator_usage()
+        assert agg is not None and agg.transmitted_mb_s >= 0.0
+        row = report.table_row("global")
+        assert row[0] == "global-ctrl" and len(row) == 5
+
+    def test_report_requires_window(self):
+        session = LiveUsageSession()
+        with pytest.raises(RuntimeError):
+            session.report()

@@ -1,0 +1,78 @@
+"""Property tests for LatencyHistogram: merge is equivalent to pooling.
+
+The live metrics registry merges per-controller histograms into global
+ones, so ``a.merge(b)`` must be indistinguishable from recording every
+observation into a single histogram — bucket-for-bucket.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitoring.histogram import LatencyHistogram
+
+# Latencies spanning underflow, the in-range decades, and overflow.
+latencies = st.floats(
+    min_value=1e-8, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(latencies, max_size=60)
+
+
+def build(values):
+    h = LatencyHistogram()
+    for v in values:
+        h.record(v)
+    return h
+
+
+@given(left=samples, right=samples)
+@settings(max_examples=200, deadline=None)
+def test_merge_equals_pooled_recording(left, right):
+    merged = build(left)
+    merged.merge(build(right))
+    pooled = build(left + right)
+
+    assert merged.total == pooled.total
+    assert merged.underflow == pooled.underflow
+    assert merged.overflow == pooled.overflow
+    assert merged._counts == pooled._counts
+    assert merged.mean == pytest.approx(pooled.mean, abs=1e-12)
+    # Identical bucket counts and max => identical percentile estimates.
+    for q in (0, 50, 95, 99, 100):
+        assert merged.percentile(q) == pooled.percentile(q)
+
+
+@given(values=samples)
+@settings(max_examples=200, deadline=None)
+def test_merge_with_empty_is_identity(values):
+    h = build(values)
+    before = (h.total, list(h._counts), h.mean, h._max_seen)
+    h.merge(LatencyHistogram())
+    assert (h.total, list(h._counts), h.mean, h._max_seen) == before
+
+
+@given(values=st.lists(latencies, min_size=1, max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_merge_is_commutative(values):
+    mid = len(values) // 2
+    ab = build(values[:mid])
+    ab.merge(build(values[mid:]))
+    ba = build(values[mid:])
+    ba.merge(build(values[:mid]))
+    assert ab._counts == ba._counts
+    assert ab.total == ba.total
+    assert ab.summary() == ba.summary()
+
+
+@pytest.mark.parametrize(
+    "other",
+    [
+        LatencyHistogram(min_value_s=1e-5),
+        LatencyHistogram(max_value_s=10.0),
+        LatencyHistogram(buckets_per_decade=5),
+    ],
+)
+def test_merge_rejects_mismatched_configs(other):
+    h = LatencyHistogram()
+    with pytest.raises(ValueError, match="differently configured"):
+        h.merge(other)

@@ -134,6 +134,81 @@ class TestLive:
         assert payload["rules_applied"] == 8 * 6
         assert payload["mean_ms"] > 0
 
+    def test_obs_out_writes_wall_clock_trace(self, capsys, tmp_path):
+        from repro.obs.chrome_trace import validate_chrome_trace
+
+        trace = tmp_path / "live.json"
+        code, out = run_cli(
+            capsys,
+            "live", "--stages", "6", "--cycles", "4",
+            "--obs-out", str(trace), "--json",
+        )
+        payload = json.loads(out)
+        assert code == 0
+        doc = json.loads(trace.read_text(encoding="utf-8"))
+        assert doc["otherData"]["clock_domain"] == "wall"
+        names = validate_chrome_trace(doc)
+        assert names.count("cycle") == 4
+        assert payload["usage"]["global-ctrl"]["cpu_percent"] > 0
+
+    def test_metrics_port_reported(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "live", "--stages", "4", "--cycles", "3",
+            "--metrics-port", "0", "--json",
+        )
+        payload = json.loads(out)
+        assert code == 0
+        assert payload["metrics_port"] > 0
+
+
+class TestTraceOut:
+    def test_flat_trace_is_sim_clock(self, capsys, tmp_path):
+        from repro.obs.chrome_trace import validate_chrome_trace
+
+        trace = tmp_path / "flat.json"
+        code, out = run_cli(
+            capsys,
+            "flat", "--nodes", "30", "--cycles", "4",
+            "--trace-out", str(trace), "--json",
+        )
+        assert code == 0
+        doc = json.loads(trace.read_text(encoding="utf-8"))
+        assert doc["otherData"]["clock_domain"] == "sim"
+        names = validate_chrome_trace(doc)
+        assert {"cycle", "collect", "compute", "enforce"} <= set(names)
+
+    def test_hier_trace_has_aggregator_tracks(self, capsys, tmp_path):
+        trace = tmp_path / "hier.json"
+        code, out = run_cli(
+            capsys,
+            "hier", "--nodes", "40", "--aggregators", "2", "--cycles", "4",
+            "--trace-out", str(trace), "--json",
+        )
+        assert code == 0
+        doc = json.loads(trace.read_text(encoding="utf-8"))
+        tracks = doc["otherData"]["tracks"]
+        assert "global-ctrl" in tracks
+        assert "aggregator-00" in tracks
+
+    def test_coordinated_trace_has_peer_tracks(self, capsys, tmp_path):
+        trace = tmp_path / "coord.json"
+        code, out = run_cli(
+            capsys,
+            "coordinated", "--nodes", "40", "--controllers", "2",
+            "--cycles", "4", "--trace-out", str(trace), "--json",
+        )
+        assert code == 0
+        doc = json.loads(trace.read_text(encoding="utf-8"))
+        assert "peer-ctrl-00" in doc["otherData"]["tracks"]
+
+    def test_no_trace_flag_writes_nothing(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "flat", "--nodes", "20", "--cycles", "3", "--json"
+        )
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []
+
 
 class TestCalibrate:
     def test_reports_errors(self, capsys):
