@@ -1,14 +1,20 @@
 #!/usr/bin/env python
-"""Live dependability: kill stages mid-run over real TCP sockets.
+"""Live dependability: kill stages — and a whole aggregator — mid-run.
 
-The live-plane counterpart of ``examples/failure_recovery.py``: a flat
-:class:`~repro.live.controller_server.LiveGlobalController` drives real
-localhost connections while two of the stages are killed mid-run. With a
-collect timeout configured, the cycles that miss replies complete on
-partial metrics (the controller evicts the dead sessions and keeps the
-survivors governed); the killed stages come back through their reconnect
-loop — exponential backoff, re-registration — and later cycles run at
-full strength again.
+The live-plane counterpart of ``examples/failure_recovery.py``, in two
+acts over real localhost TCP connections:
+
+1. **Stage loss (flat).** A :class:`~repro.live.controller_server.LiveGlobalController`
+   keeps cycling while two stages are killed mid-run: cycles that miss
+   replies complete on partial metrics, dead sessions are evicted, and
+   the victims return through their reconnect loop (exponential backoff,
+   re-registration).
+2. **Aggregator loss (hierarchical).** A
+   :class:`~repro.live.controller_server.LiveHierGlobalController` loses
+   an entire aggregator — a whole partition of stages goes dark at once.
+   The controller detects the dead child, re-homes its orphaned stages
+   onto the surviving aggregators (``rehome`` frames redirect each stage
+   client), and later cycles run clean again with nothing orphaned.
 
 Run:  python examples/live_failure_recovery.py
 """
@@ -16,14 +22,23 @@ Run:  python examples/live_failure_recovery.py
 import asyncio
 
 from repro.core.control_plane import default_policy
+from repro.core.registry import partition_stages
 from repro.harness.report import degraded_note, format_table
-from repro.live.controller_server import LiveGlobalController
-from repro.live.faults import LiveFaultLog, kill_stage
+from repro.live.aggregator_server import LiveAggregator
+from repro.live.controller_server import (
+    LiveGlobalController,
+    LiveHierGlobalController,
+)
+from repro.live.faults import LiveFaultLog, kill_aggregator, kill_stage
 from repro.live.stage_client import LiveVirtualStage
 
 N_STAGES = 20
 KILL = (3, 11)  # stage indices killed mid-run
 COLLECT_TIMEOUT_S = 0.25
+
+# Act 2: hierarchical cluster shape.
+HIER_STAGES = 9
+HIER_AGGREGATORS = 3
 
 
 async def run() -> None:
@@ -98,9 +113,87 @@ async def run() -> None:
     )
 
 
+async def run_hier() -> None:
+    """Act 2: kill an aggregator; its stages re-home to the survivors."""
+    ctrl = LiveHierGlobalController(
+        default_policy(HIER_STAGES),
+        expected_aggregators=HIER_AGGREGATORS,
+        collect_timeout_s=0.5,
+        dead_after_missed=2,
+    )
+    await ctrl.start()
+    stage_ids = [f"stage-{i:03d}" for i in range(HIER_STAGES)]
+    partitions = partition_stages(stage_ids, HIER_AGGREGATORS)
+    aggs, stages, tasks = [], [], []
+    for a, owned in enumerate(partitions):
+        agg = LiveAggregator(
+            f"aggregator-{a:02d}",
+            ctrl.host,
+            ctrl.port,
+            expected_stages=len(owned),
+            collect_timeout_s=0.3,
+        )
+        await agg.start()
+        aggs.append(agg)
+        for sid in owned:
+            stage = LiveVirtualStage(
+                agg.host,
+                agg.port,
+                stage_id=sid,
+                job_id=sid.replace("stage", "job"),
+                controller_timeout_s=1.0,
+                backoff_base_s=0.02,
+                backoff_max_s=0.1,
+            )
+            stages.append(stage)
+            tasks.append(asyncio.create_task(stage.run()))
+        tasks.append(asyncio.create_task(agg.run()))
+    log = LiveFaultLog()
+    try:
+        await ctrl.wait_for_aggregators()
+        for _ in range(3):  # healthy baseline
+            await ctrl.run_cycles(1)
+            await asyncio.sleep(0.1)
+
+        kill_aggregator(aggs[0], log=log)
+        for _ in range(6):  # degraded, then re-homed
+            await ctrl.run_cycles(1)
+            await asyncio.sleep(0.1)
+    finally:
+        await ctrl.shutdown()
+        for t in tasks:
+            t.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    print(
+        format_table(
+            ["epoch", "stages", "missing", "cycle (ms)"],
+            [
+                [c.epoch, c.n_stages, c.n_missing, c.total_s * 1e3]
+                for c in ctrl.cycles
+            ],
+            title=f"Hier control cycles around killing {log.kills()[0].target}",
+        )
+    )
+    moved = sum(s.failovers for s in stages)
+    print(
+        f"re-home: {ctrl.rehomes} orphaned stages adopted by survivors "
+        f"({moved} stage clients switched aggregator); "
+        f"{len(ctrl.orphans)} still orphaned"
+    )
+    converged = sum(1 for s in stages if s.applied_epoch == ctrl.epoch)
+    print(
+        f"convergence: {converged}/{HIER_STAGES} stages on the final epoch "
+        f"{ctrl.epoch}; last cycle missing {ctrl.cycles[-1].n_missing}"
+    )
+
+
 def main() -> None:
-    """Entry point: run the live kill/recover scenario end to end."""
+    """Entry point: run both live kill/recover scenarios end to end."""
+    print("=== Act 1: stage loss on the flat live plane ===\n")
     asyncio.run(run())
+    print("\n=== Act 2: aggregator loss on the hierarchical live plane ===\n")
+    asyncio.run(run_hier())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,30 @@
+"""Chaos harness: seeded fault schedules + per-cycle invariant checking.
+
+The dependability counterpart of the scaling benchmarks (paper §VI): a
+control plane that only survives the happy path has not been tested at
+all. This package draws a reproducible fault schedule from a seed
+(:mod:`repro.chaos.schedule`), runs it against either the simulated or
+the live plane (:mod:`repro.chaos.runner`), and asserts the tentpole
+invariants after every control cycle (:mod:`repro.chaos.invariants`):
+enforced allocations never exceed capacity, applied epochs never move
+backwards, orphaned stages re-home within the configured bound, and a
+standby takeover stays inside the heartbeat-budget gap.
+
+CLI: ``repro chaos --plane live --design hier --seed 7`` (exit 1 on any
+violation; ``--report-out`` writes the JSON report, the CI artifact).
+"""
+
+from repro.chaos.invariants import ChaosReport, InvariantChecker, Violation
+from repro.chaos.runner import run_chaos_live, run_chaos_sim
+from repro.chaos.schedule import ChaosSchedule, FaultAction, generate_schedule
+
+__all__ = [
+    "ChaosReport",
+    "ChaosSchedule",
+    "FaultAction",
+    "InvariantChecker",
+    "Violation",
+    "generate_schedule",
+    "run_chaos_live",
+    "run_chaos_sim",
+]

@@ -1,0 +1,169 @@
+"""Per-cycle invariant checks and the chaos report.
+
+The harness asserts four properties after every control cycle, whatever
+faults the schedule injected (tentpole invariants, paper §VI):
+
+* **capacity** — the sum of limits the stages actually enforce never
+  exceeds the policy's allocatable capacity (within float tolerance).
+  This is the property the orphan-demand reservation exists to protect:
+  a dead aggregator's stages keep enforcing their last rules, so their
+  share must stay reserved until they re-home.
+* **epoch monotonicity** — a stage's applied epoch never decreases; late
+  rules from dead controllers are fenced, takeovers jump *forward* via
+  ``EPOCH_SLACK``.
+* **re-home bound** — no stage stays orphaned longer than
+  ``rehome_bound_cycles`` cycles after its aggregator was declared dead.
+* **adaptation gap** — after a primary kill, the standby's measured gap
+  is ≤ ``heartbeat_interval_s × missed_heartbeats`` + one control cycle.
+
+Violations are collected, not raised: a chaos run always completes and
+reports everything it saw (:class:`ChaosReport`, JSON-serialisable for
+the CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+__all__ = ["Violation", "ChaosReport", "InvariantChecker"]
+
+#: Relative slack for float comparisons against capacity.
+CAPACITY_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, anchored to the cycle that exposed it."""
+
+    cycle: int
+    invariant: str  # "capacity" | "epoch" | "rehome" | "gap"
+    detail: str
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run: schedule echo + violations + counters."""
+
+    seed: int
+    plane: str  # "sim" | "live"
+    design: str  # "hier" | "flat"
+    n_cycles: int
+    n_stages: int
+    n_aggregators: int
+    actions: List[Dict] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    checks: int = 0
+    cycles_completed: int = 0
+    cycles_degraded: int = 0
+    rehomes: int = 0
+    takeovers: int = 0
+    gap_s: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["ok"] = self.ok
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"chaos[{self.plane}/{self.design}] seed={self.seed} "
+            f"cycles={self.cycles_completed}/{self.n_cycles} "
+            f"faults={len(self.actions)} degraded={self.cycles_degraded} "
+            f"rehomes={self.rehomes} takeovers={self.takeovers} "
+            f"checks={self.checks}: {verdict}"
+        )
+
+
+class InvariantChecker:
+    """Stateful per-cycle checker; feed it after every completed cycle."""
+
+    def __init__(
+        self,
+        capacity_iops: float,
+        rehome_bound_cycles: int = 3,
+    ) -> None:
+        if capacity_iops <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_iops}")
+        if rehome_bound_cycles < 1:
+            raise ValueError(
+                f"rehome_bound_cycles must be >= 1: {rehome_bound_cycles}"
+            )
+        self.capacity_iops = float(capacity_iops)
+        self.rehome_bound_cycles = int(rehome_bound_cycles)
+        self.violations: List[Violation] = []
+        self.checks = 0
+        self._last_epoch: Dict[str, int] = {}
+        self._orphan_age: Dict[str, int] = {}
+
+    # -- per-cycle checks ----------------------------------------------------
+    def check_capacity(self, cycle: int, limits: Mapping[str, float]) -> None:
+        """Sum of *enforced* limits must fit the allocatable capacity."""
+        self.checks += 1
+        total = sum(limits.values())
+        bound = self.capacity_iops * (1.0 + CAPACITY_EPS)
+        if total > bound:
+            self.violations.append(
+                Violation(
+                    cycle,
+                    "capacity",
+                    f"enforced {total:.3f} iops > capacity "
+                    f"{self.capacity_iops:.3f} across {len(limits)} stages",
+                )
+            )
+
+    def check_epochs(self, cycle: int, epochs: Mapping[str, int]) -> None:
+        """A stage's applied epoch never moves backwards."""
+        self.checks += 1
+        for stage_id, epoch in epochs.items():
+            prev = self._last_epoch.get(stage_id)
+            if prev is not None and epoch < prev:
+                self.violations.append(
+                    Violation(
+                        cycle,
+                        "epoch",
+                        f"{stage_id} applied epoch went {prev} -> {epoch}",
+                    )
+                )
+            self._last_epoch[stage_id] = max(epoch, prev or 0)
+
+    def check_orphans(self, cycle: int, orphans: Iterable[str]) -> None:
+        """No stage stays orphaned past the configured re-home bound."""
+        self.checks += 1
+        current = set(orphans)
+        for stage_id in list(self._orphan_age):
+            if stage_id not in current:
+                del self._orphan_age[stage_id]
+        for stage_id in current:
+            age = self._orphan_age.get(stage_id, 0) + 1
+            self._orphan_age[stage_id] = age
+            if age > self.rehome_bound_cycles:
+                self.violations.append(
+                    Violation(
+                        cycle,
+                        "rehome",
+                        f"{stage_id} orphaned for {age} cycles "
+                        f"(bound {self.rehome_bound_cycles})",
+                    )
+                )
+
+    def check_gap(self, cycle: int, gap_s: float, bound_s: float) -> None:
+        """Measured takeover gap must respect the heartbeat-budget bound."""
+        self.checks += 1
+        if gap_s > bound_s:
+            self.violations.append(
+                Violation(
+                    cycle,
+                    "gap",
+                    f"adaptation gap {gap_s:.3f}s > bound {bound_s:.3f}s",
+                )
+            )

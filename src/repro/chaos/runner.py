@@ -1,0 +1,523 @@
+"""Chaos runners: execute a seeded fault schedule against a real plane.
+
+Two entry points, one per plane:
+
+* :func:`run_chaos_sim` — steps a simulated control plane
+  (:mod:`repro.core.control_plane`) cycle by cycle, injecting the
+  schedule's faults in cycle coordinates (aggregator stop/start, stage
+  black-holes, primary kill against the :class:`~repro.core.failover.HotStandby`).
+* :func:`run_chaos_live` — stands up a real asyncio TCP cluster
+  (:mod:`repro.live`), paces cycles on the wall clock, and injects the
+  live fault menagerie (:mod:`repro.live.faults`), including
+  ``kill_primary`` against :class:`~repro.live.failover.LiveHotStandby`.
+
+Both check the tentpole invariants after every cycle via
+:class:`~repro.chaos.invariants.InvariantChecker` and return a
+:class:`~repro.chaos.invariants.ChaosReport` — they never raise on a
+violation, so CI can upload the full report before failing the step.
+
+Fault durations are translated per plane: the simulator has no wall
+clock, so stalls/kills last a fixed number of *cycles* there, while the
+live plane uses the schedule's ``duration_s`` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import asdict
+from typing import Dict, List, Optional
+
+from repro.chaos.invariants import ChaosReport, InvariantChecker, Violation
+from repro.chaos.schedule import ChaosSchedule, generate_schedule
+
+__all__ = ["run_chaos_sim", "run_chaos_live"]
+
+#: Sim-plane fault durations, in cycles (the sim has no useful wall clock).
+SIM_AGG_KILL_CYCLES = 3
+SIM_AGG_STALL_CYCLES = 1
+SIM_STAGE_KILL_CYCLES = 2
+SIM_STAGE_STALL_CYCLES = 1
+
+
+def _new_report(schedule: ChaosSchedule, plane: str) -> ChaosReport:
+    return ChaosReport(
+        seed=schedule.seed,
+        plane=plane,
+        design=schedule.design,
+        n_cycles=schedule.n_cycles,
+        n_stages=schedule.n_stages,
+        n_aggregators=schedule.n_aggregators,
+        actions=[asdict(a) for a in schedule.actions],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Simulated plane
+# ---------------------------------------------------------------------------
+
+def run_chaos_sim(
+    seed: int,
+    design: str = "hier",
+    n_stages: int = 12,
+    n_aggregators: int = 3,
+    n_cycles: int = 14,
+    rehome_bound_cycles: int = 3,
+    schedule: Optional[ChaosSchedule] = None,
+) -> ChaosReport:
+    """Run a seeded chaos schedule against the simulated plane.
+
+    ``design="hier"`` steps a :class:`HierarchicalControlPlane` cycle by
+    cycle under aggregator/stage faults. ``design="flat"`` runs a
+    :class:`FlatControlPlane` guarded by a :class:`HotStandby` (built via
+    :func:`~repro.core.failover.attach_flat_standby`) and may kill the
+    primary mid-run.
+    """
+    if schedule is None:
+        schedule = generate_schedule(
+            seed, design, n_cycles, n_stages,
+            n_aggregators if design == "hier" else 0,
+        )
+    report = _new_report(schedule, "sim")
+    if design == "hier":
+        _sim_hier(schedule, report, rehome_bound_cycles)
+    else:
+        _sim_flat_standby(schedule, report)
+    return report
+
+
+def _sim_checks(checker: InvariantChecker, cycle: int, stages) -> None:
+    limits: Dict[str, float] = {}
+    epochs: Dict[str, int] = {}
+    for stage in stages:
+        rule = stage.applied_rule
+        if rule is not None:
+            limits[stage.stage_id] = stage.current_limit
+            epochs[stage.stage_id] = rule.epoch
+    checker.check_capacity(cycle, limits)
+    checker.check_epochs(cycle, epochs)
+
+
+def _blackhole_stage(stage):
+    """Drop a sim stage's traffic; returns the undo callable."""
+    original = stage.endpoint.handler
+
+    def black_hole(message, connection) -> None:
+        pass
+
+    stage.endpoint.set_handler(black_hole)
+    return lambda: stage.endpoint.set_handler(original)
+
+
+def _sim_hier(
+    schedule: ChaosSchedule, report: ChaosReport, rehome_bound_cycles: int
+) -> None:
+    from repro.core.control_plane import (
+        ControlPlaneConfig,
+        HierarchicalControlPlane,
+    )
+
+    config = ControlPlaneConfig(
+        n_stages=schedule.n_stages, collect_timeout_s=0.5
+    )
+    plane = HierarchicalControlPlane.build(config, schedule.n_aggregators)
+    env = plane.env
+    controller = plane.global_controller
+    checker = InvariantChecker(
+        config.policy.allocatable_iops, rehome_bound_cycles
+    )
+    # Pending recoveries, keyed by the cycle index that restores them.
+    restore_at: Dict[int, List] = {}
+    for cycle in range(schedule.n_cycles):
+        for undo in restore_at.pop(cycle, []):
+            undo()
+        for action in schedule.at_cycle(cycle):
+            if action.kind == "kill_aggregator":
+                agg = plane.aggregators[action.target]
+                agg.stop()
+                restore_at.setdefault(cycle + SIM_AGG_KILL_CYCLES, []).append(
+                    agg.start
+                )
+            elif action.kind == "stall_aggregator":
+                agg = plane.aggregators[action.target]
+                agg.stop()
+                restore_at.setdefault(cycle + SIM_AGG_STALL_CYCLES, []).append(
+                    agg.start
+                )
+            elif action.kind == "kill_stage":
+                undo = _blackhole_stage(plane.stages[action.target])
+                restore_at.setdefault(
+                    cycle + SIM_STAGE_KILL_CYCLES, []
+                ).append(undo)
+            elif action.kind == "stall_stage":
+                undo = _blackhole_stage(plane.stages[action.target])
+                restore_at.setdefault(
+                    cycle + SIM_STAGE_STALL_CYCLES, []
+                ).append(undo)
+        env.run(controller.run_cycles(1))
+        report.cycles_completed += 1
+        if controller.cycles[-1].degraded:
+            report.cycles_degraded += 1
+        _sim_checks(checker, cycle, plane.stages)
+    report.violations = checker.violations
+    report.checks = checker.checks
+
+
+def _sim_flat_standby(schedule: ChaosSchedule, report: ChaosReport) -> None:
+    from repro.core.control_plane import ControlPlaneConfig, FlatControlPlane
+    from repro.core.failover import HotStandby, attach_flat_standby
+
+    # Probe an identical fault-free plane for the cycle period, so the
+    # schedule's cycle coordinates translate to deterministic sim times.
+    # Sim cycles run back-to-back (no pacing), so everything — heartbeat
+    # interval, fault times, sampling — must scale with the cycle, not
+    # with a wall clock.
+    probe = FlatControlPlane.build(ControlPlaneConfig(n_stages=schedule.n_stages))
+    probe.env.run(probe.global_controller.run_cycles(3))
+    cycle_s = max(c.total_s for c in probe.global_controller.cycles)
+    hb_s, missed = cycle_s / 2.0, 3
+
+    config = ControlPlaneConfig(
+        n_stages=schedule.n_stages, collect_timeout_s=2.0 * cycle_s
+    )
+    plane = FlatControlPlane.build(config)
+    env = plane.env
+    primary = plane.global_controller
+    standby = attach_flat_standby(plane)
+    hot = HotStandby(
+        env, primary, standby,
+        heartbeat_interval_s=hb_s, missed_heartbeats=missed,
+    )
+    checker = InvariantChecker(config.policy.allocatable_iops)
+    kill_time: Dict[str, float] = {}
+
+    for action in schedule.actions:
+        # Fault-free cycle duration is a lower bound on progress, so a
+        # kill mapped this way always lands while the run is in flight.
+        when = max(action.cycle, 1) * cycle_s
+        if action.kind == "kill_primary":
+            def kill() -> None:
+                kill_time["at"] = env.now
+                hot.kill_primary()
+
+            env.call_at(when, kill)
+        elif action.kind in ("kill_stage", "stall_stage"):
+            stage = plane.stages[action.target]
+            down_cycles = (
+                SIM_STAGE_KILL_CYCLES
+                if action.kind == "kill_stage"
+                else SIM_STAGE_STALL_CYCLES
+            )
+
+            def down(stage=stage, until=when + down_cycles * cycle_s) -> None:
+                undo = _blackhole_stage(stage)
+                env.call_at(until, undo)
+
+            env.call_at(when, down)
+
+    def sample_invariants():
+        while True:
+            yield env.timeout(cycle_s)
+            _sim_checks(checker, hot.total_cycles(), plane.stages)
+
+    env.process(sample_invariants(), name="chaos-checker")
+    watch = hot.start(schedule.n_cycles)
+    env.run(watch)
+
+    report.cycles_completed = hot.total_cycles()
+    report.cycles_degraded = sum(
+        1 for c in (*primary.cycles, *standby.cycles) if c.degraded
+    )
+    if hot.failover is not None:
+        report.takeovers = 1
+        origin = kill_time.get("at", hot.last_heartbeat_at or 0.0)
+        gap_s = hot.failover.time - origin
+        report.gap_s = gap_s
+        # Bound: heartbeat silence budget + watchdog poll granularity
+        # + one (degraded, timeout-extended) control cycle.
+        checker.check_gap(
+            hot.total_cycles(),
+            gap_s,
+            hb_s * missed + hb_s + 2.0 * cycle_s,
+        )
+    elif schedule.kills_of("kill_primary"):
+        checker.violations.append(
+            Violation(
+                schedule.n_cycles, "gap", "primary killed but no takeover"
+            )
+        )
+    report.violations = checker.violations
+    report.checks = checker.checks
+
+
+# ---------------------------------------------------------------------------
+# Live plane
+# ---------------------------------------------------------------------------
+
+def run_chaos_live(
+    seed: int,
+    design: str = "hier",
+    n_stages: int = 9,
+    n_aggregators: int = 3,
+    n_cycles: int = 12,
+    cycle_period_s: float = 0.1,
+    rehome_bound_cycles: int = 3,
+    schedule: Optional[ChaosSchedule] = None,
+) -> ChaosReport:
+    """Run a seeded chaos schedule against the live asyncio plane.
+
+    ``design="hier"`` exercises aggregator kill/stall with stage
+    re-homing; ``design="flat"`` exercises a primary + hot-standby pair
+    (``kill_primary`` actions) alongside stage faults.
+    """
+    if schedule is None:
+        schedule = generate_schedule(
+            seed, design, n_cycles, n_stages,
+            n_aggregators if design == "hier" else 0,
+        )
+    report = _new_report(schedule, "live")
+    if design == "hier":
+        asyncio.run(
+            _live_hier(schedule, report, cycle_period_s, rehome_bound_cycles)
+        )
+    else:
+        asyncio.run(_live_flat(schedule, report, cycle_period_s))
+    return report
+
+
+_LIVE_BACKOFF = dict(backoff_base_s=0.02, backoff_factor=1.5, backoff_max_s=0.1)
+
+
+def _live_checks(checker: InvariantChecker, cycle: int, stages) -> None:
+    limits = {
+        s.stage_id: s.applied_limit
+        for s in stages
+        if s.applied_limit is not None
+    }
+    epochs = {
+        s.stage_id: s.applied_epoch
+        for s in stages
+        if s.applied_epoch is not None
+    }
+    checker.check_capacity(cycle, limits)
+    checker.check_epochs(cycle, epochs)
+
+
+async def _live_hier(
+    schedule: ChaosSchedule,
+    report: ChaosReport,
+    cycle_period_s: float,
+    rehome_bound_cycles: int,
+) -> None:
+    from repro.core.control_plane import default_policy
+    from repro.core.registry import partition_stages
+    from repro.live.aggregator_server import LiveAggregator
+    from repro.live.controller_server import LiveHierGlobalController
+    from repro.live.faults import (
+        LiveFaultLog,
+        kill_aggregator,
+        kill_stage,
+        stall_aggregator,
+        stall_stage,
+    )
+    from repro.live.stage_client import LiveVirtualStage
+
+    policy = default_policy(schedule.n_stages)
+    controller = LiveHierGlobalController(
+        policy,
+        expected_aggregators=schedule.n_aggregators,
+        collect_timeout_s=0.5,
+        dead_after_missed=2,
+    )
+    await controller.start()
+    stage_ids = [f"stage-{i:05d}" for i in range(schedule.n_stages)]
+    partitions = partition_stages(stage_ids, schedule.n_aggregators)
+    aggregators: List[LiveAggregator] = []
+    stages: List[LiveVirtualStage] = []
+    tasks: List[asyncio.Task] = []
+    for a, owned in enumerate(partitions):
+        agg = LiveAggregator(
+            f"aggregator-{a:02d}",
+            controller.host,
+            controller.port,
+            expected_stages=len(owned),
+            collect_timeout_s=0.3,
+        )
+        await agg.start()
+        aggregators.append(agg)
+        for stage_id in owned:
+            stage = LiveVirtualStage(
+                agg.host,
+                agg.port,
+                stage_id=stage_id,
+                job_id=stage_id.replace("stage", "job"),
+                controller_timeout_s=1.0,
+                **_LIVE_BACKOFF,
+            )
+            stages.append(stage)
+            tasks.append(asyncio.create_task(stage.run()))
+        tasks.append(asyncio.create_task(agg.run()))
+
+    checker = InvariantChecker(policy.allocatable_iops, rehome_bound_cycles)
+    fault_log = LiveFaultLog()
+    stall_tasks: List[asyncio.Task] = []
+    killed: set = set()
+    try:
+        await controller.wait_for_aggregators()
+        for cycle in range(schedule.n_cycles):
+            for action in schedule.at_cycle(cycle):
+                if action.kind == "kill_aggregator":
+                    if action.target not in killed:
+                        killed.add(action.target)
+                        kill_aggregator(
+                            aggregators[action.target], log=fault_log
+                        )
+                elif action.kind == "stall_aggregator":
+                    if action.target not in killed:
+                        stall_tasks.append(
+                            asyncio.create_task(
+                                stall_aggregator(
+                                    aggregators[action.target],
+                                    action.duration_s,
+                                    log=fault_log,
+                                )
+                            )
+                        )
+                elif action.kind == "kill_stage":
+                    kill_stage(stages[action.target], log=fault_log)
+                elif action.kind == "stall_stage":
+                    stall_tasks.append(
+                        asyncio.create_task(
+                            stall_stage(
+                                stages[action.target],
+                                action.duration_s,
+                                log=fault_log,
+                            )
+                        )
+                    )
+            await controller.run_cycles(1)
+            await asyncio.sleep(cycle_period_s)
+            report.cycles_completed += 1
+            if controller.cycles[-1].degraded:
+                report.cycles_degraded += 1
+            _live_checks(checker, cycle, stages)
+            checker.check_orphans(cycle, controller.orphans)
+        report.rehomes = controller.rehomes
+    finally:
+        for task in stall_tasks:
+            task.cancel()
+        await asyncio.gather(*stall_tasks, return_exceptions=True)
+        await controller.shutdown()
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+    report.violations = checker.violations
+    report.checks = checker.checks
+
+
+async def _live_flat(
+    schedule: ChaosSchedule, report: ChaosReport, cycle_period_s: float
+) -> None:
+    from repro.core.control_plane import default_policy
+    from repro.live.controller_server import LiveGlobalController
+    from repro.live.failover import LiveHotStandby
+    from repro.live.faults import LiveFaultLog, kill_stage, stall_stage
+    from repro.live.stage_client import LiveVirtualStage
+
+    hb_s, missed = 0.1, 3
+    policy = default_policy(schedule.n_stages)
+    primary = LiveGlobalController(
+        policy,
+        expected_stages=schedule.n_stages,
+        collect_timeout_s=0.5,
+        evicted_grace_cycles=5,
+    )
+    standby = LiveGlobalController(
+        policy,
+        expected_stages=schedule.n_stages,
+        collect_timeout_s=0.5,
+        evicted_grace_cycles=5,
+    )
+    await primary.start()
+    await standby.start()
+    stages: List[LiveVirtualStage] = []
+    tasks: List[asyncio.Task] = []
+    for i in range(schedule.n_stages):
+        stage = LiveVirtualStage(
+            primary.host,
+            primary.port,
+            stage_id=f"stage-{i:05d}",
+            job_id=f"job-{i:05d}",
+            alternates=[(standby.host, standby.port)],
+            **_LIVE_BACKOFF,
+        )
+        stages.append(stage)
+        tasks.append(asyncio.create_task(stage.run()))
+
+    checker = InvariantChecker(policy.allocatable_iops)
+    fault_log = LiveFaultLog()
+    hot = LiveHotStandby(
+        primary, standby, heartbeat_interval_s=hb_s, missed_heartbeats=missed
+    )
+    stall_tasks: List[asyncio.Task] = []
+
+    async def inject_and_observe() -> None:
+        # Wall-clock injector + sampler: fire each action at its cycle's
+        # deadline, then sample the invariants once per period.
+        for cycle in range(schedule.n_cycles):
+            for action in schedule.at_cycle(cycle):
+                if action.kind == "kill_primary":
+                    hot.kill_primary()
+                elif action.kind == "kill_stage":
+                    kill_stage(stages[action.target], log=fault_log)
+                elif action.kind == "stall_stage":
+                    stall_tasks.append(
+                        asyncio.create_task(
+                            stall_stage(
+                                stages[action.target],
+                                action.duration_s,
+                                log=fault_log,
+                            )
+                        )
+                    )
+            await asyncio.sleep(cycle_period_s)
+            _live_checks(checker, cycle, stages)
+
+    try:
+        await primary.wait_for_stages()
+        injector = asyncio.create_task(inject_and_observe())
+        cycles = await hot.run_protected(
+            schedule.n_cycles, cycle_period_s=cycle_period_s
+        )
+        injector.cancel()
+        await asyncio.gather(injector, return_exceptions=True)
+        report.cycles_completed = len(cycles)
+        report.cycles_degraded = sum(1 for c in cycles if c.degraded)
+        if hot.failover is not None:
+            report.takeovers = 1
+            report.gap_s = hot.failover.gap_s
+            # One cycle's allowance on the live plane = the pacing period
+            # plus the cycle itself (generously bounded by one period).
+            checker.check_gap(
+                schedule.n_cycles,
+                hot.failover.gap_s,
+                hb_s * missed + 2 * cycle_period_s + 0.2,
+            )
+        elif schedule.kills_of("kill_primary"):
+            from repro.chaos.invariants import Violation
+
+            checker.violations.append(
+                Violation(
+                    schedule.n_cycles, "gap", "primary killed but no takeover"
+                )
+            )
+    finally:
+        for task in stall_tasks:
+            task.cancel()
+        await asyncio.gather(*stall_tasks, return_exceptions=True)
+        active = standby if hot.failover is not None else primary
+        await active.shutdown()
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+    report.violations = checker.violations
+    report.checks = checker.checks

@@ -1,0 +1,157 @@
+"""Seeded fault schedules for the chaos harness.
+
+A :class:`ChaosSchedule` is a deterministic function of its seed: the
+same ``(seed, design, n_cycles, n_aggregators, n_stages)`` tuple always
+yields the same fault sequence, so any chaos failure reproduces from the
+seed alone. Schedules are expressed in *cycle* coordinates (inject just
+before cycle ``k``) and translated to wall/sim time by the runners.
+
+Safety constraints keep a schedule survivable by construction — the
+invariants are meant to hold, so the schedule must not ask for the
+impossible:
+
+* at least one aggregator is never killed (orphans need a new home);
+* the global controller is killed at most once (there is one standby);
+* the first cycles are fault-free (registration settles first) and the
+  tail is fault-free (recovery is observable before the run ends).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+__all__ = ["FaultAction", "ChaosSchedule", "generate_schedule"]
+
+#: Fault kinds a schedule may contain, per plane design.
+HIER_KINDS = ("kill_aggregator", "stall_aggregator", "kill_stage", "stall_stage")
+FLAT_KINDS = ("kill_stage", "stall_stage", "kill_primary")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault: inject just before cycle ``cycle`` runs.
+
+    ``target`` indexes the victim (aggregator or stage, by build order);
+    it is ``-1`` for ``kill_primary``. ``duration_s`` only matters for
+    stalls.
+    """
+
+    cycle: int
+    kind: str
+    target: int
+    duration_s: float = 0.0
+
+
+@dataclass
+class ChaosSchedule:
+    """A reproducible fault sequence plus the parameters that made it."""
+
+    seed: int
+    design: str
+    n_cycles: int
+    n_stages: int
+    n_aggregators: int
+    actions: List[FaultAction] = field(default_factory=list)
+
+    def at_cycle(self, cycle: int) -> List[FaultAction]:
+        """Actions to inject just before ``cycle`` runs."""
+        return [a for a in self.actions if a.cycle == cycle]
+
+    def kills_of(self, kind: str) -> List[FaultAction]:
+        return [a for a in self.actions if a.kind == kind]
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "design": self.design,
+            "n_cycles": self.n_cycles,
+            "n_stages": self.n_stages,
+            "n_aggregators": self.n_aggregators,
+            "actions": [asdict(a) for a in self.actions],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def generate_schedule(
+    seed: int,
+    design: str,
+    n_cycles: int,
+    n_stages: int,
+    n_aggregators: int = 0,
+    fault_rate: float = 0.35,
+    stall_s: float = 0.3,
+    warmup_cycles: int = 2,
+    cooldown_cycles: int = 3,
+) -> ChaosSchedule:
+    """Draw a survivable fault schedule from ``random.Random(seed)``.
+
+    ``fault_rate`` is the per-cycle probability of injecting one fault
+    during the eligible window ``[warmup_cycles, n_cycles -
+    cooldown_cycles)``. ``design`` is ``"hier"`` (aggregator tree) or
+    ``"flat"`` (primary + hot standby).
+    """
+    if design not in ("hier", "flat"):
+        raise ValueError(f"unknown chaos design: {design}")
+    if design == "hier" and n_aggregators < 2:
+        raise ValueError("hier chaos needs >= 2 aggregators (one must survive)")
+    if not 0.0 <= fault_rate <= 1.0:
+        raise ValueError(f"fault_rate must be in [0, 1]: {fault_rate}")
+    first = warmup_cycles
+    last = n_cycles - cooldown_cycles
+    if last <= first:
+        raise ValueError(
+            f"no eligible fault window: {n_cycles} cycles with "
+            f"warmup={warmup_cycles}, cooldown={cooldown_cycles}"
+        )
+    rng = random.Random(seed)
+    kinds = HIER_KINDS if design == "hier" else FLAT_KINDS
+    aggs_killed: set = set()
+    primary_killed = False
+    actions: List[FaultAction] = []
+    for cycle in range(first, last):
+        if rng.random() >= fault_rate:
+            continue
+        kind = rng.choice(kinds)
+        if kind == "kill_aggregator":
+            # Keep at least one aggregator alive, forever.
+            alive = [a for a in range(n_aggregators) if a not in aggs_killed]
+            if len(alive) < 2:
+                kind = "stall_aggregator"
+            else:
+                target = rng.choice(alive)
+                aggs_killed.add(target)
+                actions.append(FaultAction(cycle, kind, target))
+                continue
+        if kind == "stall_aggregator":
+            alive = [a for a in range(n_aggregators) if a not in aggs_killed]
+            actions.append(
+                FaultAction(cycle, kind, rng.choice(alive), duration_s=stall_s)
+            )
+        elif kind == "kill_primary":
+            if primary_killed:
+                kind = "stall_stage"  # budget spent; fall through below
+            else:
+                primary_killed = True
+                actions.append(FaultAction(cycle, kind, -1))
+                continue
+        if kind == "kill_stage":
+            actions.append(FaultAction(cycle, kind, rng.randrange(n_stages)))
+        elif kind == "stall_stage":
+            actions.append(
+                FaultAction(
+                    cycle, kind, rng.randrange(n_stages), duration_s=stall_s
+                )
+            )
+    return ChaosSchedule(
+        seed=seed,
+        design=design,
+        n_cycles=n_cycles,
+        n_stages=n_stages,
+        n_aggregators=n_aggregators,
+        actions=actions,
+    )

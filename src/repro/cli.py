@@ -10,6 +10,7 @@ Usage (installed as ``python -m repro``):
     python -m repro reproduce fig4            # paper-vs-measured tables
     python -m repro plan --nodes 9408 --target-ms 100
     python -m repro live --stages 50 --cycles 20
+    python -m repro chaos --plane live --design hier --seed 7
     python -m repro calibrate
 
 Every command supports ``--json`` for machine-readable output.
@@ -350,6 +351,40 @@ def _cmd_live(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.chaos import run_chaos_live, run_chaos_sim
+
+    if args.plane == "sim":
+        report = run_chaos_sim(
+            args.seed,
+            design=args.design,
+            n_stages=args.stages,
+            n_aggregators=args.aggregators,
+            n_cycles=args.cycles,
+        )
+    else:
+        report = run_chaos_live(
+            args.seed,
+            design=args.design,
+            n_stages=args.stages,
+            n_aggregators=args.aggregators,
+            n_cycles=args.cycles,
+            cycle_period_s=args.cycle_period,
+        )
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote chaos report -> {args.report_out}", file=sys.stderr)
+    text = report.summary()
+    if report.violations:
+        text += "\n" + "\n".join(
+            f"  cycle {v.cycle} [{v.invariant}] {v.detail}"
+            for v in report.violations
+        )
+    _emit(report.to_dict(), text, args.json)
+    return 0 if report.ok else 1
+
+
 def _cmd_archive(args) -> int:
     from repro.harness.store import RunArchive, result_to_dict
 
@@ -505,6 +540,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 picks an ephemeral port)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_live)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a seeded fault schedule and check invariants "
+             "(exit 1 on violation)",
+    )
+    p.add_argument("--plane", choices=("sim", "live"), default="live")
+    p.add_argument("--design", choices=("hier", "flat"), default="hier",
+                   help="hier = aggregator tree (kill/stall aggregators); "
+                        "flat = primary + hot standby (kill the primary)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="schedule seed; the same seed reproduces the "
+                        "same fault sequence")
+    p.add_argument("--stages", type=int, default=9)
+    p.add_argument("--aggregators", type=int, default=3)
+    p.add_argument("--cycles", type=int, default=12)
+    p.add_argument("--cycle-period", type=float, default=0.1,
+                   help="live-plane cycle pacing in seconds")
+    p.add_argument("--report-out", type=str, default=None,
+                   help="write the JSON chaos report here (CI artifact)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "archive", help="save, list, and inspect stored experiment runs"

@@ -402,9 +402,13 @@ class GlobalController(_ControllerBase):
                 cm.tx_request_s,
             )
 
+        reported_stages = 0
+
         def on_report(msg) -> None:
+            nonlocal reported_stages
             _, data = msg.payload
             if isinstance(data, AggregatedMetrics):
+                reported_stages += len(data.stage_ids)
                 for i, stage_id in enumerate(data.stage_ids):
                     report = StageMetrics(
                         stage_id=stage_id,
@@ -416,6 +420,7 @@ class GlobalController(_ControllerBase):
                     self.latest_metrics[stage_id] = report
                     self.window.update(stage_id, report.total_iops)
             else:
+                reported_stages += 1
                 self.latest_metrics[data.stage_id] = data
                 self.window.update(data.stage_id, data.total_iops)
 
@@ -500,6 +505,11 @@ class GlobalController(_ControllerBase):
                 compute_s=t_compute,
                 enforce_s=t_enforce,
                 n_stages=n,
+                # Registered stages without a fresh report this epoch —
+                # they rode at last-known demand (same semantics as the
+                # live controllers' degraded-cycle accounting).
+                n_missing=max(0, n - reported_stages),
+                timed_out=got < expected,
             )
         )
         if self.tracer.enabled:

@@ -27,7 +27,12 @@ from typing import Generator, List, Optional
 from repro.core.controller import GlobalController
 from repro.simnet.engine import Environment, Interrupt, Process
 
-__all__ = ["FailoverEvent", "HotStandby", "attach_flat_standby"]
+__all__ = [
+    "FailoverEvent",
+    "HotStandby",
+    "attach_flat_standby",
+    "attach_hier_standby",
+]
 
 #: Heartbeat wire size (tiny control message).
 HEARTBEAT_BYTES = 24
@@ -77,6 +82,7 @@ class HotStandby:
         self.missed_heartbeats = int(missed_heartbeats)
         self.last_heartbeat_at: Optional[float] = None
         self.last_primary_epoch = 0
+        self._state_snapshot: Optional[tuple] = None
         self.failover: Optional[FailoverEvent] = None
         self.heartbeats_sent = 0
         self._hb_proc: Optional[Process] = None
@@ -134,6 +140,16 @@ class HotStandby:
                 # negligible next to cycle traffic.
                 self.last_heartbeat_at = self.env.now
                 self.last_primary_epoch = self.primary.epoch
+                # The heartbeat carries a state snapshot (latest demand and
+                # rules), so a takeover preserves the primary's reservations
+                # for partitions that are currently dark — without it the
+                # standby would re-allocate a dead partition's share to the
+                # survivors while its zombie stages still enforce old rules.
+                self._state_snapshot = (
+                    dict(self.primary.latest_metrics),
+                    dict(self.primary.latest_rules),
+                    self.primary.window.snapshot(),
+                )
                 self.heartbeats_sent += 1
                 self.primary.host.charge(1e-6)
         except Interrupt:
@@ -161,6 +177,13 @@ class HotStandby:
             # primary traffic via their staleness checks.
             last_known = max(self.last_primary_epoch, self.primary.epoch)
             resume_epoch = last_known + EPOCH_SLACK
+            if self._state_snapshot is not None:
+                metrics, rules, demands = self._state_snapshot
+                for stage_id, report in metrics.items():
+                    self.standby.latest_metrics.setdefault(stage_id, report)
+                for stage_id, rule in rules.items():
+                    self.standby.latest_rules.setdefault(stage_id, rule)
+                self.standby.window.adopt(demands)
             self.failover = FailoverEvent(
                 time=self.env.now,
                 last_primary_epoch=last_known,
@@ -202,5 +225,55 @@ def attach_flat_standby(plane) -> GlobalController:
             stage.stage_id,
             stage.job_id,
             ChildChannel(stage.stage_id, "stage", conn, endpoint),
+        )
+    return standby
+
+
+def attach_hier_standby(plane) -> GlobalController:
+    """Add a hot-standby *global* controller to a built hierarchical plane.
+
+    The standby pre-establishes its own connection to every **top-level**
+    aggregator (aggregators serve requests over whichever upstream
+    connection they arrive on), so after a take-over it drives the same
+    tree the primary did — including any aggregator that is currently
+    crashed, whose partition simply rides at last-known demand through
+    the standby's collect timeout. Returns the standby, ready to be
+    wrapped in a :class:`HotStandby` with ``plane.global_controller``.
+    """
+    from repro.core.controller import ChildChannel
+
+    config = plane.config
+    cluster = plane.cluster
+    primary = plane.global_controller
+    host = plane._controller_host("standby-ctrl")
+    endpoint = cluster.network.attach(host, "standby-controller")
+    standby = GlobalController(
+        plane.env,
+        host,
+        endpoint,
+        policy=config.policy,
+        algorithm=config.algorithm,
+        costs=config.costs,
+        collect_timeout_s=config.collect_timeout_s,
+        name="standby",
+    )
+    stage_jobs = {s.stage_id: s.job_id for s in plane.stages}
+    top_level = {
+        c.child_id: c for c in primary.children if c.kind == "aggregator"
+    }
+    for agg in plane.aggregators:
+        channel = top_level.get(agg.agg_id)
+        if channel is None:
+            continue  # sub-aggregator of a 3-level tree; not a direct child
+        conn = cluster.network.connect(endpoint, agg.endpoint)
+        standby.add_aggregator(
+            ChildChannel(
+                agg.agg_id,
+                "aggregator",
+                conn,
+                endpoint,
+                stage_ids=channel.stage_ids,
+            ),
+            stage_jobs,
         )
     return standby

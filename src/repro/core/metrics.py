@@ -142,5 +142,19 @@ class MetricsWindow:
         """Drop state for a departed stage."""
         self._ewma.pop(stage_id, None)
 
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of the smoothed demands (hot-standby state transfer)."""
+        return dict(self._ewma)
+
+    def adopt(self, demands: Dict[str, float]) -> None:
+        """Install demands for stages with no local observation.
+
+        Used on hot-standby takeover: locally observed stages keep their
+        own (fresher) smoothed value; stages the standby never heard from
+        inherit the primary's last-known demand.
+        """
+        for stage_id, value in demands.items():
+            self._ewma.setdefault(stage_id, value)
+
     def __len__(self) -> int:
         return len(self._ewma)

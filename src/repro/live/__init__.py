@@ -11,16 +11,25 @@ time per cycle; absolute values differ from Frontera's, shapes hold).
 The live plane carries the same failure semantics as the simulated one
 (paper §VI): phase deadlines with partial collect, dead-session
 eviction, stage reconnect with backoff, and a fault injector
-(:mod:`repro.live.faults`) for kill/stall/flaky-socket scenarios.
+(:mod:`repro.live.faults`) for kill/stall/flaky-socket scenarios — for
+stages and aggregators alike. On top of that ride the control-tree
+fault-tolerance mechanisms: aggregator failover with stage re-homing
+(topology/``rehome``/``partition_update`` frames, alternate-address
+rotation in the stage client) and a hot standby for the global
+controller (:mod:`repro.live.failover`) with the same heartbeat /
+epoch-slack semantics as the simulated :mod:`repro.core.failover`.
 
 Entry point: :func:`~repro.live.harness.run_live_flat` (or the
 ``examples/live_cluster.py`` script).
 """
 
+from repro.live.failover import LiveFailoverEvent, LiveHotStandby
 from repro.live.faults import (
     LiveFaultLog,
     flaky_socket,
+    kill_aggregator,
     kill_stage,
+    stall_aggregator,
     stall_stage,
 )
 from repro.live.harness import (
@@ -30,11 +39,15 @@ from repro.live.harness import (
 )
 
 __all__ = [
+    "LiveFailoverEvent",
     "LiveFaultLog",
+    "LiveHotStandby",
     "LiveRunResult",
     "flaky_socket",
+    "kill_aggregator",
     "kill_stage",
     "run_live_flat",
     "run_live_hierarchical",
+    "stall_aggregator",
     "stall_stage",
 ]

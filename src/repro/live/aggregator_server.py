@@ -20,13 +20,28 @@ socket dies is evicted (and may re-register); with ``collect_timeout_s``
 set, slow stages are left behind at their last-known demand and the
 upstream reply reports how many were missing (``n_missing``), so the
 global controller's degraded-cycle accounting spans the whole hierarchy.
+
+Re-homing support (paper §VI dependability): the aggregator advertises
+its listen address in the upstream hello; the global controller answers
+every membership change with a ``topology`` frame listing all live
+aggregators, which this aggregator fans out to its stages as ``rehome``
+frames (peer addresses rotated per stage, so a dead aggregator's
+partition spreads across the survivors instead of dog-piling one). A
+stage that registers *after* the upstream link is up is an adoption —
+an orphan fleeing a dead peer — and is announced upstream with a
+``partition_update`` so the global controller re-homes its bookkeeping.
+With ``expected_stages=0`` the aggregator starts as a hot spare: it
+registers upstream immediately with an empty partition and exists only
+to adopt orphans. On upstream loss without an explicit ``shutdown``
+frame the aggregator *releases* its stages (closes their sockets without
+telling them to stop) so they re-home through their reconnect loops.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.live.protocol import ProtocolError, read_message, write_message
 from repro.live.sessions import Session, SessionClosed, gather_phase
@@ -63,8 +78,8 @@ class LiveAggregator:
         usage_meter=None,
         metrics=None,
     ) -> None:
-        if expected_stages < 1:
-            raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
+        if expected_stages < 0:
+            raise ValueError(f"expected_stages must be >= 0: {expected_stages}")
         for name, value in (
             ("collect_timeout_s", collect_timeout_s),
             ("enforce_timeout_s", enforce_timeout_s),
@@ -98,9 +113,23 @@ class LiveAggregator:
         self.cycles_served = 0
         self.evictions = 0
         self.registrations_rejected = 0
+        #: Live peer aggregators ``(host, port)`` from the last topology
+        #: frame, excluding this aggregator — the stages' rehome targets.
+        self.peer_addresses: List[Tuple[str, int]] = []
+        #: ``rehome`` frames pushed to stages.
+        self.rehomes_sent = 0
+        #: Stages adopted after upstream registration (orphans re-homed
+        #: here), announced upstream via ``partition_update``.
+        self.adoptions = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._all_registered = asyncio.Event()
+        if expected_stages == 0:  # hot spare: nothing to wait for
+            self._all_registered.set()
         self._stop = asyncio.Event()
+        self._paused = asyncio.Event()
+        self._paused.set()
+        self._up_writer: Optional[asyncio.StreamWriter] = None
+        self._killed = False
 
     def _cpu(self):
         """CPU-attribution context for synchronous critical sections."""
@@ -111,6 +140,58 @@ class LiveAggregator:
         nbytes = await write_message(up_writer, message)
         if self.meter is not None:
             self.meter.add_tx(nbytes)
+
+    # -- fault-injection hooks (see repro.live.faults) -----------------------
+    def kill(self) -> None:
+        """Die abruptly: abort every socket, stop listening (process kill).
+
+        The global controller sees EOF and orphans this partition; the
+        stages see EOF (then connection-refused on retry) and rotate to
+        the alternate aggregators they learnt from ``rehome`` frames.
+        """
+        self._killed = True
+        up = self._up_writer
+        if up is not None and up.transport is not None:
+            up.transport.abort()
+        for session in list(self.sessions.values()):
+            if session.writer.transport is not None:
+                session.writer.transport.abort()
+        if self._server is not None:
+            self._server.close()
+
+    def pause(self) -> None:
+        """Stall: stop handling upstream frames; sockets stay open."""
+        self._paused.clear()
+
+    def resume(self) -> None:
+        """Resume after :meth:`pause`; the backlog is then served."""
+        self._paused.set()
+
+    # -- re-homing ------------------------------------------------------------
+    def _alternates_for(self, index: int) -> List[List[object]]:
+        """Peer addresses rotated by ``index`` (spread re-homed stages)."""
+        peers = self.peer_addresses
+        if not peers:
+            return []
+        k = index % len(peers)
+        return [[h, p] for h, p in peers[k:] + peers[:k]]
+
+    async def _apply_topology(self, aggregators: List[dict]) -> None:
+        """Adopt a topology frame: remember peers, re-arm every stage."""
+        self.peer_addresses = [
+            (a["host"], int(a["port"]))
+            for a in aggregators
+            if a.get("aggregator_id") != self.aggregator_id
+        ]
+        for i, stage_id in enumerate(sorted(self.sessions)):
+            session = self.sessions[stage_id]
+            try:
+                await session.send(
+                    {"kind": "rehome", "alternates": self._alternates_for(i)}
+                )
+                self.rehomes_sent += 1
+            except SessionClosed:
+                await self._evict(session)
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -152,10 +233,31 @@ class LiveAggregator:
             return
         session = _StageSession(stage_id, job_id, reader, writer, meter=self.meter)
         self.sessions[session.stage_id] = session
-        await write_message(writer, {"kind": "registered"})
+        # Late joiners get the current alternate list with the ack, so a
+        # re-homed orphan is immediately armed against *this* home dying.
+        ack: dict = {"kind": "registered"}
+        if self.peer_addresses:
+            ack["alternates"] = self._alternates_for(len(self.sessions) - 1)
+        await write_message(writer, ack)
         session.start()
         if len(self.sessions) >= self.expected_stages:
             self._all_registered.set()
+        # A registration after the upstream link is up is an adoption
+        # (an orphan re-homing here, or one of our own stages returning);
+        # the global controller dedups re-registrations of owned stages.
+        if self._up_writer is not None:
+            self.adoptions += 1
+            try:
+                await self._send_up(
+                    self._up_writer,
+                    {
+                        "kind": "partition_update",
+                        "aggregator_id": self.aggregator_id,
+                        "added": [{"stage_id": stage_id, "job_id": job_id}],
+                    },
+                )
+            except (ConnectionError, OSError):
+                pass  # upstream is dying; the next topology pass catches up
 
     async def _evict(self, session: _StageSession) -> None:
         if self.sessions.get(session.stage_id) is session:
@@ -171,6 +273,7 @@ class LiveAggregator:
         reader, writer = await asyncio.open_connection(
             self.global_host, self.global_port
         )
+        self._up_writer = writer
         try:
             await self._send_up(
                 writer,
@@ -181,6 +284,8 @@ class LiveAggregator:
                     "job_ids": [
                         self.sessions[s].job_id for s in sorted(self.sessions)
                     ],
+                    "host": self.host,
+                    "port": self.port,
                 },
             )
             ack = await read_message(reader)
@@ -191,13 +296,27 @@ class LiveAggregator:
             while not self._stop.is_set():
                 try:
                     message, nbytes = await read_frame(reader)
-                except asyncio.IncompleteReadError:
+                except (
+                    asyncio.IncompleteReadError,
+                    ProtocolError,
+                    ConnectionError,
+                    OSError,
+                ):
                     break
                 if self.meter is not None:
                     self.meter.add_rx(nbytes)
+                await self._paused.wait()
                 await self._handle(message, writer)
         finally:
-            await self._shutdown_stages()
+            self._up_writer = None
+            if self._stop.is_set():
+                # Deliberate shutdown: take the stages down with us.
+                await self._shutdown_stages()
+            else:
+                # Upstream lost (global death, our kill): *release* the
+                # stages — close their sockets without a shutdown frame so
+                # their reconnect loops re-home them to live aggregators.
+                await self._release_stages()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -212,6 +331,8 @@ class LiveAggregator:
             await self._collect(message["epoch"], up_writer)
         elif kind == "rule_batch":
             await self._distribute(message, up_writer)
+        elif kind == "topology":
+            await self._apply_topology(message.get("aggregators", []))
         elif kind == "shutdown":
             self._stop.set()
 
@@ -314,5 +435,11 @@ class LiveAggregator:
                 await session.send({"kind": "shutdown"})
             except SessionClosed:
                 pass
+            await session.close()
+        self.sessions.clear()
+
+    async def _release_stages(self) -> None:
+        """Drop stage sessions *without* telling the stages to stop."""
+        for session in list(self.sessions.values()):
             await session.close()
         self.sessions.clear()

@@ -89,6 +89,14 @@ class _LiveControllerBase:
         self.evictions = 0
         #: Registrations rejected (duplicate id, malformed hello).
         self.registrations_rejected = 0
+        #: Last computed allocation per stage id (chaos invariant probe).
+        self.last_allocations: Dict[str, float] = {}
+        #: Standby-side heartbeat intake (see repro.live.failover): a
+        #: primary controller connects with a ``heartbeat`` hello and
+        #: streams epochs; the watchdog reads these fields.
+        self.last_heartbeat_at: Optional[float] = None
+        self.last_primary_epoch = 0
+        self.heartbeats_received = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._all_registered = asyncio.Event()
         # Instruments resolved once — registry lookups (label-key sort +
@@ -184,6 +192,19 @@ class _LiveControllerBase:
             self._server.close()
             await self._server.wait_closed()
 
+    def kill(self) -> None:
+        """Die abruptly: abort every child socket, stop listening.
+
+        The live counterpart of killing the controller process — children
+        see EOF (not a ``shutdown`` frame) and their reconnect loops
+        rotate to alternate addresses (e.g. the hot standby).
+        """
+        for session in list(self.sessions.values()):
+            if session.writer.transport is not None:
+                session.writer.transport.abort()
+        if self._server is not None:
+            self._server.close()
+
     @property
     def stale_messages(self) -> int:
         """Frames drained as stale across all live sessions."""
@@ -195,6 +216,9 @@ class _LiveControllerBase:
             hello = await read_message(reader)
         except (asyncio.IncompleteReadError, ProtocolError, ConnectionError, OSError):
             writer.close()
+            return
+        if hello.get("kind") == "heartbeat":
+            await self._heartbeat_loop(hello, reader, writer)
             return
         if hello.get("kind") != self._register_kind:
             writer.close()
@@ -209,9 +233,34 @@ class _LiveControllerBase:
         session.start()
         if len(self.sessions) >= self._expected:
             self._all_registered.set()
+        await self._after_register(session)
         # The controller drives all further I/O through the session's
         # frame pump; the handler returns and the streams stay owned by
         # the session.
+
+    async def _heartbeat_loop(self, first: dict, reader, writer) -> None:
+        """Consume a primary's heartbeat stream (this side is standby)."""
+        message = first
+        try:
+            while True:
+                if message.get("kind") == "heartbeat":
+                    self.last_heartbeat_at = time.monotonic()
+                    self.last_primary_epoch = max(
+                        self.last_primary_epoch, int(message.get("epoch", 0))
+                    )
+                    self.heartbeats_received += 1
+                message = await read_message(reader)
+        except (asyncio.IncompleteReadError, ProtocolError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+
+    async def _after_register(self, session: Session) -> None:
+        """Hook run after a child registers (hier: topology broadcast)."""
 
     async def _reject(self, writer, reason: str) -> None:
         """Refuse a registration: error reply, then close the connection."""
@@ -235,9 +284,13 @@ class _LiveControllerBase:
             self.evictions += 1
             if self.metrics is not None:
                 self._m_evictions.inc()
+            self._on_evicted(session)
         await session.close()
 
     # Subclass hooks ---------------------------------------------------------
+    def _on_evicted(self, session: Session) -> None:
+        """Bookkeeping hook after a session is dropped (subclasses)."""
+
     def _validate_hello(self, hello: dict) -> Optional[str]:
         raise NotImplementedError
 
@@ -263,6 +316,13 @@ class LiveGlobalController(_LiveControllerBase):
 
     ``collect_timeout_s`` / ``enforce_timeout_s`` bound the collect and
     enforce phases; ``enforce_timeout_s`` defaults to the collect value.
+
+    ``evicted_grace_cycles`` keeps an evicted stage's share *reserved*
+    (its last demand still participates in PSFA, no rule shipped) for
+    that many cycles: a killed-but-restarting stage keeps enforcing its
+    last rule, so redistributing its share immediately would oversubscribe
+    the PFS until it re-registers. 0 (default) redistributes immediately,
+    the seed behaviour.
     """
 
     _register_kind = "register"
@@ -276,12 +336,17 @@ class LiveGlobalController(_LiveControllerBase):
         port: int = 0,
         collect_timeout_s: Optional[float] = None,
         enforce_timeout_s: Optional[float] = None,
+        evicted_grace_cycles: int = 0,
         span_tracer=None,
         usage_meter=None,
         metrics=None,
     ) -> None:
         if expected_stages < 1:
             raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
+        if evicted_grace_cycles < 0:
+            raise ValueError(
+                f"evicted_grace_cycles must be >= 0: {evicted_grace_cycles}"
+            )
         for name, value in (
             ("collect_timeout_s", collect_timeout_s),
             ("enforce_timeout_s", enforce_timeout_s),
@@ -302,10 +367,22 @@ class LiveGlobalController(_LiveControllerBase):
         self.enforce_timeout_s = (
             enforce_timeout_s if enforce_timeout_s is not None else collect_timeout_s
         )
+        self.evicted_grace_cycles = evicted_grace_cycles
+        #: Evicted-but-graced stages: id -> (job_id, last_demand, epoch).
+        self.departed: Dict[str, tuple] = {}
 
     async def wait_for_stages(self, timeout_s: float = 30.0) -> None:
         """Block until every expected stage has registered."""
         await asyncio.wait_for(self._all_registered.wait(), timeout=timeout_s)
+
+    def _on_evicted(self, session: Session) -> None:
+        if self.evicted_grace_cycles > 0:
+            self.departed[session.peer_id] = (
+                session.job_id, session.latest_demand, self.epoch
+            )
+
+    async def _after_register(self, session: Session) -> None:
+        self.departed.pop(session.peer_id, None)
 
     def _validate_hello(self, hello: dict) -> Optional[str]:
         stage_id = hello.get("stage_id")
@@ -381,12 +458,28 @@ class LiveGlobalController(_LiveControllerBase):
         compute_started = time.perf_counter()
         with self._cpu():
             job_ids = [s.job_id for s in sessions]
-            demands = np.array([s.latest_demand for s in sessions])
+            demands = [s.latest_demand for s in sessions]
+            # Graced departures still hold their share (they are out there
+            # enforcing their last rule); expired entries are forgotten.
+            registered = set(self.sessions)
+            for stage_id in list(self.departed):
+                job_id, demand, evicted_epoch = self.departed[stage_id]
+                if (
+                    stage_id in registered
+                    or epoch - evicted_epoch > self.evicted_grace_cycles
+                ):
+                    del self.departed[stage_id]
+                    continue
+                job_ids.append(job_id)
+                demands.append(demand)
             weights = self.policy.weights(job_ids)
             result = self.algorithm.allocate(
-                demands, weights, self.policy.allocatable_iops
+                np.array(demands), weights, self.policy.allocatable_iops
             )
-            limits = result.allocations
+            limits = result.allocations[: len(sessions)]
+            self.last_allocations = {
+                s.stage_id: float(limit) for s, limit in zip(sessions, limits)
+            }
         t_compute = time.perf_counter() - compute_started
 
         # ---- enforce ----
@@ -455,9 +548,14 @@ class _AggregatorSession(Session):
         super().__init__(aggregator_id, reader, writer, meter=meter)
         self.stage_ids = list(stage_ids)
         self.job_ids = list(job_ids)
-        self.latest_demands: Dict[str, float] = {}
+        #: Advertised stage-facing listen address (None = not advertised;
+        #: the aggregator is then invisible to topology broadcasts).
+        self.listen_host: Optional[str] = None
+        self.listen_port: Optional[int] = None
         #: Stages the aggregator itself reported missing last cycle.
         self.last_missing = 0
+        #: Consecutive collect epochs without a reply (health signal).
+        self.missed_epochs = 0
 
     @property
     def aggregator_id(self) -> str:
@@ -472,8 +570,24 @@ class LiveHierGlobalController(_LiveControllerBase):
     partitions and ships per-aggregator rule batches — the live
     counterpart of the paper's Fig. 3 deployment. ``n_missing`` on a
     degraded cycle counts *stages* without fresh metrics: every stage
-    behind an absent aggregator, plus stages the aggregators themselves
-    reported missing.
+    behind an absent aggregator, orphaned stages awaiting re-home, plus
+    stages the aggregators themselves reported missing.
+
+    Aggregator fault tolerance (paper §VI): the controller tracks every
+    aggregator's health over two signals — a dead socket (EOF/reset) and
+    ``dead_after_missed`` consecutive collect epochs without a reply (a
+    stalled-but-connected aggregator). A dead aggregator's stages become
+    *orphans*: still enforcing their last rules, so their last-known
+    demand stays in the PSFA input (their share is reserved, never
+    redistributed, and epoch fencing on the stage side discards any late
+    rules from the dead aggregator). Aggregators advertise their listen
+    address at registration; on every membership change the controller
+    broadcasts a ``topology`` frame so each aggregator re-arms its stages
+    with ``rehome`` alternates, and adoption announcements
+    (``partition_update``, an out-of-band frame) move orphans onto their
+    new home — observable as ``stage_rehomes_total`` /
+    ``orphaned_stages`` metrics and ``aggregator_dead``/``rehome`` span
+    events on the controller track.
     """
 
     _register_kind = "register_aggregator"
@@ -489,6 +603,7 @@ class LiveHierGlobalController(_LiveControllerBase):
         port: int = 0,
         collect_timeout_s: Optional[float] = None,
         enforce_timeout_s: Optional[float] = None,
+        dead_after_missed: Optional[int] = None,
         span_tracer=None,
         usage_meter=None,
         metrics=None,
@@ -496,6 +611,10 @@ class LiveHierGlobalController(_LiveControllerBase):
         if expected_aggregators < 1:
             raise ValueError(
                 f"expected_aggregators must be >= 1: {expected_aggregators}"
+            )
+        if dead_after_missed is not None and dead_after_missed < 1:
+            raise ValueError(
+                f"dead_after_missed must be >= 1: {dead_after_missed}"
             )
         for name, value in (
             ("collect_timeout_s", collect_timeout_s),
@@ -517,6 +636,29 @@ class LiveHierGlobalController(_LiveControllerBase):
         self.enforce_timeout_s = (
             enforce_timeout_s if enforce_timeout_s is not None else collect_timeout_s
         )
+        self.dead_after_missed = dead_after_missed
+        #: Last-known demand per stage id — survives its aggregator.
+        self.latest_demand_of: Dict[str, float] = {}
+        #: Stages whose aggregator died: id -> job id. Cleared on re-home.
+        self.orphans: Dict[str, str] = {}
+        #: Epoch at which each current orphan lost its home.
+        self.orphaned_at_epoch: Dict[str, int] = {}
+        #: Orphans moved onto a live aggregator (completed re-homes).
+        self.rehomes = 0
+        #: Aggregators declared dead via the missed-epoch health check.
+        self.aggregators_declared_dead = 0
+        self._topology_dirty = False
+        if metrics is not None:
+            self._m_rehomes = metrics.counter(
+                "repro_stage_rehomes_total",
+                "orphaned stages adopted by a surviving aggregator",
+                role=self._role,
+            )
+            self._m_orphans = metrics.gauge(
+                "repro_orphaned_stages",
+                "stages currently without a live aggregator",
+                role=self._role,
+            )
 
     async def wait_for_aggregators(self, timeout_s: float = 30.0) -> None:
         """Block until every expected aggregator has registered."""
@@ -535,7 +677,7 @@ class LiveHierGlobalController(_LiveControllerBase):
         return None
 
     def _make_session(self, hello: dict, reader, writer) -> _AggregatorSession:
-        return _AggregatorSession(
+        session = _AggregatorSession(
             hello["aggregator_id"],
             hello["stage_ids"],
             hello["job_ids"],
@@ -543,6 +685,13 @@ class LiveHierGlobalController(_LiveControllerBase):
             writer,
             meter=self.meter,
         )
+        if hello.get("host") is not None and hello.get("port") is not None:
+            session.listen_host = str(hello["host"])
+            session.listen_port = int(hello["port"])
+        # Adoption announcements arrive between cycles; keep them out of
+        # the phase inboxes so they are never drained as stale.
+        session.oob_kinds = frozenset({"partition_update"})
+        return session
 
     @property
     def _expected(self) -> int:
@@ -551,6 +700,98 @@ class LiveHierGlobalController(_LiveControllerBase):
     @property
     def n_stages(self) -> int:
         return sum(len(s.stage_ids) for s in self.sessions.values())
+
+    # -- membership / re-homing ----------------------------------------------
+    def _on_evicted(self, session: Session) -> None:
+        """A dead aggregator orphans every stage no other session owns."""
+        owned_elsewhere = set()
+        for other in self.sessions.values():
+            owned_elsewhere.update(other.stage_ids)
+        n_orphaned = 0
+        for stage_id, job_id in zip(session.stage_ids, session.job_ids):
+            if stage_id in owned_elsewhere:
+                continue
+            self.orphans[stage_id] = job_id
+            self.orphaned_at_epoch.setdefault(stage_id, self.epoch)
+            n_orphaned += 1
+        self._topology_dirty = True
+        if self.metrics is not None:
+            self._m_orphans.set(len(self.orphans))
+        if self.tracer.enabled:
+            now = self.tracer.now()
+            self.tracer.emit(
+                "aggregator_dead", now, 0.0,
+                aggregator=session.peer_id, orphans=n_orphaned,
+            )
+
+    def _adopt(self, session: _AggregatorSession, stage_id: str, job_id: str) -> None:
+        """Home ``stage_id`` on ``session``, releasing any prior owner."""
+        was_homed_elsewhere = False
+        for other in self.sessions.values():
+            if other is session or stage_id not in other.stage_ids:
+                continue
+            idx = other.stage_ids.index(stage_id)
+            other.stage_ids.pop(idx)
+            other.job_ids.pop(idx)
+            was_homed_elsewhere = True
+        was_orphan = stage_id in self.orphans
+        self.orphans.pop(stage_id, None)
+        self.orphaned_at_epoch.pop(stage_id, None)
+        if stage_id not in session.stage_ids:
+            session.stage_ids.append(stage_id)
+            session.job_ids.append(job_id)
+        if was_orphan or was_homed_elsewhere:
+            self.rehomes += 1
+            if self.metrics is not None:
+                self._m_rehomes.inc()
+                self._m_orphans.set(len(self.orphans))
+            if self.tracer.enabled:
+                now = self.tracer.now()
+                self.tracer.emit(
+                    "rehome", now, 0.0, stage=stage_id, to=session.peer_id
+                )
+
+    async def _after_register(self, session: Session) -> None:
+        """A (re)joining aggregator may be adopting orphans; re-arm all."""
+        for stage_id, job_id in zip(
+            list(session.stage_ids), list(session.job_ids)
+        ):
+            self._adopt(session, stage_id, job_id)
+        await self._broadcast_topology()
+
+    def _drain_partition_updates(self) -> None:
+        """Apply adoption announcements queued since the last cycle."""
+        for session in list(self.sessions.values()):
+            pending, session.oob = session.oob, []
+            for message in pending:
+                for entry in message.get("added", []):
+                    self._adopt(session, entry["stage_id"], entry["job_id"])
+
+    async def _broadcast_topology(self) -> None:
+        """Tell every aggregator who its live peers are (rehome targets)."""
+        self._topology_dirty = False
+        entries = [
+            {
+                "aggregator_id": s.aggregator_id,
+                "host": s.listen_host,
+                "port": s.listen_port,
+            }
+            for s in self.sessions.values()
+            if s.listen_host is not None
+        ]
+        for session in list(self.sessions.values()):
+            try:
+                await session.send({"kind": "topology", "aggregators": entries})
+            except SessionClosed:
+                # Its death is handled by the cycle path; don't recurse.
+                pass
+
+    async def _declare_dead(self, session: _AggregatorSession) -> None:
+        """Health verdict: too many missed epochs — cut the socket loose."""
+        self.aggregators_declared_dead += 1
+        if session.writer.transport is not None:
+            session.writer.transport.abort()
+        await self._evict(session)
 
     async def run_cycles(self, n_cycles: int) -> List[ControlCycle]:
         """Run ``n_cycles`` back-to-back cycles; returns their records."""
@@ -561,6 +802,12 @@ class LiveHierGlobalController(_LiveControllerBase):
         return self.cycles
 
     async def _cycle(self) -> None:
+        # Membership first: adoptions announced since the last cycle move
+        # orphans onto their new homes, and a changed tree is re-broadcast
+        # so every stage's alternate list stays current.
+        self._drain_partition_updates()
+        if self._topology_dirty:
+            await self._broadcast_topology()
         self.epoch += 1
         epoch = self.epoch
         sessions: List[_AggregatorSession] = [
@@ -588,7 +835,7 @@ class LiveHierGlobalController(_LiveControllerBase):
 
         async def read_agg_reply(s: _AggregatorSession) -> None:
             m = await s.expect("agg_metrics_reply", epoch)
-            s.latest_demands.update(zip(m["stage_ids"], m["demands"]))
+            self.latest_demand_of.update(zip(m["stage_ids"], m["demands"]))
             # Missing = stages the aggregator flagged as silent, plus any
             # registered stages it evicted and no longer reports at all.
             s.last_missing = int(m.get("n_missing", 0)) + max(
@@ -609,29 +856,63 @@ class LiveHierGlobalController(_LiveControllerBase):
             absent.append(s)
             if not s.connected:
                 await self._evict(s)
+        # Health: consecutive silent epochs mark a connected-but-dead
+        # aggregator (stall, partition) for declaration.
         for s in sessions:
             if s in absent:
-                n_missing += len(s.stage_ids)
+                s.missed_epochs += 1
+            else:
+                s.missed_epochs = 0
+        if self.dead_after_missed is not None:
+            for s in sessions:
+                if (
+                    s.missed_epochs >= self.dead_after_missed
+                    and self.sessions.get(s.aggregator_id) is s
+                ):
+                    await self._declare_dead(s)
+        # Stages without fresh metrics: the absent aggregators' partitions
+        # (dedup'd against orphans below — an aggregator evicted this very
+        # cycle already turned its stages into orphans) plus counts the
+        # live aggregators reported themselves.
+        unreported: Set[str] = set()
+        for s in sessions:
+            if s in absent:
+                unreported.update(s.stage_ids)
             else:
                 n_missing += s.last_missing
         t_collect = time.perf_counter() - started
 
-        # ---- compute (PSFA over all partitions, last-known for absent) ----
+        # ---- compute (PSFA over all partitions, last-known for absent;
+        # orphans keep their reserved share so survivors are never
+        # over-allocated while a dead aggregator's stages still enforce
+        # their last rules) ----
         compute_started = time.perf_counter()
         with self._cpu():
             stage_ids: List[str] = []
             job_ids: List[str] = []
             demands: List[float] = []
             for s in sessions:
+                if self.sessions.get(s.aggregator_id) is not s:
+                    continue  # declared dead above; its stages are orphans
                 for stage_id, job_id in zip(s.stage_ids, s.job_ids):
                     stage_ids.append(stage_id)
                     job_ids.append(job_id)
-                    demands.append(s.latest_demands.get(stage_id, 0.0))
+                    demands.append(self.latest_demand_of.get(stage_id, 0.0))
+            homed = set(stage_ids)
+            orphan_ids = [o for o in sorted(self.orphans) if o not in homed]
+            for stage_id in orphan_ids:
+                stage_ids.append(stage_id)
+                job_ids.append(self.orphans[stage_id])
+                demands.append(self.latest_demand_of.get(stage_id, 0.0))
             result = self.algorithm.allocate(
                 np.array(demands), self.policy.weights(job_ids),
                 self.policy.allocatable_iops,
             )
             limit_of = dict(zip(stage_ids, result.allocations))
+            self.last_allocations = {
+                sid: float(limit) for sid, limit in limit_of.items()
+            }
+        n_missing += len((unreported - homed) | set(orphan_ids))
         t_compute = time.perf_counter() - compute_started
 
         # ---- enforce (rule batches) ----
@@ -651,7 +932,10 @@ class LiveHierGlobalController(_LiveControllerBase):
                                     "stage_id": stage_id,
                                     "data_iops_limit": float(limit_of[stage_id]),
                                 }
+                                # Adopted mid-cycle stages (not in limit_of
+                                # yet) wait for the next cycle's rules.
                                 for stage_id in s.stage_ids
+                                if stage_id in limit_of
                             ],
                         }
                     )

@@ -15,6 +15,14 @@ simulated actors:
 * :func:`flaky_socket` — wrap the stage's current connection so it
   aborts after N more frames are written, exercising mid-phase
   connection loss (enforce-time and collect-time eviction paths).
+* :func:`kill_aggregator` — abort every socket of a live aggregator
+  (upstream and stage-facing) and close its server: the global
+  controller orphans the partition and the stages re-home to surviving
+  aggregators via their alternate-address rotation.
+* :func:`stall_aggregator` — freeze an aggregator's upstream frame
+  handling for a window without closing any socket; the global
+  controller's ``dead_after_missed`` health check declares it dead, and
+  the stages' ``controller_timeout_s`` silence watchdogs rotate away.
 * :class:`LiveFaultLog` — wall-clock record of injected events, for
   assertions, mirroring :class:`repro.core.failures.FailureLog`.
 """
@@ -26,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.live.aggregator_server import LiveAggregator
 from repro.live.stage_client import LiveVirtualStage
 
 __all__ = [
@@ -33,7 +42,9 @@ __all__ = [
     "LiveFaultEvent",
     "LiveFaultLog",
     "flaky_socket",
+    "kill_aggregator",
     "kill_stage",
+    "stall_aggregator",
     "stall_stage",
 ]
 
@@ -105,6 +116,51 @@ async def stall_stage(
     finally:
         stage.resume()
         log.record(stage.stage_id, "resume")
+    return log
+
+
+def kill_aggregator(
+    aggregator: LiveAggregator,
+    log: Optional[LiveFaultLog] = None,
+) -> LiveFaultLog:
+    """Kill ``aggregator`` right now (simulated controller-node loss).
+
+    Upstream and stage-facing sockets are aborted and the listening
+    socket is closed: the global controller sees EOF and orphans the
+    partition; the stages see EOF, then connection-refused on retry, and
+    rotate to the alternates learnt from ``rehome`` frames. A killed
+    aggregator does not come back.
+    """
+    log = log if log is not None else LiveFaultLog()
+    aggregator.kill()
+    log.record(aggregator.aggregator_id, "kill")
+    return log
+
+
+async def stall_aggregator(
+    aggregator: LiveAggregator,
+    duration_s: float,
+    log: Optional[LiveFaultLog] = None,
+) -> LiveFaultLog:
+    """Freeze ``aggregator``'s frame handling for ``duration_s`` seconds.
+
+    All sockets stay open, so both neighbours see silence rather than
+    EOF: the global controller needs ``collect_timeout_s`` (to degrade
+    past it) and ``dead_after_missed`` (to declare it dead); the stages
+    need ``controller_timeout_s`` to rotate away from it. On resume the
+    backlog is served — late replies are drained as stale upstream, and
+    late rules are fenced by the stages' epoch checks.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive: {duration_s}")
+    log = log if log is not None else LiveFaultLog()
+    aggregator.pause()
+    log.record(aggregator.aggregator_id, "stall")
+    try:
+        await asyncio.sleep(duration_s)
+    finally:
+        aggregator.resume()
+        log.record(aggregator.aggregator_id, "resume")
     return log
 
 

@@ -34,6 +34,12 @@ class Session:
     ``meter`` is an optional :class:`repro.obs.procfs.ComponentUsageMeter`;
     when set, every framed byte written to or pumped from this peer is
     charged to the owning controller's NIC columns.
+
+    ``oob_kinds`` names frame kinds that are *out-of-band*: not replies to
+    any phase request (e.g. a ``partition_update`` announcing an adopted
+    stage). The pump diverts them into :attr:`oob` instead of the inbox,
+    so :meth:`expect` never drains them as stale; the session owner reads
+    and clears :attr:`oob` at a convenient boundary (e.g. cycle start).
     """
 
     def __init__(self, peer_id: str, reader, writer, meter=None) -> None:
@@ -43,6 +49,10 @@ class Session:
         self.meter = meter
         self.inbox: asyncio.Queue = asyncio.Queue()
         self.connected = True
+        #: Frame kinds routed to :attr:`oob` instead of the inbox.
+        self.oob_kinds: frozenset = frozenset()
+        #: Out-of-band frames, in arrival order (owner drains).
+        self.oob: List[dict] = []
         #: Frames drained because they were for a finished epoch or an
         #: unexpected kind (late replies after a deadline, duplicates).
         self.stale_messages = 0
@@ -62,7 +72,10 @@ class Session:
                 self.rx_bytes += nbytes
                 if self.meter is not None:
                     self.meter.add_rx(nbytes)
-                self.inbox.put_nowait(message)
+                if message.get("kind") in self.oob_kinds:
+                    self.oob.append(message)
+                else:
+                    self.inbox.put_nowait(message)
         except (
             asyncio.IncompleteReadError,
             ProtocolError,

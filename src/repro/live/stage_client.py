@@ -9,13 +9,24 @@ connection drops — killed socket, controller eviction, restart — retries
 with exponential backoff plus jitter and *re-registers*, so it is picked
 up again by the controller's next cycle. A rejected registration (e.g.
 its old session has not been evicted yet) is retried the same way.
+
+Re-homing (paper §VI dependability): a stage may know *alternate*
+controller addresses — passed at construction (``alternates``) or learnt
+mid-session from a ``rehome`` frame sent by its aggregator once the
+global controller has broadcast the tree topology. A failed connection
+attempt (or a controller that goes silent past ``controller_timeout_s``
+while the socket stays open) rotates to the next address instead of
+spinning on a dead endpoint, so the stages of a dead aggregator migrate
+to its surviving peers within a couple of backoff steps. The epoch
+staleness check (:attr:`applied_epoch` survives reconnects) fences any
+late rules from the previous home.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.live.protocol import ProtocolError, read_message, write_message
 
@@ -24,6 +35,10 @@ __all__ = ["LiveVirtualStage"]
 
 class _RegistrationRejected(RuntimeError):
     """The controller answered the register frame with an error."""
+
+
+class _ControllerSilent(RuntimeError):
+    """No frame arrived within ``controller_timeout_s`` (stalled home)."""
 
 
 class LiveVirtualStage:
@@ -42,6 +57,15 @@ class LiveVirtualStage:
     max_retries:
         Give up after this many consecutive failed attempts
         (``None`` = retry forever until :meth:`stop`).
+    alternates:
+        Extra ``(host, port)`` controller addresses to rotate through
+        when the current home fails (dead aggregator, dead primary). A
+        ``rehome`` frame from the controller replaces this list.
+    controller_timeout_s:
+        Declare the current home silent (and rotate) when no frame
+        arrives for this long while the socket stays open — the stalled
+        aggregator / stalled-primary case, which EOF never surfaces.
+        ``None`` waits forever (the seed behaviour).
     """
 
     def __init__(
@@ -57,6 +81,8 @@ class LiveVirtualStage:
         backoff_max_s: float = 2.0,
         backoff_jitter: float = 0.25,
         max_retries: Optional[int] = None,
+        alternates: Optional[Sequence[Tuple[str, int]]] = None,
+        controller_timeout_s: Optional[float] = None,
     ) -> None:
         if backoff_base_s <= 0 or backoff_max_s <= 0:
             raise ValueError("backoff delays must be positive")
@@ -64,8 +90,15 @@ class LiveVirtualStage:
             raise ValueError(f"backoff_factor must be >= 1: {backoff_factor}")
         if backoff_jitter < 0:
             raise ValueError(f"negative backoff_jitter: {backoff_jitter}")
-        self.host = host
-        self.port = port
+        if controller_timeout_s is not None and controller_timeout_s <= 0:
+            raise ValueError(
+                f"controller_timeout_s must be positive: {controller_timeout_s}"
+            )
+        self.addresses: List[Tuple[str, int]] = [(host, int(port))] + [
+            (h, int(p)) for h, p in (alternates or [])
+        ]
+        self._addr_index = 0
+        self.controller_timeout_s = controller_timeout_s
         self.stage_id = stage_id
         self.job_id = job_id
         self.demand = demand
@@ -85,15 +118,48 @@ class LiveVirtualStage:
         #: Successful registrations after the first (i.e. recoveries).
         self.reconnects = 0
         self.registrations_rejected = 0
+        #: Failed attempts since the last successful registration — the
+        #: backoff schedule's input, reset to 0 the moment a
+        #: ``registered`` ack lands (observable for regression tests).
+        self.consecutive_failures = 0
+        #: Successful registrations at a *different* address than the
+        #: previous home (i.e. completed re-homes / failovers).
+        self.failovers = 0
+        #: ``rehome`` frames accepted (alternate-address updates).
+        self.rehomes_received = 0
+        #: Homes declared silent via ``controller_timeout_s``.
+        self.silence_timeouts = 0
         self.gave_up = False
         self._stop = asyncio.Event()
         self._paused = asyncio.Event()
         self._paused.set()
         self._writer: Optional[asyncio.StreamWriter] = None
+        self._registered_addr: Optional[Tuple[str, int]] = None
+        self._last_silent = False
+
+    @property
+    def host(self) -> str:
+        """Host of the controller currently targeted."""
+        return self.addresses[self._addr_index][0]
+
+    @property
+    def port(self) -> int:
+        """Port of the controller currently targeted."""
+        return self.addresses[self._addr_index][1]
+
+    @property
+    def connected(self) -> bool:
+        """Whether a connection is currently open."""
+        return self._writer is not None
 
     def stop(self) -> None:
         """Ask the serve/reconnect loop to exit."""
         self._stop.set()
+
+    def _rotate_address(self) -> None:
+        """Advance to the next known controller address (wraps around)."""
+        if len(self.addresses) > 1:
+            self._addr_index = (self._addr_index + 1) % len(self.addresses)
 
     # -- fault-injection hooks (see repro.live.faults) -----------------------
     def kill(self) -> None:
@@ -117,8 +183,8 @@ class LiveVirtualStage:
     # -- serve loop -----------------------------------------------------------
     async def run(self) -> None:
         """Connect, register, and serve; reconnects with backoff if enabled."""
-        failures = 0
         while not self._stop.is_set():
+            self._last_silent = False
             try:
                 registered = await self._serve_once()
             except _RegistrationRejected:
@@ -132,14 +198,25 @@ class LiveVirtualStage:
                 registered = False
             if not self.reconnect or self._stop.is_set():
                 return
-            # A spell of healthy service resets the backoff schedule.
-            failures = 1 if registered else failures + 1
-            if self.max_retries is not None and failures > self.max_retries:
+            if registered:
+                # Backoff was reset the moment registration succeeded
+                # (consecutive_failures == 0); one base delay before
+                # reconnecting. A home that went *silent* (socket open,
+                # no frames for controller_timeout_s) is as dead as a
+                # refused one — rotate away instead of re-joining it.
+                attempt = 1
+                if self._last_silent:
+                    self._rotate_address()
+            else:
+                self.consecutive_failures += 1
+                attempt = self.consecutive_failures
+                self._rotate_address()
+            if self.max_retries is not None and attempt > self.max_retries:
                 self.gave_up = True
                 return
             delay = min(
                 self.backoff_max_s,
-                self.backoff_base_s * self.backoff_factor ** (failures - 1),
+                self.backoff_base_s * self.backoff_factor ** (attempt - 1),
             )
             delay *= 1.0 + random.uniform(0.0, self.backoff_jitter)
             try:
@@ -147,6 +224,21 @@ class LiveVirtualStage:
                 return
             except asyncio.TimeoutError:
                 pass
+
+    async def _read(self, reader) -> dict:
+        """One framed read, bounded by the silence watchdog if armed."""
+        if self.controller_timeout_s is None:
+            return await read_message(reader)
+        try:
+            return await asyncio.wait_for(
+                read_message(reader), timeout=self.controller_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.silence_timeouts += 1
+            self._last_silent = True
+            raise _ControllerSilent(
+                f"{self.host}:{self.port} silent for {self.controller_timeout_s}s"
+            ) from None
 
     async def _serve_once(self) -> bool:
         """One connect → register → serve pass.
@@ -166,18 +258,29 @@ class LiveVirtualStage:
                     "job_id": self.job_id,
                 },
             )
-            ack = await read_message(reader)
+            try:
+                ack = await self._read(reader)
+            except _ControllerSilent:
+                return False  # never registered; rotate via the failure path
             if ack["kind"] != "registered":
                 self.registrations_rejected += 1
                 raise _RegistrationRejected(f"registration refused: {ack}")
             self.connects += 1
             if self.connects > 1:
                 self.reconnects += 1
+            self.consecutive_failures = 0
+            addr = self.addresses[self._addr_index]
+            if self._registered_addr is not None and addr != self._registered_addr:
+                self.failovers += 1
+            self._registered_addr = addr
+            self._accept_rehome(ack)
             try:
                 while not self._stop.is_set():
-                    message = await read_message(reader)
+                    message = await self._read(reader)
                     await self._paused.wait()
                     await self._handle(message)
+            except _ControllerSilent:
+                pass  # home stalled; run() rotates to an alternate
             except (
                 ConnectionError,
                 OSError,
@@ -193,6 +296,23 @@ class LiveVirtualStage:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - teardown race
                 pass
+
+    def _accept_rehome(self, message: dict) -> None:
+        """Adopt an alternate-address list (rehome frame or registered ack).
+
+        The current home stays first so rotation only leaves it on
+        failure; duplicates of the current address are dropped.
+        """
+        alternates = message.get("alternates")
+        if alternates is None:
+            return
+        current = self.addresses[self._addr_index]
+        self.addresses = [current] + [
+            (h, int(p)) for h, p in alternates if (h, int(p)) != current
+        ]
+        self._addr_index = 0
+        self._registered_addr = current
+        self.rehomes_received += 1
 
     async def _handle(self, message) -> None:
         writer = self._writer
@@ -221,6 +341,8 @@ class LiveVirtualStage:
             await write_message(
                 writer, {"kind": "rule_ack", "epoch": epoch, "stage_id": self.stage_id}
             )
+        elif kind == "rehome":
+            self._accept_rehome(message)
         elif kind == "shutdown":
             self._stop.set()
         # Unknown kinds ignored (passive endpoint, like the simulated stage).

@@ -1,0 +1,35 @@
+"""Seeded chaos against the live TCP planes: zero invariant violations.
+
+These are the acceptance runs: a real asyncio cluster, wall-clock paced
+cycles, faults injected from the deterministic seed-7 schedule — which
+contains aggregator kills on the hier design and a primary kill on the
+flat design — and the tentpole invariants checked after every cycle.
+"""
+
+from repro.chaos import run_chaos_live
+
+
+class TestLiveHier:
+    def test_seed7_zero_violations(self):
+        report = run_chaos_live(7, "hier")
+        assert report.actions, "seed 7 must actually inject faults"
+        assert report.ok, report.to_json()
+        assert report.cycles_completed == report.n_cycles
+        assert report.checks > 0
+        kills = [a for a in report.actions if a["kind"] == "kill_aggregator"]
+        assert kills, "seed 7 hier schedule is expected to kill aggregators"
+        # Every killed aggregator's stages re-homed to a survivor.
+        assert report.rehomes > 0
+
+
+class TestLiveFlat:
+    def test_seed7_zero_violations_with_takeover(self):
+        report = run_chaos_live(7, "flat")
+        assert report.ok, report.to_json()
+        assert report.cycles_completed == report.n_cycles
+        kill = [a for a in report.actions if a["kind"] == "kill_primary"]
+        assert kill, "seed 7 flat schedule is expected to kill the primary"
+        assert report.takeovers == 1
+        # The measured adaptation gap is present; its bound is enforced
+        # inside the run as the "gap" invariant (ok above covers it).
+        assert report.gap_s is not None and report.gap_s > 0.0

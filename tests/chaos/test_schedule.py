@@ -1,0 +1,86 @@
+"""Schedule generation: determinism and survivability-by-construction."""
+
+import pytest
+
+from repro.chaos import ChaosSchedule, FaultAction, generate_schedule
+from repro.chaos.schedule import FLAT_KINDS, HIER_KINDS
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = generate_schedule(7, "hier", n_cycles=12, n_stages=9, n_aggregators=3)
+        b = generate_schedule(7, "hier", n_cycles=12, n_stages=9, n_aggregators=3)
+        assert a.actions == b.actions
+        assert a.to_json() == b.to_json()
+
+    def test_seed_space_is_not_degenerate(self):
+        """Across a seed sweep the generator produces distinct schedules."""
+        schedules = {
+            generate_schedule(
+                seed, "hier", n_cycles=12, n_stages=9, n_aggregators=3
+            ).to_json()
+            for seed in range(16)
+        }
+        assert len(schedules) > 1
+
+    def test_roundtrip_dict(self):
+        sched = generate_schedule(3, "flat", n_cycles=12, n_stages=6)
+        data = sched.to_dict()
+        rebuilt = ChaosSchedule(
+            seed=data["seed"],
+            design=data["design"],
+            n_cycles=data["n_cycles"],
+            n_stages=data["n_stages"],
+            n_aggregators=data["n_aggregators"],
+            actions=[FaultAction(**a) for a in data["actions"]],
+        )
+        assert rebuilt.actions == sched.actions
+
+
+class TestSafetyConstraints:
+    """The schedule never asks for an unsurvivable cluster state."""
+
+    @pytest.mark.parametrize("seed", range(32))
+    def test_hier_keeps_one_aggregator_alive(self, seed):
+        sched = generate_schedule(
+            seed, "hier", n_cycles=20, n_stages=12, n_aggregators=3, fault_rate=0.9
+        )
+        kills = sched.kills_of("kill_aggregator")
+        assert len(kills) <= sched.n_aggregators - 1
+        # Kills are permanent: no target is killed twice.
+        targets = [a.target for a in kills]
+        assert len(targets) == len(set(targets))
+        for action in sched.actions:
+            assert action.kind in HIER_KINDS
+
+    @pytest.mark.parametrize("seed", range(32))
+    def test_flat_kills_primary_at_most_once(self, seed):
+        sched = generate_schedule(
+            seed, "flat", n_cycles=20, n_stages=8, fault_rate=0.9
+        )
+        assert len(sched.kills_of("kill_primary")) <= 1
+        for action in sched.actions:
+            assert action.kind in FLAT_KINDS
+
+    @pytest.mark.parametrize("seed", range(32))
+    def test_warmup_and_cooldown_are_fault_free(self, seed):
+        sched = generate_schedule(
+            seed,
+            "hier",
+            n_cycles=14,
+            n_stages=9,
+            n_aggregators=3,
+            fault_rate=0.9,
+            warmup_cycles=2,
+            cooldown_cycles=3,
+        )
+        for action in sched.actions:
+            assert 2 <= action.cycle < 14 - 3
+
+    def test_rejects_impossible_windows(self):
+        with pytest.raises(ValueError):
+            generate_schedule(0, "hier", n_cycles=4, n_stages=6, n_aggregators=3)
+        with pytest.raises(ValueError):
+            generate_schedule(0, "hier", n_cycles=12, n_stages=6, n_aggregators=1)
+        with pytest.raises(ValueError):
+            generate_schedule(0, "mesh", n_cycles=12, n_stages=6)

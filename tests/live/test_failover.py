@@ -1,0 +1,144 @@
+"""Live hot-standby failover: bounded takeover over real TCP sockets.
+
+The acceptance scenario for the flat live plane: kill the primary global
+controller mid-run, and the standby must resume cycles with a measured
+QoS-adaptation gap of at most ``heartbeat_interval_s × missed_heartbeats``
+plus one control cycle (which absorbs the stages' reconnect backoff).
+"""
+
+import asyncio
+
+from repro.core.control_plane import default_policy
+from repro.core.failover import EPOCH_SLACK
+from repro.live.controller_server import LiveGlobalController
+from repro.live.failover import LiveHotStandby
+from repro.live.stage_client import LiveVirtualStage
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+_BACKOFF = dict(backoff_base_s=0.02, backoff_factor=1.5, backoff_max_s=0.1)
+
+_HB_S = 0.1
+_MISSED = 3
+#: Silence budget + one paced control cycle + scheduling slack.
+_GAP_BOUND_S = _HB_S * _MISSED + 0.15 + 0.3
+
+
+async def _pair(n_stages, **hot_kwargs):
+    policy = default_policy(n_stages)
+    primary = LiveGlobalController(
+        policy, expected_stages=n_stages, collect_timeout_s=0.5
+    )
+    standby = LiveGlobalController(
+        policy, expected_stages=n_stages, collect_timeout_s=0.5
+    )
+    await primary.start()
+    await standby.start()
+    stages = [
+        LiveVirtualStage(
+            primary.host,
+            primary.port,
+            stage_id=f"s-{i:03d}",
+            job_id=f"j-{i:03d}",
+            alternates=[(standby.host, standby.port)],
+            **_BACKOFF,
+        )
+        for i in range(n_stages)
+    ]
+    tasks = [asyncio.create_task(s.run()) for s in stages]
+    await primary.wait_for_stages(timeout_s=10.0)
+    hot = LiveHotStandby(
+        primary,
+        standby,
+        heartbeat_interval_s=_HB_S,
+        missed_heartbeats=_MISSED,
+        **hot_kwargs,
+    )
+    return hot, primary, standby, stages, tasks
+
+
+async def _teardown(hot, tasks):
+    active = hot.active_controller
+    await active.shutdown()
+    for t in tasks:
+        t.cancel()
+    await asyncio.gather(*tasks, return_exceptions=True)
+
+
+class TestKillPrimary:
+    def test_takeover_within_heartbeat_budget(self):
+        """Acceptance: gap ≤ hb × missed + one control cycle."""
+
+        async def scenario():
+            hot, primary, standby, stages, tasks = await _pair(6)
+            try:
+                run = asyncio.create_task(
+                    hot.run_protected(10, cycle_period_s=0.15)
+                )
+                await asyncio.sleep(0.5)
+                hot.kill_primary()
+                cycles = await asyncio.wait_for(run, timeout=30.0)
+            finally:
+                await _teardown(hot, tasks)
+            return hot, primary, standby, stages, cycles
+
+        hot, primary, standby, stages, cycles = asyncio.run(scenario())
+        ev = hot.failover
+        assert ev is not None
+        assert len(cycles) == 10
+        assert len(primary.cycles) >= 1 and len(standby.cycles) >= 1
+        assert ev.gap_s <= _GAP_BOUND_S
+        # Epoch fencing: the standby resumed above everything the primary
+        # could have sent, and every stage converged on standby epochs.
+        assert ev.resumed_epoch > ev.last_primary_epoch + EPOCH_SLACK - 1
+        assert all(s.applied_epoch >= ev.resumed_epoch for s in stages)
+        assert all(s.failovers == 1 for s in stages)
+        # Capacity invariant holds after the move.
+        total = sum(s.applied_limit for s in stages)
+        assert total <= primary.policy.allocatable_iops * (1 + 1e-6)
+
+    def test_clean_run_never_fails_over(self):
+        """Without a kill, the primary finishes and the standby stays idle."""
+
+        async def scenario():
+            hot, primary, standby, stages, tasks = await _pair(4)
+            try:
+                cycles = await asyncio.wait_for(
+                    hot.run_protected(5, cycle_period_s=0.05), timeout=30.0
+                )
+            finally:
+                await _teardown(hot, tasks)
+            return hot, primary, standby, cycles
+
+        hot, primary, standby, cycles = asyncio.run(scenario())
+        assert hot.failover is None
+        assert len(cycles) == 5
+        assert len(standby.cycles) == 0
+        assert hot.heartbeats_sent >= 1
+        assert standby.heartbeats_received >= 1
+
+    def test_takeover_emits_span_and_metric(self):
+        """Obs wiring: a ``takeover`` span and the takeover counter."""
+
+        async def scenario():
+            tracer = SpanTracer(track="standby", clock_domain="wall")
+            registry = MetricsRegistry()
+            hot, primary, standby, stages, tasks = await _pair(
+                4, span_tracer=tracer, metrics=registry
+            )
+            try:
+                run = asyncio.create_task(
+                    hot.run_protected(8, cycle_period_s=0.1)
+                )
+                await asyncio.sleep(0.35)
+                hot.kill_primary()
+                await asyncio.wait_for(run, timeout=30.0)
+            finally:
+                await _teardown(hot, tasks)
+            return tracer, registry
+
+        tracer, registry = asyncio.run(scenario())
+        takeovers = [s for s in tracer.spans if s.name == "takeover"]
+        assert len(takeovers) == 1
+        assert takeovers[0].dur_s > 0
+        assert "repro_failover_takeovers_total" in registry.render()

@@ -1,0 +1,267 @@
+"""Aggregator failover and stage re-homing over real TCP sockets.
+
+Covers the tentpole acceptance scenario: kill one aggregator mid-run and
+assert its stages re-home to survivors within the bound, later cycles
+are clean, and the capacity/epoch invariants hold throughout. Plus the
+reconnect-path regressions that re-homing exposed: backoff state resets
+on successful re-registration, and a stage cannot double-apply a rule
+after moving to a new aggregator.
+"""
+
+import asyncio
+
+from repro.core.control_plane import default_policy
+from repro.core.registry import partition_stages
+from repro.live.aggregator_server import LiveAggregator
+from repro.live.controller_server import LiveHierGlobalController
+from repro.live.faults import (
+    LiveFaultLog,
+    kill_aggregator,
+    kill_stage,
+    stall_aggregator,
+)
+from repro.live.protocol import read_message, write_message
+from repro.live.stage_client import LiveVirtualStage
+
+_BACKOFF = dict(backoff_base_s=0.02, backoff_factor=1.5, backoff_max_s=0.1)
+
+
+async def _hier_cluster(
+    n_stages,
+    n_aggregators,
+    dead_after_missed=2,
+    controller_timeout_s=1.0,
+):
+    """Global controller + aggregators + re-home-capable stages."""
+    ctrl = LiveHierGlobalController(
+        default_policy(n_stages),
+        expected_aggregators=n_aggregators,
+        collect_timeout_s=0.5,
+        dead_after_missed=dead_after_missed,
+    )
+    await ctrl.start()
+    stage_ids = [f"stage-{i:05d}" for i in range(n_stages)]
+    partitions = partition_stages(stage_ids, n_aggregators)
+    aggs, stages, tasks = [], [], []
+    for a, owned in enumerate(partitions):
+        agg = LiveAggregator(
+            f"aggregator-{a:02d}",
+            ctrl.host,
+            ctrl.port,
+            expected_stages=len(owned),
+            collect_timeout_s=0.3,
+        )
+        await agg.start()
+        aggs.append(agg)
+        for sid in owned:
+            stage = LiveVirtualStage(
+                agg.host,
+                agg.port,
+                stage_id=sid,
+                job_id=sid.replace("stage", "job"),
+                controller_timeout_s=controller_timeout_s,
+                **_BACKOFF,
+            )
+            stages.append(stage)
+            tasks.append(asyncio.create_task(stage.run()))
+        tasks.append(asyncio.create_task(agg.run()))
+    await ctrl.wait_for_aggregators(timeout_s=10.0)
+    return ctrl, aggs, stages, tasks
+
+
+async def _teardown(ctrl, tasks):
+    await ctrl.shutdown()
+    for t in tasks:
+        t.cancel()
+    await asyncio.gather(*tasks, return_exceptions=True)
+
+
+async def _paced(ctrl, n, period_s=0.1):
+    for _ in range(n):
+        await asyncio.wait_for(ctrl.run_cycles(1), timeout=10.0)
+        await asyncio.sleep(period_s)
+
+
+class TestAggregatorKill:
+    def test_kill_rehomes_within_bound_and_cycles_recover(self):
+        """Acceptance: killed aggregator's stages re-home to survivors."""
+
+        async def scenario():
+            ctrl, aggs, stages, tasks = await _hier_cluster(9, 3)
+            try:
+                await _paced(ctrl, 3)
+                log = kill_aggregator(aggs[0])
+                await _paced(ctrl, 6)
+            finally:
+                await _teardown(ctrl, tasks)
+            return ctrl, aggs, stages, log
+
+        ctrl, aggs, stages, log = asyncio.run(scenario())
+        # The dead partition re-homed: no orphans left, one re-home per
+        # orphaned stage, and the survivors adopted them.
+        assert log.kills()[0].target == "aggregator-00"
+        # A killed aggregator dies by socket (eviction), not by the
+        # missed-epoch health check — that path is the stall test's.
+        assert ctrl.evictions >= 1
+        assert ctrl.orphans == {}
+        assert ctrl.rehomes == 3
+        assert sum(s.failovers for s in stages) == 3
+        # Re-home bound: at most 3 post-kill cycles may report the dead
+        # partition missing; every cycle after that must be clean.
+        post_kill = ctrl.cycles[3:]
+        assert all(c.n_missing == 0 for c in post_kill[3:])
+        # Invariants: monotone epochs converged, enforced capacity exact.
+        epochs = [s.applied_epoch for s in stages]
+        assert all(e == ctrl.epoch for e in epochs)
+        total = sum(s.applied_limit for s in stages)
+        assert total <= ctrl.policy.allocatable_iops * (1 + 1e-6)
+
+    def test_survivor_partitions_stay_clean_during_rehome(self):
+        """Only the dead partition degrades; survivors never go missing."""
+
+        async def scenario():
+            ctrl, aggs, stages, tasks = await _hier_cluster(9, 3)
+            try:
+                await _paced(ctrl, 2)
+                kill_aggregator(aggs[1])
+                await _paced(ctrl, 5)
+            finally:
+                await _teardown(ctrl, tasks)
+            return ctrl
+
+        ctrl = asyncio.run(scenario())
+        # n_missing counts stages, never more than the dead partition.
+        assert all(c.n_missing <= 3 for c in ctrl.cycles)
+        assert ctrl.cycles[-1].n_missing == 0
+
+
+class TestAggregatorStall:
+    def test_stall_past_health_budget_declares_dead_and_rehomes(self):
+        """A stalled (not crashed) aggregator is detected via missed
+        collect epochs; its stages rotate away on silence timeouts."""
+
+        async def scenario():
+            # The silence watchdog must exceed the worst-case healthy
+            # inter-frame gap (collect timeout + pacing), or stages on
+            # *surviving* aggregators false-rotate during the stall.
+            ctrl, aggs, stages, tasks = await _hier_cluster(
+                6, 2, controller_timeout_s=1.0
+            )
+            try:
+                await _paced(ctrl, 2)
+                log = LiveFaultLog()
+                fault = asyncio.create_task(
+                    stall_aggregator(aggs[0], 2.5, log=log)
+                )
+                await _paced(ctrl, 8)
+                fault.cancel()
+                await asyncio.gather(fault, return_exceptions=True)
+            finally:
+                await _teardown(ctrl, tasks)
+            return ctrl, stages, log
+
+        ctrl, stages, log = asyncio.run(scenario())
+        assert log.stalls()[0].target == "aggregator-00"
+        assert ctrl.aggregators_declared_dead == 1
+        assert ctrl.orphans == {}
+        assert ctrl.rehomes == 3
+        assert sum(s.silence_timeouts for s in stages) >= 1
+        assert ctrl.cycles[-1].n_missing == 0
+
+
+class TestReconnectRegressions:
+    def test_backoff_resets_on_successful_reregistration(self):
+        """Regression: consecutive-failure count must clear once a stage
+        re-registers, so the next outage starts from the base delay."""
+
+        async def scenario():
+            ctrl, aggs, stages, tasks = await _hier_cluster(4, 2)
+            try:
+                await _paced(ctrl, 2)
+                kill_stage(stages[0])
+                await _paced(ctrl, 4, period_s=0.15)
+            finally:
+                await _teardown(ctrl, tasks)
+            return stages[0]
+
+        stage = asyncio.run(scenario())
+        assert stage.reconnects >= 1
+        assert stage.consecutive_failures == 0
+
+    def test_rehomed_stage_refuses_duplicate_epoch_rule(self):
+        """Regression: a rule re-sent after re-home (e.g. the old
+        aggregator died mid-enforce and the new one replays the epoch)
+        must be fenced, not double-applied."""
+
+        async def fake_controller(host="127.0.0.1"):
+            """Minimal aggregator: register the stage, push rules."""
+            inbox = asyncio.Queue()
+
+            async def on_conn(reader, writer):
+                hello = await read_message(reader)
+                await write_message(
+                    writer, {"kind": "registered", "stage_id": hello["stage_id"]}
+                )
+                await inbox.put((reader, writer))
+
+            server = await asyncio.start_server(on_conn, host, 0)
+            port = server.sockets[0].getsockname()[1]
+            return server, port, inbox
+
+        async def scenario():
+            srv_a, port_a, inbox_a = await fake_controller()
+            srv_b, port_b, inbox_b = await fake_controller()
+            stage = LiveVirtualStage(
+                "127.0.0.1",
+                port_a,
+                stage_id="s-0",
+                job_id="j-0",
+                alternates=[("127.0.0.1", port_b)],
+                **_BACKOFF,
+            )
+            task = asyncio.create_task(stage.run())
+            reader, writer = await asyncio.wait_for(inbox_a.get(), timeout=5.0)
+
+            async def rule(w, r, epoch, limit):
+                await write_message(
+                    w,
+                    {
+                        "kind": "rule",
+                        "epoch": epoch,
+                        "stage_id": "s-0",
+                        "data_iops_limit": limit,
+                    },
+                )
+                return await asyncio.wait_for(read_message(r), timeout=5.0)
+
+            ack = await rule(writer, reader, 5, 800.0)
+            assert ack["kind"] == "rule_ack" and ack["epoch"] == 5
+            assert stage.rules_applied == 1
+            # Simulate the aggregator dying mid-enforce: listener gone and
+            # socket aborted. The stage retries its home once (refused),
+            # then rotates to the alternate and re-registers.
+            srv_a.close()
+            writer.transport.abort()
+            reader_b, writer_b = await asyncio.wait_for(
+                inbox_b.get(), timeout=5.0
+            )
+            # The replayed epoch-5 rule must be fenced after re-home...
+            await rule(writer_b, reader_b, 5, 999.0)
+            stale_after_rehome = (
+                stage.rules_ignored_stale == 1 and stage.rules_applied == 1
+            )
+            # ...while a genuinely newer epoch still applies.
+            await rule(writer_b, reader_b, 6, 700.0)
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            srv_a.close()
+            srv_b.close()
+            return stage, stale_after_rehome
+
+        stage, stale_after_rehome = asyncio.run(scenario())
+        assert stale_after_rehome
+        assert stage.rules_applied == 2  # epoch 5 once + epoch 6 once
+        assert stage.rules_ignored_stale == 1
+        assert stage.applied_epoch == 6
+        assert stage.applied_limit == 700.0
+        assert stage.failovers == 1

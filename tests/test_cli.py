@@ -272,3 +272,27 @@ class TestArchive:
     def test_empty_list(self, capsys, tmp_path):
         code, out = run_cli(capsys, "archive", "list", "--dir", str(tmp_path))
         assert code == 0 and "(empty)" in out
+
+
+class TestChaos:
+    def test_sim_hier_with_report(self, capsys, tmp_path):
+        out_path = tmp_path / "chaos.json"
+        code, out = run_cli(
+            capsys,
+            "chaos", "--plane", "sim", "--design", "hier", "--seed", "7",
+            "--report-out", str(out_path),
+        )
+        assert code == 0
+        assert "chaos[sim/hier] seed=7" in out and ": OK" in out
+        report = json.loads(out_path.read_text())
+        assert report["ok"] is True and report["seed"] == 7
+
+    def test_sim_flat_json_output(self, capsys):
+        code, out = run_cli(
+            capsys, "chaos", "--plane", "sim", "--design", "flat",
+            "--seed", "3", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["plane"] == "sim" and payload["design"] == "flat"
+        assert payload["ok"] is True
