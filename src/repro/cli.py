@@ -11,6 +11,7 @@ Usage (installed as ``python -m repro``):
     python -m repro plan --nodes 9408 --target-ms 100
     python -m repro live --stages 50 --cycles 20
     python -m repro chaos --plane live --design hier --seed 7
+    python -m repro bench --out BENCH_PR5.json
     python -m repro calibrate
 
 Every command supports ``--json`` for machine-readable output.
@@ -385,6 +386,40 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import check_regression, load_artifact, run_bench
+
+    result = run_bench(quick=args.quick)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote bench artifact -> {args.out}", file=sys.stderr)
+    rows = [
+        ["engine events/s", f"{result['engine']['events_per_s']:,.0f}"],
+        ["engine speedup vs pre-PR kernel", f"{result['engine']['speedup']:.2f}x"],
+        *[
+            [f"sim {key} (ms/cycle)", f"{v['wall_s_per_cycle'] * 1e3:.1f}"]
+            for key, v in result["sim_cycles"].items()
+        ],
+        ["live enforce frames/s", f"{result['live']['frames_per_s']:,.0f}"],
+        ["live speedup vs seed wire path", f"{result['live']['speedup']:.2f}x"],
+    ]
+    text = format_table(
+        ["benchmark", "value"], rows, title="Hot-path micro-benchmarks"
+    )
+    _emit(result, text, args.json)
+    if args.check:
+        message = check_regression(
+            result, load_artifact(args.check), max_cycle_ratio=args.max_ratio
+        )
+        if message is not None:
+            print(message, file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check}", file=sys.stderr)
+    return 0
+
+
 def _cmd_archive(args) -> int:
     from repro.harness.store import RunArchive, result_to_dict
 
@@ -562,6 +597,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the JSON chaos report here (CI artifact)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the hot-path micro-benchmarks (exit 1 on regression "
+             "with --check)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workloads for CI smoke runs")
+    p.add_argument("--out", type=str, default=None,
+                   help="write the JSON artifact here (e.g. BENCH_PR5.json)")
+    p.add_argument("--check", type=str, default=None,
+                   help="compare sim cycle latency against this committed "
+                        "artifact; exit 1 when a cycle regressed")
+    p.add_argument("--max-ratio", type=float, default=2.0,
+                   help="allowed wall-clock-per-cycle ratio vs the --check "
+                        "baseline")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "archive", help="save, list, and inspect stored experiment runs"

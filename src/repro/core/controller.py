@@ -146,28 +146,16 @@ class _ControllerBase:
         """Receive ``expected`` messages of the given kinds for ``epoch``.
 
         Messages already queued are drained and charged as one CPU burst,
-        modelling a server loop that batches its ready work. Returns the
-        number actually received (short on timeout).
+        modelling a server loop that batches its ready work: the counting
+        barrier is ``received``, not one wake-up event per child. A batch
+        whose messages are already queued is consumed inline, without a
+        recv event round-trip, and the phase deadline is one reusable
+        Timeout rather than one per wake-up. Returns the number actually
+        received (short on timeout).
         """
         received = 0
-
-        def classify(batch):
-            """Split a batch into (relevant, total CPU charge)."""
-            charge = 0.0
-            relevant = []
-            for msg in batch:
-                cost = kind_costs.get(msg.kind)
-                msg_epoch = (
-                    msg.payload[0] if isinstance(msg.payload, tuple) else msg.payload
-                )
-                if cost is not None and msg_epoch == epoch:
-                    charge += cost
-                    relevant.append(msg)
-                elif msg.kind in self.defer_kinds:
-                    self._deferred.append(msg)
-                else:
-                    self.stale_messages += 1
-            return relevant, charge
+        env = self.env
+        inbox = self.endpoint.inbox
 
         # Consume matching messages parked by earlier phases first.
         if self._deferred:
@@ -188,23 +176,54 @@ class _ControllerBase:
                     on_message(msg)
                 received += len(ready)
 
+        defer_kinds = self.defer_kinds
+        deferred = self._deferred
+        get_cost = kind_costs.get
+        deadline_ev = None
+
         while received < expected:
-            recv_ev = self.endpoint.recv()
-            if deadline is None:
-                first = yield recv_ev
+            if inbox.items:
+                # Ready work: drain without a recv event round-trip. The
+                # deadline check mirrors the blocking path (a phase past
+                # its deadline leaves queued messages for the next phase
+                # to classify as stale).
+                if deadline is not None and deadline - env.now <= 0:
+                    break
+                batch = inbox.drain()
             else:
-                remaining = deadline - self.env.now
-                if remaining <= 0:
-                    recv_ev.cancel()
-                    break
-                yield self.env.any_of([recv_ev, self.env.timeout(remaining)])
-                if not recv_ev.triggered:
-                    recv_ev.cancel()
-                    break
-                first = recv_ev.value
-            batch = [first]
-            batch.extend(self.endpoint.inbox.drain())
-            relevant, charge = classify(batch)
+                recv_ev = self.endpoint.recv()
+                if deadline is None:
+                    first = yield recv_ev
+                else:
+                    remaining = deadline - env.now
+                    if remaining <= 0:
+                        recv_ev.cancel()
+                        break
+                    if deadline_ev is None:
+                        deadline_ev = env.timeout(remaining)
+                    yield env.any_of([recv_ev, deadline_ev])
+                    if not recv_ev.triggered:
+                        recv_ev.cancel()
+                        break
+                    first = recv_ev.value
+                batch = [first]
+                batch.extend(inbox.drain())
+            charge = 0.0
+            relevant = []
+            stale = 0
+            for msg in batch:
+                cost = get_cost(msg.kind)
+                payload = msg.payload
+                msg_epoch = payload[0] if isinstance(payload, tuple) else payload
+                if cost is not None and msg_epoch == epoch:
+                    charge += cost
+                    relevant.append(msg)
+                elif msg.kind in defer_kinds:
+                    deferred.append(msg)
+                else:
+                    stale += 1
+            if stale:
+                self.stale_messages += stale
             if charge:
                 yield self._execute(charge)
             for msg in relevant:

@@ -109,12 +109,20 @@ class MetricsWindow:
     average instead of the instantaneous report, damping reaction to bursty
     workloads. ``alpha=1`` degenerates to "use the latest report", which is
     the paper's stress-test behaviour.
+
+    The window sits on the per-cycle hot path of every controller, so it
+    is allocation-lean: ``__slots__`` instances, the ``1 - alpha``
+    complement precomputed once, and :meth:`demands` filling its array
+    via ``np.fromiter`` instead of materialising an intermediate list.
     """
+
+    __slots__ = ("alpha", "_decay", "_ewma")
 
     def __init__(self, alpha: float = 1.0) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1]: {alpha}")
         self.alpha = float(alpha)
+        self._decay = 1.0 - self.alpha
         self._ewma: Dict[str, float] = {}
 
     def update(self, stage_id: str, demand: float) -> float:
@@ -122,7 +130,7 @@ class MetricsWindow:
         if demand < 0:
             raise ValueError(f"negative demand: {demand}")
         prev = self._ewma.get(stage_id)
-        value = demand if prev is None else self.alpha * demand + (1 - self.alpha) * prev
+        value = demand if prev is None else self.alpha * demand + self._decay * prev
         self._ewma[stage_id] = value
         return value
 
@@ -136,7 +144,10 @@ class MetricsWindow:
 
     def demands(self, stage_ids: Sequence[str]) -> np.ndarray:
         """Vector of smoothed demands in ``stage_ids`` order."""
-        return np.array([self._ewma.get(s, 0.0) for s in stage_ids], dtype=float)
+        get = self._ewma.get
+        return np.fromiter(
+            (get(s, 0.0) for s in stage_ids), dtype=float, count=len(stage_ids)
+        )
 
     def forget(self, stage_id: str) -> None:
         """Drop state for a departed stage."""

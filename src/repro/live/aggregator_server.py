@@ -43,7 +43,12 @@ import asyncio
 import contextlib
 from typing import Dict, List, Optional, Tuple
 
-from repro.live.protocol import ProtocolError, read_message, write_message
+from repro.live.protocol import (
+    ProtocolError,
+    choose_codec,
+    read_message,
+    write_message,
+)
 from repro.live.sessions import Session, SessionClosed, gather_phase
 from repro.obs.spans import NullSpanTracer
 
@@ -74,6 +79,8 @@ class LiveAggregator:
         port: int = 0,
         collect_timeout_s: Optional[float] = None,
         enforce_timeout_s: Optional[float] = None,
+        coalesce: bool = True,
+        codecs: Tuple[str, ...] = ("binary", "json"),
         span_tracer=None,
         usage_meter=None,
         metrics=None,
@@ -96,6 +103,13 @@ class LiveAggregator:
         self.enforce_timeout_s = (
             enforce_timeout_s if enforce_timeout_s is not None else collect_timeout_s
         )
+        #: One drain per session per phase instead of one per frame.
+        self.coalesce = coalesce
+        #: Codecs advertised upstream (and granted to stages that offer
+        #: them); ``("json",)`` emulates a pre-binary aggregator.
+        self.offered_codecs = tuple(codecs)
+        #: Codec negotiated with the global controller for this session.
+        self.up_codec = "json"
         self.tracer = span_tracer if span_tracer is not None else NullSpanTracer()
         self.meter = usage_meter
         self.metrics = metrics
@@ -137,7 +151,7 @@ class LiveAggregator:
 
     async def _send_up(self, up_writer, message: dict) -> None:
         """Write an upstream frame, charging its bytes to this aggregator."""
-        nbytes = await write_message(up_writer, message)
+        nbytes = await write_message(up_writer, message, self.up_codec)
         if self.meter is not None:
             self.meter.add_tx(nbytes)
 
@@ -232,10 +246,17 @@ class LiveAggregator:
                 pass
             return
         session = _StageSession(stage_id, job_id, reader, writer, meter=self.meter)
+        # Grant binary only when both sides speak it (mixed-version safe).
+        offered = hello.get("codecs")
+        session.codec = (
+            choose_codec(offered)
+            if "binary" in self.offered_codecs
+            else "json"
+        )
         self.sessions[session.stage_id] = session
         # Late joiners get the current alternate list with the ack, so a
         # re-homed orphan is immediately armed against *this* home dying.
-        ack: dict = {"kind": "registered"}
+        ack: dict = {"kind": "registered", "codec": session.codec}
         if self.peer_addresses:
             ack["alternates"] = self._alternates_for(len(self.sessions) - 1)
         await write_message(writer, ack)
@@ -286,11 +307,16 @@ class LiveAggregator:
                     ],
                     "host": self.host,
                     "port": self.port,
+                    "codecs": list(self.offered_codecs),
                 },
             )
             ack = await read_message(reader)
             if ack["kind"] != "registered":
                 raise RuntimeError(f"unexpected registration reply: {ack}")
+            granted = ack.get("codec", "json")
+            self.up_codec = (
+                granted if granted in self.offered_codecs else "json"
+            )
             from repro.live.protocol import read_frame
 
             while not self._stop.is_set():
@@ -348,11 +374,23 @@ class LiveAggregator:
         with self._cpu():
             for s in sessions:
                 try:
-                    await s.send({"kind": "collect_req", "epoch": epoch})
+                    s.feed({"kind": "collect_req", "epoch": epoch})
+                    if not self.coalesce:
+                        await s.flush()
                     polled.append(s)
                 except SessionClosed:
                     await self._evict(s)
                     missing_ids.add(s.stage_id)
+            if self.coalesce:
+                alive: List[_StageSession] = []
+                for s in polled:
+                    try:
+                        await s.flush()
+                        alive.append(s)
+                    except SessionClosed:
+                        await self._evict(s)
+                        missing_ids.add(s.stage_id)
+                polled = alive
 
         async def read_reply(s: _StageSession) -> None:
             m = await s.expect("metrics_reply", epoch)
@@ -396,7 +434,7 @@ class LiveAggregator:
                 if session is None:
                     continue
                 try:
-                    await session.send(
+                    session.feed(
                         {
                             "kind": "rule",
                             "epoch": epoch,
@@ -404,9 +442,20 @@ class LiveAggregator:
                             "data_iops_limit": rule["data_iops_limit"],
                         }
                     )
+                    if not self.coalesce:
+                        await session.flush()
                     targets.append(session)
                 except SessionClosed:
                     await self._evict(session)
+            if self.coalesce:
+                alive: List[_StageSession] = []
+                for session in targets:
+                    try:
+                        await session.flush()
+                        alive.append(session)
+                    except SessionClosed:
+                        await self._evict(session)
+                targets = alive
 
         missing, _ = await gather_phase(
             targets, lambda s: s.expect("rule_ack", epoch), self.enforce_timeout_s

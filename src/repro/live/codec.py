@@ -1,0 +1,164 @@
+"""Binary fast-codec for the live control plane's hot frame kinds.
+
+The live wire protocol is length-prefixed JSON (:mod:`repro.live.protocol`);
+JSON keeps frames inspectable but costs a ``dumps``/``loads`` round-trip per
+frame on the per-stage hot path. This module packs the four per-cycle frame
+kinds — ``collect_req``, ``metrics_reply``, ``rule``, ``rule_ack`` — with
+:mod:`struct` instead.
+
+Wire form (the frame *body*; the 4-byte length header is unchanged)::
+
+    [0xB1][kind tag, 1 byte][packed fields...]
+
+Strings ride as ``>H``-length-prefixed UTF-8. The magic byte ``0xB1`` can
+never begin a JSON body (JSON text starts with ``{`` = 0x7B here), so a
+receiver distinguishes the codecs from the first body byte alone — no
+per-session mode switch is needed on the read side, which is what makes
+mixed-version sessions (binary controller, JSON stage) safe.
+
+Kinds outside :data:`BINARY_KINDS` (registration, topology, rehome,
+shutdown, ...) always fall back to JSON: they are rare, structurally
+varied, and not worth a schema. :func:`encode_binary` returns ``None`` for
+them and the caller keeps the JSON path.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "BINARY_KINDS",
+    "BINARY_MAGIC",
+    "decode_binary",
+    "encode_binary",
+    "is_binary",
+]
+
+#: First body byte of every binary frame (never valid leading JSON).
+BINARY_MAGIC = 0xB1
+
+#: Frame kinds with a packed representation (the per-cycle hot path).
+BINARY_KINDS = frozenset({"collect_req", "metrics_reply", "rule", "rule_ack"})
+
+_TAG_COLLECT_REQ = 1
+_TAG_METRICS_REPLY = 2
+_TAG_RULE = 3
+_TAG_RULE_ACK = 4
+
+_HEAD = struct.Struct(">BB")  # magic, kind tag
+_Q = struct.Struct(">q")  # epoch
+_D = struct.Struct(">d")  # one float field
+_DD = struct.Struct(">dd")  # two float fields
+_H = struct.Struct(">H")  # string length prefix
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ValueError(f"string field too long for binary codec: {len(raw)}")
+    return _H.pack(len(raw)) + raw
+
+
+def _unpack_str(body: bytes, offset: int) -> tuple:
+    (length,) = _H.unpack_from(body, offset)
+    offset += _H.size
+    end = offset + length
+    if end > len(body):
+        raise ValueError("truncated string field")
+    return body[offset:end].decode("utf-8"), end
+
+
+def is_binary(body: bytes) -> bool:
+    """Whether a frame body is binary-coded (first-byte discriminator)."""
+    return bool(body) and body[0] == BINARY_MAGIC
+
+
+def encode_binary(message: Dict[str, Any]) -> Optional[bytes]:
+    """Packed body for ``message``, or ``None`` if its kind has no schema.
+
+    Raises ``KeyError`` on a hot-kind message missing a mandatory field —
+    the same contract violation JSON encoding would ship and the peer
+    would reject.
+    """
+    kind = message["kind"]
+    if kind == "collect_req":
+        return _HEAD.pack(BINARY_MAGIC, _TAG_COLLECT_REQ) + _Q.pack(
+            message["epoch"]
+        )
+    if kind == "metrics_reply":
+        return (
+            _HEAD.pack(BINARY_MAGIC, _TAG_METRICS_REPLY)
+            + _Q.pack(message["epoch"])
+            + _DD.pack(message["data_iops"], message["metadata_iops"])
+            + _pack_str(message["stage_id"])
+            + _pack_str(message["job_id"])
+        )
+    if kind == "rule":
+        return (
+            _HEAD.pack(BINARY_MAGIC, _TAG_RULE)
+            + _Q.pack(message["epoch"])
+            + _D.pack(message["data_iops_limit"])
+            + _pack_str(message["stage_id"])
+        )
+    if kind == "rule_ack":
+        return (
+            _HEAD.pack(BINARY_MAGIC, _TAG_RULE_ACK)
+            + _Q.pack(message["epoch"])
+            + _pack_str(message["stage_id"])
+        )
+    return None
+
+
+def decode_binary(body: bytes) -> Dict[str, Any]:
+    """Decode a packed body back into the canonical message dict.
+
+    Raises ``ValueError`` on malformed input (wrong magic, unknown tag,
+    truncation) — the caller maps it to its protocol error type.
+    """
+    try:
+        magic, tag = _HEAD.unpack_from(body, 0)
+    except struct.error as exc:
+        raise ValueError(f"truncated binary frame: {exc}") from exc
+    if magic != BINARY_MAGIC:
+        raise ValueError(f"bad binary magic: {magic:#x}")
+    offset = _HEAD.size
+    try:
+        if tag == _TAG_COLLECT_REQ:
+            (epoch,) = _Q.unpack_from(body, offset)
+            return {"kind": "collect_req", "epoch": epoch}
+        if tag == _TAG_METRICS_REPLY:
+            (epoch,) = _Q.unpack_from(body, offset)
+            offset += _Q.size
+            data_iops, metadata_iops = _DD.unpack_from(body, offset)
+            offset += _DD.size
+            stage_id, offset = _unpack_str(body, offset)
+            job_id, offset = _unpack_str(body, offset)
+            return {
+                "kind": "metrics_reply",
+                "epoch": epoch,
+                "stage_id": stage_id,
+                "job_id": job_id,
+                "data_iops": data_iops,
+                "metadata_iops": metadata_iops,
+            }
+        if tag == _TAG_RULE:
+            (epoch,) = _Q.unpack_from(body, offset)
+            offset += _Q.size
+            (limit,) = _D.unpack_from(body, offset)
+            offset += _D.size
+            stage_id, offset = _unpack_str(body, offset)
+            return {
+                "kind": "rule",
+                "epoch": epoch,
+                "stage_id": stage_id,
+                "data_iops_limit": limit,
+            }
+        if tag == _TAG_RULE_ACK:
+            (epoch,) = _Q.unpack_from(body, offset)
+            offset += _Q.size
+            stage_id, offset = _unpack_str(body, offset)
+            return {"kind": "rule_ack", "epoch": epoch, "stage_id": stage_id}
+    except struct.error as exc:
+        raise ValueError(f"truncated binary frame: {exc}") from exc
+    raise ValueError(f"unknown binary frame tag: {tag}")

@@ -40,7 +40,13 @@ from repro.core.algorithms.base import ControlAlgorithm
 from repro.core.algorithms.psfa import PSFA
 from repro.core.cycle import ControlCycle
 from repro.core.policies import QoSPolicy
-from repro.live.protocol import ProtocolError, read_message, write_message
+from repro.live.protocol import (
+    ProtocolError,
+    choose_codec,
+    encode,
+    read_message,
+    write_message,
+)
 from repro.live.sessions import Session, SessionClosed, gather_phase
 from repro.obs.spans import NullSpanTracer
 
@@ -85,6 +91,10 @@ class _LiveControllerBase:
         self.sessions: Dict[str, Session] = {}
         self.cycles: List[ControlCycle] = []
         self.epoch = 0
+        #: Buffer a phase's frames per session and drain once (the
+        #: writev-style fast path); ``False`` restores the seed's
+        #: frame-per-drain writes, which the bench uses as its baseline.
+        self.coalesce = True
         #: Sessions evicted because their socket died mid-cycle.
         self.evictions = 0
         #: Registrations rejected (duplicate id, malformed hello).
@@ -228,8 +238,13 @@ class _LiveControllerBase:
             await self._reject(writer, error)
             return
         session = self._make_session(hello, reader, writer)
+        # Codec negotiation: binary when the child advertises it, JSON for
+        # older children. The ack itself is always JSON-decodable.
+        session.codec = choose_codec(hello.get("codecs"))
         self.sessions[session.peer_id] = session
-        await write_message(writer, {"kind": "registered"})
+        await write_message(
+            writer, {"kind": "registered", "codec": session.codec}
+        )
         session.start()
         if len(self.sessions) >= self._expected:
             self._all_registered.set()
@@ -337,6 +352,9 @@ class LiveGlobalController(_LiveControllerBase):
         collect_timeout_s: Optional[float] = None,
         enforce_timeout_s: Optional[float] = None,
         evicted_grace_cycles: int = 0,
+        enforce_changed_only: bool = False,
+        rule_change_tolerance: float = 0.0,
+        coalesce: bool = True,
         span_tracer=None,
         usage_meter=None,
         metrics=None,
@@ -346,6 +364,10 @@ class LiveGlobalController(_LiveControllerBase):
         if evicted_grace_cycles < 0:
             raise ValueError(
                 f"evicted_grace_cycles must be >= 0: {evicted_grace_cycles}"
+            )
+        if rule_change_tolerance < 0:
+            raise ValueError(
+                f"negative rule change tolerance: {rule_change_tolerance}"
             )
         for name, value in (
             ("collect_timeout_s", collect_timeout_s),
@@ -368,8 +390,27 @@ class LiveGlobalController(_LiveControllerBase):
             enforce_timeout_s if enforce_timeout_s is not None else collect_timeout_s
         )
         self.evicted_grace_cycles = evicted_grace_cycles
+        #: Ship only rules whose limit moved by more than
+        #: ``rule_change_tolerance`` (relative) since the last one sent —
+        #: the live counterpart of the sim's changed-only enforce ablation.
+        #: Suppressed stages keep enforcing their cached rule-epoch.
+        self.enforce_changed_only = enforce_changed_only
+        self.rule_change_tolerance = rule_change_tolerance
+        self.rules_suppressed = 0
+        self.coalesce = coalesce
+        #: Encoded-rule cache: stage id -> (rule-epoch, limit, wire frame).
+        #: The rule-epoch is the epoch at which the stage's limit last
+        #: changed; the cached frame is what went on the wire then, so
+        #: the changed-only diff is O(1) and needs no re-encoding.
+        self._rule_frames: Dict[str, tuple] = {}
         #: Evicted-but-graced stages: id -> (job_id, last_demand, epoch).
         self.departed: Dict[str, tuple] = {}
+        if metrics is not None:
+            self._m_suppressed = metrics.counter(
+                "repro_rules_suppressed_total",
+                "unchanged rules withheld by changed-only enforcement",
+                role=self._role,
+            )
 
     async def wait_for_stages(self, timeout_s: float = 30.0) -> None:
         """Block until every expected stage has registered."""
@@ -383,6 +424,9 @@ class LiveGlobalController(_LiveControllerBase):
 
     async def _after_register(self, session: Session) -> None:
         self.departed.pop(session.peer_id, None)
+        # A (re)joining stage may be a fresh process with no applied rule;
+        # forget its cached rule so the next enforce ships one for sure.
+        self._rule_frames.pop(session.peer_id, None)
 
     def _validate_hello(self, hello: dict) -> Optional[str]:
         stage_id = hello.get("stage_id")
@@ -426,13 +470,25 @@ class LiveGlobalController(_LiveControllerBase):
         with self._cpu():
             for s in sessions:
                 try:
-                    await s.send({"kind": "collect_req", "epoch": epoch})
+                    s.feed({"kind": "collect_req", "epoch": epoch})
+                    if not self.coalesce:
+                        await s.flush()
                     polled.append(s)
                     if tracer.enabled:
                         sent_at[s.stage_id] = tracer.now()
                 except SessionClosed:
                     await self._evict(s)
                     missing_ids.add(s.stage_id)
+            if self.coalesce:
+                alive: List[_StageSession] = []
+                for s in polled:
+                    try:
+                        await s.flush()
+                        alive.append(s)
+                    except SessionClosed:
+                        await self._evict(s)
+                        missing_ids.add(s.stage_id)
+                polled = alive
 
         async def read_reply(s: _StageSession) -> None:
             message = await s.expect("metrics_reply", epoch)
@@ -486,24 +542,55 @@ class LiveGlobalController(_LiveControllerBase):
         enforce_started = time.perf_counter()
         ruled: List[_StageSession] = []
         with self._cpu():
+            tolerance = self.rule_change_tolerance
             for s, limit in zip(sessions, limits):
                 if not s.connected:
                     continue
+                limit = float(limit)
+                cached = self._rule_frames.get(s.stage_id)
+                if (
+                    self.enforce_changed_only
+                    and cached is not None
+                    and abs(limit - cached[1])
+                    <= tolerance * max(abs(cached[1]), 1e-9)
+                ):
+                    # Unchanged within tolerance: the stage keeps
+                    # enforcing the cached rule-epoch (equivalent limit);
+                    # no frame on the wire, no ack expected.
+                    self.rules_suppressed += 1
+                    if self.metrics is not None:
+                        self._m_suppressed.inc()
+                    continue
+                frame = encode(
+                    {
+                        "kind": "rule",
+                        "epoch": epoch,
+                        "stage_id": s.stage_id,
+                        "data_iops_limit": limit,
+                    },
+                    s.codec,
+                )
                 try:
-                    await s.send(
-                        {
-                            "kind": "rule",
-                            "epoch": epoch,
-                            "stage_id": s.stage_id,
-                            "data_iops_limit": float(limit),
-                        }
-                    )
+                    s.feed_frame(frame)
+                    if not self.coalesce:
+                        await s.flush()
+                    self._rule_frames[s.stage_id] = (epoch, limit, frame)
                     ruled.append(s)
                     if tracer.enabled:
                         sent_at[s.stage_id] = tracer.now()
                 except SessionClosed:
                     await self._evict(s)
                     missing_ids.add(s.stage_id)
+            if self.coalesce:
+                alive = []
+                for s in ruled:
+                    try:
+                        await s.flush()
+                        alive.append(s)
+                    except SessionClosed:
+                        await self._evict(s)
+                        missing_ids.add(s.stage_id)
+                ruled = alive
 
         async def read_ack(s: _StageSession) -> None:
             await s.expect("rule_ack", epoch)
@@ -604,6 +691,9 @@ class LiveHierGlobalController(_LiveControllerBase):
         collect_timeout_s: Optional[float] = None,
         enforce_timeout_s: Optional[float] = None,
         dead_after_missed: Optional[int] = None,
+        enforce_changed_only: bool = False,
+        rule_change_tolerance: float = 0.0,
+        coalesce: bool = True,
         span_tracer=None,
         usage_meter=None,
         metrics=None,
@@ -615,6 +705,10 @@ class LiveHierGlobalController(_LiveControllerBase):
         if dead_after_missed is not None and dead_after_missed < 1:
             raise ValueError(
                 f"dead_after_missed must be >= 1: {dead_after_missed}"
+            )
+        if rule_change_tolerance < 0:
+            raise ValueError(
+                f"negative rule change tolerance: {rule_change_tolerance}"
             )
         for name, value in (
             ("collect_timeout_s", collect_timeout_s),
@@ -637,6 +731,15 @@ class LiveHierGlobalController(_LiveControllerBase):
             enforce_timeout_s if enforce_timeout_s is not None else collect_timeout_s
         )
         self.dead_after_missed = dead_after_missed
+        #: Batch-entry changed-only suppression: unchanged per-stage rules
+        #: are left out of the ``rule_batch`` (the batch itself still goes
+        #: out — its ack paces the enforce phase).
+        self.enforce_changed_only = enforce_changed_only
+        self.rule_change_tolerance = rule_change_tolerance
+        self.rules_suppressed = 0
+        self.coalesce = coalesce
+        #: Last shipped limit per stage id: (rule-epoch, limit).
+        self._last_rule: Dict[str, tuple] = {}
         #: Last-known demand per stage id — survives its aggregator.
         self.latest_demand_of: Dict[str, float] = {}
         #: Stages whose aggregator died: id -> job id. Cleared on re-home.
@@ -657,6 +760,11 @@ class LiveHierGlobalController(_LiveControllerBase):
             self._m_orphans = metrics.gauge(
                 "repro_orphaned_stages",
                 "stages currently without a live aggregator",
+                role=self._role,
+            )
+            self._m_suppressed = metrics.counter(
+                "repro_rules_suppressed_total",
+                "unchanged rules withheld by changed-only enforcement",
                 role=self._role,
             )
 
@@ -709,6 +817,9 @@ class LiveHierGlobalController(_LiveControllerBase):
             owned_elsewhere.update(other.stage_ids)
         n_orphaned = 0
         for stage_id, job_id in zip(session.stage_ids, session.job_ids):
+            # An in-flight batch may have died with the socket; forget the
+            # diff record so the next enforce re-ships these rules.
+            self._last_rule.pop(stage_id, None)
             if stage_id in owned_elsewhere:
                 continue
             self.orphans[stage_id] = job_id
@@ -737,6 +848,9 @@ class LiveHierGlobalController(_LiveControllerBase):
         was_orphan = stage_id in self.orphans
         self.orphans.pop(stage_id, None)
         self.orphaned_at_epoch.pop(stage_id, None)
+        # A re-homed stage may be a restarted process with no applied
+        # rule; make sure the next enforce ships one.
+        self._last_rule.pop(stage_id, None)
         if stage_id not in session.stage_ids:
             session.stage_ids.append(stage_id)
             session.job_ids.append(job_id)
@@ -825,13 +939,25 @@ class LiveHierGlobalController(_LiveControllerBase):
         with self._cpu():
             for s in sessions:
                 try:
-                    await s.send({"kind": "agg_collect_req", "epoch": epoch})
+                    s.feed({"kind": "agg_collect_req", "epoch": epoch})
+                    if not self.coalesce:
+                        await s.flush()
                     polled.append(s)
                     if tracer.enabled:
                         sent_at[s.aggregator_id] = tracer.now()
                 except SessionClosed:
                     await self._evict(s)
                     absent.append(s)
+            if self.coalesce:
+                alive: List[_AggregatorSession] = []
+                for s in polled:
+                    try:
+                        await s.flush()
+                        alive.append(s)
+                    except SessionClosed:
+                        await self._evict(s)
+                        absent.append(s)
+                polled = alive
 
         async def read_agg_reply(s: _AggregatorSession) -> None:
             m = await s.expect("agg_metrics_reply", epoch)
@@ -919,31 +1045,57 @@ class LiveHierGlobalController(_LiveControllerBase):
         enforce_started = time.perf_counter()
         batched: List[_AggregatorSession] = []
         with self._cpu():
+            changed_only = self.enforce_changed_only
+            tolerance = self.rule_change_tolerance
+            last_rule = self._last_rule
             for s in sessions:
                 if not s.connected:
                     continue
-                try:
-                    await s.send(
-                        {
-                            "kind": "rule_batch",
-                            "epoch": epoch,
-                            "rules": [
-                                {
-                                    "stage_id": stage_id,
-                                    "data_iops_limit": float(limit_of[stage_id]),
-                                }
-                                # Adopted mid-cycle stages (not in limit_of
-                                # yet) wait for the next cycle's rules.
-                                for stage_id in s.stage_ids
-                                if stage_id in limit_of
-                            ],
-                        }
+                rules = []
+                # Adopted mid-cycle stages (not in limit_of yet) wait for
+                # the next cycle's rules.
+                for stage_id in s.stage_ids:
+                    if stage_id not in limit_of:
+                        continue
+                    limit = float(limit_of[stage_id])
+                    if changed_only:
+                        prev = last_rule.get(stage_id)
+                        if prev is not None and abs(limit - prev[1]) <= (
+                            tolerance * max(abs(prev[1]), 1e-9)
+                        ):
+                            # Unchanged entry: left out of the batch; the
+                            # stage keeps its cached rule-epoch.
+                            self.rules_suppressed += 1
+                            if self.metrics is not None:
+                                self._m_suppressed.inc()
+                            continue
+                    rules.append(
+                        {"stage_id": stage_id, "data_iops_limit": limit}
                     )
+                try:
+                    s.feed({"kind": "rule_batch", "epoch": epoch, "rules": rules})
+                    if not self.coalesce:
+                        await s.flush()
+                    # Commit the diff record only for rules that actually
+                    # went on the wire (an evicted batch must re-ship).
+                    for rule in rules:
+                        last_rule[rule["stage_id"]] = (
+                            epoch, rule["data_iops_limit"]
+                        )
                     batched.append(s)
                     if tracer.enabled:
                         sent_at[s.aggregator_id] = tracer.now()
                 except SessionClosed:
                     await self._evict(s)
+            if self.coalesce:
+                alive = []
+                for s in batched:
+                    try:
+                        await s.flush()
+                        alive.append(s)
+                    except SessionClosed:
+                        await self._evict(s)
+                batched = alive
 
         async def read_batch_ack(s: _AggregatorSession) -> None:
             await s.expect("batch_ack", epoch)

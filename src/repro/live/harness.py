@@ -16,13 +16,23 @@ is sampled REMORA-style from ``/proc`` with per-controller attribution
 (:class:`~repro.obs.procfs.LiveUsageSession`), and control-plane metrics
 accumulate in a :class:`~repro.obs.metrics.MetricsRegistry` — optionally
 scrapeable over HTTP while the run cycles (``metrics_port``).
+
+Wire-path knobs (PR 5): ``codec`` picks what the endpoints *offer* at
+registration ("binary" offers the struct fast-codec with JSON fallback;
+"json" emulates a pre-binary deployment), ``coalesce`` batches each
+phase's frames into one drain per session, and
+``enforce_changed_only``/``rule_change_tolerance`` suppress rule frames
+whose limit did not move. ``use_uvloop=True`` swaps in the uvloop event
+loop when that package is importable and silently falls back to the
+stdlib loop otherwise — results are identical either way; only wall
+clocks differ, so benchmarks must record which loop actually ran.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Coroutine, List, Optional, Tuple
 
 from repro.core.control_plane import default_policy
 from repro.core.cycle import ControlCycle, CycleStats
@@ -37,6 +47,34 @@ from repro.obs.procfs import LiveUsageSession
 from repro.obs.spans import SpanRecord, SpanTracer
 
 __all__ = ["LiveRunResult", "run_live_flat", "run_live_hierarchical"]
+
+
+def _offered_codecs(codec: str) -> Tuple[str, ...]:
+    """Map the harness-level ``codec`` knob to an offer list."""
+    if codec == "binary":
+        return ("binary", "json")
+    if codec == "json":
+        return ("json",)
+    raise ValueError(f"unknown codec {codec!r}: expected 'binary' or 'json'")
+
+
+def _run_loop(coro: Coroutine, use_uvloop: bool):
+    """Run ``coro`` to completion, on uvloop when asked for and available.
+
+    uvloop is an optional accelerator, never a dependency: when the
+    import fails we fall back to ``asyncio.run`` without complaint so the
+    same call sites work on bare-stdlib installs.
+    """
+    if use_uvloop:
+        try:
+            import uvloop  # type: ignore[import-not-found]
+        except ImportError:
+            pass
+        else:
+            if hasattr(uvloop, "run"):  # uvloop >= 0.18
+                return uvloop.run(coro)
+            uvloop.install()
+    return asyncio.run(coro)
 
 
 @dataclass
@@ -131,8 +169,13 @@ async def _run(
     observe: bool = False,
     metrics_port: Optional[int] = None,
     sample_interval_s: float = 0.05,
+    codec: str = "binary",
+    coalesce: bool = True,
+    enforce_changed_only: bool = False,
+    rule_change_tolerance: float = 0.0,
 ) -> LiveRunResult:
     policy = policy or default_policy(n_stages)
+    offered = _offered_codecs(codec)
     obs = _Obs(observe, metrics_port, sample_interval_s)
     controller = LiveGlobalController(
         policy,
@@ -142,6 +185,9 @@ async def _run(
         span_tracer=obs.tracer_for("global-ctrl"),
         usage_meter=obs.meter_for("global-ctrl"),
         metrics=obs.registry,
+        enforce_changed_only=enforce_changed_only,
+        rule_change_tolerance=rule_change_tolerance,
+        coalesce=coalesce,
     )
     await controller.start()
     await obs.start()
@@ -152,6 +198,7 @@ async def _run(
             controller.port,
             stage_id=f"stage-{i:05d}",
             job_id=f"job-{i:05d}",
+            codecs=offered,
         )
         for i in range(n_stages)
     ]
@@ -186,11 +233,16 @@ def run_live_flat(
     observe: bool = False,
     metrics_port: Optional[int] = None,
     sample_interval_s: float = 0.05,
+    codec: str = "binary",
+    coalesce: bool = True,
+    enforce_changed_only: bool = False,
+    rule_change_tolerance: float = 0.0,
+    use_uvloop: bool = False,
 ) -> LiveRunResult:
     """Run a flat control plane over real localhost TCP sockets."""
     if n_stages < 1 or n_cycles < 1:
         raise ValueError("n_stages and n_cycles must be >= 1")
-    return asyncio.run(
+    return _run_loop(
         _run(
             n_stages,
             n_cycles,
@@ -200,7 +252,12 @@ def run_live_flat(
             observe=observe,
             metrics_port=metrics_port,
             sample_interval_s=sample_interval_s,
-        )
+            codec=codec,
+            coalesce=coalesce,
+            enforce_changed_only=enforce_changed_only,
+            rule_change_tolerance=rule_change_tolerance,
+        ),
+        use_uvloop,
     )
 
 
@@ -214,8 +271,13 @@ async def _run_hier(
     observe: bool = False,
     metrics_port: Optional[int] = None,
     sample_interval_s: float = 0.05,
+    codec: str = "binary",
+    coalesce: bool = True,
+    enforce_changed_only: bool = False,
+    rule_change_tolerance: float = 0.0,
 ) -> LiveRunResult:
     policy = policy or default_policy(n_stages)
+    offered = _offered_codecs(codec)
     obs = _Obs(observe, metrics_port, sample_interval_s)
     controller = LiveHierGlobalController(
         policy,
@@ -225,6 +287,9 @@ async def _run_hier(
         span_tracer=obs.tracer_for("global-ctrl"),
         usage_meter=obs.meter_for("global-ctrl"),
         metrics=obs.registry,
+        enforce_changed_only=enforce_changed_only,
+        rule_change_tolerance=rule_change_tolerance,
+        coalesce=coalesce,
     )
     await controller.start()
     await obs.start()
@@ -247,6 +312,8 @@ async def _run_hier(
             span_tracer=obs.tracer_for(agg_id),
             usage_meter=obs.meter_for(agg_id),
             metrics=obs.registry,
+            coalesce=coalesce,
+            codecs=offered,
         )
         await agg.start()
         aggregators.append(agg)
@@ -256,6 +323,7 @@ async def _run_hier(
                 agg.port,
                 stage_id=stage_id,
                 job_id=stage_id.replace("stage", "job"),
+                codecs=offered,
             )
             stages.append(stage)
             stage_tasks.append(asyncio.create_task(stage.run()))
@@ -291,13 +359,18 @@ def run_live_hierarchical(
     observe: bool = False,
     metrics_port: Optional[int] = None,
     sample_interval_s: float = 0.05,
+    codec: str = "binary",
+    coalesce: bool = True,
+    enforce_changed_only: bool = False,
+    rule_change_tolerance: float = 0.0,
+    use_uvloop: bool = False,
 ) -> LiveRunResult:
     """Run the hierarchical design over real localhost TCP sockets."""
     if n_stages < 1 or n_cycles < 1:
         raise ValueError("n_stages and n_cycles must be >= 1")
     if not 1 <= n_aggregators <= n_stages:
         raise ValueError("n_aggregators must be in [1, n_stages]")
-    return asyncio.run(
+    return _run_loop(
         _run_hier(
             n_stages,
             n_aggregators,
@@ -308,5 +381,10 @@ def run_live_hierarchical(
             observe=observe,
             metrics_port=metrics_port,
             sample_interval_s=sample_interval_s,
-        )
+            codec=codec,
+            coalesce=coalesce,
+            enforce_changed_only=enforce_changed_only,
+            rule_change_tolerance=rule_change_tolerance,
+        ),
+        use_uvloop,
     )

@@ -1,14 +1,22 @@
 """Wire protocol for the live control plane: length-prefixed JSON.
 
-Frames are ``[4-byte big-endian length][UTF-8 JSON body]``. Bodies are
-dicts with a mandatory ``kind`` field; the kinds mirror the simulated
-protocol exactly (``collect_req``, ``metrics_reply``, ``rule``,
-``rule_ack``, plus ``register``/``registered`` for session setup).
+Frames are ``[4-byte big-endian length][body]``. Bodies are dicts with a
+mandatory ``kind`` field; the kinds mirror the simulated protocol exactly
+(``collect_req``, ``metrics_reply``, ``rule``, ``rule_ack``, plus
+``register``/``registered`` for session setup).
 
 JSON keeps the protocol inspectable; the framing keeps reads exact. A
 16 MiB frame cap (``MAX_FRAME``) guards against corrupt length headers —
 orders of magnitude above any control message, far below the 4 GiB the
 4-byte length field could express.
+
+Hot-path frames may instead ride the binary fast-codec
+(:mod:`repro.live.codec`): the first body byte discriminates (``0xB1``
+binary vs ``{`` JSON), so :func:`decode_body` accepts both regardless of
+what a session negotiated. Senders pick a codec per session at
+registration (the ``codecs`` hello field / ``codec`` ack field, see
+:func:`choose_codec`); kinds without a packed schema always fall back to
+JSON even on a binary session.
 """
 
 from __future__ import annotations
@@ -16,9 +24,18 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
-__all__ = ["ProtocolError", "read_frame", "read_message", "write_message"]
+from repro.live.codec import BINARY_MAGIC, decode_binary, encode_binary
+
+__all__ = [
+    "ProtocolError",
+    "choose_codec",
+    "encode",
+    "read_frame",
+    "read_message",
+    "write_message",
+]
 
 _HEADER = struct.Struct(">I")
 #: Sanity cap on frame size (16 MiB is orders beyond any control message).
@@ -29,17 +46,42 @@ class ProtocolError(RuntimeError):
     """Malformed frame or unexpected message."""
 
 
-def encode(message: Dict[str, Any]) -> bytes:
-    """Encode a message dict into one wire frame."""
+def choose_codec(offered: Optional[Iterable[str]]) -> str:
+    """Pick the session codec from a peer's advertised ``codecs`` list.
+
+    Binary wins when both sides speak it; a peer that advertises nothing
+    (an older client) gets JSON — the negotiation fallback that keeps
+    mixed-version sessions working.
+    """
+    if offered is not None and "binary" in offered:
+        return "binary"
+    return "json"
+
+
+def encode(message: Dict[str, Any], codec: str = "json") -> bytes:
+    """Encode a message dict into one wire frame.
+
+    ``codec="binary"`` packs hot kinds via :mod:`repro.live.codec` and
+    falls back to JSON for everything else.
+    """
     if "kind" not in message:
         raise ProtocolError("message missing 'kind'")
-    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    body: Optional[bytes] = None
+    if codec == "binary":
+        body = encode_binary(message)
+    if body is None:
+        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME:
         raise ProtocolError(f"frame too large: {len(body)}")
     return _HEADER.pack(len(body)) + body
 
 
 def decode_body(body: bytes) -> Dict[str, Any]:
+    if body and body[0] == BINARY_MAGIC:
+        try:
+            return decode_binary(body)
+        except ValueError as exc:
+            raise ProtocolError(f"undecodable binary frame: {exc}") from exc
     try:
         message = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -73,10 +115,10 @@ async def read_message(reader: asyncio.StreamReader) -> Dict[str, Any]:
 
 
 async def write_message(
-    writer: asyncio.StreamWriter, message: Dict[str, Any]
+    writer: asyncio.StreamWriter, message: Dict[str, Any], codec: str = "json"
 ) -> int:
     """Write one framed message and drain; returns the frame's size."""
-    frame = encode(message)
+    frame = encode(message, codec)
     writer.write(frame)
     await writer.drain()
     return len(frame)

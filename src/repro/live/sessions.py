@@ -19,7 +19,7 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
 
-from repro.live.protocol import ProtocolError, read_frame, write_message
+from repro.live.protocol import ProtocolError, encode, read_frame
 
 __all__ = ["Session", "SessionClosed", "gather_phase"]
 
@@ -49,6 +49,13 @@ class Session:
         self.meter = meter
         self.inbox: asyncio.Queue = asyncio.Queue()
         self.connected = True
+        #: Wire codec for frames sent to this peer ("json" | "binary"),
+        #: fixed at registration (see ``protocol.choose_codec``). Reads
+        #: always auto-detect, so this only governs what *we* emit.
+        self.codec = "json"
+        #: Frames buffered by :meth:`feed` since the last :meth:`flush`.
+        self.pending_frames = 0
+        self._out = bytearray()
         #: Frame kinds routed to :attr:`oob` instead of the inbox.
         self.oob_kinds: frozenset = frozenset()
         #: Out-of-band frames, in arrival order (owner drains).
@@ -87,18 +94,47 @@ class Session:
             self.connected = False
             self.inbox.put_nowait(None)  # EOF sentinel for waiting readers
 
-    async def send(self, message: dict) -> None:
-        """Write one frame; raises :class:`SessionClosed` on a dead socket."""
+    def feed(self, message: dict) -> int:
+        """Buffer one frame for the socket without writing; returns its size.
+
+        The write side of frame coalescing: a phase feeds every frame for
+        this peer into an in-memory buffer, then awaits one :meth:`flush`
+        — a *single* ``writer.write`` (asyncio issues an eager ``send``
+        syscall per write call, so per-frame writes defeat batching) and
+        one ``drain`` per session per phase. Raises
+        :class:`SessionClosed` on a dead socket; write errors surface at
+        flush time.
+        """
+        return self.feed_frame(encode(message, self.codec))
+
+    def feed_frame(self, frame: bytes) -> int:
+        """Buffer an already-encoded frame (e.g. from a rule cache)."""
         if not self.connected:
             raise SessionClosed(f"{self.peer_id}: session closed")
-        try:
-            nbytes = await write_message(self.writer, message)
-        except (ConnectionError, OSError) as exc:
-            self.connected = False
-            raise SessionClosed(f"{self.peer_id}: {exc}") from exc
+        self._out += frame
+        self.pending_frames += 1
+        nbytes = len(frame)
         self.tx_bytes += nbytes
         if self.meter is not None:
             self.meter.add_tx(nbytes)
+        return nbytes
+
+    async def flush(self) -> None:
+        """Write frames buffered by :meth:`feed` in one burst and drain."""
+        self.pending_frames = 0
+        try:
+            if self._out:
+                self.writer.write(bytes(self._out))
+                self._out.clear()
+            await self.writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self.connected = False
+            raise SessionClosed(f"{self.peer_id}: {exc}") from exc
+
+    async def send(self, message: dict) -> None:
+        """Write one frame and drain; raises :class:`SessionClosed` on a dead socket."""
+        self.feed(message)
+        await self.flush()
 
     async def expect(self, kind: str, epoch: int) -> dict:
         """Next ``kind`` frame for ``epoch``; drains stale frames silently.

@@ -61,6 +61,11 @@ class LiveVirtualStage:
         Extra ``(host, port)`` controller addresses to rotate through
         when the current home fails (dead aggregator, dead primary). A
         ``rehome`` frame from the controller replaces this list.
+    codecs:
+        Wire codecs to advertise at registration, in preference order.
+        The controller's ``registered`` ack names the one to use; absent
+        an ack field (an older controller) the stage stays on JSON. Pass
+        ``("json",)`` to emulate a pre-binary client.
     controller_timeout_s:
         Declare the current home silent (and rotate) when no frame
         arrives for this long while the socket stays open — the stalled
@@ -83,6 +88,7 @@ class LiveVirtualStage:
         max_retries: Optional[int] = None,
         alternates: Optional[Sequence[Tuple[str, int]]] = None,
         controller_timeout_s: Optional[float] = None,
+        codecs: Sequence[str] = ("binary", "json"),
     ) -> None:
         if backoff_base_s <= 0 or backoff_max_s <= 0:
             raise ValueError("backoff delays must be positive")
@@ -136,6 +142,9 @@ class LiveVirtualStage:
         self._writer: Optional[asyncio.StreamWriter] = None
         self._registered_addr: Optional[Tuple[str, int]] = None
         self._last_silent = False
+        self.offered_codecs: Tuple[str, ...] = tuple(codecs)
+        #: Codec in force for the current session (reset per registration).
+        self.codec = "json"
 
     @property
     def host(self) -> str:
@@ -256,6 +265,7 @@ class LiveVirtualStage:
                     "kind": "register",
                     "stage_id": self.stage_id,
                     "job_id": self.job_id,
+                    "codecs": list(self.offered_codecs),
                 },
             )
             try:
@@ -265,6 +275,8 @@ class LiveVirtualStage:
             if ack["kind"] != "registered":
                 self.registrations_rejected += 1
                 raise _RegistrationRejected(f"registration refused: {ack}")
+            granted = ack.get("codec", "json")
+            self.codec = granted if granted in self.offered_codecs else "json"
             self.connects += 1
             if self.connects > 1:
                 self.reconnects += 1
@@ -329,6 +341,7 @@ class LiveVirtualStage:
                     "data_iops": self.demand[0],
                     "metadata_iops": self.demand[1],
                 },
+                self.codec,
             )
         elif kind == "rule":
             epoch = message["epoch"]
@@ -339,7 +352,9 @@ class LiveVirtualStage:
             else:
                 self.rules_ignored_stale += 1
             await write_message(
-                writer, {"kind": "rule_ack", "epoch": epoch, "stage_id": self.stage_id}
+                writer,
+                {"kind": "rule_ack", "epoch": epoch, "stage_id": self.stage_id},
+                self.codec,
             )
         elif kind == "rehome":
             self._accept_rehome(message)

@@ -1,4 +1,15 @@
-"""Discrete-event simulation kernel.
+"""Frozen pre-fast-path simulation kernel (benchmark baseline only).
+
+A verbatim snapshot of :mod:`repro.simnet.engine` as it stood before the
+hot-path overhaul (Timeout free-list, zero-delay dispatch buckets, merged
+process resume). ``python -m repro bench`` runs the same workload against
+this module and the live kernel so every ``BENCH_PR5.json`` carries an
+honest pre-PR baseline measured on the same machine in the same run. Do
+not import this from production code and do not "fix" it — its value is
+that it never changes.
+
+Original module docstring follows.
+
 
 A small, deterministic, SimPy-flavoured event loop. The design goals are:
 
@@ -17,25 +28,11 @@ The public surface mirrors a stripped-down SimPy: ``Environment.process``,
 ``Environment.timeout``, ``Environment.event``, ``Environment.run``,
 ``Process.interrupt``. This is the substrate the whole reproduction runs
 on, so it is tested exhaustively (see ``tests/simnet/test_engine.py``).
-
-Fast dispatch
--------------
-``Environment(fast_dispatch=True)`` (the default) runs an inlined event
-loop with a :class:`Timeout` free-list: a processed timeout whose only
-remaining reference is the dispatch loop itself (checked via
-``sys.getrefcount``) is recycled into a pool and handed back by
-:meth:`Environment.timeout` instead of a fresh allocation. Ordering is
-unaffected — the heap key is ``(time, priority, insertion seq)`` and
-recycled events draw fresh sequence numbers — which the golden-trace
-test in ``tests/simnet/test_engine.py`` pins against the legacy
-``fast_dispatch=False`` path, kept for baseline benchmarking.
 """
 
 from __future__ import annotations
 
 import heapq
-import sys
-from collections import deque
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -55,14 +52,6 @@ NORMAL = 1
 #: Priority used for events that must fire before normal ones at the same
 #: simulated instant (e.g. process resumption after an interrupt).
 URGENT = 0
-
-#: Upper bound on the per-environment :class:`Timeout` free-list. Beyond
-#: this the simulation is churning more concurrent timers than the pool
-#: helps with, and retired events are left to the garbage collector.
-_TIMEOUT_POOL_CAP = 4096
-
-_heappush = heapq.heappush
-_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -212,13 +201,10 @@ class _ConditionBase(Event):
 
     def _collect(self) -> dict:
         """Values of all processed member events, in declaration order."""
-        # Slot access instead of the triggered/ok/value properties: this
-        # runs once per condition fire, over every member, inside the
-        # collect-phase hot loop.
         return {
-            i: ev._value
+            i: ev.value
             for i, ev in enumerate(self.events)
-            if ev._processed and ev._ok
+            if ev.processed and ev.ok
         }
 
     def _on_member(self, event: Event) -> None:  # pragma: no cover - abstract
@@ -235,10 +221,10 @@ class AllOf(_ConditionBase):
     __slots__ = ()
 
     def _on_member(self, event: Event) -> None:
-        if self._value is not Event._PENDING:  # already triggered
+        if self.triggered:
             return
-        if not event._ok:
-            self.fail(event._value)
+        if not event.ok:
+            self.fail(event.value)
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -251,10 +237,10 @@ class AnyOf(_ConditionBase):
     __slots__ = ()
 
     def _on_member(self, event: Event) -> None:
-        if self._value is not Event._PENDING:  # already triggered
+        if self.triggered:
             return
-        if not event._ok:
-            self.fail(event._value)
+        if not event.ok:
+            self.fail(event.value)
             return
         self.succeed(self._collect())
 
@@ -326,12 +312,13 @@ class Process(Event):
         if self.triggered:  # finished in the meantime; interrupt is moot
             return
         self._detach()
-        self._resume(trigger)
+        self._step(trigger)
 
     def _resume(self, event: Event) -> None:
-        # This is the generator-dispatch hot path: one call per process
-        # wakeup, invoked directly as the waited-on event's callback.
         self._waiting_on = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
         env = self.env
         env._active_process = self
         try:
@@ -349,7 +336,7 @@ class Process(Event):
             return
         env._active_process = None
 
-        if type(target) is not Timeout and not isinstance(target, Event):
+        if not isinstance(target, Event):
             message = (
                 f"process {self.name!r} yielded a non-event: {target!r}. "
                 "Yield Timeout/Event/Process/AllOf/AnyOf instances."
@@ -364,7 +351,7 @@ class Process(Event):
         if target.env is not env:
             raise SimulationError("yielded event belongs to another environment")
 
-        if target._processed:
+        if target.processed:
             # Already fired: resume immediately (same instant, urgent).
             trigger = Event(env)
             trigger.callbacks.append(self._resume)
@@ -396,27 +383,13 @@ class Environment:
         assert env.now == 1.0 and proc.value == "pong"
     """
 
-    def __init__(self, initial_time: float = 0.0, fast_dispatch: bool = True) -> None:
+    def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list = []
         self._seq = count()
         self._active_process: Optional[Process] = None
         #: Number of events processed so far (for tests and stats).
         self.processed_events = 0
-        #: Use the inlined dispatch loop with the Timeout free-list.
-        #: ``False`` selects the legacy step()-per-event loop, kept so
-        #: benchmarks can measure the pre-optimization baseline in-run.
-        self.fast_dispatch = bool(fast_dispatch)
-        self._timeout_pool: list = []
-        # Same-timestamp dispatch buckets: zero-delay events skip the heap
-        # entirely and land in a FIFO per priority class, merged back into
-        # the global (time, priority, seq) order by the dispatch loop. The
-        # invariant that makes this exact: every entry in a bucket is for
-        # the *current* clock instant, and any heap entry at that same
-        # instant was inserted earlier (it needed a positive delay from an
-        # earlier now), so it carries a smaller sequence number.
-        self._urgent: deque = deque()
-        self._normal: deque = deque()
 
     # -- clock ------------------------------------------------------------
     @property
@@ -436,26 +409,6 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` simulated seconds from now."""
-        pool = self._timeout_pool
-        if pool:
-            if delay < 0:
-                raise ValueError(f"negative timeout delay: {delay!r}")
-            # Pool invariants: callbacks is an already-cleared list,
-            # _ok and _scheduled are True (a Timeout is born triggered
-            # and can never fail), so only the varying fields reset.
-            ev = pool.pop()
-            ev._processed = False
-            ev._value = value
-            if delay.__class__ is not float:
-                delay = float(delay)
-            ev.delay = delay
-            if delay == 0.0:
-                self._normal.append((next(self._seq), ev))
-            else:
-                _heappush(
-                    self._queue, (self._now + delay, NORMAL, next(self._seq), ev)
-                )
-            return ev
         return Timeout(self, delay, value)
 
     def process(
@@ -476,50 +429,10 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
-        # _mark_scheduled inlined: this is the single hottest call site.
-        if event._scheduled:
-            raise SimulationError(f"{event!r} scheduled twice")
-        event._scheduled = True
-        if delay == 0.0:
-            if priority == NORMAL:
-                self._normal.append((next(self._seq), event))
-                return
-            if priority == URGENT:
-                self._urgent.append((next(self._seq), event))
-                return
-        _heappush(
+        event._mark_scheduled()
+        heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._seq), event)
         )
-
-    def _pop_merged(self) -> Optional[tuple]:
-        """Next ``(time, event)`` in global (time, priority, seq) order.
-
-        Merges the heap with the same-instant buckets; returns ``None``
-        when nothing is scheduled anywhere.
-        """
-        queue = self._queue
-        urgent = self._urgent
-        normal = self._normal
-        if queue:
-            item = queue[0]
-            when = item[0]
-            if urgent:
-                if when <= self._now and (item[1], item[2]) < (URGENT, urgent[0][0]):
-                    _heappop(queue)
-                    return when, item[3]
-                return self._now, urgent.popleft()[1]
-            if normal:
-                if when <= self._now and (item[1], item[2]) < (NORMAL, normal[0][0]):
-                    _heappop(queue)
-                    return when, item[3]
-                return self._now, normal.popleft()[1]
-            _heappop(queue)
-            return when, item[3]
-        if urgent:
-            return self._now, urgent.popleft()[1]
-        if normal:
-            return self._now, normal.popleft()[1]
-        return None
 
     def call_at(
         self, when: float, callback: Callable[[], None], priority: int = NORMAL
@@ -541,16 +454,13 @@ class Environment:
     # -- main loop ----------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        if self._urgent or self._normal:
-            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event. Raises if the queue is empty."""
-        nxt = self._pop_merged()
-        if nxt is None:
+        if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, event = nxt
+        when, _prio, _seq, event = heapq.heappop(self._queue)
         if when < self._now:  # pragma: no cover - guarded by _schedule
             raise SimulationError("time went backwards")
         self._now = when
@@ -584,18 +494,6 @@ class Environment:
         classic DES footguns — see the token-bucket clamp in
         ``repro.dataplane.stage`` for one we hit).
         """
-        if max_events is not None and max_events < 1:
-            raise SimulationError(f"max_events must be >= 1: {max_events}")
-        if self.fast_dispatch:
-            return self._run_fast(until, max_events)
-        return self._run_legacy(until, max_events)
-
-    def _run_legacy(
-        self,
-        until: Optional[float | Event],
-        max_events: Optional[int],
-    ) -> Any:
-        """The original step()-per-event loop (``fast_dispatch=False``)."""
         budget_floor = self.processed_events
 
         def check_budget() -> None:
@@ -608,15 +506,17 @@ class Environment:
                     "likely a zero-delay loop or an immortal process"
                 )
 
+        if max_events is not None and max_events < 1:
+            raise SimulationError(f"max_events must be >= 1: {max_events}")
         if until is None:
-            while self._queue or self._urgent or self._normal:
+            while self._queue:
                 self.step()
                 check_budget()
             return None
         if isinstance(until, Event):
             sentinel = until
             while not sentinel.processed:
-                if not (self._queue or self._urgent or self._normal):
+                if not self._queue:
                     raise SimulationError(
                         "event queue drained before the awaited event fired"
                     )
@@ -628,138 +528,8 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError(f"run(until={horizon}) is in the past")
-        while (
-            self._urgent
-            or self._normal
-            or (self._queue and self._queue[0][0] <= horizon)
-        ):
+        while self._queue and self._queue[0][0] <= horizon:
             self.step()
             check_budget()
         self._now = horizon
-        return None
-
-    def _run_fast(
-        self,
-        until: Optional[float | Event],
-        max_events: Optional[int],
-    ) -> Any:
-        """Inlined dispatch loop with Timeout recycling.
-
-        Semantically identical to :meth:`_run_legacy` — same pop order,
-        same failed-event surfacing, same budget accounting — but with
-        the per-event attribute lookups hoisted into locals and processed
-        timeouts recycled into the free-list when the loop holds their
-        only remaining reference (``sys.getrefcount(event) == 2``: the
-        loop local plus getrefcount's argument), so no user code can
-        observe a recycled event.
-        """
-        queue = self._queue
-        urgent = self._urgent
-        normal = self._normal
-        pop = _heappop
-        getrefcount = sys.getrefcount
-        pool = self._timeout_pool
-        urgent_prio = URGENT
-        normal_prio = NORMAL
-        processed = self.processed_events
-        limit = (
-            float("inf") if max_events is None else processed + max_events
-        )
-        sentinel: Optional[Event] = None
-        horizon: Optional[float] = None
-        if until is not None:
-            if isinstance(until, Event):
-                sentinel = until
-            else:
-                horizon = float(until)
-                if horizon < self._now:
-                    raise SimulationError(f"run(until={horizon}) is in the past")
-        now = self._now
-        try:
-            while True:
-                if sentinel is not None and sentinel._processed:
-                    break
-                # -- select the next event in (time, priority, seq) order --
-                # The heap tuple is unpacked (never bound whole) on the
-                # pop paths so the dispatch loop holds the only reference
-                # to the event by recycle time.
-                if queue:
-                    if urgent:
-                        item = queue[0]
-                        if item[0] <= now and (item[1], item[2]) < (
-                            urgent_prio,
-                            urgent[0][0],
-                        ):
-                            pop(queue)
-                            event = item[3]
-                            item = None
-                        else:
-                            event = urgent.popleft()[1]
-                    elif normal:
-                        item = queue[0]
-                        if item[0] <= now and (item[1], item[2]) < (
-                            normal_prio,
-                            normal[0][0],
-                        ):
-                            pop(queue)
-                            event = item[3]
-                            item = None
-                        else:
-                            event = normal.popleft()[1]
-                    else:
-                        if horizon is not None and queue[0][0] > horizon:
-                            break
-                        when, _prio, _seq, event = pop(queue)
-                        if when != now:
-                            now = self._now = when
-                elif urgent:
-                    event = urgent.popleft()[1]
-                elif normal:
-                    event = normal.popleft()[1]
-                else:
-                    break
-                # -- dispatch --
-                callbacks = event.callbacks
-                event.callbacks = None
-                event._processed = True
-                processed += 1
-                if callbacks:
-                    if len(callbacks) == 1:
-                        callbacks[0](event)
-                    else:
-                        for callback in callbacks:
-                            callback(event)
-                elif not event._ok:
-                    # A failed event nobody waits for: surface it loudly.
-                    raise event._value
-                if (
-                    type(event) is Timeout
-                    and len(pool) < _TIMEOUT_POOL_CAP
-                    and getrefcount(event) == 2
-                ):
-                    # Recycle the event *and* its callbacks list: the list
-                    # is detached above, so clearing it here saves one list
-                    # allocation per pooled timeout.
-                    if callbacks:
-                        callbacks.clear()
-                    event.callbacks = callbacks
-                    pool.append(event)
-                if processed > limit:
-                    raise SimulationError(
-                        f"run() exceeded max_events={max_events} at "
-                        f"t={self._now}; likely a zero-delay loop or an "
-                        "immortal process"
-                    )
-        finally:
-            self.processed_events = processed
-        if sentinel is not None:
-            if not sentinel._processed:
-                raise SimulationError(
-                    "event queue drained before the awaited event fired"
-                )
-            if not sentinel._ok:
-                raise sentinel._value
-            return sentinel._value
-        if horizon is not None:
-            self._now = horizon
         return None

@@ -171,3 +171,50 @@ class TestDiffRules:
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ValueError):
             diff_rules({}, [], tolerance=-0.1)
+
+
+class TestMetricsWindowAllocation:
+    """The EWMA window runs per cycle for every stage — keep it lean."""
+
+    def test_slots_block_stray_attributes(self):
+        w = MetricsWindow()
+        with pytest.raises(AttributeError):
+            w.debug_tag = "x"
+
+    def test_demands_fromiter_matches_per_stage_lookup(self):
+        w = MetricsWindow(alpha=0.5)
+        for i in range(8):
+            w.update(f"s{i}", 100.0 * i)
+        ids = [f"s{i}" for i in range(10)]  # two never-seen stages
+        vec = w.demands(ids)
+        assert vec.shape == (10,)
+        assert list(vec) == [w.demand(s) for s in ids]
+
+    def test_steady_state_update_allocates_nothing(self):
+        import tracemalloc
+
+        import repro.core.metrics as mod
+
+        w = MetricsWindow(alpha=0.3)
+        ids = [f"stage-{i:04d}" for i in range(64)]
+
+        def spin(n):
+            for _ in range(n):
+                for i, sid in enumerate(ids):
+                    w.update(sid, 500.0 + i)
+
+        spin(50)  # populate the dict and warm free-lists
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            spin(100)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        growth = sum(
+            stat.size_diff
+            for stat in after.compare_to(before, "filename")
+            if stat.size_diff > 0
+            and stat.traceback[0].filename == mod.__file__
+        )
+        assert growth <= 512, f"metrics window leaked {growth} bytes"

@@ -126,3 +126,44 @@ class TestTokenBucket:
         clock.advance(delay)
         assert b.delay_for(1) == 0.0
         assert b.try_acquire(1)
+
+
+class TestAllocationRegression:
+    """The bucket sits in every stage's op loop — steady-state acquire
+    must not allocate (beyond CPython's recycled float free-list)."""
+
+    def test_slots_block_stray_attributes(self, clock):
+        b = TokenBucket(rate=10.0, clock=clock)
+        with pytest.raises(AttributeError):
+            b.debug_tag = "x"
+
+    def test_steady_state_acquire_allocates_nothing(self, clock):
+        import tracemalloc
+
+        import repro.dataplane.token_bucket as mod
+
+        b = TokenBucket(rate=1000.0, clock=clock, burst=10.0)
+
+        def spin(n):
+            for _ in range(n):
+                clock.advance(0.0005)
+                b.try_acquire(1.0)
+                b.delay_for(1.0)
+                _ = b.tokens
+
+        spin(2000)  # warm float free-lists and caches
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            spin(5000)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        growth = sum(
+            stat.size_diff
+            for stat in after.compare_to(before, "filename")
+            if stat.size_diff > 0
+            and stat.traceback[0].filename == mod.__file__
+        )
+        # Zero in practice; a small slack tolerates free-list refills.
+        assert growth <= 512, f"token bucket leaked {growth} bytes"

@@ -1,0 +1,246 @@
+"""Binary fast-codec: round-trip properties and codec negotiation."""
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.live.codec import (
+    BINARY_KINDS,
+    BINARY_MAGIC,
+    decode_binary,
+    encode_binary,
+    is_binary,
+)
+from repro.live.protocol import ProtocolError, choose_codec, decode_body, encode
+
+epochs = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+iops = st.floats(allow_nan=False, allow_infinity=False)
+ids = st.text(max_size=64)
+
+
+def hot_messages():
+    """Strategy over every message shape with a packed schema."""
+    return st.one_of(
+        st.builds(lambda e: {"kind": "collect_req", "epoch": e}, epochs),
+        st.builds(
+            lambda e, s, j, d, m: {
+                "kind": "metrics_reply",
+                "epoch": e,
+                "stage_id": s,
+                "job_id": j,
+                "data_iops": d,
+                "metadata_iops": m,
+            },
+            epochs, ids, ids, iops, iops,
+        ),
+        st.builds(
+            lambda e, s, lim: {
+                "kind": "rule",
+                "epoch": e,
+                "stage_id": s,
+                "data_iops_limit": lim,
+            },
+            epochs, ids, iops,
+        ),
+        st.builds(
+            lambda e, s: {"kind": "rule_ack", "epoch": e, "stage_id": s},
+            epochs, ids,
+        ),
+    )
+
+
+class TestBinaryRoundTrip:
+    @given(hot_messages())
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_is_identity(self, message):
+        body = encode_binary(message)
+        assert body is not None and is_binary(body)
+        assert decode_binary(body) == message
+
+    @given(hot_messages())
+    @settings(max_examples=100, deadline=None)
+    def test_binary_and_json_decode_identically(self, message):
+        """Both codecs land on the same dict — floats bit-exact via >d."""
+        binary = decode_binary(encode_binary(message))
+        as_json = json.loads(json.dumps(message))
+        # JSON may lose int/float distinctions the binary codec keeps;
+        # compare value-wise (== treats 3 and 3.0 as equal).
+        assert binary == as_json
+
+    @given(hot_messages())
+    @settings(max_examples=100, deadline=None)
+    def test_frame_level_roundtrip_both_codecs(self, message):
+        for codec in ("json", "binary"):
+            frame = encode(message, codec)
+            assert decode_body(frame[4:]) == message
+
+    @given(hot_messages(), st.integers(min_value=0, max_value=40))
+    @settings(max_examples=100, deadline=None)
+    def test_truncation_never_misdecodes(self, message, cut):
+        """A truncated binary body raises — it never decodes silently."""
+        body = encode_binary(message)
+        if cut >= len(body):
+            return
+        truncated = body[: len(body) - 1 - cut]
+        if not truncated:
+            return
+        try:
+            decoded = decode_binary(truncated)
+        except ValueError:
+            return
+        # Only a prefix that is itself a complete encoding may decode;
+        # string fields make that possible only when the cut lands
+        # beyond every packed field, which cannot happen here because
+        # every schema ends with a length-prefixed string or fixed tail.
+        assert decoded != message
+
+    def test_unsupported_kind_returns_none(self):
+        assert encode_binary({"kind": "register", "stage_id": "s"}) is None
+
+    def test_unsupported_kind_falls_back_to_json_at_frame_level(self):
+        frame = encode({"kind": "register", "stage_id": "s"}, "binary")
+        assert frame[4] == ord("{")
+        assert decode_body(frame[4:]) == {"kind": "register", "stage_id": "s"}
+
+    def test_magic_byte_never_starts_json(self):
+        assert BINARY_MAGIC != ord("{")
+        for kind in sorted(BINARY_KINDS):
+            body = encode_binary(
+                {
+                    "kind": kind,
+                    "epoch": 1,
+                    "stage_id": "s",
+                    "job_id": "j",
+                    "data_iops": 1.0,
+                    "metadata_iops": 1.0,
+                    "data_iops_limit": 1.0,
+                }
+            )
+            assert body[0] == BINARY_MAGIC
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown binary frame tag"):
+            decode_binary(bytes([BINARY_MAGIC, 250]) + b"\x00" * 8)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="bad binary magic"):
+            decode_binary(b"\xb2\x01" + b"\x00" * 8)
+
+    def test_decode_body_wraps_binary_errors(self):
+        with pytest.raises(ProtocolError, match="undecodable binary frame"):
+            decode_body(bytes([BINARY_MAGIC, 250]))
+
+
+class TestNegotiation:
+    def test_binary_wins_when_offered(self):
+        assert choose_codec(["binary", "json"]) == "binary"
+        assert choose_codec(["binary"]) == "binary"
+
+    def test_json_fallbacks(self):
+        assert choose_codec(["json"]) == "json"
+        assert choose_codec([]) == "json"
+        assert choose_codec(None) == "json"
+        assert choose_codec(["zstd"]) == "json"
+
+
+class TestMixedVersionSessions:
+    """A binary-capable controller must interoperate with JSON-only
+    stages (and vice versa) — the registration handshake decides per
+    session, and reads auto-detect, so neither side needs to agree
+    beyond the ack."""
+
+    def test_json_only_stage_against_binary_controller(self):
+        from repro.core.control_plane import default_policy
+        from repro.live.controller_server import LiveGlobalController
+        from repro.live.stage_client import LiveVirtualStage
+
+        async def scenario():
+            controller = LiveGlobalController(
+                default_policy(2), expected_stages=2
+            )
+            await controller.start()
+            old = LiveVirtualStage(
+                controller.host, controller.port,
+                stage_id="stage-old", job_id="job-a", codecs=("json",),
+            )
+            new = LiveVirtualStage(
+                controller.host, controller.port,
+                stage_id="stage-new", job_id="job-b",
+            )
+            tasks = [asyncio.create_task(s.run()) for s in (old, new)]
+            try:
+                await controller.wait_for_stages()
+                await controller.run_cycles(3)
+                session_codecs = {
+                    sid: s.codec for sid, s in controller.sessions.items()
+                }
+            finally:
+                await controller.shutdown()
+                for t in tasks:
+                    t.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+            return session_codecs, old, new
+
+        session_codecs, old, new = asyncio.run(scenario())
+        assert old.codec == "json"
+        assert new.codec == "binary"
+        assert session_codecs == {"stage-old": "json", "stage-new": "binary"}
+        assert old.rules_applied == 3
+        assert new.rules_applied == 3
+
+    def test_json_only_fleet_still_cycles(self):
+        from repro.live.harness import run_live_flat
+
+        result = run_live_flat(n_stages=6, n_cycles=3, codec="json")
+        assert result.rules_applied_total == 18
+        assert result.degraded_cycles == 0
+
+    def test_hier_mixed_codecs_end_to_end(self):
+        """Binary-offering aggregators with JSON-only stages below."""
+        from repro.core.control_plane import default_policy
+        from repro.core.registry import partition_stages
+        from repro.live.aggregator_server import LiveAggregator
+        from repro.live.controller_server import LiveHierGlobalController
+        from repro.live.stage_client import LiveVirtualStage
+
+        async def scenario():
+            controller = LiveHierGlobalController(
+                default_policy(4), expected_aggregators=2
+            )
+            await controller.start()
+            stage_ids = [f"stage-{i}" for i in range(4)]
+            aggs, stages, tasks = [], [], []
+            for a, owned in enumerate(partition_stages(stage_ids, 2)):
+                agg = LiveAggregator(
+                    f"aggregator-{a}", controller.host, controller.port,
+                    expected_stages=len(owned),
+                )
+                await agg.start()
+                aggs.append(agg)
+                for sid in owned:
+                    stage = LiveVirtualStage(
+                        agg.host, agg.port, stage_id=sid,
+                        job_id="job", codecs=("json",),
+                    )
+                    stages.append(stage)
+                    tasks.append(asyncio.create_task(stage.run()))
+                tasks.append(asyncio.create_task(agg.run()))
+            try:
+                await controller.wait_for_aggregators()
+                await controller.run_cycles(3)
+            finally:
+                await controller.shutdown()
+                for t in tasks:
+                    t.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+            return aggs, stages
+
+        aggs, stages = asyncio.run(scenario())
+        # Aggregator-to-controller trunk negotiated binary; the
+        # stage-facing sessions fell back to JSON per the stages' offer.
+        assert all(a.up_codec == "binary" for a in aggs)
+        assert all(s.codec == "json" for s in stages)
+        assert all(s.rules_applied == 3 for s in stages)

@@ -436,3 +436,117 @@ class TestRunawayGuard:
     def test_invalid_budget_rejected(self):
         with pytest.raises(SimulationError):
             Environment().run(max_events=0)
+
+
+class TestGoldenTrace:
+    """Event-ordering determinism pinned against a committed fixture.
+
+    The fixture (``golden_hier_trace.json``) records every message
+    delivery of a seeded 2-aggregator hierarchical run — timestamp,
+    kind, sender, recipient, size — captured on the pre-fast-path
+    kernel. The fast dispatch path, the legacy ``step()`` path, and any
+    future kernel change must reproduce it byte for byte: the sha256
+    covers the full delivery trace plus the per-cycle phase timings.
+    """
+
+    N_STAGES = 40
+    N_AGGREGATORS = 2
+    N_CYCLES = 4
+
+    @staticmethod
+    def _run_traced(env):
+        import hashlib
+        import json
+        import math
+        import zlib
+
+        from repro.core.control_plane import (
+            ControlPlaneConfig,
+            HierarchicalControlPlane,
+        )
+        from repro.simnet.transport import Endpoint
+
+        class DeterministicSource:
+            """Pure function of (stage_id, now): no RNG state involved."""
+
+            def sample(self, stage_id, now):
+                tag = zlib.crc32(stage_id.encode("utf-8"))
+                base = 600.0 + (tag % 1000)
+                wobble = 150.0 * math.sin(12.0 * now + (tag % 7))
+                data = max(base + wobble, 0.0)
+                return (data, 0.2 * data)
+
+        cfg = ControlPlaneConfig(
+            n_stages=TestGoldenTrace.N_STAGES,
+            source_factory=lambda sid: DeterministicSource(),
+        )
+        plane = HierarchicalControlPlane.build(
+            cfg, TestGoldenTrace.N_AGGREGATORS, env=env
+        )
+        trace = []
+        original = Endpoint._deliver
+
+        def spy(self, message, connection):
+            trace.append(
+                [
+                    f"{self.env.now:.9f}",
+                    message.kind,
+                    message.sender,
+                    message.recipient,
+                    message.size_bytes,
+                ]
+            )
+            return original(self, message, connection)
+
+        Endpoint._deliver = spy
+        try:
+            proc = plane.global_controller.run_cycles(TestGoldenTrace.N_CYCLES)
+            env.run(until=proc)
+        finally:
+            Endpoint._deliver = original
+        cycles = [
+            [c.epoch, f"{c.started_at:.9f}", f"{c.collect_s:.9f}",
+             f"{c.compute_s:.9f}", f"{c.enforce_s:.9f}"]
+            for c in plane.global_controller.cycles
+        ]
+        digest = hashlib.sha256(
+            json.dumps([trace, cycles], separators=(",", ":")).encode()
+        ).hexdigest()
+        return trace, cycles, digest
+
+    @staticmethod
+    def _fixture():
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).with_name("golden_hier_trace.json")
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    @pytest.mark.parametrize("fast_dispatch", [True, False])
+    def test_reproduces_golden_trace(self, fast_dispatch):
+        fixture = self._fixture()
+        trace, cycles, digest = self._run_traced(
+            Environment(fast_dispatch=fast_dispatch)
+        )
+        assert len(trace) == fixture["n_deliveries"]
+        assert trace[: len(fixture["head"])] == fixture["head"]
+        assert trace[-len(fixture["tail"]):] == fixture["tail"]
+        assert cycles == fixture["cycles"]
+        assert digest == fixture["sha256"]
+
+    def test_vendored_baseline_runs_the_bench_workload(self):
+        # The frozen pre-PR kernel only needs timeout/process semantics
+        # (the bench burst workload); full control-plane runs use
+        # resource classes bound to the live kernel's Event type, so
+        # they are out of scope for the baseline by design.
+        from repro.simnet._engine_baseline import Environment as BaselineEnv
+
+        env = BaselineEnv()
+
+        def worker(env, k):
+            for _ in range(k):
+                yield env.timeout(0.0)
+
+        env.process(worker(env, 100))
+        env.run(until=1.0)
+        assert env.processed_events > 100

@@ -1,0 +1,73 @@
+"""Unit tests for the bench artefact schema and regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import SCHEMA, check_regression, load_artifact
+
+
+def _artifact(**cycles):
+    return {
+        "schema": SCHEMA,
+        "quick": False,
+        "sim_cycles": {
+            key: {"nodes": 400.0, "cycles": 6.0, "wall_s_per_cycle": wall}
+            for key, wall in cycles.items()
+        },
+    }
+
+
+class TestCheckRegression:
+    def test_within_budget_passes(self):
+        baseline = _artifact(flat_400=0.010)
+        current = _artifact(flat_400=0.019)
+        assert check_regression(current, baseline) is None
+
+    def test_regression_reported(self):
+        baseline = _artifact(flat_400=0.010, hier_800=0.020)
+        current = _artifact(flat_400=0.011, hier_800=0.041)
+        message = check_regression(current, baseline)
+        assert message is not None
+        assert "hier_800" in message and "flat_400" not in message
+
+    def test_missing_configuration_fails(self):
+        baseline = _artifact(flat_400=0.010)
+        current = _artifact(hier_800=0.010)
+        message = check_regression(current, baseline)
+        assert message is not None and "missing" in message
+
+    def test_custom_ratio(self):
+        baseline = _artifact(flat_400=0.010)
+        current = _artifact(flat_400=0.025)
+        assert check_regression(current, baseline, max_cycle_ratio=3.0) is None
+        assert check_regression(current, baseline, max_cycle_ratio=2.0)
+
+
+class TestLoadArtifact:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_artifact(flat_400=0.01)))
+        assert load_artifact(str(path))["schema"] == SCHEMA
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"schema": "other/9"}))
+        with pytest.raises(ValueError, match="unknown bench schema"):
+            load_artifact(str(path))
+
+
+class TestCommittedArtifact:
+    def test_repo_baseline_is_valid_and_meets_targets(self):
+        # The committed artefact must parse and carry the PR's headline
+        # claims: >=3x kernel throughput, >=2x live frame throughput,
+        # both measured against same-run baselines.
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[1]
+        doc = load_artifact(str(repo_root / "BENCH_PR5.json"))
+        assert doc["engine"]["speedup"] >= 3.0
+        assert doc["live"]["speedup"] >= 2.0
+        assert set(doc["sim_cycles"]) == {
+            "flat_400", "flat_800", "hier_400", "hier_800",
+        }
