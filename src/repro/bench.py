@@ -26,6 +26,16 @@ and CI can catch regressions. Three suites:
     same process, so the ratio is load-independent even when absolute
     numbers are not.
 
+``shard``
+    The PR 6 suite: mean control-cycle latency of the multi-process
+    sharded plane (:mod:`repro.shard`) at a 1→N worker scaling curve,
+    each leg paired with a single-process ``run_live_hierarchical``
+    baseline on the *same* tree shape (N aggregators, same stages).
+    The artefact records ``cpu_count`` because the curve is only
+    expected to bend past 1x on a multi-core host; CI (which may run
+    on one core) gates only the 1-worker leg against the committed
+    ``BENCH_PR6.json``.
+
 Every suite reports a ``speedup`` measured against a baseline captured
 in the *same run* — never against numbers frozen on other hardware.
 The JSON schema is documented in DESIGN.md ("Performance" section).
@@ -276,6 +286,62 @@ def bench_live(quick: bool = False) -> Dict[str, float]:
     }
 
 
+# -- suite 4: multi-process shard scaling ----------------------------------------
+
+
+def bench_shard(quick: bool = False) -> Dict:
+    """1→N worker scaling of the sharded plane vs single-process runs.
+
+    Each worker count N gets two legs on the same tree shape — N
+    aggregators, the same stage fleet, the same codec/coalescing — so
+    ``speedup`` isolates exactly one variable: whether the aggregator
+    subtrees run as spawned processes or share the parent's event loop.
+    Mean cycle latency is taken after warmup (the registration storm
+    and first-epoch cache fills land there).
+    """
+    import os
+
+    from repro.live.harness import run_live_hierarchical
+    from repro.shard import run_live_sharded
+
+    n_stages = 24 if quick else 48
+    n_cycles = 8 if quick else 16
+    worker_counts = (1, 2) if quick else (1, 2, 4)
+
+    legs: Dict[str, Dict[str, float]] = {}
+    for workers in worker_counts:
+        single = run_live_hierarchical(
+            n_stages=n_stages,
+            n_aggregators=workers,
+            n_cycles=n_cycles,
+            codec="binary",
+            coalesce=True,
+        )
+        sharded = run_live_sharded(
+            n_stages=n_stages,
+            n_workers=workers,
+            n_cycles=n_cycles,
+            codec="binary",
+            coalesce=True,
+        )
+        single_s = single.stats().mean_ms / 1e3
+        sharded_s = sharded.stats().mean_ms / 1e3
+        legs[str(workers)] = {
+            "workers": float(workers),
+            "single_process_cycle_s": single_s,
+            "sharded_cycle_s": sharded_s,
+            "speedup": single_s / sharded_s if sharded_s > 0 else 0.0,
+            "degraded_cycles": float(sharded.degraded_cycles),
+        }
+    return {
+        "workload": "sharded control plane scaling",
+        "stages": float(n_stages),
+        "cycles": float(n_cycles),
+        "cpu_count": float(os.cpu_count() or 1),
+        "legs": legs,
+    }
+
+
 # -- entry points ---------------------------------------------------------------
 
 
@@ -287,6 +353,7 @@ def run_bench(quick: bool = False) -> Dict:
         "engine": bench_engine(quick),
         "sim_cycles": bench_sim_cycles(quick),
         "live": bench_live(quick),
+        "shard": bench_shard(quick),
     }
 
 
@@ -297,9 +364,12 @@ def check_regression(
 
     Returns a human-readable failure message when any configuration's
     wall-clock per cycle regressed by more than ``max_cycle_ratio``,
-    else ``None``. Only the sim-cycle suite is gated: it is the least
-    noisy of the three on shared CI runners, and the engine/live suites
-    already carry their own same-run baselines.
+    else ``None``. Two suites are gated: ``sim_cycles`` (the least
+    noisy on shared CI runners) and the ``shard`` suite's 1-worker leg
+    (the only leg whose latency is core-count-independent — the >1
+    legs genuinely need parallel hardware, which CI does not promise).
+    Baselines predating a suite are tolerated: a key absent from the
+    committed artefact is simply not gated.
     """
     failures = []
     for key, ref in baseline.get("sim_cycles", {}).items():
@@ -315,8 +385,24 @@ def check_regression(
                 f"{ref['wall_s_per_cycle']:.4f}s/cycle "
                 f"(limit {max_cycle_ratio:.1f}x)"
             )
+    shard_ref = baseline.get("shard", {}).get("legs", {}).get("1")
+    if shard_ref is not None:
+        shard_cur = current.get("shard", {}).get("legs", {}).get("1")
+        if shard_cur is None:
+            failures.append("shard workers=1: missing from current run")
+        else:
+            ratio = (
+                shard_cur["sharded_cycle_s"] / shard_ref["sharded_cycle_s"]
+            )
+            if ratio > max_cycle_ratio:
+                failures.append(
+                    f"shard workers=1: {shard_cur['sharded_cycle_s']:.4f}"
+                    f"s/cycle is {ratio:.2f}x the baseline "
+                    f"{shard_ref['sharded_cycle_s']:.4f}s/cycle "
+                    f"(limit {max_cycle_ratio:.1f}x)"
+                )
     if failures:
-        return "sim cycle latency regression:\n" + "\n".join(
+        return "cycle latency regression:\n" + "\n".join(
             f"  {f}" for f in failures
         )
     return None

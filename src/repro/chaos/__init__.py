@@ -15,7 +15,7 @@ violation; ``--report-out`` writes the JSON report, the CI artifact).
 """
 
 from repro.chaos.invariants import ChaosReport, InvariantChecker, Violation
-from repro.chaos.runner import run_chaos_live, run_chaos_sim
+from repro.chaos.runner import run_chaos_live, run_chaos_shard, run_chaos_sim
 from repro.chaos.schedule import ChaosSchedule, FaultAction, generate_schedule
 
 __all__ = [
@@ -26,5 +26,6 @@ __all__ = [
     "Violation",
     "generate_schedule",
     "run_chaos_live",
+    "run_chaos_shard",
     "run_chaos_sim",
 ]

@@ -19,6 +19,12 @@ violation, so CI can upload the full report before failing the step.
 Fault durations are translated per plane: the simulator has no wall
 clock, so stalls/kills last a fixed number of *cycles* there, while the
 live plane uses the schedule's ``duration_s`` directly.
+
+:func:`run_chaos_shard` extends the menagerie to the multi-process plane
+(:mod:`repro.shard`): aggregator faults become real ``SIGKILL``s of
+shard worker processes, with the pinned partition re-spawned a fixed
+number of cycles later, and the invariants are checked through the
+workers' control-pipe probes instead of in-process stage objects.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from typing import Dict, List, Optional
 from repro.chaos.invariants import ChaosReport, InvariantChecker, Violation
 from repro.chaos.schedule import ChaosSchedule, generate_schedule
 
-__all__ = ["run_chaos_sim", "run_chaos_live"]
+__all__ = ["run_chaos_sim", "run_chaos_live", "run_chaos_shard"]
 
 #: Sim-plane fault durations, in cycles (the sim has no useful wall clock).
 SIM_AGG_KILL_CYCLES = 3
@@ -521,3 +527,109 @@ async def _live_flat(
         await asyncio.gather(*tasks, return_exceptions=True)
     report.violations = checker.violations
     report.checks = checker.checks
+
+
+# ---------------------------------------------------------------------------
+# Sharded (multi-process) plane
+# ---------------------------------------------------------------------------
+
+#: Cycles a killed shard worker stays down before its re-spawn.
+SHARD_RESPAWN_CYCLES = 2
+
+
+def run_chaos_shard(
+    seed: int,
+    n_stages: int = 8,
+    n_workers: int = 2,
+    n_cycles: int = 10,
+    cycle_period_s: float = 0.05,
+    rehome_bound_cycles: int = 6,
+    schedule: Optional[ChaosSchedule] = None,
+) -> ChaosReport:
+    """Run a seeded chaos schedule against the sharded live plane.
+
+    Reuses the ``hier`` schedule generator with one shard worker per
+    aggregator slot: ``kill_aggregator``/``stall_aggregator`` actions
+    become real ``SIGKILL``s of the worker process (a stall with no
+    process to pause is a kill), and the shard is re-spawned with the
+    same pinned partition ``SHARD_RESPAWN_CYCLES`` cycles later. Stage
+    faults are skipped — stages live inside the worker, so the worker
+    kill already takes its whole partition down at once. Invariants are
+    probed over the control pipes: enforced limits stay within capacity
+    (orphan reservation) and applied epochs never regress across the
+    kill/re-spawn (epoch fencing).
+    """
+    if schedule is None:
+        schedule = generate_schedule(
+            seed, "hier", n_cycles, n_stages, n_workers
+        )
+    report = _new_report(schedule, "shard")
+    asyncio.run(
+        _shard_chaos(schedule, report, cycle_period_s, rehome_bound_cycles)
+    )
+    return report
+
+
+async def _shard_chaos(
+    schedule: ChaosSchedule,
+    report: ChaosReport,
+    cycle_period_s: float,
+    rehome_bound_cycles: int,
+) -> None:
+    from repro.shard.plane import ShardedControlPlane
+
+    plane = ShardedControlPlane(
+        schedule.n_stages,
+        schedule.n_aggregators,
+        collect_timeout_s=0.5,
+        enforce_timeout_s=0.5,
+        dead_after_missed=2,
+    )
+    checker: Optional[InvariantChecker] = None
+    down: set = set()
+    respawn_at: Dict[int, List[int]] = {}
+    try:
+        await plane.start()
+        controller = plane.controller
+        checker = InvariantChecker(
+            plane.policy.allocatable_iops, rehome_bound_cycles
+        )
+        for cycle in range(schedule.n_cycles):
+            for shard in respawn_at.pop(cycle, []):
+                try:
+                    await plane.respawn_shard(shard)
+                    down.discard(shard)
+                except TimeoutError:
+                    # Eviction still pending: retry at the next cycle.
+                    respawn_at.setdefault(cycle + 1, []).append(shard)
+            for action in schedule.at_cycle(cycle):
+                if action.kind in ("kill_aggregator", "stall_aggregator"):
+                    if action.target not in down:
+                        down.add(action.target)
+                        plane.kill_shard(action.target)
+                        respawn_at.setdefault(
+                            cycle + SHARD_RESPAWN_CYCLES, []
+                        ).append(action.target)
+            await plane.run_cycles(1)
+            await asyncio.sleep(cycle_period_s)
+            report.cycles_completed += 1
+            if controller.cycles[-1].degraded:
+                report.cycles_degraded += 1
+            probes = await plane.probe()
+            limits: Dict[str, float] = {}
+            epochs: Dict[str, int] = {}
+            for rows in probes.values():
+                for stage_id, row in rows.items():
+                    if row["applied_limit"] is not None:
+                        limits[stage_id] = row["applied_limit"]
+                    if row["applied_epoch"] >= 0:
+                        epochs[stage_id] = row["applied_epoch"]
+            checker.check_capacity(cycle, limits)
+            checker.check_epochs(cycle, epochs)
+            checker.check_orphans(cycle, controller.orphans)
+        report.rehomes = controller.rehomes
+    finally:
+        await plane.shutdown()
+    if checker is not None:
+        report.violations = checker.violations
+        report.checks = checker.checks

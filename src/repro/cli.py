@@ -6,12 +6,14 @@ Usage (installed as ``python -m repro``):
 
     python -m repro flat --nodes 2500
     python -m repro hier --nodes 10000 --aggregators 4
+    python -m repro hier --nodes 10000 --aggregators 4 --workers 2
     python -m repro coordinated --nodes 1000 --controllers 4
     python -m repro reproduce fig4            # paper-vs-measured tables
     python -m repro plan --nodes 9408 --target-ms 100
     python -m repro live --stages 50 --cycles 20
-    python -m repro chaos --plane live --design hier --seed 7
-    python -m repro bench --out BENCH_PR5.json
+    python -m repro shard --stages 48 --workers 4
+    python -m repro chaos --plane shard --seed 7
+    python -m repro bench --out BENCH_PR6.json
     python -m repro calibrate
 
 Every command supports ``--json`` for machine-readable output.
@@ -101,6 +103,8 @@ def _cmd_flat(args) -> int:
 def _cmd_hier(args) -> int:
     from repro.harness.experiment import run_hierarchical_experiment
 
+    if args.workers > 1:
+        return _cmd_hier_partitioned(args)
     result = run_hierarchical_experiment(
         args.nodes,
         args.aggregators,
@@ -129,6 +133,101 @@ def _cmd_coordinated(args) -> int:
     if args.trace_out:
         _write_trace(args.trace_out, result.spans, "sim")
     _emit(_result_payload(result), _result_text(result), args.json)
+    return 0
+
+
+def _cmd_hier_partitioned(args) -> int:
+    """``hier --workers N>1``: the partition-parallel DES path."""
+    from repro.shard import run_partitioned_hier
+
+    result = run_partitioned_hier(
+        args.nodes, args.aggregators, args.cycles, workers=args.workers
+    )
+    stats = result.stats()
+    payload = {
+        "design": "hier-partitioned",
+        "stages": result.n_stages,
+        "aggregators": result.n_aggregators,
+        "workers": result.workers,
+        "cycles": stats.n_cycles,
+        "mean_ms": stats.mean_ms,
+        **{f"{k}_ms": v for k, v in stats.breakdown().as_dict().items()},
+    }
+    rows = [
+        [k, f"{v:.3f}" if isinstance(v, float) else v]
+        for k, v in payload.items()
+    ]
+    text = format_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"Partition-parallel hierarchical sim, "
+            f"{result.workers} worker processes"
+        ),
+    )
+    _emit(payload, text, args.json)
+    return 0
+
+
+def _cmd_shard(args) -> int:
+    """``repro shard``: the live multi-process sharded control plane."""
+    from repro.shard import run_live_sharded
+
+    result = run_live_sharded(
+        n_stages=args.stages,
+        n_workers=args.workers,
+        n_cycles=args.cycles,
+        codec=args.codec,
+        collect_timeout_s=args.collect_timeout,
+        enforce_timeout_s=args.enforce_timeout,
+    )
+    stats = result.stats()
+    payload = {
+        "stages": result.n_stages,
+        "workers": result.n_workers,
+        "cycles": stats.n_cycles,
+        "cpu_count": result.cpu_count,
+        "mean_ms": stats.mean_ms,
+        "degraded_cycles": result.degraded_cycles,
+        "rules_applied": result.rules_applied_total,
+        "evictions": result.evictions,
+        "shards": result.shard_rows,
+    }
+    rows = [
+        ["stages", result.n_stages],
+        ["worker processes", result.n_workers],
+        ["host cores", result.cpu_count],
+        ["mean cycle (ms)", f"{stats.mean_ms:.2f}"],
+        ["degraded cycles", result.degraded_cycles],
+        ["rules applied", result.rules_applied_total],
+        ["evictions", result.evictions],
+    ]
+    text = format_table(
+        ["metric", "value"],
+        rows,
+        title=f"Sharded live control plane, {result.n_workers} workers",
+    )
+    shard_rows = [
+        [
+            r["aggregator_id"],
+            r["n_stages"],
+            r["cycles_served"],
+            r["up_codec"],
+            f"{r['cpu_seconds']:.2f}",
+            r["tx_bytes"],
+            r["rx_bytes"],
+            f"{r['rss_bytes'] / 2**20:.1f}",
+        ]
+        for r in result.shard_rows
+    ]
+    if shard_rows:
+        text += "\n\n" + format_table(
+            ["shard", "stages", "cycles", "codec", "cpu s", "tx B", "rx B",
+             "rss MiB"],
+            shard_rows,
+            title="Per-shard worker usage (harvested over control pipes)",
+        )
+    _emit(payload, text, args.json)
     return 0
 
 
@@ -353,7 +452,7 @@ def _cmd_live(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from repro.chaos import run_chaos_live, run_chaos_sim
+    from repro.chaos import run_chaos_live, run_chaos_shard, run_chaos_sim
 
     if args.plane == "sim":
         report = run_chaos_sim(
@@ -362,6 +461,14 @@ def _cmd_chaos(args) -> int:
             n_stages=args.stages,
             n_aggregators=args.aggregators,
             n_cycles=args.cycles,
+        )
+    elif args.plane == "shard":
+        report = run_chaos_shard(
+            args.seed,
+            n_stages=args.stages,
+            n_workers=args.aggregators,
+            n_cycles=args.cycles,
+            cycle_period_s=args.cycle_period,
         )
     else:
         report = run_chaos_live(
@@ -404,6 +511,15 @@ def _cmd_bench(args) -> int:
         ],
         ["live enforce frames/s", f"{result['live']['frames_per_s']:,.0f}"],
         ["live speedup vs seed wire path", f"{result['live']['speedup']:.2f}x"],
+        *[
+            [
+                f"shard {k}w cycle (ms)",
+                f"{leg['sharded_cycle_s'] * 1e3:.1f} "
+                f"({leg['speedup']:.2f}x vs single-process)",
+            ]
+            for k, leg in result["shard"]["legs"].items()
+        ],
+        ["shard host cores", f"{result['shard']['cpu_count']:.0f}"],
     ]
     text = format_table(
         ["benchmark", "value"], rows, title="Hot-path micro-benchmarks"
@@ -534,6 +650,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--offload", action="store_true",
                    help="run PSFA at the aggregators (decision offloading)")
     p.add_argument("--levels", type=int, choices=(2, 3), default=2)
+    p.add_argument("--workers", type=int, default=1,
+                   help="simulate with N worker processes (partition-"
+                        "parallel DES; 1 = today's single-process engine)")
     common(p, trace=True)
     p.set_defaults(func=_cmd_hier)
 
@@ -577,14 +696,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_live)
 
     p = sub.add_parser(
+        "shard",
+        help="run the live control plane sharded across worker processes",
+    )
+    p.add_argument("--stages", type=int, default=40)
+    p.add_argument("--workers", type=int, default=2,
+                   help="shard worker processes (one aggregator subtree each)")
+    p.add_argument("--cycles", type=int, default=10)
+    p.add_argument("--codec", choices=("binary", "json"), default="binary")
+    p.add_argument("--collect-timeout", type=float, default=None,
+                   help="collect-phase deadline in seconds (partial collect)")
+    p.add_argument("--enforce-timeout", type=float, default=None,
+                   help="enforce-phase deadline (defaults to collect timeout)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_shard)
+
+    p = sub.add_parser(
         "chaos",
         help="run a seeded fault schedule and check invariants "
              "(exit 1 on violation)",
     )
-    p.add_argument("--plane", choices=("sim", "live"), default="live")
+    p.add_argument("--plane", choices=("sim", "live", "shard"), default="live")
     p.add_argument("--design", choices=("hier", "flat"), default="hier",
                    help="hier = aggregator tree (kill/stall aggregators); "
-                        "flat = primary + hot standby (kill the primary)")
+                        "flat = primary + hot standby (kill the primary); "
+                        "shard plane always runs hier (--aggregators = "
+                        "worker count)")
     p.add_argument("--seed", type=int, default=0,
                    help="schedule seed; the same seed reproduces the "
                         "same fault sequence")
@@ -606,7 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="smaller workloads for CI smoke runs")
     p.add_argument("--out", type=str, default=None,
-                   help="write the JSON artifact here (e.g. BENCH_PR5.json)")
+                   help="write the JSON artifact here (e.g. BENCH_PR6.json)")
     p.add_argument("--check", type=str, default=None,
                    help="compare sim cycle latency against this committed "
                         "artifact; exit 1 when a cycle regressed")

@@ -75,12 +75,22 @@ def is_binary(body: bytes) -> bool:
 
 
 def encode_binary(message: Dict[str, Any]) -> Optional[bytes]:
-    """Packed body for ``message``, or ``None`` if its kind has no schema.
+    """Packed body for ``message``, or ``None`` if it has no packed form.
 
-    Raises ``KeyError`` on a hot-kind message missing a mandatory field —
-    the same contract violation JSON encoding would ship and the peer
-    would reject.
+    ``None`` means "use JSON": the kind has no schema, or a string field
+    exceeds the codec's 64 KiB ``>H`` length prefix (an oversized
+    ``stage_id`` must degrade to the JSON path, not crash the sender's
+    whole phase). Raises ``KeyError`` on a hot-kind message missing a
+    mandatory field — the same contract violation JSON encoding would
+    ship and the peer would reject.
     """
+    try:
+        return _encode_binary(message)
+    except ValueError:
+        return None  # unpackable string field: JSON fallback
+
+
+def _encode_binary(message: Dict[str, Any]) -> Optional[bytes]:
     kind = message["kind"]
     if kind == "collect_req":
         return _HEAD.pack(BINARY_MAGIC, _TAG_COLLECT_REQ) + _Q.pack(

@@ -108,20 +108,27 @@ class Session:
         return self.feed_frame(encode(message, self.codec))
 
     def feed_frame(self, frame: bytes) -> int:
-        """Buffer an already-encoded frame (e.g. from a rule cache)."""
+        """Buffer an already-encoded frame (e.g. from a rule cache).
+
+        tx accounting (:attr:`tx_bytes`, the NIC meter) is deferred to
+        :meth:`flush` success — bytes that never reach the socket must
+        not show up in REMORA traffic rows.
+        """
         if not self.connected:
             raise SessionClosed(f"{self.peer_id}: session closed")
         self._out += frame
         self.pending_frames += 1
-        nbytes = len(frame)
-        self.tx_bytes += nbytes
-        if self.meter is not None:
-            self.meter.add_tx(nbytes)
-        return nbytes
+        return len(frame)
 
     async def flush(self) -> None:
-        """Write frames buffered by :meth:`feed` in one burst and drain."""
-        self.pending_frames = 0
+        """Write frames buffered by :meth:`feed` in one burst and drain.
+
+        On success the flushed bytes are charged to :attr:`tx_bytes` and
+        the NIC meter and :attr:`pending_frames` resets. On failure the
+        session is dead: nothing is charged and :attr:`pending_frames`
+        keeps the count of frames that were dropped with it.
+        """
+        nbytes = len(self._out)
         try:
             if self._out:
                 self.writer.write(bytes(self._out))
@@ -129,7 +136,13 @@ class Session:
             await self.writer.drain()
         except (ConnectionError, OSError) as exc:
             self.connected = False
+            self._out.clear()
             raise SessionClosed(f"{self.peer_id}: {exc}") from exc
+        self.pending_frames = 0
+        if nbytes:
+            self.tx_bytes += nbytes
+            if self.meter is not None:
+                self.meter.add_tx(nbytes)
 
     async def send(self, message: dict) -> None:
         """Write one frame and drain; raises :class:`SessionClosed` on a dead socket."""
@@ -191,8 +204,16 @@ async def gather_phase(
     if pending:
         await asyncio.wait(pending)
         for task in pending:
-            if not task.cancelled():
-                task.exception()  # retrieve, silencing the asyncio warning
+            if task.cancelled():
+                continue
+            # The task beat its own cancellation: it completed with a
+            # result or a real error just before the deadline landed.
+            # A real error must propagate exactly as it would from the
+            # done set — swallowing it here turned ProtocolErrors into
+            # silent "missing" entries.
+            exc = task.exception()
+            if exc is not None and not isinstance(exc, SessionClosed):
+                raise exc
     missing = [tasks[t] for t in pending]
     for task in done:
         exc = task.exception()

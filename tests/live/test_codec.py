@@ -100,6 +100,35 @@ class TestBinaryRoundTrip:
     def test_unsupported_kind_returns_none(self):
         assert encode_binary({"kind": "register", "stage_id": "s"}) is None
 
+    @given(st.integers(min_value=0xFFFF + 1, max_value=0xFFFF + 4096),
+           epochs)
+    @settings(max_examples=20, deadline=None)
+    def test_oversized_id_falls_back_to_json(self, length, epoch):
+        """A stage_id beyond the >H length prefix must not crash the
+        sender — encode_binary declines and the frame rides JSON."""
+        message = {
+            "kind": "rule_ack",
+            "epoch": epoch,
+            "stage_id": "s" * length,
+        }
+        assert encode_binary(message) is None
+        frame = encode(message, "binary")
+        assert frame[4] == ord("{")
+        assert decode_body(frame[4:]) == message
+
+    def test_multibyte_id_just_over_limit_falls_back(self):
+        # 21846 snowmen encode to 65538 UTF-8 bytes: over the cap even
+        # though the character count is far below it.
+        message = {"kind": "rule_ack", "epoch": 1, "stage_id": "☃" * 21846}
+        assert encode_binary(message) is None
+        assert decode_body(encode(message, "binary")[4:]) == message
+
+    def test_id_at_exact_limit_still_packs(self):
+        message = {"kind": "rule_ack", "epoch": 1, "stage_id": "s" * 0xFFFF}
+        body = encode_binary(message)
+        assert body is not None and is_binary(body)
+        assert decode_binary(body) == message
+
     def test_unsupported_kind_falls_back_to_json_at_frame_level(self):
         frame = encode({"kind": "register", "stage_id": "s"}, "binary")
         assert frame[4] == ord("{")

@@ -1,0 +1,151 @@
+"""Session frame-pump accounting and gather_phase error semantics.
+
+Regression coverage for two wire-path hazards that matter once shard
+leaders relay frames: tx bytes charged for writes that never reached the
+socket (phantom REMORA rows), and real errors from deadline-cancelled
+phase tasks silently downgraded to "missing".
+"""
+
+import asyncio
+
+import pytest
+
+from repro.live.protocol import ProtocolError
+from repro.live.sessions import Session, SessionClosed, gather_phase
+from repro.obs.procfs import ComponentUsageMeter
+
+
+class _FakeWriter:
+    """StreamWriter stand-in with an injectable drain fault."""
+
+    def __init__(self, fail_drain=False):
+        self.fail_drain = fail_drain
+        self.written = bytearray()
+        self.drains = 0
+
+    def write(self, data):
+        self.written += data
+
+    async def drain(self):
+        if self.fail_drain:
+            raise ConnectionResetError("peer vanished mid-flush")
+        self.drains += 1
+
+    def close(self):
+        pass
+
+    async def wait_closed(self):
+        pass
+
+
+def _session(writer, meter=None):
+    session = Session("peer-under-test", reader=None, writer=writer, meter=meter)
+    return session
+
+
+class TestFlushAccounting:
+    def test_tx_charged_only_on_flush_success(self):
+        async def scenario():
+            writer = _FakeWriter()
+            meter = ComponentUsageMeter("test")
+            session = _session(writer, meter)
+            session.feed({"kind": "rule", "epoch": 1, "stage_id": "s",
+                          "data_iops_limit": 1.0})
+            session.feed({"kind": "rule", "epoch": 1, "stage_id": "t",
+                          "data_iops_limit": 2.0})
+            # Buffered, not written: nothing charged yet.
+            assert session.tx_bytes == 0
+            assert meter.tx_bytes == 0
+            assert session.pending_frames == 2
+            await session.flush()
+            return session, writer, meter
+
+        session, writer, meter = asyncio.run(scenario())
+        assert session.tx_bytes == len(writer.written) > 0
+        assert meter.tx_bytes == session.tx_bytes
+        assert session.pending_frames == 0
+
+    def test_failed_flush_charges_nothing_and_keeps_drop_count(self):
+        async def scenario():
+            writer = _FakeWriter(fail_drain=True)
+            meter = ComponentUsageMeter("test")
+            session = _session(writer, meter)
+            for i in range(3):
+                session.feed({"kind": "rule_ack", "epoch": 1,
+                              "stage_id": f"s{i}"})
+            with pytest.raises(SessionClosed):
+                await session.flush()
+            return session, meter
+
+        session, meter = asyncio.run(scenario())
+        # The bytes never made it: no phantom traffic in the NIC rows.
+        assert session.tx_bytes == 0
+        assert meter.tx_bytes == 0
+        # The drop count survives — three frames died with the session.
+        assert session.pending_frames == 3
+        assert not session.connected
+
+    def test_feed_after_failed_flush_raises(self):
+        async def scenario():
+            session = _session(_FakeWriter(fail_drain=True))
+            session.feed({"kind": "collect_req", "epoch": 1})
+            with pytest.raises(SessionClosed):
+                await session.flush()
+            with pytest.raises(SessionClosed):
+                session.feed({"kind": "collect_req", "epoch": 2})
+
+        asyncio.run(scenario())
+
+
+class TestGatherPhaseErrors:
+    def test_error_completing_under_cancellation_propagates(self):
+        """A real error that lands as the deadline cancels must raise,
+        not be silently recorded as a missing session."""
+
+        async def scenario():
+            fast = _session(_FakeWriter())
+            slow = _session(_FakeWriter())
+
+            async def reply(session):
+                if session is fast:
+                    return "ok"
+                try:
+                    await asyncio.sleep(60)
+                except asyncio.CancelledError:
+                    # The task observed a ProtocolError just before the
+                    # deadline's cancellation landed.
+                    raise ProtocolError("malformed reply") from None
+
+            with pytest.raises(ProtocolError, match="malformed reply"):
+                await gather_phase([fast, slow], reply, timeout_s=0.05)
+
+        asyncio.run(scenario())
+
+    def test_session_closed_under_cancellation_stays_missing(self):
+        async def scenario():
+            dead = _session(_FakeWriter())
+
+            async def reply(session):
+                try:
+                    await asyncio.sleep(60)
+                except asyncio.CancelledError:
+                    raise SessionClosed("peer gone") from None
+
+            return await gather_phase([dead], reply, timeout_s=0.05)
+
+        missing, timed_out = asyncio.run(scenario())
+        assert timed_out
+        assert len(missing) == 1
+
+    def test_plain_deadline_reports_missing(self):
+        async def scenario():
+            quiet = _session(_FakeWriter())
+
+            async def reply(session):
+                await asyncio.sleep(60)
+
+            return await gather_phase([quiet], reply, timeout_s=0.05)
+
+        missing, timed_out = asyncio.run(scenario())
+        assert timed_out
+        assert [s.peer_id for s in missing] == ["peer-under-test"]

@@ -1,0 +1,1 @@
+"""Tests for the multi-process sharded control plane (repro.shard)."""

@@ -1,0 +1,86 @@
+"""Consistent-hash ring determinism and stability properties.
+
+The ring must agree across processes (it is computed independently in
+the parent and in every spawned worker), so it is pinned on crc32 —
+never ``hash()``, whose per-process seed randomisation would scatter
+the same stage to different shards in different processes.
+"""
+
+import subprocess
+import sys
+
+from repro.shard import ShardRing, pin_stages
+
+IDS = [f"stage-{i:05d}" for i in range(200)]
+
+
+class TestShardRing:
+    def test_deterministic_within_process(self):
+        a = ShardRing(4)
+        b = ShardRing(4)
+        assert [a.shard_of(s) for s in IDS] == [b.shard_of(s) for s in IDS]
+
+    def test_deterministic_across_processes(self):
+        # A fresh interpreter has a different PYTHONHASHSEED; the ring
+        # must not care.
+        code = (
+            "from repro.shard import ShardRing;"
+            "ids=[f'stage-{i:05d}' for i in range(200)];"
+            "print(','.join(str(ShardRing(4).shard_of(s)) for s in ids))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        child = [int(x) for x in out.split(",")]
+        here = [ShardRing(4).shard_of(s) for s in IDS]
+        assert child == here
+
+    def test_every_shard_in_range(self):
+        ring = ShardRing(3)
+        assert all(0 <= ring.shard_of(s) < 3 for s in IDS)
+
+    def test_single_shard_owns_everything(self):
+        ring = ShardRing(1)
+        assert all(ring.shard_of(s) == 0 for s in IDS)
+
+    def test_resize_moves_bounded_fraction(self):
+        # Growing the ring by one shard should move roughly 1/n of keys,
+        # not reshuffle the world — the point of consistent hashing.
+        before = ShardRing(4)
+        after = ShardRing(5)
+        moved = sum(
+            1 for s in IDS if before.shard_of(s) != after.shard_of(s)
+        )
+        assert moved < len(IDS) // 2
+
+    def test_invalid_args_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ShardRing(0)
+        with pytest.raises(ValueError):
+            ShardRing(2, vnodes=0)
+
+
+class TestPinStages:
+    def test_partition_is_exact_cover(self):
+        parts = pin_stages(IDS, 4)
+        assert len(parts) == 4
+        flat = [s for part in parts for s in part]
+        assert sorted(flat) == sorted(IDS)
+
+    def test_agrees_with_ring(self):
+        ring = ShardRing(4)
+        parts = pin_stages(IDS, 4)
+        for shard, part in enumerate(parts):
+            assert all(ring.shard_of(s) == shard for s in part)
+
+    def test_no_empty_shard_at_realistic_scale(self):
+        # 64 vnodes per shard keeps the split close enough to even that
+        # no shard starves at the sizes the bench and CLI use.
+        for n in (2, 3, 4):
+            parts = pin_stages(IDS, n)
+            assert all(parts), f"empty shard with n_shards={n}"

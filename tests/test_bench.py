@@ -18,6 +18,23 @@ def _artifact(**cycles):
     }
 
 
+def _with_shard(doc, cycle_s):
+    doc["shard"] = {
+        "workload": "sharded control plane scaling",
+        "cpu_count": 1.0,
+        "legs": {
+            "1": {
+                "workers": 1.0,
+                "single_process_cycle_s": cycle_s,
+                "sharded_cycle_s": cycle_s,
+                "speedup": 1.0,
+                "degraded_cycles": 0.0,
+            }
+        },
+    }
+    return doc
+
+
 class TestCheckRegression:
     def test_within_budget_passes(self):
         baseline = _artifact(flat_400=0.010)
@@ -42,6 +59,30 @@ class TestCheckRegression:
         current = _artifact(flat_400=0.025)
         assert check_regression(current, baseline, max_cycle_ratio=3.0) is None
         assert check_regression(current, baseline, max_cycle_ratio=2.0)
+
+
+class TestShardGate:
+    def test_old_baseline_without_shard_suite_tolerated(self):
+        baseline = _artifact(flat_400=0.010)
+        current = _with_shard(_artifact(flat_400=0.010), 0.050)
+        assert check_regression(current, baseline) is None
+
+    def test_shard_leg_missing_from_current_fails(self):
+        baseline = _with_shard(_artifact(flat_400=0.010), 0.050)
+        current = _artifact(flat_400=0.010)
+        message = check_regression(current, baseline)
+        assert message is not None and "missing" in message
+
+    def test_shard_regression_reported(self):
+        baseline = _with_shard(_artifact(flat_400=0.010), 0.050)
+        current = _with_shard(_artifact(flat_400=0.010), 0.150)
+        message = check_regression(current, baseline)
+        assert message is not None and "shard workers=1" in message
+
+    def test_shard_within_budget_passes(self):
+        baseline = _with_shard(_artifact(flat_400=0.010), 0.050)
+        current = _with_shard(_artifact(flat_400=0.010), 0.090)
+        assert check_regression(current, baseline) is None
 
 
 class TestLoadArtifact:
@@ -71,3 +112,19 @@ class TestCommittedArtifact:
         assert set(doc["sim_cycles"]) == {
             "flat_400", "flat_800", "hier_400", "hier_800",
         }
+
+    def test_pr6_artifact_carries_the_scaling_curve(self):
+        # BENCH_PR6.json adds the shard suite: a 1→N worker curve with
+        # the host's core count recorded (the >1x claim only holds on
+        # multi-core hosts, so the artefact must say what it ran on).
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[1]
+        doc = load_artifact(str(repo_root / "BENCH_PR6.json"))
+        shard = doc["shard"]
+        assert shard["cpu_count"] >= 1.0
+        assert "1" in shard["legs"] and "2" in shard["legs"]
+        for leg in shard["legs"].values():
+            assert leg["sharded_cycle_s"] > 0.0
+            assert leg["single_process_cycle_s"] > 0.0
+            assert leg["degraded_cycles"] == 0.0

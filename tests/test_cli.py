@@ -274,7 +274,56 @@ class TestArchive:
         assert code == 0 and "(empty)" in out
 
 
+class TestShard:
+    def test_runs_worker_processes(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "shard", "--stages", "6", "--workers", "2", "--cycles", "3",
+            "--json",
+        )
+        payload = json.loads(out)
+        assert code == 0
+        assert payload["workers"] == 2
+        assert payload["rules_applied"] == 6 * 3
+        assert payload["degraded_cycles"] == 0
+        assert len(payload["shards"]) == 2
+        assert all(s["up_codec"] == "binary" for s in payload["shards"])
+
+    def test_table_output_has_per_shard_usage(self, capsys):
+        code, out = run_cli(
+            capsys, "shard", "--stages", "4", "--workers", "2", "--cycles", "2"
+        )
+        assert code == 0
+        assert "Per-shard worker usage" in out
+        assert "shard-00" in out and "shard-01" in out
+
+    def test_hier_workers_flag_runs_partitioned_sim(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "hier", "--nodes", "20", "--aggregators", "2", "--cycles", "3",
+            "--workers", "2", "--json",
+        )
+        payload = json.loads(out)
+        assert code == 0
+        assert payload["design"] == "hier-partitioned"
+        assert payload["workers"] == 2
+        assert payload["mean_ms"] > 0
+
+
 class TestChaos:
+    def test_shard_plane_zero_violations(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "chaos", "--plane", "shard", "--seed", "7", "--stages", "6",
+            "--aggregators", "2", "--cycles", "6", "--cycle-period", "0.05",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["plane"] == "shard"
+        assert payload["ok"] is True
+
+
     def test_sim_hier_with_report(self, capsys, tmp_path):
         out_path = tmp_path / "chaos.json"
         code, out = run_cli(
