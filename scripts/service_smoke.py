@@ -1,0 +1,183 @@
+"""CI smoke for the durable service tier: register, kill -9, resume.
+
+The end-to-end acceptance run for the REST + WAL stack, driven the way
+an operator (or the CI job) would drive it — real processes, real
+sockets, a real ``SIGKILL``:
+
+1. boot ``repro serve`` against a fresh store directory;
+2. register two tenants (and an SLO) over HTTP;
+3. wait until their PSFA weights show up in the enforced limits;
+4. ``kill -9`` the whole serve process mid-schedule;
+5. boot a second ``repro serve`` from the *same* store directory;
+6. assert, via the API, that the rebooted plane resumed strictly above
+   its last durable epoch and that every tenant weight survived.
+
+Writes a JSON report (``--report-out``) the CI job uploads next to the
+WAL itself. Exits non-zero on any assertion failure, so the job fails
+loudly rather than shipping a plane that forgets its tenants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+TENANTS = (
+    {"tenant_id": "acme", "name": "Acme HPC", "weight": 16.0},
+    {"tenant_id": "beta", "name": "Beta Lab", "weight": 4.0},
+)
+SLO = {"slo_id": "ckpt", "job_id": "job-00001", "min_iops": 100.0}
+
+
+def _http(method: str, url: str, body=None, timeout_s: float = 5.0):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=timeout_s) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+def _wait_ready(ready_file: str, process, timeout_s: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"serve process exited early with {process.returncode}"
+            )
+        if os.path.exists(ready_file):
+            with open(ready_file, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        time.sleep(0.1)
+    raise RuntimeError(f"serve never wrote {ready_file} in {timeout_s}s")
+
+
+def _spawn(store_dir: str, ready_file: str):
+    if os.path.exists(ready_file):
+        os.unlink(ready_file)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store-dir", store_dir,
+            "--stages", "8", "--aggregators", "2",
+            "--cycle-period", "0.05",
+            "--ready-file", ready_file,
+        ],
+        env=dict(os.environ, PYTHONPATH="src"),
+    )
+
+
+def _wait_for(predicate, what: str, timeout_s: float = 30.0):
+    deadline = time.monotonic() + timeout_s
+    last = None
+    while time.monotonic() < deadline:
+        last = predicate()
+        if last:
+            return last
+        time.sleep(0.2)
+    raise AssertionError(f"timed out waiting for {what} (last={last!r})")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--store-dir", default="service-store")
+    parser.add_argument("--report-out", default="service-smoke.json")
+    args = parser.parse_args()
+    ready_file = os.path.join(args.store_dir, "ready.json")
+    report = {"ok": False, "phases": []}
+
+    # Phase 1: fresh boot + tenant registration over HTTP.
+    process = _spawn(args.store_dir, ready_file)
+    try:
+        ready = _wait_ready(ready_file, process)
+        base = f"http://127.0.0.1:{ready['port']}"
+        assert not ready["resumed"], f"fresh store claims resumed: {ready}"
+        for tenant in TENANTS:
+            status, _ = _http("POST", f"{base}/tenants", tenant)
+            assert status == 201, f"tenant register got {status}"
+        status, _ = _http(
+            "POST", f"{base}/tenants/{TENANTS[0]['tenant_id']}/slos", SLO
+        )
+        assert status == 201, f"slo register got {status}"
+
+        # The weights must become enforcement, not just rows in a store:
+        # the heavy tenant's stage limit has to beat the light one's.
+        def weights_enforced():
+            _, rules = _http("GET", f"{base}/rules")
+            limits = rules["limits"]
+            heavy = limits.get("stage-00001")
+            light = limits.get("stage-00002")
+            return heavy and light and heavy > light and rules["epoch"] > 0
+
+        _, slo_tenant = _http("GET", f"{base}/tenants/acme")
+        assert slo_tenant["slos"], "registered SLO missing from tenant view"
+        _http(
+            "POST", f"{base}/tenants/beta/slos",
+            {"slo_id": "scan", "job_id": "job-00002", "min_iops": 0.0},
+        )
+        _wait_for(weights_enforced, "tenant weights in enforced limits")
+        _, health = _http("GET", f"{base}/healthz")
+        report["phases"].append({"phase": "boot", **health})
+        durable_floor = health["durable_epoch"]
+        assert durable_floor > 0, f"nothing durable before kill: {health}"
+    finally:
+        # Phase 2: the whole plane dies, no goodbye.
+        if process.poll() is None:
+            os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+
+    # Phase 3: reboot from the same store directory.
+    process = _spawn(args.store_dir, ready_file)
+    try:
+        ready = _wait_ready(ready_file, process)
+        base = f"http://127.0.0.1:{ready['port']}"
+        assert ready["resumed"], f"restart did not resume from store: {ready}"
+        assert ready["initial_epoch"] > durable_floor, (
+            f"resume epoch {ready['initial_epoch']} not above durable "
+            f"floor {durable_floor}"
+        )
+        _, health = _http("GET", f"{base}/healthz")
+        assert health["tenants"] == len(TENANTS), health
+        _, listing = _http("GET", f"{base}/tenants")
+        weights = {
+            t["tenant_id"]: (t["weight"], t["enforced_weight"])
+            for t in listing["tenants"]
+        }
+        for tenant in TENANTS:
+            stored, enforced = weights[tenant["tenant_id"]]
+            assert stored == tenant["weight"] == enforced, (
+                f"{tenant['tenant_id']}: weight {tenant['weight']} came "
+                f"back as stored={stored} enforced={enforced}"
+            )
+
+        def issued_above_floor():
+            _, rules = _http("GET", f"{base}/rules")
+            return rules["epoch"] > durable_floor and rules["limits"]
+
+        _wait_for(issued_above_floor, "post-restart epoch above floor")
+        _, health = _http("GET", f"{base}/healthz")
+        report["phases"].append({"phase": "restart", **health})
+        report["durable_floor_at_kill"] = durable_floor
+        report["weights"] = {k: v[0] for k, v in weights.items()}
+        report["ok"] = True
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    print(f"service smoke: {json.dumps(report['phases'], indent=2)}")
+    print(f"service smoke OK -> {args.report_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,27 +31,50 @@ and CI can catch regressions. Three suites:
     sharded plane (:mod:`repro.shard`) at a 1→N worker scaling curve,
     each leg paired with a single-process ``run_live_hierarchical``
     baseline on the *same* tree shape (N aggregators, same stages).
-    The artefact records ``cpu_count`` because the curve is only
-    expected to bend past 1x on a multi-core host; CI (which may run
-    on one core) gates only the 1-worker leg against the committed
-    ``BENCH_PR6.json``.
+    The curve is only expected to bend past 1x on a multi-core host;
+    CI (which may run on one core) gates only the 1-worker leg against
+    the committed baseline artefact.
+
+``store``
+    The PR 7 durability suite: WAL append throughput with group-commit
+    fsync batching (baseline = one fsync per record, the naive durable
+    write) and the cold-restore latency of a store recovered from
+    snapshot + WAL replay — the time a crashed control plane spends
+    before it can issue its first post-restart epoch.
 
 Every suite reports a ``speedup`` measured against a baseline captured
-in the *same run* — never against numbers frozen on other hardware.
-The JSON schema is documented in DESIGN.md ("Performance" section).
+in the *same run* — never against numbers frozen on other hardware —
+and stamps the host it ran on (``cpu_count``, ``hostname``) so
+artefacts from different machines are never silently compared as
+equals. The JSON schema is documented in DESIGN.md ("Performance"
+section); ``repro-bench/2`` moved the ``sim_cycles`` configurations
+under a ``legs`` key to make room for the host stamp.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
+import socket
 import time
 from typing import Dict, Optional
 
 __all__ = ["SCHEMA", "check_regression", "load_artifact", "run_bench"]
 
 #: Schema tag stamped into the artefact; bump on layout changes.
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
+#: Schemas :func:`load_artifact` still reads (older committed baselines
+#: remain checkable; gating tolerates keys a schema predates).
+COMPAT_SCHEMAS = ("repro-bench/1", "repro-bench/2")
+
+
+def _host_stamp() -> Dict[str, object]:
+    """The per-suite host stamp (who produced these numbers)."""
+    return {
+        "cpu_count": float(os.cpu_count() or 1),
+        "hostname": socket.gethostname(),
+    }
 
 
 # -- suite 1: event kernel ------------------------------------------------------
@@ -100,6 +123,7 @@ def bench_engine(quick: bool = False) -> Dict[str, float]:
         "baseline_events_per_s": baseline,
         "events_per_s": fast,
         "speedup": fast / baseline,
+        **_host_stamp(),
     }
 
 
@@ -144,16 +168,16 @@ def bench_sim_cycles(quick: bool = False) -> Dict[str, Dict[str, float]]:
     """
     cycles = 6
     trials = 2 if quick else 3
-    out: Dict[str, Dict[str, float]] = {}
+    legs: Dict[str, Dict[str, float]] = {}
     for design in ("flat", "hier"):
         for nodes in (400, 800):
             wall = _sim_cycle_wall(design, nodes, cycles, trials)
-            out[f"{design}_{nodes}"] = {
+            legs[f"{design}_{nodes}"] = {
                 "nodes": float(nodes),
                 "cycles": float(cycles),
                 "wall_s_per_cycle": wall,
             }
-    return out
+    return {"workload": "simulated control cycles", "legs": legs, **_host_stamp()}
 
 
 # -- suite 3: live enforce-phase wire path --------------------------------------
@@ -283,6 +307,7 @@ def bench_live(quick: bool = False) -> Dict[str, float]:
         "baseline_frames_per_s": baseline,
         "frames_per_s": optimized,
         "speedup": optimized / baseline,
+        **_host_stamp(),
     }
 
 
@@ -299,8 +324,6 @@ def bench_shard(quick: bool = False) -> Dict:
     Mean cycle latency is taken after warmup (the registration storm
     and first-epoch cache fills land there).
     """
-    import os
-
     from repro.live.harness import run_live_hierarchical
     from repro.shard import run_live_sharded
 
@@ -337,8 +360,89 @@ def bench_shard(quick: bool = False) -> Dict:
         "workload": "sharded control plane scaling",
         "stages": float(n_stages),
         "cycles": float(n_cycles),
-        "cpu_count": float(os.cpu_count() or 1),
         "legs": legs,
+        **_host_stamp(),
+    }
+
+
+# -- suite 5: durable store ------------------------------------------------------
+
+
+def bench_store(quick: bool = False) -> Dict:
+    """WAL append throughput (fsync batching vs per-record) + cold restore.
+
+    The append legs write identical cycle-shaped records to fresh WALs
+    in a temporary directory: the baseline leg fsyncs every record (the
+    naive durable write), the optimized leg rides the group-commit batch
+    (``fsync_every``) the service tier actually uses, with one final
+    ``sync()`` so both legs end fully durable. ``restore_s`` then
+    measures a cold :class:`~repro.store.DurableStore` recovery —
+    snapshot load + replay of a WAL tail — which bounds how long a
+    crashed control plane stays dark before it can lease its first
+    post-restart epoch.
+    """
+    import shutil
+    import tempfile
+
+    from repro.store import DurableStore, WriteAheadLog
+
+    n_records = 2_000 if quick else 10_000
+    fsync_every = 64
+    n_tenants = 20
+    tail_cycles = 500 if quick else 2_000
+    record = {"kind": "cycle", "epoch": 1, "n_stages": 48}
+
+    workdir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        def append_leg(sync_each: bool) -> float:
+            path = os.path.join(
+                workdir, "wal-sync.log" if sync_each else "wal-batch.log"
+            )
+            wal = WriteAheadLog(path, fsync_every=fsync_every)
+            t0 = time.perf_counter()
+            for i in range(n_records):
+                wal.append(dict(record, epoch=i), sync=sync_each)
+            wal.sync()
+            dt = time.perf_counter() - t0
+            wal.close()
+            return n_records / dt
+
+        # Warmup absorbs first-touch filesystem costs, then interleave.
+        append_leg(False)
+        baseline, optimized = 0.0, 0.0
+        for _ in range(2):
+            baseline = max(baseline, append_leg(True))
+            optimized = max(optimized, append_leg(False))
+
+        # Cold restore: tenants in the snapshot, a cycle tail in the WAL.
+        store_dir = os.path.join(workdir, "store")
+        store = DurableStore(store_dir, fsync_every=fsync_every)
+        for i in range(n_tenants):
+            store.put_tenant(f"tenant-{i:03d}", f"Tenant {i}", float(i + 1))
+        store.compact()
+        store.lease_epochs(upto=tail_cycles)
+        for epoch in range(1, tail_cycles + 1):
+            store.record_cycle(epoch, n_stages=48)
+        store.close()
+        t0 = time.perf_counter()
+        restored = DurableStore(store_dir, fsync_every=fsync_every)
+        restore_s = time.perf_counter() - t0
+        replayed = restored.replayed_records
+        restored.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "workload": "WAL append + cold restore",
+        "records": float(n_records),
+        "fsync_every": float(fsync_every),
+        "baseline_appends_per_s": baseline,
+        "appends_per_s": optimized,
+        "speedup": optimized / baseline,
+        "restore_s": restore_s,
+        "restore_replayed_records": float(replayed),
+        "restore_tenants": float(n_tenants),
+        **_host_stamp(),
     }
 
 
@@ -354,6 +458,7 @@ def run_bench(quick: bool = False) -> Dict:
         "sim_cycles": bench_sim_cycles(quick),
         "live": bench_live(quick),
         "shard": bench_shard(quick),
+        "store": bench_store(quick),
     }
 
 
@@ -369,11 +474,13 @@ def check_regression(
     (the only leg whose latency is core-count-independent — the >1
     legs genuinely need parallel hardware, which CI does not promise).
     Baselines predating a suite are tolerated: a key absent from the
-    committed artefact is simply not gated.
+    committed artefact is simply not gated, and ``repro-bench/1``
+    artefacts (flat ``sim_cycles`` mapping, no ``legs`` key) are still
+    understood.
     """
     failures = []
-    for key, ref in baseline.get("sim_cycles", {}).items():
-        cur = current.get("sim_cycles", {}).get(key)
+    for key, ref in _sim_legs(baseline).items():
+        cur = _sim_legs(current).get(key)
         if cur is None:
             failures.append(f"{key}: missing from current run")
             continue
@@ -408,10 +515,27 @@ def check_regression(
     return None
 
 
+def _sim_legs(doc: Dict) -> Dict:
+    """The ``sim_cycles`` configurations of either schema generation.
+
+    ``repro-bench/2`` nests them under ``legs``; ``repro-bench/1``
+    stored them flat (every value a per-config dict).
+    """
+    suite = doc.get("sim_cycles", {})
+    if "legs" in suite:
+        return suite["legs"]
+    return {k: v for k, v in suite.items() if isinstance(v, dict)}
+
+
 def load_artifact(path: str) -> Dict:
-    """Read a bench artefact, validating the schema tag."""
+    """Read a bench artefact, validating the schema tag.
+
+    Any schema in :data:`COMPAT_SCHEMAS` is accepted so committed
+    baselines survive a schema bump; truly unknown tags still fail
+    loudly rather than being mis-gated.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") not in COMPAT_SCHEMAS:
         raise ValueError(f"{path}: unknown bench schema {doc.get('schema')!r}")
     return doc

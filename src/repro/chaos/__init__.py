@@ -10,13 +10,28 @@ enforced allocations never exceed capacity, applied epochs never move
 backwards, orphaned stages re-home within the configured bound, and a
 standby takeover stays inside the heartbeat-budget gap.
 
+Full-restart schedules (PR 7) add the durable-store invariant: kill -9
+the *whole* plane mid-schedule, restart from the store, and assert the
+rebooted controller never issues a rule epoch at or below its last
+durable epoch (``repro chaos --plane live --schedule full-restart``).
+
 CLI: ``repro chaos --plane live --design hier --seed 7`` (exit 1 on any
 violation; ``--report-out`` writes the JSON report, the CI artifact).
 """
 
 from repro.chaos.invariants import ChaosReport, InvariantChecker, Violation
-from repro.chaos.runner import run_chaos_live, run_chaos_shard, run_chaos_sim
-from repro.chaos.schedule import ChaosSchedule, FaultAction, generate_schedule
+from repro.chaos.runner import (
+    run_chaos_live,
+    run_chaos_restart,
+    run_chaos_shard,
+    run_chaos_sim,
+)
+from repro.chaos.schedule import (
+    ChaosSchedule,
+    FaultAction,
+    generate_restart_schedule,
+    generate_schedule,
+)
 
 __all__ = [
     "ChaosReport",
@@ -24,8 +39,10 @@ __all__ = [
     "FaultAction",
     "InvariantChecker",
     "Violation",
+    "generate_restart_schedule",
     "generate_schedule",
     "run_chaos_live",
+    "run_chaos_restart",
     "run_chaos_shard",
     "run_chaos_sim",
 ]

@@ -15,6 +15,10 @@ faults the schedule injected (tentpole invariants, paper §VI):
   ``rehome_bound_cycles`` cycles after its aggregator was declared dead.
 * **adaptation gap** — after a primary kill, the standby's measured gap
   is ≤ ``heartbeat_interval_s × missed_heartbeats`` + one control cycle.
+* **resume floor** (full-restart schedules, PR 7) — a controller
+  rebooted from the durable store never issues a rule epoch at or below
+  the store's last durable epoch; otherwise stage-side fencing would
+  silently discard every post-restart rule.
 
 Violations are collected, not raised: a chaos run always completes and
 reports everything it saw (:class:`ChaosReport`, JSON-serialisable for
@@ -38,7 +42,7 @@ class Violation:
     """One invariant breach, anchored to the cycle that exposed it."""
 
     cycle: int
-    invariant: str  # "capacity" | "epoch" | "rehome" | "gap"
+    invariant: str  # "capacity" | "epoch" | "rehome" | "gap" | "resume"
     detail: str
 
 
@@ -59,6 +63,8 @@ class ChaosReport:
     cycles_degraded: int = 0
     rehomes: int = 0
     takeovers: int = 0
+    #: Full-plane kill/restart round-trips completed (restart schedules).
+    restarts: int = 0
     gap_s: Optional[float] = None
 
     @property
@@ -80,7 +86,7 @@ class ChaosReport:
             f"cycles={self.cycles_completed}/{self.n_cycles} "
             f"faults={len(self.actions)} degraded={self.cycles_degraded} "
             f"rehomes={self.rehomes} takeovers={self.takeovers} "
-            f"checks={self.checks}: {verdict}"
+            f"restarts={self.restarts} checks={self.checks}: {verdict}"
         )
 
 
@@ -155,6 +161,27 @@ class InvariantChecker:
                         f"(bound {self.rehome_bound_cycles})",
                     )
                 )
+
+    def check_resume(
+        self, cycle: int, issued_epoch: int, floor_epoch: int
+    ) -> None:
+        """A restarted controller's issued epochs stay above the floor.
+
+        ``floor_epoch`` is the durable store's highest leased/recorded
+        epoch at the moment of the kill; every epoch the rebooted
+        controller issues must be strictly greater, or stage fencing
+        (``epoch > applied_epoch``) discards its rules forever.
+        """
+        self.checks += 1
+        if issued_epoch <= floor_epoch:
+            self.violations.append(
+                Violation(
+                    cycle,
+                    "resume",
+                    f"issued epoch {issued_epoch} <= durable floor "
+                    f"{floor_epoch} after restart",
+                )
+            )
 
     def check_gap(self, cycle: int, gap_s: float, bound_s: float) -> None:
         """Measured takeover gap must respect the heartbeat-budget bound."""

@@ -34,9 +34,18 @@ from dataclasses import asdict
 from typing import Dict, List, Optional
 
 from repro.chaos.invariants import ChaosReport, InvariantChecker, Violation
-from repro.chaos.schedule import ChaosSchedule, generate_schedule
+from repro.chaos.schedule import (
+    ChaosSchedule,
+    generate_restart_schedule,
+    generate_schedule,
+)
 
-__all__ = ["run_chaos_sim", "run_chaos_live", "run_chaos_shard"]
+__all__ = [
+    "run_chaos_sim",
+    "run_chaos_live",
+    "run_chaos_restart",
+    "run_chaos_shard",
+]
 
 #: Sim-plane fault durations, in cycles (the sim has no useful wall clock).
 SIM_AGG_KILL_CYCLES = 3
@@ -525,6 +534,126 @@ async def _live_flat(
         for task in tasks:
             task.cancel()
         await asyncio.gather(*tasks, return_exceptions=True)
+    report.violations = checker.violations
+    report.checks = checker.checks
+
+
+# ---------------------------------------------------------------------------
+# Full-plane restart (durable-store recovery)
+# ---------------------------------------------------------------------------
+
+def run_chaos_restart(
+    seed: int,
+    n_stages: int = 9,
+    n_aggregators: int = 3,
+    n_cycles: int = 14,
+    cycle_period_s: float = 0.05,
+    rehome_bound_cycles: int = 3,
+    store_dir: Optional[str] = None,
+    recover_timeout_s: float = 15.0,
+    schedule: Optional[ChaosSchedule] = None,
+) -> ChaosReport:
+    """Kill the *whole* live plane mid-schedule and restart from store.
+
+    The PR 7 tentpole invariant run: controller and every aggregator die
+    at once (socket aborts — the in-process ``kill -9``), surviving
+    stages keep enforcing their last rules, and the plane restarts from
+    a fresh :class:`~repro.store.DurableStore` recovery at
+    ``resume_epoch()``. On top of the standing capacity/epoch/orphan
+    checks, every post-restart cycle asserts the **resume floor**: the
+    issued epoch stays strictly above the durable epoch at kill time.
+    ``store_dir=None`` uses a run-scoped temporary directory.
+    """
+    if schedule is None:
+        schedule = generate_restart_schedule(
+            seed, n_cycles, n_stages, n_aggregators
+        )
+    report = _new_report(schedule, "live")
+    asyncio.run(
+        _live_restart(
+            schedule,
+            report,
+            cycle_period_s,
+            rehome_bound_cycles,
+            store_dir,
+            recover_timeout_s,
+        )
+    )
+    return report
+
+
+async def _live_restart(
+    schedule: ChaosSchedule,
+    report: ChaosReport,
+    cycle_period_s: float,
+    rehome_bound_cycles: int,
+    store_dir: Optional[str],
+    recover_timeout_s: float,
+) -> None:
+    import tempfile
+
+    from repro.core.control_plane import default_policy
+    from repro.live.harness import LiveHierPlane
+    from repro.store.durable import DurableStore
+
+    if store_dir is None:
+        store_dir = tempfile.mkdtemp(prefix="repro-chaos-store-")
+    store = DurableStore(store_dir, lease_batch=8)
+    policy = default_policy(schedule.n_stages)
+    plane = LiveHierPlane(
+        schedule.n_stages,
+        schedule.n_aggregators,
+        policy,
+        collect_timeout_s=0.5,
+        enforce_timeout_s=0.5,
+        initial_epoch=store.resume_epoch(),
+        stage_backoff=_LIVE_BACKOFF,
+    )
+    checker = InvariantChecker(policy.allocatable_iops, rehome_bound_cycles)
+    rehomes = 0
+    resume_floor = 0
+    try:
+        await plane.start()
+        for cycle in range(schedule.n_cycles):
+            for action in schedule.at_cycle(cycle):
+                if action.kind != "kill_plane":
+                    continue
+                resume_floor = store.last_durable_epoch
+                await plane.kill_plane()
+                store.close()
+                # A fresh store handle runs the full recovery path, as a
+                # restarted process would: snapshot + WAL fold + compact.
+                store = DurableStore(store_dir, lease_batch=8)
+                await plane.plane_restart(initial_epoch=store.resume_epoch())
+                report.restarts += 1
+                try:
+                    await plane.wait_for_stages(timeout_s=recover_timeout_s)
+                except asyncio.TimeoutError:
+                    checker.violations.append(
+                        Violation(
+                            cycle,
+                            "rehome",
+                            f"only {plane.registered_stages}/"
+                            f"{schedule.n_stages} stages re-homed within "
+                            f"{recover_timeout_s}s of restart",
+                        )
+                    )
+            if plane.epoch + 1 > store.state.leased_epoch:
+                store.lease_epochs()
+            await plane.run_cycles(1)
+            store.record_cycle(plane.epoch, n_stages=schedule.n_stages)
+            await asyncio.sleep(cycle_period_s)
+            report.cycles_completed += 1
+            if plane.controller.cycles[-1].degraded:
+                report.cycles_degraded += 1
+            _live_checks(checker, cycle, plane.stages)
+            checker.check_orphans(cycle, plane.controller.orphans)
+            checker.check_resume(cycle, plane.epoch, resume_floor)
+        rehomes = plane.controller.rehomes
+    finally:
+        await plane.stop()
+        store.close()
+    report.rehomes = rehomes
     report.violations = checker.violations
     report.checks = checker.checks
 

@@ -23,11 +23,19 @@ import random
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
-__all__ = ["FaultAction", "ChaosSchedule", "generate_schedule"]
+__all__ = [
+    "FaultAction",
+    "ChaosSchedule",
+    "generate_schedule",
+    "generate_restart_schedule",
+]
 
 #: Fault kinds a schedule may contain, per plane design.
 HIER_KINDS = ("kill_aggregator", "stall_aggregator", "kill_stage", "stall_stage")
 FLAT_KINDS = ("kill_stage", "stall_stage", "kill_primary")
+#: The full-restart schedule's only kind: kill -9 the whole control
+#: plane (controller + every aggregator at once), restart from store.
+RESTART_KINDS = ("kill_plane",)
 
 
 @dataclass(frozen=True)
@@ -150,6 +158,61 @@ def generate_schedule(
     return ChaosSchedule(
         seed=seed,
         design=design,
+        n_cycles=n_cycles,
+        n_stages=n_stages,
+        n_aggregators=n_aggregators,
+        actions=actions,
+    )
+
+
+def generate_restart_schedule(
+    seed: int,
+    n_cycles: int,
+    n_stages: int,
+    n_aggregators: int,
+    n_restarts: int = 1,
+    warmup_cycles: int = 3,
+    cooldown_cycles: int = 4,
+    min_gap_cycles: int = 4,
+) -> ChaosSchedule:
+    """Draw a full-plane restart schedule (``kill_plane`` actions).
+
+    The whole control plane — global controller and every aggregator —
+    dies at once (the in-process ``kill -9``) and is restarted from the
+    durable store. Survivability constraints mirror the fault schedules:
+    warmup and cooldown windows are restart-free, and consecutive
+    restarts are at least ``min_gap_cycles`` apart so each recovery is
+    observable before the next kill.
+    """
+    if n_restarts < 1:
+        raise ValueError(f"n_restarts must be >= 1: {n_restarts}")
+    if min_gap_cycles < 1:
+        raise ValueError(f"min_gap_cycles must be >= 1: {min_gap_cycles}")
+    first = warmup_cycles
+    last = n_cycles - cooldown_cycles
+    if last <= first:
+        raise ValueError(
+            f"no eligible restart window: {n_cycles} cycles with "
+            f"warmup={warmup_cycles}, cooldown={cooldown_cycles}"
+        )
+    if (n_restarts - 1) * min_gap_cycles >= last - first:
+        raise ValueError(
+            f"{n_restarts} restarts with gap {min_gap_cycles} do not fit "
+            f"in window [{first}, {last})"
+        )
+    rng = random.Random(seed)
+    chosen: List[int] = []
+    candidates = list(range(first, last))
+    rng.shuffle(candidates)
+    for cycle in candidates:
+        if all(abs(cycle - c) >= min_gap_cycles for c in chosen):
+            chosen.append(cycle)
+            if len(chosen) == n_restarts:
+                break
+    actions = [FaultAction(c, "kill_plane", -1) for c in sorted(chosen)]
+    return ChaosSchedule(
+        seed=seed,
+        design="restart",
         n_cycles=n_cycles,
         n_stages=n_stages,
         n_aggregators=n_aggregators,

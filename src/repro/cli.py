@@ -13,6 +13,9 @@ Usage (installed as ``python -m repro``):
     python -m repro live --stages 50 --cycles 20
     python -m repro shard --stages 48 --workers 4
     python -m repro chaos --plane shard --seed 7
+    python -m repro chaos --plane live --schedule full-restart --seed 7
+    python -m repro serve --store-dir ./state --port 8080
+    python -m repro store inspect --dir ./state
     python -m repro bench --out BENCH_PR6.json
     python -m repro calibrate
 
@@ -452,8 +455,26 @@ def _cmd_live(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from repro.chaos import run_chaos_live, run_chaos_shard, run_chaos_sim
+    from repro.chaos import (
+        run_chaos_live,
+        run_chaos_restart,
+        run_chaos_shard,
+        run_chaos_sim,
+    )
 
+    if args.schedule == "full-restart":
+        if args.plane != "live":
+            print("--schedule full-restart requires --plane live", file=sys.stderr)
+            return 2
+        report = run_chaos_restart(
+            args.seed,
+            n_stages=args.stages,
+            n_aggregators=args.aggregators,
+            n_cycles=args.cycles,
+            cycle_period_s=args.cycle_period,
+            store_dir=args.store_dir,
+        )
+        return _finish_chaos(report, args)
     if args.plane == "sim":
         report = run_chaos_sim(
             args.seed,
@@ -479,6 +500,10 @@ def _cmd_chaos(args) -> int:
             n_cycles=args.cycles,
             cycle_period_s=args.cycle_period,
         )
+    return _finish_chaos(report, args)
+
+
+def _finish_chaos(report, args) -> int:
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as fh:
             fh.write(report.to_json())
@@ -493,9 +518,79 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_bench(args) -> int:
-    from repro.bench import check_regression, load_artifact, run_bench
+def _cmd_serve(args) -> int:
+    import asyncio
 
+    from repro.service import run_serve
+
+    summary = asyncio.run(
+        run_serve(
+            args.store_dir,
+            port=args.port,
+            n_stages=args.stages,
+            n_aggregators=args.aggregators,
+            cycle_period_s=args.cycle_period,
+            max_cycles=args.max_cycles,
+            ready_file=args.ready_file,
+        )
+    )
+    rows = [
+        ["port", summary["port"]],
+        ["resumed from store", summary["resumed"]],
+        ["initial epoch", summary["initial_epoch"]],
+        ["final epoch", summary["epoch"]],
+        ["cycles run", summary["cycles_run"]],
+        ["tenants", summary["tenants"]],
+        ["http requests served", summary["requests_served"]],
+        ["durable epoch", summary["store"]["durable_epoch"]],
+        ["wal bytes", summary["store"]["wal_bytes"]],
+    ]
+    text = format_table(["serve", "value"], rows, title="Service-tier run")
+    _emit(summary, text, args.json)
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from repro.store import DurableStore
+
+    if args.action != "inspect":
+        print(f"unknown store action: {args.action}", file=sys.stderr)
+        return 2
+    store = DurableStore(args.dir)
+    try:
+        info = store.inspect()
+    finally:
+        store.close()
+    rows = [[key, info[key]] for key in sorted(info)]
+    text = format_table(
+        ["field", "value"], rows, title=f"Durable store @ {args.dir}"
+    )
+    _emit(info, text, args.json)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.bench import SCHEMA, check_regression, load_artifact, run_bench
+
+    if args.out and os.path.exists(args.out) and not args.force:
+        # Refuse to silently rewrite a committed baseline under a
+        # different schema generation — that is how artifact drift
+        # starts (a /1 baseline half-overwritten with /2 keys).
+        try:
+            with open(args.out, "r", encoding="utf-8") as fh:
+                existing_schema = json.load(fh).get("schema")
+        except (OSError, ValueError):
+            existing_schema = None
+        if existing_schema is not None and existing_schema != SCHEMA:
+            print(
+                f"refusing to overwrite {args.out} (schema "
+                f"{existing_schema!r}) with a {SCHEMA!r} artifact; "
+                f"pass --force or pick a new --out name",
+                file=sys.stderr,
+            )
+            return 2
     result = run_bench(quick=args.quick)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -507,7 +602,7 @@ def _cmd_bench(args) -> int:
         ["engine speedup vs pre-PR kernel", f"{result['engine']['speedup']:.2f}x"],
         *[
             [f"sim {key} (ms/cycle)", f"{v['wall_s_per_cycle'] * 1e3:.1f}"]
-            for key, v in result["sim_cycles"].items()
+            for key, v in result["sim_cycles"]["legs"].items()
         ],
         ["live enforce frames/s", f"{result['live']['frames_per_s']:,.0f}"],
         ["live speedup vs seed wire path", f"{result['live']['speedup']:.2f}x"],
@@ -520,6 +615,9 @@ def _cmd_bench(args) -> int:
             for k, leg in result["shard"]["legs"].items()
         ],
         ["shard host cores", f"{result['shard']['cpu_count']:.0f}"],
+        ["wal appends/s (batched fsync)", f"{result['store']['appends_per_s']:,.0f}"],
+        ["wal speedup vs fsync-per-record", f"{result['store']['speedup']:.2f}x"],
+        ["store cold restore (ms)", f"{result['store']['restore_s'] * 1e3:.1f}"],
     ]
     text = format_table(
         ["benchmark", "value"], rows, title="Hot-path micro-benchmarks"
@@ -730,10 +828,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=12)
     p.add_argument("--cycle-period", type=float, default=0.1,
                    help="live-plane cycle pacing in seconds")
+    p.add_argument("--schedule", choices=("faults", "full-restart"),
+                   default="faults",
+                   help="faults = per-component kill/stall schedule; "
+                        "full-restart = kill -9 the whole plane and "
+                        "restart from the durable store (live plane only)")
+    p.add_argument("--store-dir", type=str, default=None,
+                   help="durable-store directory for --schedule "
+                        "full-restart (default: a run-scoped tempdir)")
     p.add_argument("--report-out", type=str, default=None,
                    help="write the JSON chaos report here (CI artifact)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve the multi-tenant REST API over a live plane backed "
+             "by the durable store",
+    )
+    p.add_argument("--store-dir", type=str, required=True,
+                   help="durable-store directory (WAL + snapshot); "
+                        "created on first boot, recovered on restart")
+    p.add_argument("--port", type=int, default=0,
+                   help="HTTP port (0 picks an ephemeral port)")
+    p.add_argument("--stages", type=int, default=12)
+    p.add_argument("--aggregators", type=int, default=3)
+    p.add_argument("--cycle-period", type=float, default=0.05,
+                   help="control-cycle pacing in seconds")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="exit after N control cycles (default: run until "
+                        "SIGTERM/SIGINT)")
+    p.add_argument("--ready-file", type=str, default=None,
+                   help="write {port, pid, resumed, initial_epoch} JSON "
+                        "here once the API is accepting requests")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "store", help="inspect a durable-store directory (WAL + snapshot)"
+    )
+    p.add_argument("action", choices=("inspect",))
+    p.add_argument("--dir", type=str, required=True,
+                   help="durable-store directory")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser(
         "bench",
@@ -743,7 +881,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="smaller workloads for CI smoke runs")
     p.add_argument("--out", type=str, default=None,
-                   help="write the JSON artifact here (e.g. BENCH_PR6.json)")
+                   help="write the JSON artifact here (e.g. BENCH_PR7.json)")
+    p.add_argument("--force", action="store_true",
+                   help="allow --out to overwrite an existing artifact "
+                        "written under a different schema version")
     p.add_argument("--check", type=str, default=None,
                    help="compare sim cycle latency against this committed "
                         "artifact; exit 1 when a cycle regressed")

@@ -32,12 +32,28 @@ __all__ = [
     "HotStandby",
     "attach_flat_standby",
     "attach_hier_standby",
+    "resume_epoch",
 ]
 
 #: Heartbeat wire size (tiny control message).
 HEARTBEAT_BYTES = 24
 #: Epoch slack added on take-over to dominate any in-flight primary rules.
 EPOCH_SLACK = 1
+
+
+def resume_epoch(last_known_epoch: int) -> int:
+    """Epoch floor a successor controller resumes at.
+
+    One rule for both recovery paths — hot-standby takeover (live
+    primary's last heartbeat epoch) and boot-from-store restart (the
+    durable store's highest leased/recorded epoch): resume at
+    ``last_known + EPOCH_SLACK`` so the first *issued* epoch (the
+    controller increments before computing) strictly dominates anything
+    the predecessor could have put on the wire.
+    """
+    if last_known_epoch < 0:
+        raise ValueError(f"last_known_epoch must be >= 0: {last_known_epoch}")
+    return last_known_epoch + EPOCH_SLACK
 
 
 @dataclass(frozen=True)

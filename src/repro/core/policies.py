@@ -141,6 +141,44 @@ class QoSPolicy:
         self.min_guarantee_iops[job_id] = iops
         self._check_guarantees()
 
+    def register_tenant(self, tenant_id: str, weight: float) -> str:
+        """Create or update the per-tenant priority class; return its name.
+
+        The service tier maps tenant quotas onto PSFA sharing weights by
+        giving every tenant its own class: a ``weight=8`` tenant's jobs
+        get 4x the backlogged share of a ``weight=2`` tenant's jobs.
+        Re-registering with a new weight re-weights every job already in
+        the class (takes effect next cycle, like any policy edit).
+        """
+        name = f"tenant:{tenant_id}"
+        self.classes[name] = PriorityClass(name, float(weight))
+        return name
+
+    def admit_tenant_job(
+        self, tenant_id: str, job_id: str, min_iops: float = 0.0
+    ) -> None:
+        """Assign ``job_id`` to its tenant's class, with an optional floor.
+
+        The tenant must have been registered first (its class must
+        exist); raises :class:`PolicyError` otherwise, so a lost tenant
+        record can't silently demote jobs to the default class.
+        """
+        name = f"tenant:{tenant_id}"
+        if name not in self.classes:
+            raise PolicyError(f"unregistered tenant: {tenant_id!r}")
+        self.assign_job(job_id, name)
+        if min_iops > 0:
+            self.set_guarantee(job_id, min_iops)
+
+    def tenant_weights(self) -> Dict[str, float]:
+        """Registered tenant id → PSFA weight (service-tier view)."""
+        prefix = "tenant:"
+        return {
+            cls.name[len(prefix):]: cls.weight
+            for cls in self.classes.values()
+            if cls.name.startswith(prefix)
+        }
+
     def weight_of(self, job_id: str) -> float:
         """The sharing weight of one job under this policy."""
         cls = self.job_classes.get(job_id, self.default_class)

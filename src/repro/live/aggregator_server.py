@@ -350,6 +350,11 @@ class LiveAggregator:
                 pass
             if self._server is not None:
                 self._server.close()
+                # Wait for the listen socket to actually release: without
+                # this, a back-to-back restart on the same port races the
+                # in-flight close and flakes with EADDRINUSE on slow CI.
+                with contextlib.suppress(ConnectionError, OSError):
+                    await self._server.wait_closed()
 
     async def _handle(self, message, up_writer) -> None:
         kind = message["kind"]

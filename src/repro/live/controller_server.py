@@ -355,12 +355,15 @@ class LiveGlobalController(_LiveControllerBase):
         enforce_changed_only: bool = False,
         rule_change_tolerance: float = 0.0,
         coalesce: bool = True,
+        initial_epoch: int = 0,
         span_tracer=None,
         usage_meter=None,
         metrics=None,
     ) -> None:
         if expected_stages < 1:
             raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
+        if initial_epoch < 0:
+            raise ValueError(f"initial_epoch must be >= 0: {initial_epoch}")
         if evicted_grace_cycles < 0:
             raise ValueError(
                 f"evicted_grace_cycles must be >= 0: {evicted_grace_cycles}"
@@ -382,6 +385,10 @@ class LiveGlobalController(_LiveControllerBase):
             usage_meter=usage_meter,
             metrics=metrics,
         )
+        # Boot-from-store resume floor: a controller restored from a
+        # durable store starts above its last durable epoch so stage-side
+        # fencing accepts its rules and discards any pre-crash stragglers.
+        self.epoch = initial_epoch
         self.policy = policy
         self.algorithm = algorithm or PSFA()
         self.expected_stages = expected_stages
@@ -694,10 +701,13 @@ class LiveHierGlobalController(_LiveControllerBase):
         enforce_changed_only: bool = False,
         rule_change_tolerance: float = 0.0,
         coalesce: bool = True,
+        initial_epoch: int = 0,
         span_tracer=None,
         usage_meter=None,
         metrics=None,
     ) -> None:
+        if initial_epoch < 0:
+            raise ValueError(f"initial_epoch must be >= 0: {initial_epoch}")
         if expected_aggregators < 1:
             raise ValueError(
                 f"expected_aggregators must be >= 1: {expected_aggregators}"
@@ -723,6 +733,8 @@ class LiveHierGlobalController(_LiveControllerBase):
             usage_meter=usage_meter,
             metrics=metrics,
         )
+        # Boot-from-store resume floor (see LiveGlobalController).
+        self.epoch = initial_epoch
         self.policy = policy
         self.algorithm = algorithm or PSFA()
         self.expected_aggregators = expected_aggregators

@@ -31,8 +31,10 @@ clocks differ, so benchmarks must record which loop actually ran.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import errno
 from dataclasses import dataclass, field
-from typing import Coroutine, List, Optional, Tuple
+from typing import Coroutine, Dict, List, Optional, Tuple
 
 from repro.core.control_plane import default_policy
 from repro.core.cycle import ControlCycle, CycleStats
@@ -46,7 +48,12 @@ from repro.obs.metrics import MetricsRegistry, MetricsServer
 from repro.obs.procfs import LiveUsageSession
 from repro.obs.spans import SpanRecord, SpanTracer
 
-__all__ = ["LiveRunResult", "run_live_flat", "run_live_hierarchical"]
+__all__ = [
+    "LiveHierPlane",
+    "LiveRunResult",
+    "run_live_flat",
+    "run_live_hierarchical",
+]
 
 
 def _offered_codecs(codec: str) -> Tuple[str, ...]:
@@ -261,6 +268,313 @@ def run_live_flat(
     )
 
 
+async def _start_rebinding(component, attempts: int = 60, delay_s: float = 0.05):
+    """``await component.start()``, retrying while the port drains.
+
+    A restarted plane rebinds the *same* ports so surviving stage
+    reconnect loops find it again; on slow CI the previous listen socket
+    can still be mid-close, so EADDRINUSE here means "wait", not "fail".
+    """
+    for attempt in range(attempts):
+        try:
+            return await component.start()
+        except OSError as exc:
+            if exc.errno != errno.EADDRINUSE or attempt == attempts - 1:
+                raise
+            await asyncio.sleep(delay_s)
+
+
+class LiveHierPlane:
+    """A restartable hierarchical live plane (controller + aggs + stages).
+
+    Owns the whole process tree the hierarchical harness used to build
+    inline: one :class:`LiveHierGlobalController`, ``n_aggregators``
+    :class:`LiveAggregator` servers, and ``n_stages`` stage clients.
+    Unlike the one-shot ``run_live_hierarchical`` wrapper, the plane
+    persists across control runs and supports **full-plane restart**:
+
+    * :meth:`kill_plane` aborts every controller/aggregator socket
+      without a goodbye — the in-process analogue of ``kill -9`` on the
+      whole control plane. Stage clients stay alive, keep enforcing
+      their last rules, and keep their ``applied_epoch`` fencing state.
+    * :meth:`plane_restart` rebinds the *same* ports (retrying while the
+      old sockets drain — the back-to-back-start CI flake fix) with a
+      caller-supplied ``initial_epoch``, typically a durable store's
+      :meth:`~repro.store.DurableStore.resume_epoch`. Surviving stages
+      re-home through their reconnect loops; restarted aggregators boot
+      as hot spares (``expected_stages=0``) and adopt whoever arrives,
+      so re-homed stages may land on any aggregator.
+
+    The epoch contract this preserves: stage fencing only accepts rules
+    with ``epoch > applied_epoch``, so a restart resumed *at or below*
+    the pre-kill epoch would be silently fenced out forever — visible in
+    tests as ``rules_applied`` never advancing after restart.
+    """
+
+    def __init__(
+        self,
+        n_stages: int,
+        n_aggregators: int,
+        policy: Optional[QoSPolicy] = None,
+        collect_timeout_s: Optional[float] = None,
+        enforce_timeout_s: Optional[float] = None,
+        dead_after_missed: Optional[int] = None,
+        codec: str = "binary",
+        coalesce: bool = True,
+        enforce_changed_only: bool = False,
+        rule_change_tolerance: float = 0.0,
+        initial_epoch: int = 0,
+        obs: Optional[_Obs] = None,
+        stage_backoff: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if n_stages < 1:
+            raise ValueError(f"n_stages must be >= 1: {n_stages}")
+        if not 1 <= n_aggregators <= n_stages:
+            raise ValueError("n_aggregators must be in [1, n_stages]")
+        self.n_stages = n_stages
+        self.n_aggregators = n_aggregators
+        self.policy = policy or default_policy(n_stages)
+        self.collect_timeout_s = collect_timeout_s
+        self.enforce_timeout_s = enforce_timeout_s
+        self.dead_after_missed = dead_after_missed
+        self.coalesce = coalesce
+        self.enforce_changed_only = enforce_changed_only
+        self.rule_change_tolerance = rule_change_tolerance
+        self.initial_epoch = initial_epoch
+        self._offered = _offered_codecs(codec)
+        self._obs = obs if obs is not None else _Obs(False, None, 0.05)
+        #: Stage reconnect-backoff overrides (tests shrink the delays).
+        self._stage_backoff = dict(stage_backoff or {})
+        stage_ids = [f"stage-{i:05d}" for i in range(n_stages)]
+        self._partitions = partition_stages(stage_ids, n_aggregators)
+        self.controller: Optional[LiveHierGlobalController] = None
+        self.aggregators: List[LiveAggregator] = []
+        self.stages: List[LiveVirtualStage] = []
+        self._stage_tasks: List[asyncio.Task] = []
+        self._agg_tasks: List[asyncio.Task] = []
+        #: Ports pinned at first start and reused by every restart.
+        self._ctrl_port = 0
+        self._agg_ports = [0] * n_aggregators
+        #: Completed full-plane restarts.
+        self.restarts = 0
+        #: Evictions accumulated across dead controller generations.
+        self._evictions_past = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self, initial_epoch: Optional[int] = None) -> None:
+        """Boot (or re-boot) the plane; idempotent ports after first call."""
+        if self.controller is not None:
+            raise RuntimeError("plane already started")
+        if initial_epoch is not None:
+            self.initial_epoch = initial_epoch
+        obs = self._obs
+        restarting = bool(self.stages)
+        self.controller = LiveHierGlobalController(
+            self.policy,
+            expected_aggregators=self.n_aggregators,
+            port=self._ctrl_port,
+            collect_timeout_s=self.collect_timeout_s,
+            enforce_timeout_s=self.enforce_timeout_s,
+            dead_after_missed=self.dead_after_missed,
+            enforce_changed_only=self.enforce_changed_only,
+            rule_change_tolerance=self.rule_change_tolerance,
+            coalesce=self.coalesce,
+            initial_epoch=self.initial_epoch,
+            span_tracer=obs.tracer_for("global-ctrl"),
+            usage_meter=obs.meter_for("global-ctrl"),
+            metrics=obs.registry,
+        )
+        await _start_rebinding(self.controller)
+        self._ctrl_port = self.controller.port
+        self.aggregators = []
+        for a, owned in enumerate(self._partitions):
+            agg_id = f"aggregator-{a:02d}"
+            agg = LiveAggregator(
+                agg_id,
+                self.controller.host,
+                self._ctrl_port,
+                # Restarted aggregators boot as hot spares: surviving
+                # stages rotate through alternates, so any stage may
+                # re-home to any aggregator — expecting the original
+                # partition back would deadlock registration.
+                expected_stages=0 if restarting else len(owned),
+                port=self._agg_ports[a],
+                collect_timeout_s=self.collect_timeout_s,
+                enforce_timeout_s=self.enforce_timeout_s,
+                span_tracer=obs.tracer_for(agg_id),
+                usage_meter=obs.meter_for(agg_id),
+                metrics=obs.registry,
+                coalesce=self.coalesce,
+                codecs=self._offered,
+            )
+            await _start_rebinding(agg)
+            self._agg_ports[a] = agg.port
+            self.aggregators.append(agg)
+        if not restarting:
+            for a, owned in enumerate(self._partitions):
+                agg = self.aggregators[a]
+                for stage_id in owned:
+                    stage = LiveVirtualStage(
+                        agg.host,
+                        agg.port,
+                        stage_id=stage_id,
+                        job_id=stage_id.replace("stage", "job"),
+                        codecs=self._offered,
+                        **self._stage_backoff,
+                    )
+                    self.stages.append(stage)
+                    self._stage_tasks.append(asyncio.create_task(stage.run()))
+        self._agg_tasks = [asyncio.create_task(a.run()) for a in self.aggregators]
+        await self.controller.wait_for_aggregators()
+
+    async def wait_for_stages(self, timeout_s: float = 30.0) -> None:
+        """Wait until every stage is registered somewhere in the tree."""
+
+        async def _poll() -> None:
+            while self.registered_stages < self.n_stages:
+                await asyncio.sleep(0.01)
+
+        await asyncio.wait_for(_poll(), timeout=timeout_s)
+
+    @property
+    def registered_stages(self) -> int:
+        """Stages currently homed on a live aggregator, tree-wide."""
+        return sum(len(a.sessions) for a in self.aggregators)
+
+    async def run_cycles(self, n_cycles: int) -> List[ControlCycle]:
+        """Run ``n_cycles`` control cycles on the current controller."""
+        if self.controller is None:
+            raise RuntimeError("start() first")
+        return await self.controller.run_cycles(n_cycles)
+
+    @property
+    def epoch(self) -> int:
+        """The current controller's rule epoch (0 when down)."""
+        return self.controller.epoch if self.controller is not None else 0
+
+    @property
+    def evictions(self) -> int:
+        """Evictions across all controller generations and aggregators."""
+        live = self.controller.evictions if self.controller is not None else 0
+        return self._evictions_past + live + sum(
+            a.evictions for a in self.aggregators
+        )
+
+    async def _reap(self) -> None:
+        for task in self._agg_tasks:
+            task.cancel()
+        await asyncio.gather(*self._agg_tasks, return_exceptions=True)
+        self._agg_tasks = []
+
+    async def kill_plane(self) -> None:
+        """Abort the controller and every aggregator — ``kill -9`` style.
+
+        No shutdown frames: stages see EOF exactly as they would if the
+        plane's process died, and keep enforcing their last rules while
+        their reconnect loops probe the (dead) ports.
+        """
+        if self.controller is None:
+            return
+        self._evictions_past += self.controller.evictions
+        self.controller.kill()
+        for agg in self.aggregators:
+            agg.kill()
+        await self._reap()
+        # kill() closes listen sockets without awaiting: drain them here
+        # so the restart's rebind loop starts from "almost free".
+        for agg in self.aggregators:
+            if agg._server is not None:
+                with contextlib.suppress(ConnectionError, OSError):
+                    await agg._server.wait_closed()
+        if self.controller._server is not None:
+            with contextlib.suppress(ConnectionError, OSError):
+                await self.controller._server.wait_closed()
+        self.controller = None
+
+    async def plane_restart(
+        self, initial_epoch: Optional[int] = None, hard: bool = True
+    ) -> None:
+        """Stop everything (ports kept free) and restart the plane.
+
+        ``initial_epoch`` is the resume floor — pass a durable store's
+        ``resume_epoch()`` to restore the crash-restart invariant, or
+        leave ``None`` to keep the current floor (useful in tests that
+        deliberately resume too low). ``hard=False`` flushes child links
+        and closes them cleanly instead of aborting sockets — but never
+        sends ``shutdown`` frames, which would take the surviving stages
+        down with the plane instead of releasing them to re-home.
+        """
+        if self.controller is not None:
+            if hard:
+                await self.kill_plane()
+            else:
+                await self._release_plane()
+        await self.start(initial_epoch=initial_epoch)
+        self.restarts += 1
+
+    async def _release_plane(self) -> None:
+        """Graceful plane teardown that releases (not stops) the stages.
+
+        Controller→aggregator sessions are flushed and closed without
+        ``shutdown`` frames, then the aggregators' downstream links are
+        closed too — reaping cancels the aggregator tasks mid-teardown,
+        so leaving the release to their own upstream-loss handling can
+        strand a stage on a half-open socket that never sees EOF. The
+        stages' reconnect loops then re-home against the pinned ports.
+        """
+        if self.controller is None:
+            return
+        self._evictions_past += self.controller.evictions
+        for session in list(self.controller.sessions.values()):
+            with contextlib.suppress(ConnectionError, OSError):
+                await session.close()
+        self.controller.sessions.clear()
+        if self.controller._server is not None:
+            self.controller._server.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await self.controller._server.wait_closed()
+        for agg in self.aggregators:
+            agg.kill()
+        await self._reap()
+        for agg in self.aggregators:
+            if agg._server is not None:
+                with contextlib.suppress(ConnectionError, OSError):
+                    await agg._server.wait_closed()
+        self.controller = None
+
+    async def stop(self, stop_stages: bool = True) -> None:
+        """Graceful teardown; with ``stop_stages=False`` stages survive."""
+        if stop_stages:
+            for stage in self.stages:
+                stage.stop()
+        if self.controller is not None:
+            self._evictions_past += self.controller.evictions
+            await self.controller.shutdown()
+            self.controller = None
+        await self._reap()
+        if stop_stages:
+            for task in self._stage_tasks:
+                task.cancel()
+            await asyncio.gather(*self._stage_tasks, return_exceptions=True)
+            self._stage_tasks = []
+
+    # -- result plumbing -----------------------------------------------------
+    @property
+    def rules_applied_total(self) -> int:
+        """Rules accepted by stage-side fencing, across all generations."""
+        return sum(s.rules_applied for s in self.stages)
+
+    @property
+    def rules_stale_total(self) -> int:
+        """Rules discarded as stale by stage-side fencing."""
+        return sum(s.rules_ignored_stale for s in self.stages)
+
+    @property
+    def reconnects(self) -> int:
+        """Successful stage re-registrations (re-homes included)."""
+        return sum(s.reconnects for s in self.stages)
+
+
 async def _run_hier(
     n_stages: int,
     n_aggregators: int,
@@ -276,75 +590,35 @@ async def _run_hier(
     enforce_changed_only: bool = False,
     rule_change_tolerance: float = 0.0,
 ) -> LiveRunResult:
-    policy = policy or default_policy(n_stages)
-    offered = _offered_codecs(codec)
     obs = _Obs(observe, metrics_port, sample_interval_s)
-    controller = LiveHierGlobalController(
+    plane = LiveHierPlane(
+        n_stages,
+        n_aggregators,
         policy,
-        expected_aggregators=n_aggregators,
         collect_timeout_s=collect_timeout_s,
         enforce_timeout_s=enforce_timeout_s,
-        span_tracer=obs.tracer_for("global-ctrl"),
-        usage_meter=obs.meter_for("global-ctrl"),
-        metrics=obs.registry,
+        codec=codec,
+        coalesce=coalesce,
         enforce_changed_only=enforce_changed_only,
         rule_change_tolerance=rule_change_tolerance,
-        coalesce=coalesce,
+        obs=obs,
     )
-    await controller.start()
+    await plane.start()
     await obs.start()
-
-    stage_ids = [f"stage-{i:05d}" for i in range(n_stages)]
-    partitions = partition_stages(stage_ids, n_aggregators)
-    aggregators = []
-    stage_tasks = []
-    agg_tasks = []
-    stages = []
-    for a, owned in enumerate(partitions):
-        agg_id = f"aggregator-{a:02d}"
-        agg = LiveAggregator(
-            agg_id,
-            controller.host,
-            controller.port,
-            expected_stages=len(owned),
-            collect_timeout_s=collect_timeout_s,
-            enforce_timeout_s=enforce_timeout_s,
-            span_tracer=obs.tracer_for(agg_id),
-            usage_meter=obs.meter_for(agg_id),
-            metrics=obs.registry,
-            coalesce=coalesce,
-            codecs=offered,
-        )
-        await agg.start()
-        aggregators.append(agg)
-        for stage_id in owned:
-            stage = LiveVirtualStage(
-                agg.host,
-                agg.port,
-                stage_id=stage_id,
-                job_id=stage_id.replace("stage", "job"),
-                codecs=offered,
-            )
-            stages.append(stage)
-            stage_tasks.append(asyncio.create_task(stage.run()))
-        agg_tasks.append(asyncio.create_task(agg.run()))
+    cycles: List[ControlCycle] = []
     try:
-        await controller.wait_for_aggregators()
-        cycles = await controller.run_cycles(n_cycles)
+        cycles = await plane.run_cycles(n_cycles)
     finally:
-        await controller.shutdown()
+        await plane.stop()
         await obs.stop()
-        for task in (*agg_tasks, *stage_tasks):
-            task.cancel()
-        await asyncio.gather(*agg_tasks, *stage_tasks, return_exceptions=True)
     return obs.finish(
         LiveRunResult(
             n_stages=n_stages,
             cycles=list(cycles),
-            rules_applied_total=sum(s.rules_applied for s in stages),
-            rules_stale_total=sum(s.rules_ignored_stale for s in stages),
-            evictions=controller.evictions + sum(a.evictions for a in aggregators),
-            reconnects=sum(s.reconnects for s in stages),
+            rules_applied_total=plane.rules_applied_total,
+            rules_stale_total=plane.rules_stale_total,
+            evictions=plane.evictions,
+            reconnects=plane.reconnects,
         )
     )
 

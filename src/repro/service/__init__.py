@@ -1,0 +1,30 @@
+"""The multi-tenant service tier: a REST front door for the plane (PR 7).
+
+``repro.service`` is what turns the reproduction from a lab harness into
+a service: tenants register jobs and SLOs over HTTP
+(``POST /tenants``, ``POST /tenants/{id}/slos``), their quotas map onto
+PSFA weights in the live policy, and every registration is durable in a
+:class:`repro.store.DurableStore` before the response goes out — so a
+``kill -9`` of the whole plane followed by ``repro serve`` against the
+same store directory resumes with the same tenants, the same weights,
+and a rule epoch strictly above everything the dead plane issued.
+
+Layers: :mod:`repro.service.http` (stdlib asyncio HTTP/1.1 plumbing,
+modelled on the obs metrics endpoint), :mod:`repro.service.api` (the
+route table over a :class:`ControlService`), and
+:mod:`repro.service.server` (the service object gluing store + policy +
+live plane + control-cycle loop, plus the ``repro serve`` entrypoint).
+"""
+
+from repro.service.api import ServiceApi
+from repro.service.http import HttpRequest, HttpResponse, HttpServer
+from repro.service.server import ControlService, run_serve
+
+__all__ = [
+    "ControlService",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "ServiceApi",
+    "run_serve",
+]

@@ -1,0 +1,246 @@
+"""REST route table for the service tier.
+
+The API a tenant (or the CI smoke's ``curl``) talks to:
+
+================  ======================  =====================================
+Method            Path                    Meaning
+================  ======================  =====================================
+``POST``          ``/tenants``            Register a tenant (id, name, weight)
+``GET``           ``/tenants``            List tenants with PSFA weights
+``GET``           ``/tenants/{id}``       One tenant, its SLOs, enforced limits
+``POST``          ``/tenants/{id}/slos``  Register an SLO (job id + IOPS floor)
+``GET``           ``/cycles``             Recent control cycles (epoch, phases)
+``GET``           ``/rules``              Current rule epoch + per-stage limits
+``GET``           ``/store``              Durable-store watermarks (inspect)
+``GET``           ``/healthz``            Liveness + resume-epoch summary
+================  ======================  =====================================
+
+Handlers are thin: validation here, semantics on
+:class:`repro.service.server.ControlService`, durability below that in
+:class:`repro.store.DurableStore`. Writes return only after the WAL
+fsync — a 201 is a durability receipt, not an intent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.policies import PolicyError
+from repro.service.http import HttpRequest, HttpResponse
+
+__all__ = ["ServiceApi"]
+
+
+def _bad_request(message: str) -> HttpResponse:
+    return HttpResponse(400, {"error": message})
+
+
+class ServiceApi:
+    """Dispatch :class:`HttpRequest` onto a ``ControlService``."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Route one request; unknown paths get a 404, bad verbs a 405."""
+        segments = [s for s in request.path.split("/") if s]
+        route = self._match(request.method, segments)
+        if route is None:
+            known = self._match_any_method(segments)
+            if known:
+                return HttpResponse(405, {"error": f"method {request.method} not allowed"})
+            return HttpResponse(404, {"error": f"no such path: {request.path}"})
+        handler, params = route
+        try:
+            body = request.json()
+        except ValueError as exc:
+            return _bad_request(f"invalid JSON body: {exc}")
+        return await handler(body, params, request.query)
+
+    # -- routing -------------------------------------------------------------
+    def _match(self, method: str, segments) -> Optional[Tuple]:
+        if segments == ["tenants"]:
+            if method == "POST":
+                return self._post_tenant, {}
+            if method == "GET":
+                return self._get_tenants, {}
+        elif len(segments) == 2 and segments[0] == "tenants":
+            if method == "GET":
+                return self._get_tenant, {"tenant_id": segments[1]}
+        elif (
+            len(segments) == 3
+            and segments[0] == "tenants"
+            and segments[2] == "slos"
+        ):
+            if method == "POST":
+                return self._post_slo, {"tenant_id": segments[1]}
+        elif len(segments) == 1 and method == "GET":
+            simple = {
+                "cycles": self._get_cycles,
+                "rules": self._get_rules,
+                "store": self._get_store,
+                "healthz": self._get_health,
+            }
+            if segments[0] in simple:
+                return simple[segments[0]], {}
+        return None
+
+    def _match_any_method(self, segments) -> bool:
+        return any(
+            self._match(m, segments) is not None
+            for m in ("GET", "POST", "PUT", "DELETE")
+        )
+
+    # -- write handlers ------------------------------------------------------
+    async def _post_tenant(self, body: Dict, params, query) -> HttpResponse:
+        tenant_id = body.get("tenant_id")
+        if not tenant_id or not isinstance(tenant_id, str):
+            return _bad_request("tenant_id (string) is required")
+        if "/" in tenant_id:
+            return _bad_request("tenant_id must not contain '/'")
+        try:
+            weight = float(body.get("weight", 0))
+        except (TypeError, ValueError):
+            return _bad_request("weight must be a number")
+        if weight <= 0:
+            return _bad_request("weight must be positive")
+        created = tenant_id not in self.service.store.state.tenants
+        try:
+            tenant = self.service.register_tenant(
+                tenant_id, name=str(body.get("name", tenant_id)), weight=weight
+            )
+        except (ValueError, PolicyError) as exc:
+            return _bad_request(str(exc))
+        return HttpResponse(201 if created else 200, self._tenant_payload(tenant))
+
+    async def _post_slo(self, body: Dict, params, query) -> HttpResponse:
+        tenant_id = params["tenant_id"]
+        if tenant_id not in self.service.store.state.tenants:
+            return HttpResponse(404, {"error": f"unknown tenant: {tenant_id}"})
+        slo_id = body.get("slo_id")
+        job_id = body.get("job_id")
+        if not slo_id or not isinstance(slo_id, str):
+            return _bad_request("slo_id (string) is required")
+        if not job_id or not isinstance(job_id, str):
+            return _bad_request("job_id (string) is required")
+        try:
+            min_iops = float(body.get("min_iops", 0.0))
+        except (TypeError, ValueError):
+            return _bad_request("min_iops must be a number")
+        try:
+            slo = self.service.register_slo(tenant_id, slo_id, job_id, min_iops)
+        except (ValueError, KeyError, PolicyError) as exc:
+            return _bad_request(str(exc))
+        return HttpResponse(
+            201,
+            {
+                "tenant_id": slo.tenant_id,
+                "slo_id": slo.slo_id,
+                "job_id": slo.job_id,
+                "min_iops": slo.min_iops,
+            },
+        )
+
+    # -- read handlers -------------------------------------------------------
+    def _tenant_payload(self, tenant) -> Dict:
+        state = self.service.store.state
+        return {
+            "tenant_id": tenant.tenant_id,
+            "name": tenant.name,
+            "weight": tenant.weight,
+            "created_epoch": tenant.created_epoch,
+            "slos": [
+                {
+                    "slo_id": s.slo_id,
+                    "job_id": s.job_id,
+                    "min_iops": s.min_iops,
+                }
+                for s in state.tenant_slos(tenant.tenant_id)
+            ],
+        }
+
+    async def _get_tenants(self, body, params, query) -> HttpResponse:
+        state = self.service.store.state
+        weights = self.service.policy.tenant_weights()
+        return HttpResponse(
+            200,
+            {
+                "tenants": [
+                    dict(
+                        self._tenant_payload(t),
+                        enforced_weight=weights.get(t.tenant_id),
+                    )
+                    for t in state.tenants.values()
+                ]
+            },
+        )
+
+    async def _get_tenant(self, body, params, query) -> HttpResponse:
+        tenant = self.service.store.state.tenants.get(params["tenant_id"])
+        if tenant is None:
+            return HttpResponse(
+                404, {"error": f"unknown tenant: {params['tenant_id']}"}
+            )
+        payload = self._tenant_payload(tenant)
+        payload["enforced_weight"] = self.service.policy.tenant_weights().get(
+            tenant.tenant_id
+        )
+        payload["enforced_limits"] = self.service.enforced_limits_for(
+            tenant.tenant_id
+        )
+        return HttpResponse(200, payload)
+
+    async def _get_cycles(self, body, params, query) -> HttpResponse:
+        try:
+            limit = int(query.get("limit", "20"))
+        except ValueError:
+            return _bad_request("limit must be an integer")
+        cycles = self.service.recent_cycles(limit)
+        return HttpResponse(
+            200,
+            {
+                "epoch": self.service.epoch,
+                "cycles": [
+                    {
+                        "epoch": c.epoch,
+                        "collect_s": c.collect_s,
+                        "compute_s": c.compute_s,
+                        "enforce_s": c.enforce_s,
+                        "n_stages": c.n_stages,
+                        "n_missing": c.n_missing,
+                        "timed_out": c.timed_out,
+                    }
+                    for c in cycles
+                ],
+            },
+        )
+
+    async def _get_rules(self, body, params, query) -> HttpResponse:
+        return HttpResponse(
+            200,
+            {
+                "epoch": self.service.epoch,
+                "resume_floor": self.service.store.resume_epoch(),
+                "limits": self.service.current_limits(),
+            },
+        )
+
+    async def _get_store(self, body, params, query) -> HttpResponse:
+        return HttpResponse(200, self.service.store.inspect())
+
+    async def _get_health(self, body, params, query) -> HttpResponse:
+        store = self.service.store
+        return HttpResponse(
+            200,
+            {
+                "ok": True,
+                "epoch": self.service.epoch,
+                "durable_epoch": store.last_durable_epoch,
+                "resume_epoch": store.resume_epoch(),
+                "tenants": len(store.state.tenants),
+                "cycles_run": self.service.cycles_run,
+                "restarts": self.service.restarts,
+                "resumed": self.service.resumed,
+                "initial_epoch": self.service.initial_epoch,
+            },
+        )

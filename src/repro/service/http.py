@@ -1,0 +1,191 @@
+"""Tiny stdlib asyncio HTTP/1.1 server for the service tier.
+
+Deliberately minimal, in the mold of :class:`repro.obs.metrics.MetricsServer`:
+one connection per request (``Connection: close``), a readline header
+parse with per-read timeouts, JSON in / JSON out. Enough HTTP for a
+control-plane front door — tenant registrations and state queries from
+``curl`` or the CI smoke — without pulling a web framework into a
+repo whose rule is "stdlib only".
+
+Request metrics (when a registry is wired): ``repro_http_requests_total``
+labelled by method and status class, and a latency histogram.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["HttpRequest", "HttpResponse", "HttpServer"]
+
+#: Largest request body accepted (tenant records are tiny; this is a
+#: plain abuse guard, mirroring the wire protocol's frame cap spirit).
+MAX_BODY = 1 * 1024 * 1024
+
+#: Per-read timeout while parsing one request.
+READ_TIMEOUT_S = 5.0
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path, query, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Dict:
+        """Decode the body as a JSON object; raises ValueError if not one."""
+        if not self.body:
+            return {}
+        payload = json.loads(self.body.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+
+@dataclass
+class HttpResponse:
+    """One response: status code plus a JSON-serialisable payload."""
+
+    status: int
+    payload: Dict
+
+    def encode(self) -> bytes:
+        body = (json.dumps(self.payload, sort_keys=True) + "\n").encode("utf-8")
+        reason = _REASONS.get(self.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            "Content-Type: application/json; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        return head.encode("ascii") + body
+
+
+class HttpServer:
+    """Serve one async ``handler(HttpRequest) -> HttpResponse``."""
+
+    def __init__(
+        self,
+        handler: Callable[[HttpRequest], Awaitable[HttpResponse]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics=None,
+    ) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.requests_served = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics = metrics
+        self._m_latency = None
+        if metrics is not None:
+            self._m_latency = metrics.histogram(
+                "repro_http_request_seconds", "request handling latency"
+            )
+
+    async def start(self) -> None:
+        """Begin serving; ``self.port`` holds the bound port."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop listening and wait for the socket to release."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _count(self, method: str, status: int) -> None:
+        self.requests_served += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "repro_http_requests_total",
+                "HTTP requests served",
+                method=method,
+                code=str(status),
+            ).inc()
+
+    async def _read_request(self, reader) -> Optional[HttpRequest]:
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=READ_TIMEOUT_S
+        )
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=READ_TIMEOUT_S)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY:
+            raise ValueError("body too large")
+        body = b""
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=READ_TIMEOUT_S
+            )
+        split = urlsplit(target)
+        return HttpRequest(
+            method=method,
+            path=split.path,
+            query=dict(parse_qsl(split.query)),
+            headers=headers,
+            body=body,
+        )
+
+    async def _on_connection(self, reader, writer) -> None:
+        started = time.perf_counter()
+        method = "?"
+        try:
+            try:
+                request = await self._read_request(reader)
+            except ValueError:
+                response = HttpResponse(413, {"error": "body too large"})
+                request = None
+            else:
+                if request is None:
+                    return
+                method = request.method
+                try:
+                    response = await self.handler(request)
+                except Exception as exc:  # noqa: BLE001 - boundary
+                    response = HttpResponse(500, {"error": str(exc)})
+            self._count(method, response.status)
+            if self._m_latency is not None:
+                self._m_latency.observe(time.perf_counter() - started)
+            writer.write(response.encode())
+            await writer.drain()
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass

@@ -92,11 +92,14 @@ class ShardedControlPlane:
         enforce_timeout_s: Optional[float] = None,
         dead_after_missed: Optional[int] = None,
         vnodes: int = 64,
+        initial_epoch: int = 0,
     ) -> None:
         if n_stages < 1:
             raise ValueError(f"n_stages must be >= 1: {n_stages}")
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1: {n_workers}")
+        if initial_epoch < 0:
+            raise ValueError(f"initial_epoch must be >= 0: {initial_epoch}")
         self.n_stages = n_stages
         self.n_workers = n_workers
         self.policy = policy or default_policy(n_stages)
@@ -105,6 +108,10 @@ class ShardedControlPlane:
         self.collect_timeout_s = collect_timeout_s
         self.enforce_timeout_s = enforce_timeout_s
         self.dead_after_missed = dead_after_missed
+        #: Epoch resume floor for planes restored from a durable store:
+        #: workers re-register against a controller already above the
+        #: last durable epoch, so replayed rules stay fenced out.
+        self.initial_epoch = initial_epoch
         stage_ids = [f"stage-{i:05d}" for i in range(n_stages)]
         self.partitions = pin_stages(stage_ids, n_workers, vnodes=vnodes)
         self.controller: Optional[LiveHierGlobalController] = None
@@ -169,6 +176,7 @@ class ShardedControlPlane:
             collect_timeout_s=self.collect_timeout_s,
             enforce_timeout_s=self.enforce_timeout_s,
             dead_after_missed=self.dead_after_missed,
+            initial_epoch=self.initial_epoch,
         )
         await self.controller.start()
         for shard in range(self.n_workers):

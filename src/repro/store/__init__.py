@@ -1,0 +1,36 @@
+"""Durability layer for the service tier (PR 7).
+
+``repro.store`` persists the control plane's externally-visible state —
+tenant records, SLOs, and the rule-epoch watermark — across full-plane
+restarts. It is two layers glued by :class:`DurableStore`:
+
+* :mod:`repro.store.wal` — an append-only write-ahead log of CRC-framed
+  JSON records with batched ``fsync``, replayed tolerantly (a torn tail
+  truncates to the last valid record instead of poisoning recovery);
+* :mod:`repro.store.snapshot` — a sqlite-backed snapshot of the folded
+  state, taken on a cadence so cold restores don't replay unbounded
+  history.
+
+The epoch contract (the part chaos schedules lean on): epochs are
+*leased* in synced batches ahead of use, per-cycle records ride the
+batched fsync, and :meth:`DurableStore.resume_epoch` returns a floor
+strictly above anything the pre-crash plane could have issued — so a
+rebooted controller can never emit a rule epoch that stage-side fencing
+has already seen.
+"""
+
+from repro.store.durable import DurableStore
+from repro.store.snapshot import SnapshotStore
+from repro.store.state import ServiceState, SLORecord, TenantRecord
+from repro.store.wal import WalReplay, WriteAheadLog, replay_wal
+
+__all__ = [
+    "DurableStore",
+    "ServiceState",
+    "SLORecord",
+    "SnapshotStore",
+    "TenantRecord",
+    "WalReplay",
+    "WriteAheadLog",
+    "replay_wal",
+]

@@ -1,0 +1,201 @@
+"""The durable store: WAL + snapshot glued behind one recovery API.
+
+:class:`DurableStore` owns a directory holding ``wal.log`` and
+``snapshot.db``. Opening it *is* recovery: load the latest snapshot,
+replay the WAL tail on top (tolerantly — a torn tail truncates to the
+last valid record), and compact if anything was replayed so the next
+cold restore starts from a fresh snapshot.
+
+The epoch-lease discipline resolves the tension between batched fsync
+and the restart invariant ("a rebooted controller never issues an epoch
+<= its last durable epoch"). Per-cycle records ride the group fsync and
+may be lost in a crash — but the controller only ever *uses* epochs
+under a lease that was fsynced before the first cycle of the batch ran.
+:meth:`resume_epoch` therefore returns
+``max(last_cycle_epoch, leased_upper_bound) + EPOCH_SLACK``: strictly
+above anything the dead plane could have put on the wire, by the same
+slack rule hot-standby takeover uses (:mod:`repro.core.failover`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.core.failover import resume_epoch as _resume_epoch
+from repro.store.snapshot import SnapshotStore
+from repro.store.state import ServiceState, SLORecord, TenantRecord
+from repro.store.wal import WriteAheadLog, replay_wal
+
+__all__ = ["DurableStore"]
+
+WAL_FILE = "wal.log"
+SNAPSHOT_FILE = "snapshot.db"
+
+
+class DurableStore:
+    """Directory-backed durable state for the service tier."""
+
+    def __init__(
+        self,
+        directory,
+        fsync_every: int = 8,
+        snapshot_every: int = 256,
+        lease_batch: int = 64,
+        metrics=None,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1: {snapshot_every}")
+        if lease_batch < 1:
+            raise ValueError(f"lease_batch must be >= 1: {lease_batch}")
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.snapshot_every = snapshot_every
+        self.lease_batch = lease_batch
+        self.wal_path = os.path.join(self.directory, WAL_FILE)
+        self.snapshot_path = os.path.join(self.directory, SNAPSHOT_FILE)
+        self._m_snapshots = None
+        self._m_wal_size = None
+
+        # --- recovery: snapshot, then fold the WAL tail on top ---
+        self.snapshots = SnapshotStore(self.snapshot_path)
+        self.state = self.snapshots.load() or ServiceState()
+        replay = replay_wal(self.wal_path)
+        for record in replay.records:
+            self.state.apply(record)
+        #: Records folded from the WAL at open (0 on a clean snapshot).
+        self.replayed_records = len(replay.records)
+        #: Torn bytes dropped from the WAL tail at open.
+        self.torn_bytes = replay.torn_bytes
+
+        self.wal = WriteAheadLog(
+            self.wal_path, fsync_every=fsync_every, metrics=metrics
+        )
+        if not replay.clean:
+            # Cut the torn tail so new frames don't land after garbage.
+            self.wal.truncate(replay.valid_bytes)
+        self._appends_since_snapshot = 0
+        if self.replayed_records:
+            self.compact()
+
+        if metrics is not None:
+            self._m_snapshots = metrics.counter(
+                "repro_store_snapshots_total", "snapshots committed"
+            )
+            self._m_wal_size = metrics.gauge(
+                "repro_wal_size_bytes", "current WAL file size"
+            )
+            self._m_wal_size.set(self.wal.size_bytes)
+
+    # ------------------------------------------------------------------
+    # epochs
+
+    @property
+    def last_durable_epoch(self) -> int:
+        """Highest epoch the plane could have issued before a crash."""
+        return self.state.durable_epoch
+
+    def resume_epoch(self) -> int:
+        """Epoch floor a rebooted controller must start above.
+
+        The controller's first issued epoch is this + 1 (it increments
+        before computing), mirroring hot-standby takeover slack.
+        """
+        return _resume_epoch(self.state.durable_epoch)
+
+    def lease_epochs(self, upto: Optional[int] = None) -> int:
+        """Durably grant epochs up to ``upto`` (default: +lease_batch).
+
+        Synced before returning: once this returns, the controller may
+        issue any epoch <= the returned bound without further fsyncs.
+        """
+        if upto is None:
+            upto = self.state.durable_epoch + self.lease_batch
+        if upto <= self.state.leased_epoch:
+            return self.state.leased_epoch
+        record = {"kind": "lease", "upto": int(upto)}
+        self.wal.append(record, sync=True)
+        self.state.apply(record)
+        self._note_append()
+        return self.state.leased_epoch
+
+    def record_cycle(self, epoch: int, n_stages: int = 0) -> None:
+        """Log one completed cycle (batched fsync; lease covers loss)."""
+        record = {"kind": "cycle", "epoch": int(epoch), "n_stages": int(n_stages)}
+        self.wal.append(record)
+        self.state.apply(record)
+        self._note_append()
+
+    # ------------------------------------------------------------------
+    # tenants / SLOs
+
+    def put_tenant(
+        self, tenant_id: str, name: str, weight: float, created_epoch: int = 0
+    ) -> TenantRecord:
+        """Durably upsert a tenant (synced before returning)."""
+        if weight <= 0:
+            raise ValueError(f"tenant weight must be positive: {weight}")
+        tenant = TenantRecord(str(tenant_id), str(name), float(weight), created_epoch)
+        self.wal.append(tenant.to_record(), sync=True)
+        self.state.apply(tenant.to_record())
+        self._note_append()
+        return tenant
+
+    def put_slo(
+        self, tenant_id: str, slo_id: str, job_id: str, min_iops: float = 0.0
+    ) -> SLORecord:
+        """Durably upsert an SLO under a tenant (synced)."""
+        if tenant_id not in self.state.tenants:
+            raise KeyError(f"unknown tenant: {tenant_id!r}")
+        if min_iops < 0:
+            raise ValueError(f"negative min_iops: {min_iops}")
+        slo = SLORecord(str(tenant_id), str(slo_id), str(job_id), float(min_iops))
+        self.wal.append(slo.to_record(), sync=True)
+        self.state.apply(slo.to_record())
+        self._note_append()
+        return slo
+
+    # ------------------------------------------------------------------
+    # snapshot / maintenance
+
+    def _note_append(self) -> None:
+        self._appends_since_snapshot += 1
+        if self._m_wal_size is not None:
+            self._m_wal_size.set(self.wal.size_bytes)
+        if self._appends_since_snapshot >= self.snapshot_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Snapshot the folded state, then truncate the WAL."""
+        self.wal.sync()
+        self.snapshots.save(self.state)
+        self.wal.truncate(0)
+        self._appends_since_snapshot = 0
+        if self._m_snapshots is not None:
+            self._m_snapshots.inc()
+        if self._m_wal_size is not None:
+            self._m_wal_size.set(0)
+
+    def inspect(self) -> Dict:
+        """Summary dict for ``repro store inspect`` and smoke reports."""
+        return {
+            "directory": self.directory,
+            "tenants": len(self.state.tenants),
+            "slos": len(self.state.slos),
+            "last_epoch": self.state.last_epoch,
+            "leased_epoch": self.state.leased_epoch,
+            "durable_epoch": self.state.durable_epoch,
+            "resume_epoch": self.resume_epoch(),
+            "cycles_recorded": self.state.cycles_recorded,
+            "wal_bytes": self.wal.size_bytes,
+            "wal_appends": self.wal.appends,
+            "wal_fsyncs": self.wal.fsyncs,
+            "snapshots_taken": self.snapshots.snapshots_taken,
+            "replayed_records": self.replayed_records,
+            "torn_bytes": self.torn_bytes,
+        }
+
+    def close(self) -> None:
+        """Sync and close both layers."""
+        self.wal.close()
+        self.snapshots.close()

@@ -1,0 +1,121 @@
+"""sqlite-backed snapshot store for the folded service state.
+
+A snapshot is the fold of the entire WAL history at a point in time,
+committed in one sqlite transaction (atomic on crash: either the old
+snapshot or the new one, never a torn mix). After a snapshot commits the
+WAL can be truncated, bounding replay work at restore; if the process
+dies *between* commit and truncate the stale WAL suffix re-folds
+idempotently (see :mod:`repro.store.state`).
+
+Schema: a ``meta`` key/value table for watermarks (``last_epoch``,
+``leased_epoch``, ``cycles_recorded``, ``snapshots``), plus ``tenants``
+and ``slos`` tables mirroring the record dataclasses.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from typing import Optional
+
+from repro.store.state import ServiceState, SLORecord, TenantRecord
+
+__all__ = ["SnapshotStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS tenants (
+    tenant_id TEXT PRIMARY KEY,
+    name TEXT NOT NULL,
+    weight REAL NOT NULL,
+    created_epoch INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS slos (
+    tenant_id TEXT NOT NULL,
+    slo_id TEXT NOT NULL,
+    job_id TEXT NOT NULL,
+    min_iops REAL NOT NULL,
+    PRIMARY KEY (tenant_id, slo_id)
+);
+"""
+
+
+class SnapshotStore:
+    """One sqlite file holding the latest snapshot of a ServiceState."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._db = sqlite3.connect(self.path)
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+
+    @property
+    def snapshots_taken(self) -> int:
+        """How many snapshots this file has ever committed."""
+        return int(self._meta("snapshots", "0"))
+
+    def _meta(self, key: str, default: str) -> str:
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row is not None else default
+
+    def save(self, state: ServiceState) -> None:
+        """Commit ``state`` as the new snapshot, atomically."""
+        with self._db:
+            self._db.execute("DELETE FROM tenants")
+            self._db.execute("DELETE FROM slos")
+            self._db.executemany(
+                "INSERT INTO tenants VALUES (?, ?, ?, ?)",
+                [
+                    (t.tenant_id, t.name, t.weight, t.created_epoch)
+                    for t in state.tenants.values()
+                ],
+            )
+            self._db.executemany(
+                "INSERT INTO slos VALUES (?, ?, ?, ?)",
+                [
+                    (s.tenant_id, s.slo_id, s.job_id, s.min_iops)
+                    for s in state.slos.values()
+                ],
+            )
+            taken = int(self._meta("snapshots", "0")) + 1
+            for key, value in (
+                ("last_epoch", state.last_epoch),
+                ("leased_epoch", state.leased_epoch),
+                ("cycles_recorded", state.cycles_recorded),
+                ("snapshots", taken),
+            ):
+                self._db.execute(
+                    "INSERT INTO meta VALUES (?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                    (key, str(value)),
+                )
+
+    def load(self) -> Optional[ServiceState]:
+        """Load the latest snapshot, or ``None`` if none was ever taken."""
+        if self._meta("last_epoch", "") == "" and not self.snapshots_taken:
+            return None
+        state = ServiceState(
+            last_epoch=int(self._meta("last_epoch", "0")),
+            leased_epoch=int(self._meta("leased_epoch", "0")),
+            cycles_recorded=int(self._meta("cycles_recorded", "0")),
+        )
+        for tenant_id, name, weight, created in self._db.execute(
+            "SELECT tenant_id, name, weight, created_epoch FROM tenants"
+        ):
+            state.tenants[tenant_id] = TenantRecord(tenant_id, name, weight, created)
+        for tenant_id, slo_id, job_id, min_iops in self._db.execute(
+            "SELECT tenant_id, slo_id, job_id, min_iops FROM slos"
+        ):
+            state.slos[f"{tenant_id}/{slo_id}"] = SLORecord(
+                tenant_id, slo_id, job_id, min_iops
+            )
+        return state
+
+    def close(self) -> None:
+        """Close the sqlite handle."""
+        self._db.close()

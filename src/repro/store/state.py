@@ -1,0 +1,134 @@
+"""Folded service-tier state and the WAL record vocabulary.
+
+The store persists *records* (small JSON dicts) and folds them into a
+:class:`ServiceState`. Every fold is idempotent — epochs fold through
+``max()``, tenant/SLO puts are upserts — so replaying a WAL suffix that
+was already captured by a snapshot (the crash-between-snapshot-and-
+truncate window) converges to the same state instead of double counting.
+
+Record kinds:
+
+``tenant``
+    Upsert one tenant: id, display name, PSFA weight, creation epoch.
+``slo``
+    Upsert one SLO under a tenant: job id and minimum IOPS floor.
+``lease``
+    Grant the controller epochs up to ``upto`` (synced before use, so
+    the resume floor dominates anything the pre-crash plane issued).
+``cycle``
+    One completed control cycle at ``epoch`` (rides the batched fsync).
+
+Unknown kinds are ignored on replay, so old stores survive new code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["ServiceState", "SLORecord", "TenantRecord"]
+
+
+@dataclass(frozen=True)
+class TenantRecord:
+    """One registered tenant: identity plus its PSFA sharing weight."""
+
+    tenant_id: str
+    name: str
+    weight: float
+    created_epoch: int = 0
+
+    def to_record(self) -> Dict:
+        """The WAL record that recreates this tenant on replay."""
+        return {
+            "kind": "tenant",
+            "tenant_id": self.tenant_id,
+            "name": self.name,
+            "weight": self.weight,
+            "created_epoch": self.created_epoch,
+        }
+
+
+@dataclass(frozen=True)
+class SLORecord:
+    """One SLO: a tenant's job with an optional minimum-IOPS floor."""
+
+    tenant_id: str
+    slo_id: str
+    job_id: str
+    min_iops: float = 0.0
+
+    def to_record(self) -> Dict:
+        """The WAL record that recreates this SLO on replay."""
+        return {
+            "kind": "slo",
+            "tenant_id": self.tenant_id,
+            "slo_id": self.slo_id,
+            "job_id": self.job_id,
+            "min_iops": self.min_iops,
+        }
+
+
+@dataclass
+class ServiceState:
+    """The fold of all durable records: what a restart restores."""
+
+    tenants: Dict[str, TenantRecord] = field(default_factory=dict)
+    #: SLOs keyed "tenant_id/slo_id" (matches the sqlite primary key).
+    slos: Dict[str, SLORecord] = field(default_factory=dict)
+    #: Highest epoch recorded by a completed cycle.
+    last_epoch: int = 0
+    #: Upper bound of the highest synced epoch lease.
+    leased_epoch: int = 0
+    #: Completed cycles folded in (epoch-guarded, so replay-idempotent).
+    cycles_recorded: int = 0
+
+    @property
+    def durable_epoch(self) -> int:
+        """The highest epoch the pre-crash plane could have issued."""
+        return max(self.last_epoch, self.leased_epoch)
+
+    def apply(self, record: Dict) -> None:
+        """Fold one WAL record into the state (idempotently)."""
+        kind = record.get("kind")
+        if kind == "tenant":
+            tenant = TenantRecord(
+                tenant_id=str(record["tenant_id"]),
+                name=str(record.get("name", record["tenant_id"])),
+                weight=float(record["weight"]),
+                created_epoch=int(record.get("created_epoch", 0)),
+            )
+            self.tenants[tenant.tenant_id] = tenant
+        elif kind == "slo":
+            slo = SLORecord(
+                tenant_id=str(record["tenant_id"]),
+                slo_id=str(record["slo_id"]),
+                job_id=str(record["job_id"]),
+                min_iops=float(record.get("min_iops", 0.0)),
+            )
+            self.slos[f"{slo.tenant_id}/{slo.slo_id}"] = slo
+        elif kind == "lease":
+            self.leased_epoch = max(self.leased_epoch, int(record["upto"]))
+        elif kind == "cycle":
+            epoch = int(record["epoch"])
+            if epoch > self.last_epoch:
+                self.last_epoch = epoch
+                self.cycles_recorded += 1
+        # Unknown kinds: forward-compatible no-op.
+
+    def tenant_slos(self, tenant_id: str):
+        """All SLOs registered under one tenant, in insertion order."""
+        return [s for s in self.slos.values() if s.tenant_id == tenant_id]
+
+    def apply_to_policy(self, policy) -> None:
+        """Project tenants/SLOs onto a ``QoSPolicy`` (classes + jobs).
+
+        Each tenant becomes a per-tenant priority class whose weight is
+        the tenant's quota; each SLO assigns its job to that class and
+        installs the minimum-IOPS floor. This is the tenant-quota →
+        PSFA-weight mapping the service tier enforces.
+        """
+        for tenant in self.tenants.values():
+            policy.register_tenant(tenant.tenant_id, tenant.weight)
+        for slo in self.slos.values():
+            policy.admit_tenant_job(slo.tenant_id, slo.job_id, min_iops=slo.min_iops)

@@ -1,0 +1,187 @@
+"""Append-only write-ahead log with CRC framing and batched fsync.
+
+Record format, mirroring the wire protocol's length-prefix discipline::
+
+    [4-byte BE payload length][4-byte BE crc32(payload)][payload]
+
+where the payload is compact UTF-8 JSON. The 8-byte header makes torn
+writes detectable: replay walks frames from the start and stops at the
+first short header, impossible length, short payload, CRC mismatch, or
+undecodable body — everything before that point is durable history,
+everything after is a torn tail to be truncated. A crash can therefore
+lose the *suffix* of un-synced records but never corrupt the prefix.
+
+Durability is tunable per append: ``sync=True`` forces an ``fsync``
+before returning (used for tenant registrations and epoch leases, which
+must never be lost), while batched records (per-cycle progress) ride a
+group fsync every ``fsync_every`` appends — the classic WAL group-commit
+trade: bounded loss window, amortised fsync cost. The bench suite
+measures exactly this knob (`repro bench` → ``store`` suite).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["WalError", "WalReplay", "WriteAheadLog", "replay_wal"]
+
+#: Frame header: payload length + crc32, both unsigned 32-bit BE.
+_HEADER = struct.Struct(">II")
+
+#: Hard cap per record, mirroring the wire protocol's MAX_FRAME.
+MAX_RECORD = 16 * 1024 * 1024
+
+
+class WalError(RuntimeError):
+    """Raised for misuse of the log (closed handle, oversized record)."""
+
+
+@dataclass
+class WalReplay:
+    """Outcome of replaying one WAL file from byte zero."""
+
+    #: Decoded records, in append order, up to the last valid frame.
+    records: List[Dict] = field(default_factory=list)
+    #: Bytes covered by valid frames (the safe truncation point).
+    valid_bytes: int = 0
+    #: Total bytes in the file when replay started.
+    total_bytes: int = 0
+
+    @property
+    def torn_bytes(self) -> int:
+        """Trailing bytes past the last valid frame (0 = clean log)."""
+        return self.total_bytes - self.valid_bytes
+
+    @property
+    def clean(self) -> bool:
+        """True when every byte in the file belonged to a valid frame."""
+        return self.torn_bytes == 0
+
+
+def replay_wal(path) -> WalReplay:
+    """Replay ``path`` tolerantly, stopping at the first invalid frame.
+
+    Missing files replay as empty history (a fresh store). Never raises
+    on corruption — a torn or garbage tail simply ends the replay, and
+    the caller can truncate to ``valid_bytes``.
+    """
+    replay = WalReplay()
+    try:
+        data = open(path, "rb").read()
+    except FileNotFoundError:
+        return replay
+    replay.total_bytes = len(data)
+    offset = 0
+    while True:
+        if offset + _HEADER.size > len(data):
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length == 0 or length > MAX_RECORD:
+            break
+        start = offset + _HEADER.size
+        end = start + length
+        if end > len(data):
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            break
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            break
+        if not isinstance(record, dict):
+            break
+        replay.records.append(record)
+        replay.valid_bytes = end
+        offset = end
+    return replay
+
+
+class WriteAheadLog:
+    """One append-only log file with group-commit fsync batching."""
+
+    def __init__(self, path, fsync_every: int = 8, metrics=None) -> None:
+        if fsync_every < 1:
+            raise WalError(f"fsync_every must be >= 1: {fsync_every}")
+        self.path = os.fspath(path)
+        self.fsync_every = fsync_every
+        #: Records appended through this handle (not replayed history).
+        self.appends = 0
+        #: fsync calls issued (the cost the batching amortises).
+        self.fsyncs = 0
+        #: Payload+header bytes written through this handle.
+        self.bytes_written = 0
+        self._pending = 0
+        self._file = open(self.path, "ab")
+        self._m_appends = self._m_fsyncs = self._m_bytes = None
+        if metrics is not None:
+            self._m_appends = metrics.counter(
+                "repro_wal_appends_total", "WAL records appended"
+            )
+            self._m_fsyncs = metrics.counter(
+                "repro_wal_fsyncs_total", "WAL fsync calls issued"
+            )
+            self._m_bytes = metrics.counter(
+                "repro_wal_bytes_total", "WAL bytes written (frames incl. headers)"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        """Current on-disk size of the log file."""
+        return os.fstat(self._file.fileno()).st_size
+
+    def append(self, record: Dict, sync: bool = False) -> int:
+        """Frame and write one record; return its byte offset end.
+
+        ``sync=True`` fsyncs before returning (the record is durable on
+        return); otherwise durability arrives with the next group fsync.
+        """
+        if self._file.closed:
+            raise WalError("append on a closed WAL")
+        payload = json.dumps(
+            record, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        if len(payload) > MAX_RECORD:
+            raise WalError(f"record too large: {len(payload)} bytes")
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+        self._file.write(frame)
+        self.appends += 1
+        self.bytes_written += len(frame)
+        self._pending += 1
+        if self._m_appends is not None:
+            self._m_appends.inc()
+            self._m_bytes.inc(len(frame))
+        if sync or self._pending >= self.fsync_every:
+            self.sync()
+        return self._file.tell()
+
+    def sync(self) -> None:
+        """Flush buffered frames and fsync the file."""
+        if self._file.closed or self._pending == 0:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._pending = 0
+        self.fsyncs += 1
+        if self._m_fsyncs is not None:
+            self._m_fsyncs.inc()
+
+    def truncate(self, to_bytes: int = 0) -> None:
+        """Cut the log back to ``to_bytes`` (0 = empty, post-snapshot)."""
+        self._file.flush()
+        self._file.truncate(to_bytes)
+        os.fsync(self._file.fileno())
+        self._file.seek(0, os.SEEK_END)
+        self._pending = 0
+
+    def close(self) -> None:
+        """Sync any pending frames and close the file handle."""
+        if self._file.closed:
+            return
+        self.sync()
+        self._file.close()

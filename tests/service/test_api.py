@@ -1,0 +1,152 @@
+"""Route and validation tests for the REST front door (no sockets)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.control_plane import default_policy
+from repro.service import ServiceApi
+from repro.service.http import HttpRequest
+from repro.service.server import ControlService
+from repro.store import DurableStore
+
+
+class _StubPlane:
+    """Just enough plane for the API read model: no sockets, no cycles."""
+
+    def __init__(self):
+        self.initial_epoch = 0
+        self.controller = None
+        self.restarts = 0
+        self.n_stages = 4
+        self.epoch = 0
+
+
+@pytest.fixture()
+def api(tmp_path):
+    store = DurableStore(tmp_path)
+    policy = default_policy(4)
+    service = ControlService(store, _StubPlane(), policy)
+    yield ServiceApi(service)
+    store.close()
+
+
+def _call(api, method, path, body=None, query=None):
+    request = HttpRequest(
+        method=method,
+        path=path,
+        query=query or {},
+        body=json.dumps(body).encode() if body is not None else b"",
+    )
+    return asyncio.run(api.handle(request))
+
+
+class TestTenantRoutes:
+    def test_register_then_upsert(self, api):
+        response = _call(
+            api, "POST", "/tenants",
+            {"tenant_id": "acme", "name": "Acme", "weight": 8},
+        )
+        assert response.status == 201
+        assert response.payload["weight"] == 8.0
+        again = _call(
+            api, "POST", "/tenants", {"tenant_id": "acme", "weight": 12}
+        )
+        assert again.status == 200  # upsert, not create
+        listing = _call(api, "GET", "/tenants")
+        assert listing.payload["tenants"][0]["weight"] == 12.0
+        assert listing.payload["tenants"][0]["enforced_weight"] == 12.0
+
+    def test_validation_errors(self, api):
+        assert _call(api, "POST", "/tenants", {}).status == 400
+        assert _call(api, "POST", "/tenants", {"tenant_id": 7}).status == 400
+        assert (
+            _call(
+                api, "POST", "/tenants", {"tenant_id": "a/b", "weight": 1}
+            ).status
+            == 400
+        )
+        assert (
+            _call(
+                api, "POST", "/tenants", {"tenant_id": "a", "weight": -2}
+            ).status
+            == 400
+        )
+        assert (
+            _call(
+                api, "POST", "/tenants", {"tenant_id": "a", "weight": "heavy"}
+            ).status
+            == 400
+        )
+
+    def test_get_single_tenant_and_404(self, api):
+        _call(api, "POST", "/tenants", {"tenant_id": "acme", "weight": 2})
+        found = _call(api, "GET", "/tenants/acme")
+        assert found.status == 200 and found.payload["tenant_id"] == "acme"
+        assert _call(api, "GET", "/tenants/ghost").status == 404
+
+
+class TestSloRoutes:
+    def test_slo_lifecycle(self, api):
+        _call(api, "POST", "/tenants", {"tenant_id": "acme", "weight": 2})
+        created = _call(
+            api, "POST", "/tenants/acme/slos",
+            {"slo_id": "ckpt", "job_id": "job-00001", "min_iops": 50},
+        )
+        assert created.status == 201 and created.payload["min_iops"] == 50.0
+        tenant = _call(api, "GET", "/tenants/acme")
+        assert tenant.payload["slos"][0]["slo_id"] == "ckpt"
+
+    def test_slo_for_unknown_tenant_is_404(self, api):
+        response = _call(
+            api, "POST", "/tenants/ghost/slos",
+            {"slo_id": "s", "job_id": "job-00001"},
+        )
+        assert response.status == 404
+
+    def test_slo_validation(self, api):
+        _call(api, "POST", "/tenants", {"tenant_id": "acme", "weight": 2})
+        assert _call(api, "POST", "/tenants/acme/slos", {}).status == 400
+        assert (
+            _call(
+                api, "POST", "/tenants/acme/slos",
+                {"slo_id": "s", "job_id": "job-00001", "min_iops": "lots"},
+            ).status
+            == 400
+        )
+
+    def test_overcommitted_floor_rejected_and_not_persisted(self, api):
+        _call(api, "POST", "/tenants", {"tenant_id": "acme", "weight": 2})
+        response = _call(
+            api, "POST", "/tenants/acme/slos",
+            {"slo_id": "big", "job_id": "job-00001", "min_iops": 10_000_000},
+        )
+        assert response.status == 400
+        # The rejected floor never reached the WAL: the service probes
+        # the policy before the durable write.
+        assert not api.service.store.state.slos
+
+
+class TestPlumbingRoutes:
+    def test_unknown_path_404_wrong_method_405(self, api):
+        assert _call(api, "GET", "/nope").status == 404
+        assert _call(api, "DELETE", "/tenants").status == 405
+        assert _call(api, "POST", "/healthz").status == 405
+
+    def test_invalid_json_body_is_400(self, api):
+        request = HttpRequest("POST", "/tenants", body=b"{not json")
+        assert asyncio.run(api.handle(request)).status == 400
+
+    def test_cycles_rules_store_healthz(self, api):
+        assert _call(api, "GET", "/cycles").payload["cycles"] == []
+        bad = _call(api, "GET", "/cycles", query={"limit": "soon"})
+        assert bad.status == 400
+        rules = _call(api, "GET", "/rules").payload
+        assert set(rules) == {"epoch", "resume_floor", "limits"}
+        store = _call(api, "GET", "/store").payload
+        assert store["tenants"] == 0 and "durable_epoch" in store
+        health = _call(api, "GET", "/healthz").payload
+        assert health["ok"] is True
+        assert {"epoch", "durable_epoch", "resume_epoch", "resumed",
+                "initial_epoch"} <= set(health)

@@ -1,0 +1,120 @@
+"""HTTP framing tests for the stdlib service-tier server."""
+
+import asyncio
+import json
+
+from repro.service.http import MAX_BODY, HttpRequest, HttpResponse, HttpServer
+
+
+async def _raw_request(port: int, raw: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return data
+
+
+def _request(port: int, method: str, path: str, body=None) -> bytes:
+    payload = json.dumps(body).encode() if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: 127.0.0.1:{port}\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    )
+    return head.encode() + payload
+
+
+def _run_with_server(handler, scenario):
+    async def main():
+        server = HttpServer(handler)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestHttpServer:
+    def test_roundtrip_parses_method_path_query_body(self):
+        seen = {}
+
+        async def handler(request: HttpRequest) -> HttpResponse:
+            seen.update(
+                method=request.method,
+                path=request.path,
+                query=request.query,
+                body=request.json(),
+            )
+            return HttpResponse(201, {"ok": True})
+
+        async def scenario(server):
+            return await _raw_request(
+                server.port,
+                _request(server.port, "POST", "/tenants?dry=1", {"x": 2}),
+            )
+
+        raw = _run_with_server(handler, scenario)
+        assert raw.startswith(b"HTTP/1.1 201 Created\r\n")
+        assert b"Connection: close" in raw
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert json.loads(body) == {"ok": True}
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert seen == {
+            "method": "POST",
+            "path": "/tenants",
+            "query": {"dry": "1"},
+            "body": {"x": 2},
+        }
+
+    def test_handler_exception_becomes_500(self):
+        async def handler(request):
+            raise RuntimeError("boom")
+
+        async def scenario(server):
+            return await _raw_request(
+                server.port, _request(server.port, "GET", "/x")
+            )
+
+        raw = _run_with_server(handler, scenario)
+        assert raw.startswith(b"HTTP/1.1 500 ")
+        assert b"boom" in raw
+
+    def test_oversized_body_rejected_with_413(self):
+        async def handler(request):  # pragma: no cover - never reached
+            return HttpResponse(200, {})
+
+        async def scenario(server):
+            head = (
+                f"POST /tenants HTTP/1.1\r\n"
+                f"Content-Length: {MAX_BODY + 1}\r\n\r\n"
+            ).encode()
+            return await _raw_request(server.port, head)
+
+        raw = _run_with_server(handler, scenario)
+        assert raw.startswith(b"HTTP/1.1 413 ")
+
+    def test_requests_served_counts(self):
+        async def handler(request):
+            return HttpResponse(200, {})
+
+        async def scenario(server):
+            for _ in range(3):
+                await _raw_request(
+                    server.port, _request(server.port, "GET", "/healthz")
+                )
+            return server.requests_served
+
+        assert _run_with_server(handler, scenario) == 3
+
+    def test_non_object_json_body_raises_value_error(self):
+        request = HttpRequest("POST", "/tenants", body=b"[1,2]")
+        try:
+            request.json()
+        except ValueError as exc:
+            assert "JSON object" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")

@@ -1,0 +1,167 @@
+"""Unit tests for the durable store: recovery, leases, resume floor."""
+
+import os
+
+import pytest
+
+from repro.core.failover import EPOCH_SLACK
+from repro.core.control_plane import default_policy
+from repro.store import DurableStore, ServiceState
+from repro.store.durable import SNAPSHOT_FILE, WAL_FILE
+
+
+class TestTenantsAndSlos:
+    def test_tenant_survives_reopen(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.put_tenant("acme", "Acme HPC", 8.0)
+        store.put_slo("acme", "ckpt", "job-00001", min_iops=100.0)
+        store.close()
+        reopened = DurableStore(tmp_path)
+        assert reopened.state.tenants["acme"].weight == 8.0
+        assert reopened.state.slos["acme/ckpt"].min_iops == 100.0
+        reopened.close()
+
+    def test_upsert_overwrites_weight(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.put_tenant("acme", "Acme", 8.0)
+        store.put_tenant("acme", "Acme", 12.0)
+        store.close()
+        reopened = DurableStore(tmp_path)
+        assert reopened.state.tenants["acme"].weight == 12.0
+        reopened.close()
+
+    def test_slo_requires_known_tenant(self, tmp_path):
+        store = DurableStore(tmp_path)
+        with pytest.raises(KeyError, match="unknown tenant"):
+            store.put_slo("ghost", "s", "job-00001")
+        store.close()
+
+    def test_nonpositive_weight_rejected(self, tmp_path):
+        store = DurableStore(tmp_path)
+        with pytest.raises(ValueError, match="positive"):
+            store.put_tenant("acme", "Acme", 0.0)
+        store.close()
+
+    def test_apply_to_policy_restores_weights_and_jobs(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.put_tenant("acme", "Acme", 8.0)
+        store.put_slo("acme", "ckpt", "job-00001", min_iops=100.0)
+        policy = default_policy(4)
+        store.state.apply_to_policy(policy)
+        assert policy.tenant_weights() == {"acme": 8.0}
+        store.close()
+
+
+class TestEpochDiscipline:
+    def test_resume_epoch_uses_takeover_slack(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.lease_epochs(upto=40)
+        assert store.last_durable_epoch == 40
+        assert store.resume_epoch() == 40 + EPOCH_SLACK
+        store.close()
+
+    def test_cycles_above_lease_raise_the_floor(self, tmp_path):
+        store = DurableStore(tmp_path, lease_batch=4)
+        store.lease_epochs(upto=5)
+        store.record_cycle(9)  # ran past its lease (should not, but durably noted)
+        assert store.last_durable_epoch == 9
+        store.close()
+
+    def test_lease_is_monotonic(self, tmp_path):
+        store = DurableStore(tmp_path)
+        assert store.lease_epochs(upto=10) == 10
+        assert store.lease_epochs(upto=7) == 10  # never shrinks
+        store.close()
+
+    def test_default_lease_extends_by_batch(self, tmp_path):
+        store = DurableStore(tmp_path, lease_batch=16)
+        assert store.lease_epochs() == 16
+        store.record_cycle(3)  # durable floor is still the lease (16)
+        assert store.lease_epochs() == 32
+        store.close()
+
+    def test_batched_cycles_lost_in_crash_stay_under_lease(self, tmp_path):
+        # Simulate the crash window: cycles ride the batched fsync and a
+        # kill -9 may drop them — but the lease was synced first, so the
+        # resume floor still clears every epoch the plane could have
+        # issued. (A dropped batch can only *lower* durable history,
+        # never the lease.)
+        store = DurableStore(tmp_path, fsync_every=1000, lease_batch=8)
+        store.lease_epochs()
+        for epoch in range(1, 7):
+            store.record_cycle(epoch)
+        # No clean close: reopen reads only what hit the disk.
+        reopened = DurableStore(tmp_path)
+        assert reopened.last_durable_epoch >= 8
+        assert reopened.resume_epoch() > 8
+        reopened.close()
+        store.close()
+
+
+class TestRecovery:
+    def test_reopen_compacts_replayed_wal(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.put_tenant("acme", "Acme", 8.0)
+        store.lease_epochs(upto=12)
+        store.close()
+        reopened = DurableStore(tmp_path)
+        assert reopened.replayed_records == 2
+        # Recovery compacts: the folded state moved into the snapshot
+        # and the WAL was cut, so the *next* restore replays nothing.
+        assert reopened.wal.size_bytes == 0
+        reopened.close()
+        third = DurableStore(tmp_path)
+        assert third.replayed_records == 0
+        assert third.state.tenants["acme"].weight == 8.0
+        assert third.last_durable_epoch == 12
+        third.close()
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.put_tenant("acme", "Acme", 8.0)
+        store.close()
+        with open(tmp_path / WAL_FILE, "ab") as fh:
+            fh.write(b"\xde\xad\xbe\xef torn tail")
+        reopened = DurableStore(tmp_path)
+        assert reopened.torn_bytes > 0
+        assert reopened.state.tenants["acme"].weight == 8.0
+        # The garbage is gone from disk, not just skipped in memory.
+        assert reopened.wal.size_bytes == 0  # compacted after replay
+        reopened.close()
+
+    def test_snapshot_cadence_compacts_automatically(self, tmp_path):
+        store = DurableStore(tmp_path, snapshot_every=10, lease_batch=5)
+        for epoch in range(1, 26):
+            store.lease_epochs(upto=epoch)
+            store.record_cycle(epoch)
+        assert store.snapshots.snapshots_taken >= 2
+        store.close()
+        reopened = DurableStore(tmp_path)
+        assert reopened.last_durable_epoch == 25
+        reopened.close()
+
+    def test_inspect_reports_watermarks(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.put_tenant("acme", "Acme", 8.0)
+        store.lease_epochs(upto=3)
+        info = store.inspect()
+        assert info["tenants"] == 1
+        assert info["durable_epoch"] == 3
+        assert info["resume_epoch"] == 3 + EPOCH_SLACK
+        assert os.path.basename(info["directory"]) == tmp_path.name
+        store.close()
+
+    def test_unknown_record_kinds_are_ignored(self, tmp_path):
+        # Forward compatibility: a WAL written by a newer build must not
+        # brick recovery on an older one.
+        state = ServiceState()
+        state.apply({"kind": "flux-capacitor", "gigawatts": 1.21})
+        assert state.last_epoch == 0 and not state.tenants
+
+    def test_files_live_where_advertised(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.put_tenant("acme", "Acme", 1.0)
+        store.compact()
+        store.close()
+        assert (tmp_path / WAL_FILE).exists()
+        assert (tmp_path / SNAPSHOT_FILE).exists()

@@ -1,0 +1,128 @@
+"""Unit tests for the CRC-framed write-ahead log."""
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.store import WriteAheadLog, replay_wal
+from repro.store.wal import MAX_RECORD, WalError, _HEADER
+
+
+class TestAppendReplay:
+    def test_roundtrip_preserves_order_and_content(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        records = [{"kind": "cycle", "epoch": i} for i in range(20)]
+        for record in records:
+            wal.append(record)
+        wal.close()
+        replay = replay_wal(path)
+        assert replay.records == records
+        assert replay.clean and replay.torn_bytes == 0
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = replay_wal(tmp_path / "nope.log")
+        assert replay.records == [] and replay.clean
+
+    def test_sync_batching_amortises_fsyncs(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync_every=10)
+        for i in range(25):
+            wal.append({"epoch": i})
+        assert wal.fsyncs == 2  # two full batches; 5 records pending
+        wal.close()  # close drains the partial batch
+        assert wal.fsyncs == 3
+
+    def test_sync_true_is_durable_per_append(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync_every=100)
+        wal.append({"kind": "tenant"}, sync=True)
+        wal.append({"kind": "lease"}, sync=True)
+        assert wal.fsyncs == 2
+
+    def test_oversized_record_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        with pytest.raises(WalError, match="too large"):
+            wal.append({"blob": "x" * MAX_RECORD})
+        wal.close()
+
+    def test_append_after_close_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append({"epoch": 1})
+
+    def test_fsync_every_validated(self, tmp_path):
+        with pytest.raises(WalError):
+            WriteAheadLog(tmp_path / "wal.log", fsync_every=0)
+
+
+class TestTornTails:
+    def _write(self, path, records):
+        wal = WriteAheadLog(path)
+        for record in records:
+            wal.append(record)
+        wal.close()
+
+    def test_truncated_payload_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, [{"epoch": i} for i in range(5)])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 3)  # tear the last frame mid-payload
+        replay = replay_wal(path)
+        assert [r["epoch"] for r in replay.records] == [0, 1, 2, 3]
+        assert not replay.clean and replay.torn_bytes > 0
+
+    def test_corrupt_crc_stops_replay_at_that_frame(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, [{"epoch": i} for i in range(5)])
+        replay = replay_wal(path)
+        # Flip one payload byte inside the 3rd frame.
+        third_start = sum(
+            _HEADER.size
+            + len(json.dumps(r, separators=(",", ":"), sort_keys=True).encode())
+            for r in replay.records[:2]
+        )
+        with open(path, "r+b") as fh:
+            fh.seek(third_start + _HEADER.size)
+            byte = fh.read(1)
+            fh.seek(third_start + _HEADER.size)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        damaged = replay_wal(path)
+        assert [r["epoch"] for r in damaged.records] == [0, 1]
+
+    def test_garbage_length_header_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, [{"epoch": 0}])
+        with open(path, "ab") as fh:
+            fh.write(struct.pack(">II", MAX_RECORD + 1, 0) + b"junk")
+        replay = replay_wal(path)
+        assert len(replay.records) == 1 and not replay.clean
+
+    def test_non_dict_json_payload_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, [{"epoch": 0}])
+        payload = b"[1,2,3]"
+        with open(path, "ab") as fh:
+            fh.write(
+                _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+                + payload
+            )
+        replay = replay_wal(path)
+        assert replay.records == [{"epoch": 0}]
+
+    def test_truncate_resets_to_valid_prefix(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, [{"epoch": i} for i in range(3)])
+        with open(path, "ab") as fh:
+            fh.write(b"\x00garbage tail\xff")
+        replay = replay_wal(path)
+        wal = WriteAheadLog(path)
+        wal.truncate(replay.valid_bytes)
+        wal.append({"epoch": 3})
+        wal.close()
+        healed = replay_wal(path)
+        assert [r["epoch"] for r in healed.records] == [0, 1, 2, 3]
+        assert healed.clean

@@ -4,18 +4,20 @@ import json
 
 import pytest
 
-from repro.bench import SCHEMA, check_regression, load_artifact
+from repro.bench import COMPAT_SCHEMAS, SCHEMA, check_regression, load_artifact
 
 
-def _artifact(**cycles):
-    return {
-        "schema": SCHEMA,
-        "quick": False,
-        "sim_cycles": {
-            key: {"nodes": 400.0, "cycles": 6.0, "wall_s_per_cycle": wall}
-            for key, wall in cycles.items()
-        },
+def _artifact(schema=SCHEMA, **cycles):
+    legs = {
+        key: {"nodes": 400.0, "cycles": 6.0, "wall_s_per_cycle": wall}
+        for key, wall in cycles.items()
     }
+    if schema == "repro-bench/1":
+        sim = legs  # the old flat layout, as committed baselines have it
+    else:
+        sim = {"workload": "simulated control cycles", "legs": legs,
+               "cpu_count": 1.0, "hostname": "unit"}
+    return {"schema": schema, "quick": False, "sim_cycles": sim}
 
 
 def _with_shard(doc, cycle_s):
@@ -97,6 +99,28 @@ class TestLoadArtifact:
         with pytest.raises(ValueError, match="unknown bench schema"):
             load_artifact(str(path))
 
+    def test_compat_schemas_all_load(self, tmp_path):
+        for schema in COMPAT_SCHEMAS:
+            path = tmp_path / f"{schema.replace('/', '-')}.json"
+            path.write_text(json.dumps({"schema": schema}))
+            assert load_artifact(str(path))["schema"] == schema
+
+
+class TestSchemaCompat:
+    def test_v1_baseline_still_gates_v2_run(self):
+        # A committed repro-bench/1 artefact (flat sim_cycles mapping)
+        # must keep gating runs produced under repro-bench/2.
+        baseline = _artifact(schema="repro-bench/1", flat_400=0.010)
+        ok = _artifact(flat_400=0.015)
+        slow = _artifact(flat_400=0.030)
+        assert check_regression(ok, baseline) is None
+        assert check_regression(slow, baseline) is not None
+
+    def test_v2_baseline_gates_v1_shaped_run(self):
+        baseline = _artifact(flat_400=0.010)
+        current = _artifact(schema="repro-bench/1", flat_400=0.030)
+        assert check_regression(current, baseline) is not None
+
 
 class TestCommittedArtifact:
     def test_repo_baseline_is_valid_and_meets_targets(self):
@@ -128,3 +152,23 @@ class TestCommittedArtifact:
             assert leg["sharded_cycle_s"] > 0.0
             assert leg["single_process_cycle_s"] > 0.0
             assert leg["degraded_cycles"] == 0.0
+
+    def test_pr7_artifact_carries_the_store_suite(self):
+        # BENCH_PR7.json is the first repro-bench/2 artefact: every
+        # suite stamps the host it ran on, and the store suite records
+        # the WAL group-commit win plus the cold-restore latency.
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[1]
+        doc = load_artifact(str(repo_root / "BENCH_PR7.json"))
+        assert doc["schema"] == "repro-bench/2"
+        store = doc["store"]
+        assert store["speedup"] > 1.0  # batching must beat fsync-per-record
+        assert store["appends_per_s"] > store["baseline_appends_per_s"]
+        assert 0.0 < store["restore_s"] < 5.0
+        for suite in ("engine", "sim_cycles", "live", "shard", "store"):
+            assert doc[suite]["cpu_count"] >= 1.0, suite
+            assert doc[suite]["hostname"], suite
+        assert set(doc["sim_cycles"]["legs"]) == {
+            "flat_400", "flat_800", "hier_400", "hier_800",
+        }

@@ -345,3 +345,78 @@ class TestChaos:
         payload = json.loads(out)
         assert payload["plane"] == "sim" and payload["design"] == "flat"
         assert payload["ok"] is True
+
+
+class TestChaosRestart:
+    def test_full_restart_schedule_runs(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            "chaos", "--plane", "live", "--schedule", "full-restart",
+            "--seed", "7", "--stages", "6", "--aggregators", "2",
+            "--cycles", "12", "--cycle-period", "0.02",
+            "--store-dir", str(tmp_path / "store"), "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["design"] == "restart"
+        assert payload["restarts"] == 1
+        assert payload["ok"] is True
+
+    def test_full_restart_requires_live_plane(self, capsys):
+        code, _ = run_cli(
+            capsys, "chaos", "--plane", "sim", "--schedule", "full-restart"
+        )
+        assert code == 2
+
+
+class TestServe:
+    def test_serve_bounded_run_and_store_inspect(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "state")
+        code, out = run_cli(
+            capsys,
+            "serve", "--store-dir", store_dir, "--stages", "4",
+            "--aggregators", "2", "--cycle-period", "0.01",
+            "--max-cycles", "3", "--json",
+        )
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["cycles_run"] == 3
+        assert summary["resumed"] is False
+
+        code, out = run_cli(
+            capsys, "store", "inspect", "--dir", store_dir, "--json"
+        )
+        assert code == 0
+        info = json.loads(out)
+        assert info["cycles_recorded"] == 3
+        assert info["durable_epoch"] >= summary["epoch"]
+        assert info["resume_epoch"] > info["durable_epoch"]
+
+    def test_serve_resumes_from_prior_store(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "state")
+        _, first = run_cli(
+            capsys,
+            "serve", "--store-dir", store_dir, "--stages", "4",
+            "--aggregators", "2", "--cycle-period", "0.01",
+            "--max-cycles", "2", "--json",
+        )
+        code, second = run_cli(
+            capsys,
+            "serve", "--store-dir", store_dir, "--stages", "4",
+            "--aggregators", "2", "--cycle-period", "0.01",
+            "--max-cycles", "2", "--json",
+        )
+        assert code == 0
+        before, after = json.loads(first), json.loads(second)
+        assert after["resumed"] is True
+        assert after["initial_epoch"] > before["epoch"]
+
+
+class TestBenchGuards:
+    def test_refuses_overwriting_other_schema(self, capsys, tmp_path):
+        stale = tmp_path / "BENCH_PR0.json"
+        stale.write_text(json.dumps({"schema": "repro-bench/0"}))
+        code, _ = run_cli(capsys, "bench", "--quick", "--out", str(stale))
+        assert code == 2
+        # Untouched: the refusal happened before any suite ran.
+        assert json.loads(stale.read_text()) == {"schema": "repro-bench/0"}

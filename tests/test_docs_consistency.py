@@ -96,7 +96,8 @@ class TestReadmeClaims:
     def test_design_doc_mentions_every_package(self):
         design = (REPO_ROOT / "DESIGN.md").read_text()
         for pkg in ("simnet", "core", "dataplane", "pfs", "jobs", "monitoring",
-                    "obs", "harness", "live", "chaos", "shard"):
+                    "obs", "harness", "live", "chaos", "shard", "service",
+                    "store"):
             assert pkg in design, pkg
 
 
