@@ -1,0 +1,235 @@
+"""CI smoke for overload protection: flood the live service at 10x.
+
+The end-to-end acceptance run for the admission-control stack, driven
+the way an abusive client fleet would drive it — real processes, real
+sockets, a sustained flood:
+
+1. boot ``repro serve`` with a deliberately small admission rate;
+2. flood the front door from a thread pool at ~10x that rate
+   (registration storms + read spam) for a few seconds;
+3. probe ``/healthz`` throughout and assert it never fails and its
+   p99 stays bounded — liveness must survive the flood;
+4. assert the gate demonstrably engaged: shed counters non-zero both
+   in the exit summary path and on the Prometheus ``/metrics`` route;
+5. assert the serve process's RSS stayed bounded — backpressure must
+   shed, not buffer.
+
+Writes a JSON report (``--report-out``) the CI job uploads. Exits
+non-zero on any assertion failure, so the job fails loudly rather than
+shipping a front door that falls over when a tenant misbehaves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+
+def _http(method: str, url: str, body=None, timeout_s: float = 5.0) -> int:
+    """One request; returns the HTTP status (shed statuses included)."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            response.read()
+            return response.status
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code
+
+
+def _http_text(url: str, timeout_s: float = 5.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return response.read().decode("utf-8")
+
+
+def _wait_ready(ready_file: str, process, timeout_s: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"serve process exited early with {process.returncode}"
+            )
+        if os.path.exists(ready_file):
+            with open(ready_file, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        time.sleep(0.1)
+    raise RuntimeError(f"serve never wrote {ready_file} in {timeout_s}s")
+
+
+def _rss_mb(pid: int) -> float:
+    """Resident set size of ``pid`` in MiB (0.0 where /proc is absent)."""
+    try:
+        with open(f"/proc/{pid}/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return 0.0
+
+
+def _p99(samples) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(0.99 * (len(ordered) - 1) + 0.999999))
+    return ordered[index]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--store-dir", default="overload-store")
+    parser.add_argument("--report-out", default="overload-smoke.json")
+    parser.add_argument("--admission-rate", type=float, default=50.0)
+    parser.add_argument("--flood-factor", type=float, default=10.0)
+    parser.add_argument("--duration", type=float, default=4.0)
+    parser.add_argument("--healthz-p99-bound", type=float, default=1.0)
+    parser.add_argument("--rss-bound-mb", type=float, default=400.0)
+    args = parser.parse_args()
+    ready_file = os.path.join(args.store_dir, "ready.json")
+    report = {"ok": False}
+
+    if os.path.exists(ready_file):
+        os.unlink(ready_file)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store-dir", args.store_dir,
+            "--stages", "8", "--aggregators", "2",
+            "--cycle-period", "0.05",
+            "--admission-rate", str(args.admission_rate),
+            "--max-connections", "128",
+            "--ready-file", ready_file,
+        ],
+        env=dict(os.environ, PYTHONPATH="src"),
+    )
+    try:
+        ready = _wait_ready(ready_file, process)
+        base = f"http://127.0.0.1:{ready['port']}"
+        rss_before = _rss_mb(process.pid)
+
+        # The flood: a registration storm (mutations, tenant-metered)
+        # plus read spam, from enough threads to offer well past
+        # flood_factor x admission_rate. Statuses are tallied; errors
+        # count as -1 so a collapsed server is visible in the report.
+        statuses: dict = {}
+        statuses_lock = threading.Lock()
+        stop_at = time.monotonic() + args.duration
+
+        def flood_worker(worker: int) -> int:
+            sent = 0
+            while time.monotonic() < stop_at:
+                if sent % 4 == 0:
+                    status = _http("GET", f"{base}/rules")
+                else:
+                    status = _http(
+                        "POST", f"{base}/tenants",
+                        {"tenant_id": f"noisy-{worker}", "weight": 1.0},
+                    )
+                with statuses_lock:
+                    statuses[status] = statuses.get(status, 0) + 1
+                sent += 1
+            return sent
+
+        # The liveness probe rides its own thread at a steady cadence;
+        # every probe must answer 200, fast, during the whole flood.
+        healthz_latencies = []
+        healthz_failures = [0]
+
+        def probe() -> None:
+            while time.monotonic() < stop_at:
+                started = time.perf_counter()
+                try:
+                    status = _http("GET", f"{base}/healthz", timeout_s=2.0)
+                except OSError:
+                    status = -1
+                healthz_latencies.append(time.perf_counter() - started)
+                if status != 200:
+                    healthz_failures[0] += 1
+                time.sleep(0.05)
+
+        prober = threading.Thread(target=probe, daemon=True)
+        prober.start()
+        rss_peak = rss_before
+        with concurrent.futures.ThreadPoolExecutor(max_workers=24) as pool:
+            futures = [pool.submit(flood_worker, i) for i in range(24)]
+            while any(not f.done() for f in futures):
+                rss_peak = max(rss_peak, _rss_mb(process.pid))
+                time.sleep(0.2)
+            offered = sum(f.result() for f in futures)
+        prober.join(timeout=5.0)
+
+        # The dust settles, then the gate's own account of the flood.
+        time.sleep(1.0)
+        metrics_text = _http_text(f"{base}/metrics")
+        shed_lines = [
+            line for line in metrics_text.splitlines()
+            if line.startswith("repro_admission_shed_total{")
+        ]
+        metrics_shed = sum(
+            float(line.rsplit(" ", 1)[1]) for line in shed_lines
+        )
+        shed = sum(statuses.get(code, 0) for code in (429, 503))
+        served = sum(statuses.get(code, 0) for code in (200, 201, 409))
+        errors = statuses.get(-1, 0)
+
+        report.update(
+            offered=offered,
+            offered_per_s=offered / args.duration,
+            statuses={str(k): v for k, v in sorted(statuses.items())},
+            served=served,
+            shed=shed,
+            transport_errors=errors,
+            metrics_shed_total=metrics_shed,
+            healthz_probes=len(healthz_latencies),
+            healthz_failures=healthz_failures[0],
+            healthz_p99_s=_p99(healthz_latencies),
+            rss_before_mb=rss_before,
+            rss_peak_mb=rss_peak,
+            shed_series=shed_lines[:8],
+        )
+
+        assert offered > args.flood_factor * args.admission_rate * (
+            args.duration * 0.5
+        ), f"flood too weak to prove anything: {report}"
+        assert shed > 0, f"gate never shed under a 10x flood: {report}"
+        assert metrics_shed > 0, (
+            f"/metrics shows no sheds despite {shed} shed statuses"
+        )
+        assert served > 0, f"nothing served at all under flood: {report}"
+        assert healthz_failures[0] == 0, (
+            f"{healthz_failures[0]} healthz probes failed under flood"
+        )
+        assert report["healthz_p99_s"] <= args.healthz_p99_bound, (
+            f"healthz p99 {report['healthz_p99_s']:.3f}s over bound"
+        )
+        if rss_before > 0:
+            assert rss_peak - rss_before <= args.rss_bound_mb, (
+                f"RSS grew {rss_peak - rss_before:.0f} MiB under flood "
+                f"(bound {args.rss_bound_mb:.0f})"
+            )
+        report["ok"] = True
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    print(f"overload smoke: {json.dumps(report, indent=2)}")
+    print(f"overload smoke OK -> {args.report_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,13 @@ the *whole* plane mid-schedule, restart from the store, and assert the
 rebooted controller never issues a rule epoch at or below its last
 durable epoch (``repro chaos --plane live --schedule full-restart``).
 
+Overload schedules (PR 8) turn tenants adversarial instead of killing
+processes: demand liars, noisy neighbors and metadata storms run while
+a client floods the REST front door at 10x the admission rate, and the
+invariants flip to graceful degradation — honest stages keep their
+weighted fair share, per-session outbound queues stay bounded, and
+``/healthz`` answers throughout (``repro chaos --schedule overload``).
+
 CLI: ``repro chaos --plane live --design hier --seed 7`` (exit 1 on any
 violation; ``--report-out`` writes the JSON report, the CI artifact).
 """
@@ -22,6 +29,7 @@ violation; ``--report-out`` writes the JSON report, the CI artifact).
 from repro.chaos.invariants import ChaosReport, InvariantChecker, Violation
 from repro.chaos.runner import (
     run_chaos_live,
+    run_chaos_overload,
     run_chaos_restart,
     run_chaos_shard,
     run_chaos_sim,
@@ -29,6 +37,7 @@ from repro.chaos.runner import (
 from repro.chaos.schedule import (
     ChaosSchedule,
     FaultAction,
+    generate_overload_schedule,
     generate_restart_schedule,
     generate_schedule,
 )
@@ -39,9 +48,11 @@ __all__ = [
     "FaultAction",
     "InvariantChecker",
     "Violation",
+    "generate_overload_schedule",
     "generate_restart_schedule",
     "generate_schedule",
     "run_chaos_live",
+    "run_chaos_overload",
     "run_chaos_restart",
     "run_chaos_shard",
     "run_chaos_sim",

@@ -20,6 +20,17 @@ faults the schedule injected (tentpole invariants, paper §VI):
   the store's last durable epoch; otherwise stage-side fencing would
   silently discard every post-restart rule.
 
+Overload schedules (PR 8) add three more:
+
+* **honest share** — every honest (non-adversarial) stage's allocation
+  stays at or above a fraction of its weighted fair entitlement
+  ``min(demand, capacity × w / W)``, whatever the demand liars report.
+* **queue bound** — no controller/aggregator session's pending outbound
+  bytes exceed the configured outbox bound (plus a small non-sheddable
+  residue allowance); backpressure must shed, not buffer.
+* **healthz** — the liveness probe stays answerable under flood: its
+  p99 latency is bounded and no probe fails outright.
+
 Violations are collected, not raised: a chaos run always completes and
 reports everything it saw (:class:`ChaosReport`, JSON-serialisable for
 the CI artifact).
@@ -42,7 +53,9 @@ class Violation:
     """One invariant breach, anchored to the cycle that exposed it."""
 
     cycle: int
-    invariant: str  # "capacity" | "epoch" | "rehome" | "gap" | "resume"
+    #: One of "capacity" | "epoch" | "rehome" | "gap" | "resume"
+    #: | "share" | "queue" | "healthz" | "shed".
+    invariant: str
     detail: str
 
 
@@ -66,6 +79,12 @@ class ChaosReport:
     #: Full-plane kill/restart round-trips completed (restart schedules).
     restarts: int = 0
     gap_s: Optional[float] = None
+    #: Overload-schedule counters: offered/admitted/shed HTTP requests
+    #: during the flood, and the liveness probe's p99 under it.
+    requests_flooded: int = 0
+    requests_admitted: int = 0
+    requests_shed: int = 0
+    healthz_p99_s: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -180,6 +199,105 @@ class InvariantChecker:
                     "resume",
                     f"issued epoch {issued_epoch} <= durable floor "
                     f"{floor_epoch} after restart",
+                )
+            )
+
+    def check_honest_share(
+        self,
+        cycle: int,
+        allocations: Mapping[str, float],
+        demands: Mapping[str, float],
+        weights: Mapping[str, float],
+        adversaries: Iterable[str],
+        fraction: float = 0.9,
+    ) -> None:
+        """Honest stages keep ≥ ``fraction`` of their weighted fair share.
+
+        Entitlement for stage *i* is ``min(demand_i, capacity × w_i / W)``
+        — a stage cannot claim more than it asked for, nor more than its
+        weighted slice of capacity. Adversarial stages (the liars and
+        flooders named by the schedule) are excluded: the invariant is
+        about what their behaviour does to *everyone else*.
+        """
+        self.checks += 1
+        hostile = set(adversaries)
+        total_weight = sum(weights.values())
+        if total_weight <= 0:
+            return
+        for stage_id, demand in demands.items():
+            if stage_id in hostile or stage_id not in allocations:
+                continue
+            weight = weights.get(stage_id, 0.0)
+            entitled = min(
+                demand, self.capacity_iops * weight / total_weight
+            )
+            floor = fraction * entitled
+            granted = allocations[stage_id]
+            if granted < floor - CAPACITY_EPS * self.capacity_iops:
+                self.violations.append(
+                    Violation(
+                        cycle,
+                        "share",
+                        f"honest {stage_id} granted {granted:.1f} iops < "
+                        f"{fraction:.0%} of entitlement {entitled:.1f}",
+                    )
+                )
+
+    def check_queue_bounds(
+        self,
+        cycle: int,
+        pending_bytes: Mapping[str, int],
+        bound_bytes: int,
+        residue_bytes: int = 4096,
+    ) -> None:
+        """No session's pending outbound queue exceeds the outbox bound.
+
+        ``residue_bytes`` allows for non-sheddable control frames (acks,
+        welcome, partition updates) that a bounded outbox must never
+        drop and may briefly carry past the sheddable bound.
+        """
+        self.checks += 1
+        limit = bound_bytes + residue_bytes
+        for peer_id, pending in pending_bytes.items():
+            if pending > limit:
+                self.violations.append(
+                    Violation(
+                        cycle,
+                        "queue",
+                        f"{peer_id} pending outbound {pending} B > "
+                        f"bound {bound_bytes} B (+{residue_bytes} residue)",
+                    )
+                )
+
+    def check_healthz(
+        self,
+        cycle: int,
+        p99_s: Optional[float],
+        bound_s: float,
+        probes: int,
+        failures: int,
+    ) -> None:
+        """The liveness probe stayed answerable throughout the flood."""
+        self.checks += 1
+        if probes == 0:
+            self.violations.append(
+                Violation(cycle, "healthz", "no healthz probes completed")
+            )
+            return
+        if failures > 0:
+            self.violations.append(
+                Violation(
+                    cycle,
+                    "healthz",
+                    f"{failures}/{probes} healthz probes failed under flood",
+                )
+            )
+        if p99_s is not None and p99_s > bound_s:
+            self.violations.append(
+                Violation(
+                    cycle,
+                    "healthz",
+                    f"healthz p99 {p99_s:.3f}s > bound {bound_s:.3f}s",
                 )
             )
 

@@ -30,12 +30,14 @@ workers' control-pipe probes instead of in-process stage objects.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from dataclasses import asdict
 from typing import Dict, List, Optional
 
 from repro.chaos.invariants import ChaosReport, InvariantChecker, Violation
 from repro.chaos.schedule import (
     ChaosSchedule,
+    generate_overload_schedule,
     generate_restart_schedule,
     generate_schedule,
 )
@@ -45,6 +47,7 @@ __all__ = [
     "run_chaos_live",
     "run_chaos_restart",
     "run_chaos_shard",
+    "run_chaos_overload",
 ]
 
 #: Sim-plane fault durations, in cycles (the sim has no useful wall clock).
@@ -654,6 +657,312 @@ async def _live_restart(
         await plane.stop()
         store.close()
     report.rehomes = rehomes
+    report.violations = checker.violations
+    report.checks = checker.checks
+
+
+# ---------------------------------------------------------------------------
+# Overload (adversarial tenants + request flood)
+# ---------------------------------------------------------------------------
+
+#: Demand tuples adversaries report while active (data_iops, metadata_iops).
+LIAR_DEMAND_IOPS = 50_000.0
+NOISY_DEMAND_IOPS = 8_000.0
+STORM_METADATA_IOPS = 20_000.0
+
+
+async def _overload_request(
+    host: str, port: int, method: str, path: str, body: bytes = b""
+) -> int:
+    """One short-lived HTTP request; returns the status code (-1 = error)."""
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        return -1
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=5.0)
+        parts = raw.split(None, 2)
+        return int(parts[1]) if len(parts) >= 2 else -1
+    except (asyncio.TimeoutError, ValueError, ConnectionError, OSError):
+        return -1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _p99(samples: List[float]) -> Optional[float]:
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(0.99 * (len(ordered) - 1) + 0.999999))
+    return ordered[index]
+
+
+def run_chaos_overload(
+    seed: int,
+    n_stages: int = 9,
+    n_aggregators: int = 3,
+    n_cycles: int = 18,
+    cycle_period_s: float = 0.05,
+    flood_factor: float = 10.0,
+    admission_rate: float = 200.0,
+    session_outbox_bytes: int = 64 * 1024,
+    healthz_p99_bound_s: float = 1.0,
+    share_fraction: float = 0.9,
+    store_dir: Optional[str] = None,
+    schedule: Optional[ChaosSchedule] = None,
+) -> ChaosReport:
+    """Overload the full service stack and check it degrades, not dies.
+
+    The PR 8 tentpole run: a real ``ControlService`` (durable store +
+    live hier plane + REST front door) with every guard armed — an
+    admission gate at ``admission_rate`` req/s, bounded per-session
+    outboxes, the demand clamp, and the degradation ladder. While the
+    schedule's adversarial tenants lie about demand (and the liar's
+    aggregator is killed so the lie flows through orphan reservation), a
+    client floods the HTTP API at ``flood_factor ×`` the admission rate.
+
+    Per cycle: capacity, epoch-monotonicity, orphan re-home, honest
+    fair-share and outbox queue-bound invariants. At the end: the
+    ``/healthz`` probe must have answered throughout the flood within a
+    bounded p99, and the gate must show the flood was actually shed.
+    """
+    if schedule is None:
+        schedule = generate_overload_schedule(
+            seed, n_cycles, n_stages, n_aggregators
+        )
+    report = _new_report(schedule, "live")
+    asyncio.run(
+        _live_overload(
+            schedule,
+            report,
+            cycle_period_s,
+            flood_factor,
+            admission_rate,
+            session_outbox_bytes,
+            healthz_p99_bound_s,
+            share_fraction,
+            store_dir,
+        )
+    )
+    return report
+
+
+async def _live_overload(
+    schedule: ChaosSchedule,
+    report: ChaosReport,
+    cycle_period_s: float,
+    flood_factor: float,
+    admission_rate: float,
+    session_outbox_bytes: int,
+    healthz_p99_bound_s: float,
+    share_fraction: float,
+    store_dir: Optional[str],
+) -> None:
+    import tempfile
+
+    from repro.core.registry import partition_stages
+    from repro.guard import AdmissionGate, DegradationLadder, DemandClamp
+    from repro.live.faults import LiveFaultLog, kill_aggregator
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service.api import ServiceApi
+    from repro.service.http import HttpServer
+    from repro.service.server import ControlService
+
+    if store_dir is None:
+        store_dir = tempfile.mkdtemp(prefix="repro-chaos-overload-")
+    metrics = MetricsRegistry()
+    service = ControlService.open(
+        store_dir,
+        n_stages=schedule.n_stages,
+        n_aggregators=schedule.n_aggregators,
+        cycle_period_s=cycle_period_s,
+        collect_timeout_s=0.5,
+        enforce_timeout_s=0.5,
+        metrics=metrics,
+        stage_backoff=_LIVE_BACKOFF,
+        degradation=DegradationLadder(trip_after=2, recover_after=3),
+        demand_clamp=DemandClamp(),
+        session_outbox_bytes=session_outbox_bytes,
+    )
+    gate = AdmissionGate(rate=admission_rate, metrics=metrics)
+    api = ServiceApi(service, gate=gate, metrics=metrics)
+    http = HttpServer(api.handle, metrics=metrics, max_connections=256)
+    plane = service.plane
+    checker = InvariantChecker(service.policy.allocatable_iops)
+    fault_log = LiveFaultLog()
+    stop = asyncio.Event()
+    flood_statuses: Dict[int, int] = {}
+    healthz_latencies: List[float] = []
+    healthz_failures = 0
+
+    flood_tasks: List[asyncio.Task] = []
+    flood_sem = asyncio.Semaphore(192)
+
+    async def _flood_one(method: str, path: str, body: bytes) -> None:
+        async with flood_sem:
+            status = await _overload_request(
+                http.host, http.port, method, path, body
+            )
+        flood_statuses[status] = flood_statuses.get(status, 0) + 1
+
+    async def flood() -> None:
+        # Offered load: flood_factor × the admission rate. Requests are
+        # fired without waiting for each other (a real flood does not
+        # pace itself on the server's fsync latency), bounded only by a
+        # client-side socket cap. A noisy tenant dominates (mutations
+        # shed first) with some reads mixed in; statuses are tallied,
+        # never asserted — shedding is the expected outcome.
+        batch = max(1, int(flood_factor * admission_rate * cycle_period_s))
+        body = b'{"tenant_id": "noisy", "weight": 1}'
+        while not stop.is_set():
+            flood_tasks[:] = [t for t in flood_tasks if not t.done()]
+            for i in range(batch):
+                if i % 4 == 0:
+                    call = _flood_one("GET", "/rules", b"")
+                else:
+                    call = _flood_one("POST", "/tenants", body)
+                flood_tasks.append(asyncio.create_task(call))
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stop.wait(), timeout=cycle_period_s)
+
+    async def probe_healthz() -> None:
+        nonlocal healthz_failures
+        import time as _time
+
+        while not stop.is_set():
+            started = _time.perf_counter()
+            status = await _overload_request(
+                http.host, http.port, "GET", "/healthz"
+            )
+            healthz_latencies.append(_time.perf_counter() - started)
+            if status != 200:
+                healthz_failures += 1
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stop.wait(), timeout=cycle_period_s / 2)
+
+    original_demand: Dict[int, tuple] = {}
+    adversary_ids: set = set()
+    agg_killed: set = set()
+    background: List[asyncio.Task] = []
+    try:
+        await service.start(run_cycles=False)
+        await http.start()
+        await plane.wait_for_stages(timeout_s=15.0)
+        stage_ids = [s.stage_id for s in plane.stages]
+        partitions = partition_stages(stage_ids, schedule.n_aggregators)
+        weights = {sid: 1.0 for sid in stage_ids}
+        background = [
+            asyncio.create_task(flood()),
+            asyncio.create_task(probe_healthz()),
+        ]
+        for cycle in range(schedule.n_cycles):
+            for action in schedule.at_cycle(cycle):
+                stage = plane.stages[action.target]
+                if action.kind in ("demand_liar", "noisy_neighbor",
+                                   "metadata_storm"):
+                    original_demand.setdefault(action.target, stage.demand)
+                    adversary_ids.add(stage.stage_id)
+                if action.kind == "demand_liar":
+                    stage.demand = (LIAR_DEMAND_IOPS, stage.demand[1])
+                elif action.kind == "noisy_neighbor":
+                    stage.demand = (NOISY_DEMAND_IOPS, stage.demand[1])
+                elif action.kind == "metadata_storm":
+                    stage.demand = (stage.demand[0], STORM_METADATA_IOPS)
+                elif action.kind == "orphan_liar":
+                    home = next(
+                        a for a, owned in enumerate(partitions)
+                        if stage.stage_id in owned
+                    )
+                    if home not in agg_killed:
+                        agg_killed.add(home)
+                        kill_aggregator(plane.aggregators[home], log=fault_log)
+                elif action.kind == "restore":
+                    if action.target in original_demand:
+                        stage.demand = original_demand[action.target]
+            await service.cycle_once()
+            pause = cycle_period_s * plane.interval_multiplier
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stop.wait(), timeout=pause)
+            report.cycles_completed += 1
+            if plane.controller.cycles[-1].degraded:
+                report.cycles_degraded += 1
+            _live_checks(checker, cycle, plane.stages)
+            checker.check_orphans(cycle, plane.controller.orphans)
+            allocations = dict(plane.controller.last_allocations)
+            if allocations:
+                demands = {
+                    s.stage_id: s.demand[0] + s.demand[1]
+                    for s in plane.stages
+                }
+                checker.check_honest_share(
+                    cycle,
+                    allocations,
+                    demands,
+                    weights,
+                    adversary_ids,
+                    fraction=share_fraction,
+                )
+            pending = {
+                f"controller:{peer}": s.outbox.pending_bytes
+                for peer, s in plane.controller.sessions.items()
+            }
+            for agg in plane.aggregators:
+                for peer, s in agg.sessions.items():
+                    pending[f"{agg.aggregator_id}:{peer}"] = (
+                        s.outbox.pending_bytes
+                    )
+            checker.check_queue_bounds(
+                cycle, pending, session_outbox_bytes
+            )
+        report.rehomes = plane.controller.rehomes
+    finally:
+        stop.set()
+        for task in background:
+            task.cancel()
+        await asyncio.gather(*background, return_exceptions=True)
+        # Let in-flight flood requests finish (briefly), then cut them.
+        if flood_tasks:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(*flood_tasks, return_exceptions=True),
+                    timeout=2.0,
+                )
+            for task in flood_tasks:
+                task.cancel()
+            await asyncio.gather(*flood_tasks, return_exceptions=True)
+        await http.stop()
+        await service.stop()
+    report.requests_flooded = sum(flood_statuses.values())
+    report.requests_admitted = gate.admitted_total
+    report.requests_shed = gate.shed_total + http.connections_shed
+    report.healthz_p99_s = _p99(healthz_latencies)
+    checker.check_healthz(
+        schedule.n_cycles,
+        report.healthz_p99_s,
+        healthz_p99_bound_s,
+        probes=len(healthz_latencies),
+        failures=healthz_failures,
+    )
+    checker.checks += 1
+    if report.requests_shed == 0:
+        checker.violations.append(
+            Violation(
+                schedule.n_cycles,
+                "shed",
+                f"{flood_factor}x flood of {report.requests_flooded} "
+                "requests recorded zero sheds — the gate is not engaged",
+            )
+        )
     report.violations = checker.violations
     report.checks = checker.checks
 

@@ -28,6 +28,7 @@ __all__ = [
     "ChaosSchedule",
     "generate_schedule",
     "generate_restart_schedule",
+    "generate_overload_schedule",
 ]
 
 #: Fault kinds a schedule may contain, per plane design.
@@ -36,6 +37,13 @@ FLAT_KINDS = ("kill_stage", "stall_stage", "kill_primary")
 #: The full-restart schedule's only kind: kill -9 the whole control
 #: plane (controller + every aggregator at once), restart from store.
 RESTART_KINDS = ("kill_plane",)
+#: Adversarial-tenant kinds for overload schedules (PR 8): a stage that
+#: reports demand wildly above anything it uses (``demand_liar``), a
+#: stage whose *real* demand explodes (``noisy_neighbor``), a stage
+#: flooding the metadata axis (``metadata_storm``), plus ``orphan_liar``
+#: — kill the liar's aggregator so its inflated demand flows through the
+#: orphan-reservation path — and ``restore``, which ends an adversary.
+OVERLOAD_KINDS = ("demand_liar", "noisy_neighbor", "metadata_storm")
 
 
 @dataclass(frozen=True)
@@ -158,6 +166,76 @@ def generate_schedule(
     return ChaosSchedule(
         seed=seed,
         design=design,
+        n_cycles=n_cycles,
+        n_stages=n_stages,
+        n_aggregators=n_aggregators,
+        actions=actions,
+    )
+
+
+def generate_overload_schedule(
+    seed: int,
+    n_cycles: int,
+    n_stages: int,
+    n_aggregators: int,
+    warmup_cycles: int = 3,
+    cooldown_cycles: int = 3,
+    orphan_the_liar: bool = True,
+) -> ChaosSchedule:
+    """Draw an adversarial-tenant schedule for the overload harness.
+
+    At most ``ceil(n_stages / 3)`` stages turn adversarial — the honest
+    majority is what the fair-share invariant is checked against. A
+    ``demand_liar`` is always present (it is the attack the demand clamp
+    exists for); ``noisy_neighbor`` and ``metadata_storm`` join when the
+    adversary budget allows. When ``orphan_the_liar`` is set the liar's
+    aggregator is killed a couple of cycles in, routing the inflated
+    demand through the orphan-reservation path (the nastiest consumer of
+    a lied demand vector). Every adversary gets a matching ``restore``
+    action before the cooldown window so recovery is observable.
+    """
+    if n_stages < 2:
+        raise ValueError("overload chaos needs >= 2 stages (one honest)")
+    if orphan_the_liar and n_aggregators < 2:
+        raise ValueError(
+            "orphaning the liar needs >= 2 aggregators (one must survive)"
+        )
+    first = warmup_cycles
+    last = n_cycles - cooldown_cycles
+    if last - first < 3:
+        raise ValueError(
+            f"no eligible overload window: {n_cycles} cycles with "
+            f"warmup={warmup_cycles}, cooldown={cooldown_cycles}"
+        )
+    rng = random.Random(seed)
+    max_adversaries = max(1, -(-n_stages // 3))  # ceil(n/3)
+    n_adversaries = min(max_adversaries, len(OVERLOAD_KINDS))
+    targets = rng.sample(range(n_stages), n_adversaries)
+    kinds = list(OVERLOAD_KINDS[:n_adversaries])
+    rng.shuffle(kinds)
+    actions: List[FaultAction] = []
+    liar_target = None
+    for kind, target in zip(kinds, targets):
+        start = rng.randrange(first, first + 2)
+        actions.append(FaultAction(start, kind, target))
+        actions.append(FaultAction(last, "restore", target))
+        if kind == "demand_liar":
+            liar_target = target
+    if orphan_the_liar and liar_target is not None:
+        # Two cycles after the lie starts, so the inflated report is in
+        # the controller's demand cache when the aggregator dies.
+        liar_start = next(
+            a.cycle for a in actions if a.kind == "demand_liar"
+        )
+        actions.append(
+            FaultAction(
+                min(liar_start + 2, last - 1), "orphan_liar", liar_target
+            )
+        )
+    actions.sort(key=lambda a: (a.cycle, a.kind))
+    return ChaosSchedule(
+        seed=seed,
+        design="overload",
         n_cycles=n_cycles,
         n_stages=n_stages,
         n_aggregators=n_aggregators,

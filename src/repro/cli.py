@@ -457,11 +457,25 @@ def _cmd_live(args) -> int:
 def _cmd_chaos(args) -> int:
     from repro.chaos import (
         run_chaos_live,
+        run_chaos_overload,
         run_chaos_restart,
         run_chaos_shard,
         run_chaos_sim,
     )
 
+    if args.schedule == "overload":
+        if args.plane != "live":
+            print("--schedule overload requires --plane live", file=sys.stderr)
+            return 2
+        report = run_chaos_overload(
+            args.seed,
+            n_stages=args.stages,
+            n_aggregators=args.aggregators,
+            n_cycles=args.cycles,
+            cycle_period_s=args.cycle_period,
+            store_dir=args.store_dir,
+        )
+        return _finish_chaos(report, args)
     if args.schedule == "full-restart":
         if args.plane != "live":
             print("--schedule full-restart requires --plane live", file=sys.stderr)
@@ -532,6 +546,8 @@ def _cmd_serve(args) -> int:
             cycle_period_s=args.cycle_period,
             max_cycles=args.max_cycles,
             ready_file=args.ready_file,
+            admission_rate=args.admission_rate,
+            max_connections=args.max_connections,
         )
     )
     rows = [
@@ -542,6 +558,10 @@ def _cmd_serve(args) -> int:
         ["cycles run", summary["cycles_run"]],
         ["tenants", summary["tenants"]],
         ["http requests served", summary["requests_served"]],
+        ["http requests shed", summary["requests_shed"]],
+        ["connections shed", summary["connections_shed"]],
+        ["degradation level at exit", summary["degradation_level"]],
+        ["demand clamps", summary["demand_clamps"]],
         ["durable epoch", summary["store"]["durable_epoch"]],
         ["wal bytes", summary["store"]["wal_bytes"]],
     ]
@@ -618,6 +638,18 @@ def _cmd_bench(args) -> int:
         ["wal appends/s (batched fsync)", f"{result['store']['appends_per_s']:,.0f}"],
         ["wal speedup vs fsync-per-record", f"{result['store']['speedup']:.2f}x"],
         ["store cold restore (ms)", f"{result['store']['restore_s'] * 1e3:.1f}"],
+        *[
+            [
+                f"overload {load} honest attainment",
+                f"{leg['guarded']['honest_attainment']:.0%} guarded / "
+                f"{leg['unguarded']['honest_attainment']:.0%} unguarded",
+            ]
+            for load, leg in result["overload"]["legs"].items()
+        ],
+        [
+            "overload guard advantage (10x leg)",
+            f"{result['overload']['speedup']:.2f}x honest goodput",
+        ],
     ]
     text = format_table(
         ["benchmark", "value"], rows, title="Hot-path micro-benchmarks"
@@ -828,14 +860,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=12)
     p.add_argument("--cycle-period", type=float, default=0.1,
                    help="live-plane cycle pacing in seconds")
-    p.add_argument("--schedule", choices=("faults", "full-restart"),
+    p.add_argument("--schedule", choices=("faults", "full-restart", "overload"),
                    default="faults",
                    help="faults = per-component kill/stall schedule; "
                         "full-restart = kill -9 the whole plane and "
-                        "restart from the durable store (live plane only)")
+                        "restart from the durable store (live plane only); "
+                        "overload = adversarial tenants + a 10x request "
+                        "flood against the guarded service tier "
+                        "(live plane only)")
     p.add_argument("--store-dir", type=str, default=None,
                    help="durable-store directory for --schedule "
-                        "full-restart (default: a run-scoped tempdir)")
+                        "full-restart/overload (default: a run-scoped tempdir)")
     p.add_argument("--report-out", type=str, default=None,
                    help="write the JSON chaos report here (CI artifact)")
     p.add_argument("--json", action="store_true")
@@ -861,6 +896,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ready-file", type=str, default=None,
                    help="write {port, pid, resumed, initial_epoch} JSON "
                         "here once the API is accepting requests")
+    p.add_argument("--admission-rate", type=float, default=200.0,
+                   help="admission-gate global token rate in requests/s; "
+                        "excess load is shed with 429 + Retry-After")
+    p.add_argument("--max-connections", type=int, default=256,
+                   help="concurrent HTTP connection cap; connections over "
+                        "the cap get an immediate 503")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_serve)
 

@@ -79,6 +79,9 @@ class ControlPlaneConfig:
     enforce_changed_only: bool = False
     rule_change_tolerance: float = 0.0
     metrics_alpha: float = 1.0
+    #: Cap reported demand at this multiple of capacity before PSFA runs
+    #: (input sanitizer against demand-lying stages; None = trust inputs).
+    demand_cap_factor: Optional[float] = None
     #: Record every control cycle as spans (sim-clock domain) exportable
     #: with :func:`repro.obs.chrome_trace.export_chrome_trace`.
     trace_spans: bool = False
@@ -98,7 +101,7 @@ class ControlPlaneConfig:
         if self.policy is None:
             self.policy = default_policy(self.n_stages)
         if self.algorithm is None:
-            self.algorithm = PSFA()
+            self.algorithm = PSFA(max_demand_factor=self.demand_cap_factor)
 
 
 class _DeployedPlane:

@@ -1,0 +1,125 @@
+"""Circuit breaker: closed → open → half-open, one probe at a time.
+
+Wraps an unreliable peer (a stage's controller address, an aggregator
+listener) so that repeated failures stop producing connect attempts:
+after ``failure_threshold`` *consecutive* failures the breaker opens and
+:meth:`CircuitBreaker.allow` answers ``False`` until ``reset_timeout_s``
+has elapsed, at which point exactly ONE caller is granted a half-open
+probe. The probe's outcome decides everything:
+
+* probe succeeds → ``closed`` (and only a half-open probe success can
+  close an open breaker — there is no open → closed edge),
+* probe fails → back to ``open`` with a fresh reset timer.
+
+While a probe is outstanding every other :meth:`allow` is rejected, so
+a fleet sharing a breaker sends one scout at a dead peer, not a herd.
+All counters are monotone; the hypothesis state-machine suite in
+``tests/guard/test_breaker.py`` pins the transition graph.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    __slots__ = (
+        "failure_threshold", "reset_timeout_s", "_clock", "state",
+        "_consecutive_failures", "_opened_at", "_probe_outstanding",
+        "failures", "successes", "opens", "closes", "probes", "rejections",
+    )
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        if reset_timeout_s < 0:
+            raise ValueError(
+                f"reset_timeout_s must be >= 0: {reset_timeout_s}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        #: Monotone event counters.
+        self.failures = 0
+        self.successes = 0
+        self.opens = 0
+        self.closes = 0
+        self.probes = 0
+        self.rejections = 0
+
+    def allow(self) -> bool:
+        """May the caller attempt the protected operation right now?
+
+        In ``open``, flips to ``half_open`` and grants one probe once the
+        reset timeout has elapsed; everyone else is rejected until the
+        probe reports back via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at >= self.reset_timeout_s:
+                self.state = self.HALF_OPEN
+                self._probe_outstanding = True
+                self.probes += 1
+                return True
+            self.rejections += 1
+            return False
+        # half_open: one probe in flight, everyone else waits.
+        if self._probe_outstanding:
+            self.rejections += 1
+            return False
+        self._probe_outstanding = True
+        self.probes += 1
+        return True
+
+    def record_success(self) -> None:
+        """The protected operation succeeded."""
+        self.successes += 1
+        self._consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self._probe_outstanding = False
+            self.state = self.CLOSED
+            self.closes += 1
+        # A success reported while OPEN (e.g. an attempt that started
+        # before the breaker tripped) does NOT close it: only a
+        # half-open probe success may.
+
+    def record_failure(self) -> None:
+        """The protected operation failed."""
+        self.failures += 1
+        if self.state == self.HALF_OPEN:
+            self._probe_outstanding = False
+            self.state = self.OPEN
+            self._opened_at = self._clock()
+            self.opens += 1
+            return
+        if self.state == self.CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self.state = self.OPEN
+                self._opened_at = self._clock()
+                self.opens += 1
+        # Failures while already OPEN only bump the counter; the reset
+        # timer keeps its original deadline so stragglers can't extend
+        # the outage window.

@@ -1,0 +1,97 @@
+"""Bounded per-session outbound queues with shed-oldest policy.
+
+A live session coalesces frames into one write per phase
+(:class:`repro.live.sessions.Session`). Under backpressure — a stage
+stops reading, a socket stalls inside its send window — that buffer
+previously grew without bound. :class:`BoundedOutbox` is the fix: a
+byte-budgeted frame queue that sheds the *oldest sheddable* frames when
+the budget is exceeded.
+
+Which frames are sheddable is the caller's contract: rule / rule_batch
+frames are (a newer rule epoch supersedes an older one, and the missing
+ack is already handled by the degraded-cycle machinery), collect
+requests and registration acks are not — those pace phases, and dropping
+one would stall the protocol rather than merely delay an enforcement.
+Non-sheddable frames are therefore *never* dropped, even over budget:
+the bound is a shed trigger, not a hard write barrier, so
+``pending_bytes`` can transiently exceed ``max_bytes`` by the
+non-sheddable residue (observable via ``high_water_bytes``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+__all__ = ["BoundedOutbox"]
+
+
+class BoundedOutbox:
+    """Byte-bounded frame queue; sheds oldest sheddable frames first."""
+
+    __slots__ = (
+        "max_bytes", "_frames", "pending_bytes",
+        "frames_shed", "bytes_shed", "high_water_bytes",
+    )
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1: {max_bytes}")
+        self.max_bytes = max_bytes
+        self._frames: Deque[Tuple[bytes, bool]] = deque()
+        self.pending_bytes = 0
+        #: Monotone shed counters.
+        self.frames_shed = 0
+        self.bytes_shed = 0
+        #: Peak pending_bytes *after* shedding — bounded-memory evidence.
+        self.high_water_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def pending_frames(self) -> int:
+        return len(self._frames)
+
+    def push(self, frame: bytes, sheddable: bool = False) -> int:
+        """Queue ``frame``; returns how many frames were shed to fit it."""
+        self._frames.append((frame, sheddable))
+        self.pending_bytes += len(frame)
+        shed = 0
+        if self.max_bytes is not None and self.pending_bytes > self.max_bytes:
+            shed = self._shed_until_fits()
+        if self.pending_bytes > self.high_water_bytes:
+            self.high_water_bytes = self.pending_bytes
+        return shed
+
+    def _shed_until_fits(self) -> int:
+        # Walk oldest-first, dropping sheddable frames until under
+        # budget; non-sheddable frames are re-queued in order.
+        shed = 0
+        keep: Deque[Tuple[bytes, bool]] = deque()
+        while self._frames and self.pending_bytes > self.max_bytes:
+            frame, sheddable = self._frames.popleft()
+            if sheddable:
+                self.pending_bytes -= len(frame)
+                self.frames_shed += 1
+                self.bytes_shed += len(frame)
+                shed += 1
+            else:
+                keep.append((frame, sheddable))
+        keep.extend(self._frames)
+        self._frames = keep
+        return shed
+
+    def drain(self) -> bytes:
+        """Join and clear everything queued; one coalesced write burst."""
+        if not self._frames:
+            return b""
+        burst = b"".join(frame for frame, _ in self._frames)
+        self._frames.clear()
+        self.pending_bytes = 0
+        return burst
+
+    def clear(self) -> None:
+        """Drop everything (socket died; frames are unsendable)."""
+        self._frames.clear()
+        self.pending_bytes = 0

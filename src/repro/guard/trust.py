@@ -1,0 +1,83 @@
+"""Demand clamping: PSFA's "no false allocation" against lying stages.
+
+PSFA's waterfill already caps what an *active* liar can win in a single
+allocation round (nobody gets more than the water level times their
+weight), but two paths let an absurd demand report steal capacity
+anyway:
+
+* **orphan-demand reservation** — the hierarchical controller reserves
+  last-known demand for orphaned stages verbatim; an orphaned stage that
+  reported 1e9 IOPS before its aggregator died would eat the whole
+  budget, and
+* **leftover redistribution** — inflated demand shifts the
+  demand-limited bookkeeping that decides who absorbs slack.
+
+:class:`DemandClamp` closes both: every reported demand is capped at
+``factor ×`` the stage's *trust score*, an asymmetric EWMA
+(:class:`repro.core.metrics.UsageWindow`) of what the stage was actually
+granted and used. Honest stages never notice (their reports track their
+usage, so ``factor=8`` leaves generous ramp headroom above the
+``floor_iops`` cold-start credit); a stage whose reports wildly exceed
+its usage converges to ``factor × usage`` within a cycle or two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.metrics import UsageWindow
+
+__all__ = ["DemandClamp"]
+
+
+class DemandClamp:
+    """Cap reported demand at a multiple of observed usage per stage."""
+
+    __slots__ = ("factor", "floor_iops", "usage", "clamps", "clamped_iops_total")
+
+    def __init__(
+        self,
+        factor: float = 8.0,
+        floor_iops: float = 200.0,
+        usage: Optional[UsageWindow] = None,
+    ) -> None:
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1: {factor}")
+        if floor_iops <= 0:
+            raise ValueError(f"floor_iops must be positive: {floor_iops}")
+        self.factor = float(factor)
+        self.floor_iops = float(floor_iops)
+        self.usage = usage if usage is not None else UsageWindow()
+        #: Monotone counters: how often / how much lying was trimmed.
+        self.clamps = 0
+        self.clamped_iops_total = 0.0
+
+    def cap(self, key: str) -> float:
+        """Maximum believable demand for ``key`` right now."""
+        return self.factor * max(self.usage.value(key), self.floor_iops)
+
+    def clamp(self, key: str, reported: float) -> float:
+        """Trim one demand report to its trust cap."""
+        cap = self.cap(key)
+        if reported <= cap:
+            return reported
+        self.clamps += 1
+        self.clamped_iops_total += reported - cap
+        return cap
+
+    def observe(self, key: str, reported: float, granted: float) -> None:
+        """Fold one cycle's outcome into the trust score.
+
+        Usage evidence is ``min(reported, granted)``: a stage can't earn
+        trust beyond what it was actually allocated, and an allocation it
+        didn't ask for doesn't count either. Call once per cycle per
+        stage, after allocation.
+        """
+        self.usage.observe(key, min(max(reported, 0.0), max(granted, 0.0)))
+
+    def forget(self, key: str) -> None:
+        """Drop trust state for a departed stage."""
+        self.usage.forget(key)
+
+    def snapshot(self) -> Dict[str, float]:
+        return self.usage.snapshot()

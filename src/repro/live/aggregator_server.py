@@ -84,6 +84,7 @@ class LiveAggregator:
         span_tracer=None,
         usage_meter=None,
         metrics=None,
+        session_outbox_bytes: Optional[int] = None,
     ) -> None:
         if expected_stages < 0:
             raise ValueError(f"expected_stages must be >= 0: {expected_stages}")
@@ -105,6 +106,9 @@ class LiveAggregator:
         )
         #: One drain per session per phase instead of one per frame.
         self.coalesce = coalesce
+        #: Per-stage-session outbound bound (bytes); None = unbounded.
+        #: Same contract as the controllers: enable with phase deadlines.
+        self.session_outbox_bytes = session_outbox_bytes
         #: Codecs advertised upstream (and granted to stages that offer
         #: them); ``("json",)`` emulates a pre-binary aggregator.
         self.offered_codecs = tuple(codecs)
@@ -126,6 +130,7 @@ class LiveAggregator:
         self.sessions: Dict[str, _StageSession] = {}
         self.cycles_served = 0
         self.evictions = 0
+        self._outbox_shed_evicted = 0
         self.registrations_rejected = 0
         #: Live peer aggregators ``(host, port)`` from the last topology
         #: frame, excluding this aggregator — the stages' rehome targets.
@@ -246,6 +251,7 @@ class LiveAggregator:
                 pass
             return
         session = _StageSession(stage_id, job_id, reader, writer, meter=self.meter)
+        session.outbox.max_bytes = self.session_outbox_bytes
         # Grant binary only when both sides speak it (mixed-version safe).
         offered = hello.get("codecs")
         session.codec = (
@@ -284,9 +290,17 @@ class LiveAggregator:
         if self.sessions.get(session.stage_id) is session:
             del self.sessions[session.stage_id]
             self.evictions += 1
+            self._outbox_shed_evicted += session.outbox.frames_shed
             if self.metrics is not None:
                 self._m_evictions.inc()
         await session.close()
+
+    @property
+    def outbox_frames_shed(self) -> int:
+        """Frames shed across stage sessions, living and evicted."""
+        return self._outbox_shed_evicted + sum(
+            s.outbox.frames_shed for s in self.sessions.values()
+        )
 
     async def run(self, stage_timeout_s: float = 30.0) -> None:
         """Register upstream once the partition is complete, then serve."""
@@ -439,13 +453,17 @@ class LiveAggregator:
                 if session is None:
                     continue
                 try:
+                    # Sheddable under outbox pressure: superseded by the
+                    # next epoch's rule; the missing ack resolves through
+                    # the enforce deadline.
                     session.feed(
                         {
                             "kind": "rule",
                             "epoch": epoch,
                             "stage_id": rule["stage_id"],
                             "data_iops_limit": rule["data_iops_limit"],
-                        }
+                        },
+                        sheddable=True,
                     )
                     if not self.coalesce:
                         await session.flush()

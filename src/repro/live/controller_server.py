@@ -82,12 +82,33 @@ class _LiveControllerBase:
         span_tracer=None,
         usage_meter=None,
         metrics=None,
+        degradation=None,
+        demand_clamp=None,
+        session_outbox_bytes: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.tracer = span_tracer if span_tracer is not None else NullSpanTracer()
         self.meter = usage_meter
         self.metrics = metrics
+        #: Optional :class:`repro.guard.DegradationLadder` — fed each
+        #: cycle's degraded flag; its multipliers tighten the collect
+        #: deadline and (at the top rung) force changed-only enforcement.
+        #: Share ONE instance across controller generations (restarts) so
+        #: the ladder's streaks survive the processes it protects.
+        self.degradation = degradation
+        #: Optional :class:`repro.guard.DemandClamp` — caps each reported
+        #: demand at a multiple of that stage's observed usage before
+        #: PSFA runs ("no false allocation" against demand liars). Also
+        #: share one instance across generations.
+        self.demand_clamp = demand_clamp
+        #: Per-session outbound-buffer bound (bytes); None = unbounded.
+        #: Only enable together with phase deadlines — a shed rule means
+        #: a missing ack, which needs ``enforce_timeout_s`` to resolve.
+        self.session_outbox_bytes = session_outbox_bytes
+        #: Shed counts carried over from evicted sessions (monotone).
+        self._outbox_shed_evicted = 0
+        self._outbox_shed_bytes_evicted = 0
         self.sessions: Dict[str, Session] = {}
         self.cycles: List[ControlCycle] = []
         self.epoch = 0
@@ -146,6 +167,26 @@ class _LiveControllerBase:
                 "sessions dropped after their socket died",
                 role=role,
             )
+            self._m_outbox_shed = metrics.gauge(
+                "repro_outbox_frames_shed",
+                "frames shed from bounded session outboxes (cumulative)",
+                role=role,
+            )
+            self._m_outbox_pending = metrics.gauge(
+                "repro_outbox_pending_bytes",
+                "bytes currently buffered across session outboxes",
+                role=role,
+            )
+            self._m_degradation_level = metrics.gauge(
+                "repro_degradation_level",
+                "graceful-degradation ladder rung (0 = normal)",
+                role=role,
+            )
+            self._m_demand_clamped = metrics.gauge(
+                "repro_demand_clamped_iops",
+                "reported demand trimmed by the trust clamp (cumulative)",
+                role=role,
+            )
 
     def _cpu(self):
         """CPU-attribution context for synchronous critical sections."""
@@ -170,6 +211,8 @@ class _LiveControllerBase:
                 n_missing=cycle.n_missing,
                 timed_out=cycle.timed_out,
             )
+        if self.degradation is not None:
+            self.degradation.observe(cycle.degraded)
         if self.metrics is not None:
             self._m_cycles.inc()
             if cycle.degraded:
@@ -180,6 +223,40 @@ class _LiveControllerBase:
             self._m_cycle_seconds.observe(cycle.total_s)
             for phase in ("collect", "compute", "enforce"):
                 self._m_phase_seconds[phase].observe(cycle.phase(phase))
+            self._m_outbox_shed.set(self.outbox_frames_shed)
+            self._m_outbox_pending.set(
+                sum(s.outbox.pending_bytes for s in self.sessions.values())
+            )
+            if self.degradation is not None:
+                self._m_degradation_level.set(self.degradation.level)
+            if self.demand_clamp is not None:
+                self._m_demand_clamped.set(self.demand_clamp.clamped_iops_total)
+
+    @property
+    def outbox_frames_shed(self) -> int:
+        """Frames shed across all sessions, living and evicted (monotone)."""
+        return self._outbox_shed_evicted + sum(
+            s.outbox.frames_shed for s in self.sessions.values()
+        )
+
+    @property
+    def outbox_bytes_shed(self) -> int:
+        return self._outbox_shed_bytes_evicted + sum(
+            s.outbox.bytes_shed for s in self.sessions.values()
+        )
+
+    def _effective_collect_timeout(self) -> Optional[float]:
+        """Collect deadline after the degradation ladder's tightening."""
+        timeout = self.collect_timeout_s
+        if timeout is not None and self.degradation is not None:
+            timeout *= self.degradation.collect_timeout_multiplier
+        return timeout
+
+    def _effective_changed_only(self) -> bool:
+        """Changed-only enforcement, forced at the ladder's top rung."""
+        if self.degradation is not None and self.degradation.force_changed_only:
+            return True
+        return self.enforce_changed_only
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -297,6 +374,8 @@ class _LiveControllerBase:
         if self.sessions.get(session.peer_id) is session:
             del self.sessions[session.peer_id]
             self.evictions += 1
+            self._outbox_shed_evicted += session.outbox.frames_shed
+            self._outbox_shed_bytes_evicted += session.outbox.bytes_shed
             if self.metrics is not None:
                 self._m_evictions.inc()
             self._on_evicted(session)
@@ -359,6 +438,9 @@ class LiveGlobalController(_LiveControllerBase):
         span_tracer=None,
         usage_meter=None,
         metrics=None,
+        degradation=None,
+        demand_clamp=None,
+        session_outbox_bytes: Optional[int] = None,
     ) -> None:
         if expected_stages < 1:
             raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
@@ -384,6 +466,9 @@ class LiveGlobalController(_LiveControllerBase):
             span_tracer=span_tracer,
             usage_meter=usage_meter,
             metrics=metrics,
+            degradation=degradation,
+            demand_clamp=demand_clamp,
+            session_outbox_bytes=session_outbox_bytes,
         )
         # Boot-from-store resume floor: a controller restored from a
         # durable store starts above its last durable epoch so stage-side
@@ -445,9 +530,11 @@ class LiveGlobalController(_LiveControllerBase):
         return None
 
     def _make_session(self, hello: dict, reader, writer) -> _StageSession:
-        return _StageSession(
+        session = _StageSession(
             hello["stage_id"], hello["job_id"], reader, writer, meter=self.meter
         )
+        session.outbox.max_bytes = self.session_outbox_bytes
+        return session
 
     @property
     def _expected(self) -> int:
@@ -508,7 +595,7 @@ class LiveGlobalController(_LiveControllerBase):
                 )
 
         missing, phase_timed_out = await gather_phase(
-            polled, read_reply, self.collect_timeout_s
+            polled, read_reply, self._effective_collect_timeout()
         )
         timed_out |= phase_timed_out
         for s in missing:
@@ -520,8 +607,16 @@ class LiveGlobalController(_LiveControllerBase):
         # ---- compute (the real PSFA; absent stages at last-known demand) ----
         compute_started = time.perf_counter()
         with self._cpu():
+            clamp = self.demand_clamp
             job_ids = [s.job_id for s in sessions]
-            demands = [s.latest_demand for s in sessions]
+            if clamp is not None:
+                # Trust scoring: a reported demand is only believed up to
+                # a multiple of what the stage has been using.
+                demands = [
+                    clamp.clamp(s.stage_id, s.latest_demand) for s in sessions
+                ]
+            else:
+                demands = [s.latest_demand for s in sessions]
             # Graced departures still hold their share (they are out there
             # enforcing their last rule); expired entries are forgotten.
             registered = set(self.sessions)
@@ -534,7 +629,9 @@ class LiveGlobalController(_LiveControllerBase):
                     del self.departed[stage_id]
                     continue
                 job_ids.append(job_id)
-                demands.append(demand)
+                demands.append(
+                    clamp.clamp(stage_id, demand) if clamp is not None else demand
+                )
             weights = self.policy.weights(job_ids)
             result = self.algorithm.allocate(
                 np.array(demands), weights, self.policy.allocatable_iops
@@ -543,12 +640,16 @@ class LiveGlobalController(_LiveControllerBase):
             self.last_allocations = {
                 s.stage_id: float(limit) for s, limit in zip(sessions, limits)
             }
+            if clamp is not None:
+                for s, limit in zip(sessions, limits):
+                    clamp.observe(s.stage_id, s.latest_demand, float(limit))
         t_compute = time.perf_counter() - compute_started
 
         # ---- enforce ----
         enforce_started = time.perf_counter()
         ruled: List[_StageSession] = []
         with self._cpu():
+            changed_only = self._effective_changed_only()
             tolerance = self.rule_change_tolerance
             for s, limit in zip(sessions, limits):
                 if not s.connected:
@@ -556,7 +657,7 @@ class LiveGlobalController(_LiveControllerBase):
                 limit = float(limit)
                 cached = self._rule_frames.get(s.stage_id)
                 if (
-                    self.enforce_changed_only
+                    changed_only
                     and cached is not None
                     and abs(limit - cached[1])
                     <= tolerance * max(abs(cached[1]), 1e-9)
@@ -578,7 +679,10 @@ class LiveGlobalController(_LiveControllerBase):
                     s.codec,
                 )
                 try:
-                    s.feed_frame(frame)
+                    # Rules are sheddable under outbox pressure: the next
+                    # epoch supersedes them, and a shed rule surfaces as a
+                    # missing ack the degraded path already absorbs.
+                    s.feed_frame(frame, sheddable=True)
                     if not self.coalesce:
                         await s.flush()
                     self._rule_frames[s.stage_id] = (epoch, limit, frame)
@@ -705,6 +809,9 @@ class LiveHierGlobalController(_LiveControllerBase):
         span_tracer=None,
         usage_meter=None,
         metrics=None,
+        degradation=None,
+        demand_clamp=None,
+        session_outbox_bytes: Optional[int] = None,
     ) -> None:
         if initial_epoch < 0:
             raise ValueError(f"initial_epoch must be >= 0: {initial_epoch}")
@@ -732,6 +839,9 @@ class LiveHierGlobalController(_LiveControllerBase):
             span_tracer=span_tracer,
             usage_meter=usage_meter,
             metrics=metrics,
+            degradation=degradation,
+            demand_clamp=demand_clamp,
+            session_outbox_bytes=session_outbox_bytes,
         )
         # Boot-from-store resume floor (see LiveGlobalController).
         self.epoch = initial_epoch
@@ -805,6 +915,7 @@ class LiveHierGlobalController(_LiveControllerBase):
             writer,
             meter=self.meter,
         )
+        session.outbox.max_bytes = self.session_outbox_bytes
         if hello.get("host") is not None and hello.get("port") is not None:
             session.listen_host = str(hello["host"])
             session.listen_port = int(hello["port"])
@@ -987,7 +1098,7 @@ class LiveHierGlobalController(_LiveControllerBase):
                 )
 
         missing, phase_timed_out = await gather_phase(
-            polled, read_agg_reply, self.collect_timeout_s
+            polled, read_agg_reply, self._effective_collect_timeout()
         )
         timed_out |= phase_timed_out
         for s in missing:
@@ -1026,22 +1137,31 @@ class LiveHierGlobalController(_LiveControllerBase):
         # their last rules) ----
         compute_started = time.perf_counter()
         with self._cpu():
+            clamp = self.demand_clamp
             stage_ids: List[str] = []
             job_ids: List[str] = []
             demands: List[float] = []
+
+            def believed(stage_id: str) -> float:
+                raw = self.latest_demand_of.get(stage_id, 0.0)
+                return clamp.clamp(stage_id, raw) if clamp is not None else raw
+
             for s in sessions:
                 if self.sessions.get(s.aggregator_id) is not s:
                     continue  # declared dead above; its stages are orphans
                 for stage_id, job_id in zip(s.stage_ids, s.job_ids):
                     stage_ids.append(stage_id)
                     job_ids.append(job_id)
-                    demands.append(self.latest_demand_of.get(stage_id, 0.0))
+                    demands.append(believed(stage_id))
             homed = set(stage_ids)
             orphan_ids = [o for o in sorted(self.orphans) if o not in homed]
+            # Orphan reservations run through the same clamp: an orphaned
+            # liar would otherwise hold its absurd last report against
+            # the whole budget until re-homed.
             for stage_id in orphan_ids:
                 stage_ids.append(stage_id)
                 job_ids.append(self.orphans[stage_id])
-                demands.append(self.latest_demand_of.get(stage_id, 0.0))
+                demands.append(believed(stage_id))
             result = self.algorithm.allocate(
                 np.array(demands), self.policy.weights(job_ids),
                 self.policy.allocatable_iops,
@@ -1050,6 +1170,11 @@ class LiveHierGlobalController(_LiveControllerBase):
             self.last_allocations = {
                 sid: float(limit) for sid, limit in limit_of.items()
             }
+            if clamp is not None:
+                for sid, limit in limit_of.items():
+                    clamp.observe(
+                        sid, self.latest_demand_of.get(sid, 0.0), float(limit)
+                    )
         n_missing += len((unreported - homed) | set(orphan_ids))
         t_compute = time.perf_counter() - compute_started
 
@@ -1057,7 +1182,7 @@ class LiveHierGlobalController(_LiveControllerBase):
         enforce_started = time.perf_counter()
         batched: List[_AggregatorSession] = []
         with self._cpu():
-            changed_only = self.enforce_changed_only
+            changed_only = self._effective_changed_only()
             tolerance = self.rule_change_tolerance
             last_rule = self._last_rule
             for s in sessions:
@@ -1085,7 +1210,13 @@ class LiveHierGlobalController(_LiveControllerBase):
                         {"stage_id": stage_id, "data_iops_limit": limit}
                     )
                 try:
-                    s.feed({"kind": "rule_batch", "epoch": epoch, "rules": rules})
+                    # Sheddable like flat-plane rules: the next epoch's
+                    # batch supersedes this one, and the missing batch_ack
+                    # resolves through the enforce deadline.
+                    s.feed(
+                        {"kind": "rule_batch", "epoch": epoch, "rules": rules},
+                        sheddable=True,
+                    )
                     if not self.coalesce:
                         await s.flush()
                     # Commit the diff record only for rules that actually

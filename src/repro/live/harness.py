@@ -326,6 +326,9 @@ class LiveHierPlane:
         initial_epoch: int = 0,
         obs: Optional[_Obs] = None,
         stage_backoff: Optional[Dict[str, float]] = None,
+        degradation=None,
+        demand_clamp=None,
+        session_outbox_bytes: Optional[int] = None,
     ) -> None:
         if n_stages < 1:
             raise ValueError(f"n_stages must be >= 1: {n_stages}")
@@ -345,6 +348,12 @@ class LiveHierPlane:
         self._obs = obs if obs is not None else _Obs(False, None, 0.05)
         #: Stage reconnect-backoff overrides (tests shrink the delays).
         self._stage_backoff = dict(stage_backoff or {})
+        #: Guard instances shared across controller generations: a plane
+        #: restart must not reset the degradation ladder's streaks or the
+        #: clamp's earned trust (see repro.guard).
+        self.degradation = degradation
+        self.demand_clamp = demand_clamp
+        self.session_outbox_bytes = session_outbox_bytes
         stage_ids = [f"stage-{i:05d}" for i in range(n_stages)]
         self._partitions = partition_stages(stage_ids, n_aggregators)
         self.controller: Optional[LiveHierGlobalController] = None
@@ -383,6 +392,9 @@ class LiveHierPlane:
             span_tracer=obs.tracer_for("global-ctrl"),
             usage_meter=obs.meter_for("global-ctrl"),
             metrics=obs.registry,
+            degradation=self.degradation,
+            demand_clamp=self.demand_clamp,
+            session_outbox_bytes=self.session_outbox_bytes,
         )
         await _start_rebinding(self.controller)
         self._ctrl_port = self.controller.port
@@ -406,6 +418,7 @@ class LiveHierPlane:
                 metrics=obs.registry,
                 coalesce=self.coalesce,
                 codecs=self._offered,
+                session_outbox_bytes=self.session_outbox_bytes,
             )
             await _start_rebinding(agg)
             self._agg_ports[a] = agg.port
@@ -440,6 +453,17 @@ class LiveHierPlane:
     def registered_stages(self) -> int:
         """Stages currently homed on a live aggregator, tree-wide."""
         return sum(len(a.sessions) for a in self.aggregators)
+
+    @property
+    def interval_multiplier(self) -> float:
+        """Cycle-interval stretch requested by the degradation ladder.
+
+        The serve loop multiplies its sleep by this: at the STRETCH rung
+        and above the plane runs fewer, cheaper-to-miss cycles.
+        """
+        if self.degradation is None:
+            return 1.0
+        return self.degradation.interval_multiplier
 
     async def run_cycles(self, n_cycles: int) -> List[ControlCycle]:
         """Run ``n_cycles`` control cycles on the current controller."""

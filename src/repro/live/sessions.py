@@ -19,6 +19,7 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
 
+from repro.guard.shed import BoundedOutbox
 from repro.live.protocol import ProtocolError, encode, read_frame
 
 __all__ = ["Session", "SessionClosed", "gather_phase"]
@@ -40,9 +41,26 @@ class Session:
     stage). The pump diverts them into :attr:`oob` instead of the inbox,
     so :meth:`expect` never drains them as stale; the session owner reads
     and clears :attr:`oob` at a convenient boundary (e.g. cycle start).
+
+    ``max_outbox_bytes`` bounds the coalescing buffer: frames fed as
+    *sheddable* (rule/rule_batch — superseded by the next epoch) are
+    dropped oldest-first once the buffer exceeds the bound, so a peer
+    that stops reading cannot grow controller memory without limit.
+    Non-sheddable frames (collect requests, acks) are never dropped.
+    A shed rule simply surfaces as that stage's missing ack, which the
+    degraded-cycle machinery already handles — but only when the enforce
+    phase has a deadline (``enforce_timeout_s``), so bounded outboxes
+    should be enabled together with phase deadlines.
     """
 
-    def __init__(self, peer_id: str, reader, writer, meter=None) -> None:
+    def __init__(
+        self,
+        peer_id: str,
+        reader,
+        writer,
+        meter=None,
+        max_outbox_bytes: Optional[int] = None,
+    ) -> None:
         self.peer_id = peer_id
         self.reader = reader
         self.writer = writer
@@ -55,7 +73,8 @@ class Session:
         self.codec = "json"
         #: Frames buffered by :meth:`feed` since the last :meth:`flush`.
         self.pending_frames = 0
-        self._out = bytearray()
+        #: Bounded (or not) coalescing buffer; owns the shed counters.
+        self.outbox = BoundedOutbox(max_outbox_bytes)
         #: Frame kinds routed to :attr:`oob` instead of the inbox.
         self.oob_kinds: frozenset = frozenset()
         #: Out-of-band frames, in arrival order (owner drains).
@@ -94,7 +113,7 @@ class Session:
             self.connected = False
             self.inbox.put_nowait(None)  # EOF sentinel for waiting readers
 
-    def feed(self, message: dict) -> int:
+    def feed(self, message: dict, sheddable: bool = False) -> int:
         """Buffer one frame for the socket without writing; returns its size.
 
         The write side of frame coalescing: a phase feeds every frame for
@@ -103,11 +122,12 @@ class Session:
         syscall per write call, so per-frame writes defeat batching) and
         one ``drain`` per session per phase. Raises
         :class:`SessionClosed` on a dead socket; write errors surface at
-        flush time.
+        flush time. ``sheddable`` marks the frame droppable under outbox
+        pressure (rule frames only — see the class docstring).
         """
-        return self.feed_frame(encode(message, self.codec))
+        return self.feed_frame(encode(message, self.codec), sheddable)
 
-    def feed_frame(self, frame: bytes) -> int:
+    def feed_frame(self, frame: bytes, sheddable: bool = False) -> int:
         """Buffer an already-encoded frame (e.g. from a rule cache).
 
         tx accounting (:attr:`tx_bytes`, the NIC meter) is deferred to
@@ -116,8 +136,8 @@ class Session:
         """
         if not self.connected:
             raise SessionClosed(f"{self.peer_id}: session closed")
-        self._out += frame
-        self.pending_frames += 1
+        self.outbox.push(frame, sheddable=sheddable)
+        self.pending_frames = self.outbox.pending_frames
         return len(frame)
 
     async def flush(self) -> None:
@@ -128,15 +148,14 @@ class Session:
         session is dead: nothing is charged and :attr:`pending_frames`
         keeps the count of frames that were dropped with it.
         """
-        nbytes = len(self._out)
+        burst = self.outbox.drain()
+        nbytes = len(burst)
         try:
-            if self._out:
-                self.writer.write(bytes(self._out))
-                self._out.clear()
+            if burst:
+                self.writer.write(burst)
             await self.writer.drain()
         except (ConnectionError, OSError) as exc:
             self.connected = False
-            self._out.clear()
             raise SessionClosed(f"{self.peer_id}: {exc}") from exc
         self.pending_frames = 0
         if nbytes:

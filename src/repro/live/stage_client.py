@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.guard.backoff import full_jitter
+from repro.guard.breaker import CircuitBreaker
 from repro.live.protocol import ProtocolError, read_message, write_message
 
 __all__ = ["LiveVirtualStage"]
@@ -50,10 +52,25 @@ class LiveVirtualStage:
         Retry dropped connections (with re-registration) instead of
         exiting on the first EOF.
     backoff_base_s / backoff_factor / backoff_max_s / backoff_jitter:
-        Exponential backoff between reconnect attempts: the ``k``-th
-        consecutive failure waits ``base * factor**(k-1)`` seconds,
-        capped at ``backoff_max_s``, stretched by a random factor in
-        ``[1, 1 + jitter]`` to avoid thundering-herd re-registration.
+        Backoff between reconnect attempts, with *full jitter*: the
+        ``k``-th consecutive failure computes the exponential ceiling
+        ``min(max, base * factor**(k-1))`` and sleeps a uniform draw
+        from ``[ceiling * (1 - jitter), ceiling]``. The default
+        ``jitter=1.0`` decorrelates a mass-evicted fleet completely
+        (the earlier multiplicative-jitter schedule kept every stage's
+        retries within the same few-percent window — a thundering herd
+        at each rung); ``jitter=0`` recovers the deterministic schedule.
+    backoff_seed:
+        Seed for this client's private backoff RNG (salted with the
+        stage id, so a fleet built from one seed still decorrelates).
+        ``None`` uses the process-global RNG.
+    breaker_failures / breaker_reset_s:
+        When ``breaker_failures`` is set, each controller address gets a
+        circuit breaker: after that many consecutive failed attempts
+        *on one address* the breaker opens and the stage skips that
+        address (rotating past it without a connect attempt) until
+        ``breaker_reset_s`` has elapsed, at which point one half-open
+        probe connect is allowed. Off (``None``) by default.
     max_retries:
         Give up after this many consecutive failed attempts
         (``None`` = retry forever until :meth:`stop`).
@@ -84,7 +101,10 @@ class LiveVirtualStage:
         backoff_base_s: float = 0.05,
         backoff_factor: float = 2.0,
         backoff_max_s: float = 2.0,
-        backoff_jitter: float = 0.25,
+        backoff_jitter: float = 1.0,
+        backoff_seed: Optional[int] = None,
+        breaker_failures: Optional[int] = None,
+        breaker_reset_s: Optional[float] = None,
         max_retries: Optional[int] = None,
         alternates: Optional[Sequence[Tuple[str, int]]] = None,
         controller_timeout_s: Optional[float] = None,
@@ -113,6 +133,23 @@ class LiveVirtualStage:
         self.backoff_factor = backoff_factor
         self.backoff_max_s = backoff_max_s
         self.backoff_jitter = backoff_jitter
+        # Private RNG so two stages with the same *policy* (seed) still
+        # draw distinct retry instants — the salt is the stage id.
+        self._rng: random.Random = (
+            random.Random(f"{backoff_seed}:{stage_id}")
+            if backoff_seed is not None
+            else random.Random()
+        )
+        if breaker_failures is not None and breaker_failures < 1:
+            raise ValueError(f"breaker_failures must be >= 1: {breaker_failures}")
+        self.breaker_failures = breaker_failures
+        self.breaker_reset_s = (
+            float(breaker_reset_s) if breaker_reset_s is not None else backoff_max_s
+        )
+        #: Per-address circuit breakers (populated lazily; empty when off).
+        self.breakers: Dict[Tuple[str, int], CircuitBreaker] = {}
+        #: Connect attempts skipped because an address's breaker was open.
+        self.breaker_skips = 0
         self.max_retries = max_retries
         self.applied_epoch = -1
         self.applied_limit: Optional[float] = None
@@ -170,6 +207,27 @@ class LiveVirtualStage:
         if len(self.addresses) > 1:
             self._addr_index = (self._addr_index + 1) % len(self.addresses)
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """Full-jitter delay before retry ``attempt`` (testable, no I/O)."""
+        return full_jitter(
+            attempt,
+            self.backoff_base_s,
+            self.backoff_factor,
+            self.backoff_max_s,
+            jitter=self.backoff_jitter,
+            rng=self._rng,
+        )
+
+    def _breaker_for(self, addr: Tuple[str, int]) -> Optional[CircuitBreaker]:
+        """This address's breaker, created lazily (None when breakers off)."""
+        if self.breaker_failures is None:
+            return None
+        breaker = self.breakers.get(addr)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_failures, self.breaker_reset_s)
+            self.breakers[addr] = breaker
+        return breaker
+
     # -- fault-injection hooks (see repro.live.faults) -----------------------
     def kill(self) -> None:
         """Abort the current connection without flushing (process kill).
@@ -194,17 +252,30 @@ class LiveVirtualStage:
         """Connect, register, and serve; reconnects with backoff if enabled."""
         while not self._stop.is_set():
             self._last_silent = False
-            try:
-                registered = await self._serve_once()
-            except _RegistrationRejected:
+            breaker = self._breaker_for(self.addresses[self._addr_index])
+            if breaker is not None and not breaker.allow():
+                # Open breaker: skip the connect entirely and take the
+                # failure path (rotate + backoff) — a dead peer gets one
+                # half-open probe per reset window, not a hot loop.
+                self.breaker_skips += 1
                 registered = False
-            except (
-                ConnectionError,
-                OSError,
-                asyncio.IncompleteReadError,
-                ProtocolError,
-            ):
-                registered = False
+            else:
+                try:
+                    registered = await self._serve_once()
+                except _RegistrationRejected:
+                    registered = False
+                except (
+                    ConnectionError,
+                    OSError,
+                    asyncio.IncompleteReadError,
+                    ProtocolError,
+                ):
+                    registered = False
+                if breaker is not None:
+                    if registered:
+                        breaker.record_success()
+                    else:
+                        breaker.record_failure()
             if not self.reconnect or self._stop.is_set():
                 return
             if registered:
@@ -223,11 +294,7 @@ class LiveVirtualStage:
             if self.max_retries is not None and attempt > self.max_retries:
                 self.gave_up = True
                 return
-            delay = min(
-                self.backoff_max_s,
-                self.backoff_base_s * self.backoff_factor ** (attempt - 1),
-            )
-            delay *= 1.0 + random.uniform(0.0, self.backoff_jitter)
+            delay = self._backoff_delay(attempt)
             try:
                 await asyncio.wait_for(self._stop.wait(), timeout=delay)
                 return

@@ -13,19 +13,30 @@ Method            Path                    Meaning
 ``GET``           ``/rules``              Current rule epoch + per-stage limits
 ``GET``           ``/store``              Durable-store watermarks (inspect)
 ``GET``           ``/healthz``            Liveness + resume-epoch summary
+``GET``           ``/metrics``            Prometheus exposition (text)
 ================  ======================  =====================================
 
 Handlers are thin: validation here, semantics on
 :class:`repro.service.server.ControlService`, durability below that in
 :class:`repro.store.DurableStore`. Writes return only after the WAL
 fsync — a 201 is a durability receipt, not an intent.
+
+When an :class:`~repro.guard.AdmissionGate` is wired, every request is
+classified before routing — ``/healthz`` and ``/metrics`` are CRITICAL
+(never shed, so the probe path stays observable during a flood), other
+``GET`` s are READ, everything else is MUTATION — and a shed becomes a
+``429``/``503`` with a ``Retry-After`` header before any service code
+runs. Mutations shed first: they race the global bucket *and* a
+per-tenant bucket *and* a reduced concurrency headroom.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Tuple
 
 from repro.core.policies import PolicyError
+from repro.guard import AdmissionGate, Priority
 from repro.service.http import HttpRequest, HttpResponse
 
 __all__ = ["ServiceApi"]
@@ -38,12 +49,51 @@ def _bad_request(message: str) -> HttpResponse:
 class ServiceApi:
     """Dispatch :class:`HttpRequest` onto a ``ControlService``."""
 
-    def __init__(self, service) -> None:
+    def __init__(
+        self,
+        service,
+        gate: Optional[AdmissionGate] = None,
+        metrics=None,
+    ) -> None:
         self.service = service
+        self.gate = gate
+        self.metrics = metrics
+
+    @staticmethod
+    def _classify(method: str, segments) -> Tuple[int, Optional[str]]:
+        """Map a request onto (priority, tenant key) for admission."""
+        if segments in (["healthz"], ["metrics"]):
+            return Priority.CRITICAL, None
+        tenant = None
+        if len(segments) >= 2 and segments[0] == "tenants":
+            tenant = segments[1]
+        if method == "GET":
+            return Priority.READ, tenant
+        return Priority.MUTATION, tenant
 
     async def handle(self, request: HttpRequest) -> HttpResponse:
         """Route one request; unknown paths get a 404, bad verbs a 405."""
         segments = [s for s in request.path.split("/") if s]
+        if self.gate is None:
+            return await self._dispatch(request, segments)
+        priority, tenant = self._classify(request.method, segments)
+        admission = self.gate.admit(priority, tenant=tenant)
+        if not admission.admitted:
+            retry_s = max(1, math.ceil(admission.retry_after_s))
+            return HttpResponse(
+                admission.status,
+                {
+                    "error": f"shed: {admission.reason}",
+                    "retry_after_s": admission.retry_after_s,
+                },
+                headers={"Retry-After": str(retry_s)},
+            )
+        try:
+            return await self._dispatch(request, segments)
+        finally:
+            self.gate.release()
+
+    async def _dispatch(self, request: HttpRequest, segments) -> HttpResponse:
         route = self._match(request.method, segments)
         if route is None:
             known = self._match_any_method(segments)
@@ -80,6 +130,7 @@ class ServiceApi:
                 "rules": self._get_rules,
                 "store": self._get_store,
                 "healthz": self._get_health,
+                "metrics": self._get_metrics,
             }
             if segments[0] in simple:
                 return simple[segments[0]], {}
@@ -227,6 +278,11 @@ class ServiceApi:
 
     async def _get_store(self, body, params, query) -> HttpResponse:
         return HttpResponse(200, self.service.store.inspect())
+
+    async def _get_metrics(self, body, params, query) -> HttpResponse:
+        if self.metrics is None:
+            return HttpResponse(404, {"error": "no metrics registry wired"})
+        return HttpResponse(200, text=self.metrics.render())
 
     async def _get_health(self, body, params, query) -> HttpResponse:
         store = self.service.store

@@ -7,6 +7,13 @@ control-plane front door — tenant registrations and state queries from
 ``curl`` or the CI smoke — without pulling a web framework into a
 repo whose rule is "stdlib only".
 
+Abuse guards at the parse layer: a body-size cap (``413``), a header
+count/byte cap so a slowloris-style header stream cannot grow memory
+unboundedly (``431``), and a malformed ``Content-Length`` is a client
+error (``400``), not a size error. Above the parser, ``max_connections``
+bounds concurrently open sockets; excess connections get an immediate
+``503`` with ``Retry-After`` instead of queueing without bound.
+
 Request metrics (when a registry is wired): ``repro_http_requests_total``
 labelled by method and status class, and a latency histogram.
 """
@@ -14,17 +21,26 @@ labelled by method and status class, and a latency histogram.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import time
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Dict, Optional
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.guard import ConcurrencyLimiter
+
 __all__ = ["HttpRequest", "HttpResponse", "HttpServer"]
 
 #: Largest request body accepted (tenant records are tiny; this is a
 #: plain abuse guard, mirroring the wire protocol's frame cap spirit).
 MAX_BODY = 1 * 1024 * 1024
+
+#: Header-section caps: a well-formed client needs a handful of headers,
+#: so 64 lines / 16 KiB is generous while keeping a hostile peer from
+#: streaming headers forever into the parse buffer.
+MAX_HEADERS = 64
+MAX_HEADER_BYTES = 16 * 1024
 
 #: Per-read timeout while parsing one request.
 READ_TIMEOUT_S = 5.0
@@ -37,8 +53,20 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+
+class _RequestError(Exception):
+    """Parse-layer rejection carrying the HTTP status to report."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
 
 
 @dataclass
@@ -63,20 +91,37 @@ class HttpRequest:
 
 @dataclass
 class HttpResponse:
-    """One response: status code plus a JSON-serialisable payload."""
+    """One response: status code plus a JSON payload or a plain-text body.
+
+    ``headers`` carries extra response headers (e.g. ``Retry-After`` on a
+    shed). ``text`` — when not ``None`` — replaces the JSON payload with a
+    ``text/plain`` body, which the Prometheus ``/metrics`` route needs.
+    """
 
     status: int
-    payload: Dict
+    payload: Dict = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    text: Optional[str] = None
 
     def encode(self) -> bytes:
-        body = (json.dumps(self.payload, sort_keys=True) + "\n").encode("utf-8")
+        if self.text is not None:
+            body = self.text.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = (json.dumps(self.payload, sort_keys=True) + "\n").encode(
+                "utf-8"
+            )
+            content_type = "application/json; charset=utf-8"
         reason = _REASONS.get(self.status, "Unknown")
-        head = (
-            f"HTTP/1.1 {self.status} {reason}\r\n"
-            "Content-Type: application/json; charset=utf-8\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n"
-        )
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        lines.append("Connection: close")
+        head = "\r\n".join(lines) + "\r\n\r\n"
         return head.encode("ascii") + body
 
 
@@ -89,12 +134,19 @@ class HttpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         metrics=None,
+        max_connections: Optional[int] = None,
     ) -> None:
         self.handler = handler
         self.host = host
         self.port = port
         self.requests_served = 0
+        self.connections_shed = 0
         self._server: Optional[asyncio.AbstractServer] = None
+        self._connections = (
+            ConcurrencyLimiter(max_connections)
+            if max_connections is not None
+            else None
+        )
         self._metrics = metrics
         self._m_latency = None
         if metrics is not None:
@@ -135,15 +187,25 @@ class HttpServer:
             return None
         method, target = parts[0].upper(), parts[1]
         headers: Dict[str, str] = {}
+        header_bytes = 0
         while True:
             line = await asyncio.wait_for(reader.readline(), timeout=READ_TIMEOUT_S)
             if line in (b"\r\n", b"\n", b""):
                 break
+            header_bytes += len(line)
+            if len(headers) >= MAX_HEADERS or header_bytes > MAX_HEADER_BYTES:
+                raise _RequestError(431, "too many request headers")
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _RequestError(400, "malformed content-length") from None
+        if length < 0:
+            raise _RequestError(400, "malformed content-length")
         if length > MAX_BODY:
-            raise ValueError("body too large")
+            raise _RequestError(413, "body too large")
         body = b""
         if length:
             body = await asyncio.wait_for(
@@ -159,13 +221,55 @@ class HttpServer:
         )
 
     async def _on_connection(self, reader, writer) -> None:
+        if self._connections is not None and not self._connections.try_acquire():
+            # Over the socket cap: answer cheaply and hang up rather
+            # than letting connections queue without bound.
+            self.connections_shed += 1
+            self._count("?", 503)
+            try:
+                writer.write(
+                    HttpResponse(
+                        503,
+                        {"error": "server at connection capacity"},
+                        headers={"Retry-After": "1"},
+                    ).encode()
+                )
+                await writer.drain()
+                # Consume the request bytes already in flight so the
+                # close sends FIN, not RST (an RST would destroy the
+                # 503 before the client reads it).
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(reader.read(65536), timeout=0.25)
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):  # pragma: no cover
+                    pass
+            return
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Server teardown cancels in-flight connection tasks; finish
+            # quietly (the connection is dead either way) so asyncio's
+            # streams callback does not log every cancellation as an
+            # unhandled error.
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+        finally:
+            if self._connections is not None:
+                self._connections.release()
+
+    async def _serve_connection(self, reader, writer) -> None:
         started = time.perf_counter()
         method = "?"
         try:
             try:
                 request = await self._read_request(reader)
-            except ValueError:
-                response = HttpResponse(413, {"error": "body too large"})
+            except _RequestError as exc:
+                response = HttpResponse(exc.status, {"error": exc.message})
                 request = None
             else:
                 if request is None:

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 
 from repro.core.control_plane import default_policy
 from repro.core.policies import QoSPolicy
+from repro.guard import AdmissionGate, DegradationLadder, DemandClamp
 from repro.live.harness import LiveHierPlane
 from repro.obs.metrics import MetricsRegistry
 from repro.service.api import ServiceApi
@@ -78,12 +79,18 @@ class ControlService:
         enforce_timeout_s: Optional[float] = 1.0,
         metrics: Optional[MetricsRegistry] = None,
         stage_backoff: Optional[Dict[str, float]] = None,
+        degradation: Optional[DegradationLadder] = None,
+        demand_clamp: Optional[DemandClamp] = None,
+        session_outbox_bytes: Optional[int] = None,
     ) -> "ControlService":
         """Open (or recover) a service from a store directory.
 
         Recovery is this constructor: the store folds snapshot + WAL,
         tenants re-project onto the policy, and the plane is built with
         ``initial_epoch=store.resume_epoch()`` — the restart epoch rule.
+        Guard objects (``degradation``, ``demand_clamp``,
+        ``session_outbox_bytes``) are threaded into the plane so they
+        survive controller restarts with their learned state intact.
         """
         store = DurableStore(store_dir, metrics=metrics)
         policy = policy or default_policy(n_stages)
@@ -97,6 +104,9 @@ class ControlService:
             enforce_timeout_s=enforce_timeout_s,
             initial_epoch=store.resume_epoch(),
             stage_backoff=stage_backoff,
+            degradation=degradation,
+            demand_clamp=demand_clamp,
+            session_outbox_bytes=session_outbox_bytes,
         )
         service = cls(
             store,
@@ -219,6 +229,10 @@ async def run_serve(
     cycle_period_s: float = 0.05,
     max_cycles: Optional[int] = None,
     ready_file: Optional[str] = None,
+    admission_rate: float = 200.0,
+    admission_burst: Optional[float] = None,
+    max_connections: int = 256,
+    session_outbox_bytes: int = 256 * 1024,
 ) -> Dict:
     """Serve the REST API over a live plane until signalled (or a cap).
 
@@ -226,8 +240,16 @@ async def run_serve(
     plane is up — the handshake scripted callers and the CI smoke use —
     and exits cleanly on SIGTERM/SIGINT or after ``max_cycles`` cycles.
     Returns a summary dict (the ``repro serve`` JSON output).
+
+    Overload protection is on by default: an admission gate in front of
+    the route table (``429``/``503`` + ``Retry-After``), a socket cap at
+    the accept loop, bounded per-session outboxes on the wire plane, a
+    demand clamp against lying tenants, and a degradation ladder that
+    stretches the cycle interval when cycles keep degrading.
     """
     metrics = MetricsRegistry()
+    degradation = DegradationLadder()
+    demand_clamp = DemandClamp()
     service = ControlService.open(
         store_dir,
         n_stages=n_stages,
@@ -235,9 +257,21 @@ async def run_serve(
         cycle_period_s=cycle_period_s,
         metrics=metrics,
         stage_backoff=dict(backoff_base_s=0.02, backoff_factor=1.5, backoff_max_s=0.2),
+        degradation=degradation,
+        demand_clamp=demand_clamp,
+        session_outbox_bytes=session_outbox_bytes,
     )
-    api = ServiceApi(service)
-    http = HttpServer(api.handle, host=host, port=port, metrics=metrics)
+    gate = AdmissionGate(
+        rate=admission_rate, burst=admission_burst, metrics=metrics
+    )
+    api = ServiceApi(service, gate=gate, metrics=metrics)
+    http = HttpServer(
+        api.handle,
+        host=host,
+        port=port,
+        metrics=metrics,
+        max_connections=max_connections,
+    )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGTERM, signal.SIGINT):
@@ -261,8 +295,11 @@ async def run_serve(
             await service.cycle_once()
             if max_cycles is not None and service.cycles_run >= max_cycles:
                 break
+            # The degradation ladder stretches the cycle interval when
+            # cycles keep running degraded — shed control work first.
+            pause = service.cycle_period_s * service.plane.interval_multiplier
             with contextlib.suppress(asyncio.TimeoutError):
-                await asyncio.wait_for(stop.wait(), timeout=service.cycle_period_s)
+                await asyncio.wait_for(stop.wait(), timeout=pause)
     finally:
         await http.stop()
         summary = {
@@ -273,6 +310,10 @@ async def run_serve(
             "initial_epoch": service.initial_epoch,
             "tenants": len(service.store.state.tenants),
             "requests_served": http.requests_served,
+            "requests_shed": gate.shed_total,
+            "connections_shed": http.connections_shed,
+            "degradation_level": degradation.level,
+            "demand_clamps": demand_clamp.clamps,
             "store": service.store.inspect(),
         }
         await service.stop()

@@ -1,0 +1,139 @@
+"""Tests for the adversarial-tenant overload schedule and chaos runner."""
+
+import math
+
+import pytest
+
+from repro.chaos import (
+    InvariantChecker,
+    generate_overload_schedule,
+    run_chaos_overload,
+)
+from repro.chaos.schedule import OVERLOAD_KINDS
+
+
+class TestOverloadSchedule:
+    def test_deterministic_for_a_seed(self):
+        a = generate_overload_schedule(7, 18, 9, 3)
+        b = generate_overload_schedule(7, 18, 9, 3)
+        assert a.to_dict() == b.to_dict()
+        assert a.design == "overload"
+
+    def test_always_includes_a_demand_liar(self):
+        for seed in range(10):
+            schedule = generate_overload_schedule(seed, 18, 9, 3)
+            kinds = {a.kind for a in schedule.actions}
+            assert "demand_liar" in kinds
+
+    def test_adversary_budget_leaves_honest_majority(self):
+        for seed in range(10):
+            for n_stages in (3, 6, 9, 12):
+                schedule = generate_overload_schedule(seed, 18, n_stages, 3)
+                adversaries = {
+                    a.target
+                    for a in schedule.actions
+                    if a.kind in OVERLOAD_KINDS
+                }
+                assert len(adversaries) <= math.ceil(n_stages / 3)
+
+    def test_every_adversary_is_restored_before_cooldown(self):
+        schedule = generate_overload_schedule(5, 18, 9, 3, cooldown_cycles=4)
+        started = {
+            a.target for a in schedule.actions if a.kind in OVERLOAD_KINDS
+        }
+        restored = {
+            a.target for a in schedule.actions if a.kind == "restore"
+        }
+        assert started == restored
+        for action in schedule.actions:
+            assert action.cycle <= 18 - 4
+
+    def test_orphan_liar_follows_the_lie(self):
+        schedule = generate_overload_schedule(7, 18, 9, 3)
+        liar = next(a for a in schedule.actions if a.kind == "demand_liar")
+        orphan = next(a for a in schedule.actions if a.kind == "orphan_liar")
+        assert orphan.target == liar.target
+        assert orphan.cycle > liar.cycle
+
+    def test_impossible_configs_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            generate_overload_schedule(0, 6, 9, 3)
+        with pytest.raises(ValueError, match="stages"):
+            generate_overload_schedule(0, 18, 1, 3)
+        with pytest.raises(ValueError, match="aggregators"):
+            generate_overload_schedule(0, 18, 9, 1)
+
+
+class TestOverloadInvariants:
+    def test_honest_share_flags_starved_honest_stage(self):
+        checker = InvariantChecker(capacity_iops=1000.0)
+        checker.check_honest_share(
+            1,
+            allocations={"s0": 50.0, "liar": 900.0},
+            demands={"s0": 800.0, "liar": 900.0},
+            weights={"s0": 1.0, "liar": 1.0},
+            adversaries={"liar"},
+        )
+        assert len(checker.violations) == 1
+        assert checker.violations[0].invariant == "share"
+        assert "s0" in checker.violations[0].detail
+
+    def test_honest_share_ignores_adversaries_and_honors_demand_cap(self):
+        checker = InvariantChecker(capacity_iops=1000.0)
+        # The liar itself is starved (fine) and the honest stage only
+        # wanted 100 — entitlement is min(demand, fair share).
+        checker.check_honest_share(
+            1,
+            allocations={"s0": 95.0, "liar": 0.0},
+            demands={"s0": 100.0, "liar": 99999.0},
+            weights={"s0": 1.0, "liar": 1.0},
+            adversaries={"liar"},
+        )
+        assert checker.violations == []
+
+    def test_queue_bound_flags_runaway_session(self):
+        checker = InvariantChecker(capacity_iops=1000.0)
+        checker.check_queue_bounds(
+            2, {"agg-0:stage-1": 100_000}, bound_bytes=64_000
+        )
+        assert len(checker.violations) == 1
+        assert checker.violations[0].invariant == "queue"
+
+    def test_queue_bound_allows_nonsheddable_residue(self):
+        checker = InvariantChecker(capacity_iops=1000.0)
+        checker.check_queue_bounds(
+            2, {"agg-0:stage-1": 64_100}, bound_bytes=64_000
+        )
+        assert checker.violations == []
+
+    def test_healthz_flags_failures_and_slow_p99(self):
+        checker = InvariantChecker(capacity_iops=1000.0)
+        checker.check_healthz(9, p99_s=2.0, bound_s=1.0, probes=50, failures=3)
+        kinds = [v.invariant for v in checker.violations]
+        assert kinds == ["healthz", "healthz"]
+        checker2 = InvariantChecker(capacity_iops=1000.0)
+        checker2.check_healthz(9, p99_s=None, bound_s=1.0, probes=0, failures=0)
+        assert checker2.violations[0].detail == "no healthz probes completed"
+
+
+class TestOverloadRunner:
+    def test_overload_run_degrades_gracefully(self, tmp_path):
+        # The acceptance run at test scale: adversarial tenants + a 10x
+        # flood against the fully guarded service stack. Invariants all
+        # green AND the flood was demonstrably shed.
+        report = run_chaos_overload(
+            seed=7,
+            n_stages=6,
+            n_aggregators=2,
+            n_cycles=12,
+            cycle_period_s=0.03,
+            store_dir=str(tmp_path),
+        )
+        assert report.ok, report.summary()
+        assert report.cycles_completed == 12
+        assert report.requests_flooded > 0
+        assert report.requests_shed > 0
+        assert report.requests_admitted > 0
+        assert report.healthz_p99_s is not None
+        # The orphaned liar's partition re-homed onto the survivor.
+        assert report.rehomes > 0

@@ -1,0 +1,217 @@
+"""Admission layer properties: conservation, priorities, bounded memory.
+
+The load-bearing claim of the token bucket is *conservation*: no
+interleaving of acquires — including truly concurrent threaded ones —
+can extract more tokens than ``burst + rate × elapsed``. The gate's
+claims are the shed ordering (health never sheds, mutations shed before
+reads) and that an adversary minting tenant ids cannot grow its memory
+past ``max_tenants``.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guard import AdmissionGate, ConcurrencyLimiter, Priority, RateLimiter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+_STEPS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2.0),   # clock advance
+        st.integers(min_value=1, max_value=5),     # acquires at that instant
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestTokenBucketProperties:
+    @given(rate=st.floats(min_value=0.5, max_value=100.0),
+           burst=st.floats(min_value=1.0, max_value=50.0),
+           steps=_STEPS)
+    @settings(max_examples=120, deadline=None)
+    def test_conservation(self, rate, burst, steps):
+        clock = FakeClock()
+        bucket = RateLimiter(rate, burst, clock=clock)
+        granted = 0
+        for dt, n_acquires in steps:
+            clock.advance(dt)
+            for _ in range(n_acquires):
+                if bucket.try_acquire():
+                    granted += 1
+        # Total grants never exceed the refill budget (small epsilon for
+        # the float-tolerance in try_acquire).
+        assert granted <= burst + rate * clock.now + 1e-6
+
+    @given(rate=st.floats(min_value=0.5, max_value=50.0),
+           steps=_STEPS)
+    @settings(max_examples=80, deadline=None)
+    def test_retry_after_is_sufficient(self, rate, steps):
+        clock = FakeClock()
+        bucket = RateLimiter(rate, clock=clock)
+        for dt, n_acquires in steps:
+            clock.advance(dt)
+            for _ in range(n_acquires):
+                if not bucket.try_acquire():
+                    wait = bucket.retry_after()
+                    assert wait > 0
+                    clock.advance(wait + 1e-9)
+                    assert bucket.try_acquire()
+
+    @given(steps=_STEPS)
+    @settings(max_examples=60, deadline=None)
+    def test_counters_monotone_and_consistent(self, steps):
+        clock = FakeClock()
+        bucket = RateLimiter(5.0, clock=clock)
+        attempts = 0
+        for dt, n_acquires in steps:
+            clock.advance(dt)
+            for _ in range(n_acquires):
+                bucket.try_acquire()
+                attempts += 1
+                assert bucket.granted + bucket.rejected == attempts
+                assert bucket.tokens >= -1e-9
+
+    def test_concurrent_acquires_conserve_tokens(self):
+        # A frozen clock: exactly `burst` tokens exist, ever. 8 threads
+        # race to take them; conservation must hold under the real GIL
+        # interleaving, not just sequential calls.
+        bucket = RateLimiter(rate=1.0, burst=100.0, clock=lambda: 0.0)
+        grants = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            got = 0
+            barrier.wait()
+            for _ in range(50):
+                if bucket.try_acquire():
+                    got += 1
+            grants.append(got)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(grants) == 100
+        assert bucket.granted == 100
+        assert bucket.rejected == 8 * 50 - 100
+
+
+class TestConcurrencyLimiter:
+    def test_ceiling_and_release(self):
+        lim = ConcurrencyLimiter(2)
+        assert lim.try_acquire() and lim.try_acquire()
+        assert not lim.try_acquire()
+        lim.release()
+        assert lim.try_acquire()
+        assert lim.high_water == 2
+
+    def test_release_underflow_raises(self):
+        lim = ConcurrencyLimiter(1)
+        try:
+            lim.release()
+        except RuntimeError:
+            pass
+        else:
+            raise AssertionError("expected RuntimeError")
+
+
+class TestAdmissionGate:
+    def make(self, **kw):
+        clock = FakeClock()
+        kw.setdefault("rate", 10.0)
+        kw.setdefault("max_concurrency", 8)
+        return AdmissionGate(clock=clock, **kw), clock
+
+    def test_critical_never_shed(self):
+        gate, _ = self.make(rate=1.0, burst=1.0, max_concurrency=2)
+        # Exhaust both rate and concurrency.
+        assert gate.admit(Priority.READ).admitted
+        assert gate.admit(Priority.READ).admitted is False
+        for _ in range(50):
+            verdict = gate.admit(Priority.CRITICAL)
+            assert verdict.admitted
+            gate.release()
+
+    def test_rate_shed_is_429_with_retry_after(self):
+        gate, _ = self.make(rate=2.0, burst=2.0)
+        assert gate.admit(Priority.READ).admitted
+        assert gate.admit(Priority.READ).admitted
+        verdict = gate.admit(Priority.READ)
+        assert not verdict.admitted
+        assert verdict.status == 429
+        assert verdict.retry_after_s > 0
+        assert verdict.reason == "rate"
+
+    def test_concurrency_shed_is_503(self):
+        gate, _ = self.make(rate=1000.0, burst=1000.0, max_concurrency=2)
+        assert gate.admit(Priority.READ).admitted
+        assert gate.admit(Priority.READ).admitted
+        verdict = gate.admit(Priority.READ)
+        assert not verdict.admitted
+        assert verdict.status == 503
+
+    def test_mutations_shed_before_reads(self):
+        # With 8 slots and headroom 0.5, mutations stop at 4 in-flight
+        # while reads keep landing until 8.
+        gate, _ = self.make(rate=1000.0, burst=1000.0,
+                            max_concurrency=8, mutation_headroom=0.5)
+        for _ in range(4):
+            assert gate.admit(Priority.MUTATION, tenant="t").admitted
+        verdict = gate.admit(Priority.MUTATION, tenant="t")
+        assert not verdict.admitted and verdict.status == 503
+        for _ in range(4):
+            assert gate.admit(Priority.READ).admitted
+
+    def test_tenant_bucket_isolates_noisy_neighbor(self):
+        gate, _ = self.make(rate=1000.0, burst=1000.0,
+                            tenant_rate=2.0, tenant_burst=2.0,
+                            max_concurrency=1000)
+        admitted = 0
+        for _ in range(10):
+            if gate.admit(Priority.MUTATION, tenant="noisy").admitted:
+                gate.release()
+                admitted += 1
+        assert admitted == 2
+        assert gate.shed["mutation:tenant-rate"] == 8
+        # The quiet tenant's own bucket is untouched.
+        assert gate.admit(Priority.MUTATION, tenant="quiet").admitted
+
+    def test_tenant_bucket_memory_bounded(self):
+        gate, _ = self.make(rate=1e6, burst=1e6, tenant_rate=1e6,
+                            max_concurrency=10**6, max_tenants=16)
+        for i in range(1000):
+            if gate.admit(Priority.MUTATION, tenant=f"adv-{i}").admitted:
+                gate.release()
+        assert len(gate._tenant_buckets) == 16
+
+    def test_release_required_per_admission(self):
+        gate, _ = self.make(rate=1000.0, burst=1000.0, max_concurrency=2)
+        assert gate.admit(Priority.READ).admitted
+        assert gate.admit(Priority.READ).admitted
+        assert not gate.admit(Priority.READ).admitted
+        gate.release()
+        gate.release()
+        assert gate.admit(Priority.READ).admitted
+
+    def test_shed_total_monotone(self):
+        gate, _ = self.make(rate=1.0, burst=1.0, max_concurrency=1)
+        seen = 0
+        for _ in range(20):
+            gate.admit(Priority.MUTATION, tenant="t")
+            assert gate.shed_total >= seen
+            seen = gate.shed_total
+        assert seen > 0

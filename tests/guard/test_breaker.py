@@ -1,0 +1,176 @@
+"""Circuit-breaker state machine, pinned two ways.
+
+Direct unit tests pin the transition edges the overload design depends
+on (a dead peer gets ONE half-open probe, not a herd; no open → closed
+shortcut), and a hypothesis :class:`RuleBasedStateMachine` drives random
+interleavings of successes, failures, allow() calls, and clock advances
+against a reference model of the legal transition graph.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.guard import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make(threshold=3, reset=1.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold, reset, clock=clock), clock
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self):
+        cb, _ = make()
+        assert cb.state == CircuitBreaker.CLOSED
+        assert cb.allow()
+
+    def test_opens_after_consecutive_failures(self):
+        cb, _ = make(threshold=3)
+        cb.record_failure()
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.CLOSED
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.OPEN
+        assert cb.opens == 1
+
+    def test_success_resets_consecutive_count(self):
+        cb, _ = make(threshold=2)
+        cb.record_failure()
+        cb.record_success()
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.CLOSED
+
+    def test_open_rejects_until_reset_timeout(self):
+        cb, clock = make(threshold=1, reset=1.0)
+        cb.record_failure()
+        assert not cb.allow()
+        clock.advance(0.5)
+        assert not cb.allow()
+        assert cb.rejections == 2
+
+    def test_single_probe_after_timeout(self):
+        cb, clock = make(threshold=1, reset=1.0)
+        cb.record_failure()
+        clock.advance(1.0)
+        assert cb.allow()
+        assert cb.state == CircuitBreaker.HALF_OPEN
+        # The probe is outstanding: everyone else is rejected.
+        assert not cb.allow()
+        assert not cb.allow()
+        assert cb.probes == 1
+
+    def test_probe_success_closes(self):
+        cb, clock = make(threshold=1, reset=1.0)
+        cb.record_failure()
+        clock.advance(1.0)
+        assert cb.allow()
+        cb.record_success()
+        assert cb.state == CircuitBreaker.CLOSED
+        assert cb.allow()
+        assert cb.closes == 1
+
+    def test_probe_failure_reopens_with_fresh_timer(self):
+        cb, clock = make(threshold=1, reset=1.0)
+        cb.record_failure()
+        clock.advance(1.0)
+        assert cb.allow()
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.OPEN
+        assert not cb.allow()
+        clock.advance(1.0)
+        assert cb.allow()  # a fresh probe after the new timeout
+
+    def test_no_open_to_closed_without_probe(self):
+        # A success reported while OPEN (an attempt that started before
+        # the trip) must NOT close the breaker.
+        cb, clock = make(threshold=1, reset=10.0)
+        cb.record_failure()
+        cb.record_success()
+        assert cb.state == CircuitBreaker.OPEN
+        assert not cb.allow()
+
+    def test_failures_while_open_do_not_extend_timer(self):
+        cb, clock = make(threshold=1, reset=1.0)
+        cb.record_failure()
+        clock.advance(0.9)
+        cb.record_failure()  # straggler failing late
+        clock.advance(0.1)
+        assert cb.allow()  # original deadline still applies
+
+
+class BreakerMachine(RuleBasedStateMachine):
+    """Random drive of the breaker against the legal transition graph."""
+
+    def __init__(self):
+        super().__init__()
+        self.clock = FakeClock()
+        self.cb = CircuitBreaker(3, 1.0, clock=self.clock)
+        self.prev_state = self.cb.state
+        self.prev_counters = self._counters()
+        self.probe_succeeded_since_open = False
+
+    def _counters(self):
+        cb = self.cb
+        return (cb.failures, cb.successes, cb.opens, cb.closes,
+                cb.probes, cb.rejections)
+
+    def _track(self):
+        state = self.cb.state
+        if self.prev_state == CircuitBreaker.OPEN:
+            # The only way out of OPEN is allow() granting a half-open
+            # probe — never straight to CLOSED.
+            assert state != CircuitBreaker.CLOSED
+        if self.prev_state == CircuitBreaker.CLOSED:
+            assert state != CircuitBreaker.HALF_OPEN
+        self.prev_state = state
+
+    @rule()
+    def success(self):
+        self.cb.record_success()
+        self._track()
+
+    @rule()
+    def failure(self):
+        self.cb.record_failure()
+        self._track()
+
+    @rule()
+    def attempt(self):
+        allowed = self.cb.allow()
+        if self.prev_state == CircuitBreaker.HALF_OPEN:
+            # At most one probe outstanding: a second allow() in
+            # half-open must be rejected.
+            assert not allowed
+        self._track()
+
+    @rule(dt=st.floats(min_value=0.0, max_value=3.0))
+    def tick(self, dt):
+        self.clock.advance(dt)
+
+    @invariant()
+    def counters_monotone(self):
+        now = self._counters()
+        assert all(a >= b for a, b in zip(now, self.prev_counters))
+        self.prev_counters = now
+
+    @invariant()
+    def state_is_legal(self):
+        assert self.cb.state in (
+            CircuitBreaker.CLOSED, CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN
+        )
+
+
+TestBreakerMachine = BreakerMachine.TestCase
+TestBreakerMachine.settings = settings(max_examples=60, deadline=None)

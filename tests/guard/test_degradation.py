@@ -1,0 +1,98 @@
+"""Degradation ladder: hysteresis, one rung at a time, monotone effects."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guard import DegradationLadder
+
+
+class TestLadder:
+    def test_starts_normal(self):
+        dl = DegradationLadder()
+        assert dl.level == DegradationLadder.NORMAL
+        assert not dl.use_cached_demand
+        assert dl.collect_timeout_multiplier == 1.0
+        assert dl.interval_multiplier == 1.0
+        assert not dl.force_changed_only
+
+    def test_escalates_after_trip_after(self):
+        dl = DegradationLadder(trip_after=3)
+        dl.observe(True)
+        dl.observe(True)
+        assert dl.level == DegradationLadder.NORMAL
+        dl.observe(True)
+        assert dl.level == DegradationLadder.CACHED_DEMAND
+        assert dl.use_cached_demand
+        assert dl.collect_timeout_multiplier < 1.0
+
+    def test_one_rung_at_a_time(self):
+        dl = DegradationLadder(trip_after=2)
+        levels = [dl.observe(True) for _ in range(20)]
+        # Never jumps a rung; tops out at the max.
+        for prev, cur in zip([0] + levels, levels):
+            assert cur - prev <= 1
+        assert levels[-1] == DegradationLadder.MAX_LEVEL
+
+    def test_effects_stack_with_level(self):
+        dl = DegradationLadder(trip_after=1)
+        dl.observe(True)
+        assert dl.use_cached_demand and dl.interval_multiplier == 1.0
+        dl.observe(True)
+        assert dl.interval_multiplier > 1.0 and not dl.force_changed_only
+        dl.observe(True)
+        assert dl.force_changed_only
+        # All lower-rung effects still active at the top.
+        assert dl.use_cached_demand
+        assert dl.collect_timeout_multiplier < 1.0
+
+    def test_recovery_needs_sustained_good_cycles(self):
+        dl = DegradationLadder(trip_after=1, recover_after=3)
+        dl.observe(True)
+        assert dl.level == 1
+        dl.observe(False)
+        dl.observe(False)
+        assert dl.level == 1  # hysteresis: not yet
+        dl.observe(False)
+        assert dl.level == 0
+        assert dl.recoveries == 1
+
+    def test_flapping_does_not_escalate(self):
+        # A strictly alternating signal never reaches trip_after=2.
+        dl = DegradationLadder(trip_after=2, recover_after=2)
+        for i in range(40):
+            dl.observe(i % 2 == 0)
+        assert dl.level <= 1
+
+    def test_good_cycle_resets_bad_streak(self):
+        dl = DegradationLadder(trip_after=3)
+        dl.observe(True)
+        dl.observe(True)
+        dl.observe(False)
+        dl.observe(True)
+        dl.observe(True)
+        assert dl.level == 0
+
+    @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=200),
+           trip=st.integers(min_value=1, max_value=5),
+           recover=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_under_any_signal(self, outcomes, trip, recover):
+        dl = DegradationLadder(trip_after=trip, recover_after=recover)
+        prev_level = dl.level
+        prev_esc, prev_rec = dl.escalations, dl.recoveries
+        for degraded in outcomes:
+            level = dl.observe(degraded)
+            assert 0 <= level <= DegradationLadder.MAX_LEVEL
+            assert abs(level - prev_level) <= 1
+            # A level change in the wrong direction for the signal is a bug.
+            if level > prev_level:
+                assert degraded
+            if level < prev_level:
+                assert not degraded
+            assert dl.escalations >= prev_esc
+            assert dl.recoveries >= prev_rec
+            # Multipliers stay monotone in the level.
+            assert dl.interval_multiplier >= 1.0
+            assert 0.0 < dl.collect_timeout_multiplier <= 1.0
+            prev_level = level
+            prev_esc, prev_rec = dl.escalations, dl.recoveries

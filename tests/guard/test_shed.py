@@ -1,0 +1,92 @@
+"""BoundedOutbox: bounded memory, shed-oldest-sheddable, never drop pacing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guard import BoundedOutbox
+
+
+class TestBoundedOutbox:
+    def test_unbounded_by_default(self):
+        ob = BoundedOutbox()
+        for _ in range(100):
+            ob.push(b"x" * 100, sheddable=True)
+        assert ob.pending_bytes == 10_000
+        assert ob.frames_shed == 0
+
+    def test_sheds_oldest_sheddable_first(self):
+        ob = BoundedOutbox(max_bytes=10)
+        ob.push(b"aaaa", sheddable=True)
+        ob.push(b"bbbb", sheddable=True)
+        ob.push(b"cccc", sheddable=True)
+        # 12 bytes > 10: the oldest ("aaaa") goes.
+        assert ob.frames_shed == 1
+        assert ob.drain() == b"bbbbcccc"
+
+    def test_non_sheddable_never_dropped(self):
+        ob = BoundedOutbox(max_bytes=4)
+        ob.push(b"aaaa", sheddable=False)
+        ob.push(b"bbbb", sheddable=False)
+        # Over budget but nothing is sheddable: keep everything.
+        assert ob.frames_shed == 0
+        assert ob.pending_bytes == 8
+        ob.push(b"cccc", sheddable=True)
+        # Only the sheddable newcomer can go.
+        assert ob.frames_shed == 1
+        assert ob.drain() == b"aaaabbbb"
+
+    def test_order_preserved_across_shed(self):
+        ob = BoundedOutbox(max_bytes=9)
+        ob.push(b"111", sheddable=True)
+        ob.push(b"222", sheddable=False)
+        ob.push(b"333", sheddable=True)
+        ob.push(b"444", sheddable=False)
+        # 12 > 9: "111" sheds; relative order of the rest is unchanged.
+        assert ob.drain() == b"222333444"
+
+    def test_drain_clears(self):
+        ob = BoundedOutbox(max_bytes=100)
+        ob.push(b"abc")
+        assert ob.drain() == b"abc"
+        assert ob.pending_bytes == 0
+        assert ob.pending_frames == 0
+        assert ob.drain() == b""
+
+    def test_clear_drops_everything(self):
+        ob = BoundedOutbox()
+        ob.push(b"abc")
+        ob.clear()
+        assert ob.pending_bytes == 0
+        assert len(ob) == 0
+
+    @given(frames=st.lists(
+        st.tuples(st.binary(min_size=1, max_size=64), st.booleans()),
+        min_size=1, max_size=60,
+    ), max_bytes=st.integers(min_value=8, max_value=256))
+    @settings(max_examples=100, deadline=None)
+    def test_bound_holds_modulo_nonsheddable(self, frames, max_bytes):
+        ob = BoundedOutbox(max_bytes=max_bytes)
+        pushed_bytes = 0
+        nonsheddable = []
+        for frame, sheddable in frames:
+            ob.push(frame, sheddable=sheddable)
+            pushed_bytes += len(frame)
+            if not sheddable:
+                nonsheddable.append(frame)
+            residue = sum(len(f) for f in nonsheddable)
+            # Post-shed, pending is bounded by the budget plus whatever
+            # non-sheddable residue cannot be dropped.
+            assert ob.pending_bytes <= max(max_bytes, residue)
+            # Accounting is conserved.
+            assert ob.pending_bytes + ob.bytes_shed == pushed_bytes
+        # Everything non-sheddable survives, in order.
+        drained = ob.drain()
+        pos = 0
+        for frame in nonsheddable:
+            idx = drained.find(frame, pos)
+            assert idx >= 0
+            pos = idx + len(frame)
+        assert ob.high_water_bytes <= max(max_bytes, max(
+            (sum(len(f) for f in nonsheddable[:i + 1]) for i in range(len(nonsheddable))),
+            default=0,
+        )) + 64  # one frame may be in flight past the mark before shed

@@ -1,0 +1,77 @@
+"""Demand clamp + usage window: liars converge to their cap, honest pass."""
+
+from repro.core.metrics import UsageWindow
+from repro.guard import DemandClamp
+
+
+class TestUsageWindow:
+    def test_first_observation_is_taken_verbatim(self):
+        uw = UsageWindow()
+        assert uw.observe("s", 100.0) == 100.0
+
+    def test_rises_fast_decays_slow(self):
+        uw = UsageWindow(alpha_up=0.5, alpha_down=0.1)
+        uw.observe("s", 100.0)
+        up = uw.observe("s", 1000.0)
+        assert up == 0.5 * 1000.0 + 0.5 * 100.0
+        uw2 = UsageWindow(alpha_up=0.5, alpha_down=0.1)
+        uw2.observe("s", 1000.0)
+        down = uw2.observe("s", 100.0)
+        # After one step the decayed value retains far more of the old
+        # high level than the risen value retains of the old low level.
+        assert down == 0.1 * 100.0 + 0.9 * 1000.0
+        assert down > 1000.0 - up
+
+    def test_forget(self):
+        uw = UsageWindow()
+        uw.observe("s", 50.0)
+        uw.forget("s")
+        assert uw.value("s") == 0.0
+        assert len(uw) == 0
+
+
+class TestDemandClamp:
+    def test_cold_start_cap_covers_honest_default(self):
+        # A fresh stage with the repo's default demand (1000 + 200 IOPS)
+        # must not be clamped before it has any usage history.
+        dc = DemandClamp()
+        assert dc.cap("fresh") >= 1200.0
+        assert dc.clamp("fresh", 1200.0) == 1200.0
+        assert dc.clamps == 0
+
+    def test_liar_is_capped(self):
+        dc = DemandClamp(factor=8.0, floor_iops=200.0)
+        capped = dc.clamp("liar", 1e9)
+        assert capped == 8.0 * 200.0
+        assert dc.clamps == 1
+        assert dc.clamped_iops_total == 1e9 - 1600.0
+
+    def test_trust_grows_with_real_usage(self):
+        dc = DemandClamp(factor=4.0, floor_iops=100.0)
+        # A tenant legitimately using 5000 IOPS earns headroom fast.
+        for _ in range(5):
+            dc.observe("big", reported=5000.0, granted=5000.0)
+        assert dc.cap("big") >= 4.0 * 4000.0
+        assert dc.clamp("big", 6000.0) == 6000.0
+
+    def test_liar_cannot_earn_trust_beyond_grant(self):
+        dc = DemandClamp(factor=4.0, floor_iops=100.0)
+        # Reports 1e6, but the plane only ever granted 500.
+        for _ in range(20):
+            dc.observe("liar", reported=1e6, granted=500.0)
+        assert dc.cap("liar") <= 4.0 * 500.0 + 1e-6
+
+    def test_idle_cycle_does_not_collapse_trust(self):
+        dc = DemandClamp(factor=4.0, floor_iops=100.0)
+        for _ in range(10):
+            dc.observe("s", reported=2000.0, granted=2000.0)
+        before = dc.cap("s")
+        dc.observe("s", reported=0.0, granted=2000.0)
+        # Slow decay: one idle cycle keeps most of the earned headroom.
+        assert dc.cap("s") > 0.8 * before
+
+    def test_forget_resets_to_floor(self):
+        dc = DemandClamp(factor=8.0, floor_iops=200.0)
+        dc.observe("s", 5000.0, 5000.0)
+        dc.forget("s")
+        assert dc.cap("s") == 1600.0

@@ -118,3 +118,142 @@ class TestHttpServer:
             assert "JSON object" in str(exc)
         else:
             raise AssertionError("expected ValueError")
+
+
+class TestAbuseGuards:
+    """Parse-layer overload/abuse defenses (PR 8 regression pins)."""
+
+    def test_malformed_content_length_is_400_not_413(self):
+        # Regression: ``Content-Length: banana`` used to raise ValueError
+        # inside _read_request and surface as "413 body too large".
+        async def handler(request):  # pragma: no cover - never reached
+            return HttpResponse(200, {})
+
+        async def scenario(server):
+            head = (
+                "POST /tenants HTTP/1.1\r\n"
+                "Content-Length: banana\r\n\r\n"
+            ).encode()
+            return await _raw_request(server.port, head)
+
+        raw = _run_with_server(handler, scenario)
+        assert raw.startswith(b"HTTP/1.1 400 ")
+        assert b"content-length" in raw
+
+    def test_negative_content_length_is_400(self):
+        async def handler(request):  # pragma: no cover - never reached
+            return HttpResponse(200, {})
+
+        async def scenario(server):
+            head = (
+                "POST /tenants HTTP/1.1\r\n"
+                "Content-Length: -5\r\n\r\n"
+            ).encode()
+            return await _raw_request(server.port, head)
+
+        raw = _run_with_server(handler, scenario)
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_too_many_header_lines_is_431(self):
+        from repro.service.http import MAX_HEADERS
+
+        async def handler(request):  # pragma: no cover - never reached
+            return HttpResponse(200, {})
+
+        async def scenario(server):
+            lines = "".join(
+                f"X-Flood-{i}: x\r\n" for i in range(MAX_HEADERS + 5)
+            )
+            head = f"GET /healthz HTTP/1.1\r\n{lines}\r\n".encode()
+            return await _raw_request(server.port, head)
+
+        raw = _run_with_server(handler, scenario)
+        assert raw.startswith(b"HTTP/1.1 431 ")
+
+    def test_header_bytes_cap_is_431(self):
+        # Few header lines, but huge ones: the byte cap must trip even
+        # when the line count stays under MAX_HEADERS.
+        from repro.service.http import MAX_HEADER_BYTES
+
+        async def handler(request):  # pragma: no cover - never reached
+            return HttpResponse(200, {})
+
+        async def scenario(server):
+            big = "y" * (MAX_HEADER_BYTES // 4)
+            lines = "".join(f"X-Big-{i}: {big}\r\n" for i in range(8))
+            head = f"GET /healthz HTTP/1.1\r\n{lines}\r\n".encode()
+            return await _raw_request(server.port, head)
+
+        raw = _run_with_server(handler, scenario)
+        assert raw.startswith(b"HTTP/1.1 431 ")
+
+    def test_headers_under_caps_still_parse(self):
+        seen = {}
+
+        async def handler(request):
+            seen.update(request.headers)
+            return HttpResponse(200, {})
+
+        async def scenario(server):
+            lines = "".join(f"X-Ok-{i}: v\r\n" for i in range(10))
+            head = (
+                f"GET /healthz HTTP/1.1\r\n{lines}"
+                "Content-Length: 0\r\n\r\n"
+            ).encode()
+            return await _raw_request(server.port, head)
+
+        raw = _run_with_server(handler, scenario)
+        assert raw.startswith(b"HTTP/1.1 200 ")
+        assert seen["x-ok-0"] == "v"
+
+
+class TestResponseExtensions:
+    def test_extra_headers_are_emitted(self):
+        raw = HttpResponse(
+            429, {"error": "shed"}, headers={"Retry-After": "2"}
+        ).encode()
+        head, _, _ = raw.partition(b"\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Retry-After: 2\r\n" in head
+
+    def test_text_body_is_plain_text(self):
+        raw = HttpResponse(200, text="metric_a 1\n").encode()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"Content-Type: text/plain" in head
+        assert body == b"metric_a 1\n"
+
+
+class TestConnectionCap:
+    def test_over_cap_connection_gets_503(self):
+        release = asyncio.Event()
+
+        async def handler(request):
+            await release.wait()
+            return HttpResponse(200, {})
+
+        async def main():
+            server = HttpServer(handler, max_connections=1)
+            await server.start()
+            try:
+                # First connection parks inside the handler, holding
+                # the only slot; the second must be shed with a 503.
+                first = asyncio.create_task(
+                    _raw_request(
+                        server.port, _request(server.port, "GET", "/x")
+                    )
+                )
+                await asyncio.sleep(0.05)
+                second = await _raw_request(
+                    server.port, _request(server.port, "GET", "/x")
+                )
+                release.set()
+                first_raw = await first
+                return first_raw, second, server.connections_shed
+            finally:
+                await server.stop()
+
+        first_raw, second, shed = asyncio.run(main())
+        assert first_raw.startswith(b"HTTP/1.1 200 ")
+        assert second.startswith(b"HTTP/1.1 503 ")
+        assert b"Retry-After: 1" in second
+        assert shed == 1

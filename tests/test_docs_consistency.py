@@ -97,7 +97,7 @@ class TestReadmeClaims:
         design = (REPO_ROOT / "DESIGN.md").read_text()
         for pkg in ("simnet", "core", "dataplane", "pfs", "jobs", "monitoring",
                     "obs", "harness", "live", "chaos", "shard", "service",
-                    "store"):
+                    "store", "guard"):
             assert pkg in design, pkg
 
 
