@@ -42,6 +42,17 @@ and CI can catch regressions. Three suites:
     snapshot + WAL replay — the time a crashed control plane spends
     before it can issue its first post-restart epoch.
 
+``shootout``
+    The PR 9 controller-brain race (:mod:`repro.core.shootout`): PSFA,
+    the PID feedback loop, the PADLL-style metadata throttler, and the
+    demand-blind baselines replay identical seeded traces — a mid-run
+    demand burst and a metadata storm — and are scored on convergence
+    cycles, Jain fairness, overshoot vs. the capacity line, utilization,
+    and storm containment. Fully deterministic for the committed seed,
+    so the winner table is CI-checkable; ``speedup`` is the containment
+    ratio ``storm_share(psfa) / storm_share(padll)`` — what the
+    per-tenant metadata cap buys over plain water-fill in one number.
+
 Every suite reports a ``speedup`` measured against a baseline captured
 in the *same run* — never against numbers frozen on other hardware —
 and stamps the host it ran on (``cpu_count``, ``hostname``) so
@@ -631,6 +642,40 @@ def bench_overload(quick: bool = False) -> Dict:
     }
 
 
+# -- suite 7: controller-brain shootout -----------------------------------------
+
+
+def bench_shootout(quick: bool = False) -> Dict:
+    """Race every controller brain on identical seeded traces.
+
+    Thin wrapper over :func:`repro.core.shootout.run_shootout` — the
+    same racer behind ``examples/algorithm_shootout.py`` — so the bench
+    artefact and the example can never drift apart. All scoring columns
+    are deterministic for the committed seed (wall-clock is recorded but
+    never decides a winner), which is what lets CI assert the winner
+    table instead of a noisy latency. ``speedup`` is the metadata-storm
+    containment ratio psfa/padll: how much less of the MDS budget the
+    storming tenant holds once the PADLL-style per-tenant cap is on.
+    """
+    from repro.core.shootout import run_shootout
+
+    result = run_shootout(cycles=24 if quick else 60)
+    rows = result["contenders"]
+    return {
+        "workload": "seeded burst + metadata-storm traces, one per brain",
+        "seed": result["seed"],
+        "cycles": result["cycles"],
+        "n_jobs": result["n_jobs"],
+        "contenders": rows,
+        "winners": result["winners"],
+        "speedup": (
+            rows["psfa"]["storm_share"]
+            / max(rows["padll"]["storm_share"], 1e-12)
+        ),
+        **_host_stamp(),
+    }
+
+
 # -- entry points ---------------------------------------------------------------
 
 
@@ -645,6 +690,7 @@ def run_bench(quick: bool = False) -> Dict:
         "shard": bench_shard(quick),
         "store": bench_store(quick),
         "overload": bench_overload(quick),
+        "shootout": bench_shootout(quick),
     }
 
 

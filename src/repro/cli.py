@@ -650,6 +650,19 @@ def _cmd_bench(args) -> int:
             "overload guard advantage (10x leg)",
             f"{result['overload']['speedup']:.2f}x honest goodput",
         ],
+        *[
+            [
+                f"shootout {name}",
+                f"conv={row['convergence_cycles']} cycles, "
+                f"jain={row['jain_index']:.3f}, "
+                f"storm={row['storm_share']:.0%} of MDS",
+            ]
+            for name, row in result["shootout"]["contenders"].items()
+        ],
+        [
+            "shootout storm containment (padll vs psfa)",
+            f"{result['shootout']['speedup']:.2f}x less MDS held by storm",
+        ],
     ]
     text = format_table(
         ["benchmark", "value"], rows, title="Hot-path micro-benchmarks"

@@ -7,15 +7,20 @@ from repro.core.algorithms.baselines import (
     StaticPartition,
     UniformShare,
 )
-from repro.core.algorithms.psfa import PSFA, weighted_waterfill
+from repro.core.algorithms.padll import PADLLThrottler
+from repro.core.algorithms.pid import PIDController
+from repro.core.algorithms.psfa import PSFA, split_job_allocation, weighted_waterfill
 
 __all__ = [
     "AllocationResult",
     "ControlAlgorithm",
     "MaxMinFair",
     "NaiveProportional",
+    "PADLLThrottler",
+    "PIDController",
     "PSFA",
     "StaticPartition",
     "UniformShare",
+    "split_job_allocation",
     "weighted_waterfill",
 ]

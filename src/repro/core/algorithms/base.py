@@ -2,8 +2,12 @@
 
 A control algorithm maps the cycle's observed state — per-job demand,
 per-job weight, the PFS capacity budget, optional floors — to per-job IOPS
-allocations. All implementations are pure, vectorized NumPy functions of
-their inputs: no hidden state, so a cycle can be replayed offline.
+allocations. Most implementations are pure, vectorized NumPy functions of
+their inputs — no hidden state, so a cycle can be replayed offline.
+Feedback controllers (``PIDController``) are the documented exception:
+they carry integrator/derivative state between cycles, reset it whenever
+the job population changes size, and expose ``reset()`` so a replay can
+start from a clean slate.
 """
 
 from __future__ import annotations

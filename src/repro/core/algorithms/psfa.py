@@ -67,6 +67,15 @@ def weighted_waterfill(
     if total_demand <= capacity:
         return demands.copy()
 
+    # This function is exported on its own (callable without
+    # validate_inputs), so degenerate weights must be guarded here: a
+    # zero weight divides by zero below, and a 0-demand/0-weight pair
+    # yields nan — which poisons the argsort and the whole allocation.
+    # Clamping to _EPS keeps positive-weight behavior bit-identical and
+    # gives zero-weight jobs a saturation ratio so large they are only
+    # granted once everyone else is satisfied.
+    weights = np.maximum(weights, _EPS)
+
     ratio = demands / weights
     order = np.argsort(ratio, kind="stable")
     d_sorted = demands[order]
@@ -97,9 +106,13 @@ def split_job_allocation(
 ) -> np.ndarray:
     """Split one job's grant across its stages, proportional to demand.
 
-    Stages with zero demand share equally in any allocation left after
-    demand-proportional splitting of active stages (this only matters for
-    multi-stage jobs whose stages idle asymmetrically).
+    Active stages split ``min(job_allocation, total_demand)`` in
+    proportion to their demand. When the grant exceeds total demand and
+    some stages are idle, the surplus is split equally among the idle
+    stages (the same idle-stage equal-split convention as
+    ``Controller._allocate_vector``); with no idle stages the surplus is
+    folded into the proportional split, so every stage scales up
+    uniformly. All stages idle → the whole grant splits equally.
     """
     if job_allocation < 0:
         raise ValueError(f"negative job allocation: {job_allocation}")
@@ -112,6 +125,12 @@ def split_job_allocation(
     total = float(stage_demands.sum())
     if total <= _EPS:
         return np.full(n, job_allocation / n)
+    idle = stage_demands <= _EPS
+    surplus = job_allocation - total
+    if surplus > _EPS and np.any(idle):
+        alloc = stage_demands.copy()
+        alloc[idle] = surplus / int(idle.sum())
+        return alloc
     return job_allocation * stage_demands / total
 
 

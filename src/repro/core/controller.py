@@ -36,6 +36,7 @@ budget_ack         epoch                                       agg → global
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, Iterable, List, Mapping, Optional, Tuple
 
@@ -274,6 +275,11 @@ class GlobalController(_ControllerBase):
         self.tracer = span_tracer if span_tracer is not None else NullSpanTracer()
         self.policy = policy
         self.algorithm = algorithm or PSFA()
+        # Stateful brains (e.g. the PID controller) carry loop state
+        # between cycles; running data and metadata through one instance
+        # would interleave two control loops.  Each axis gets its own
+        # twin, matching the live planes.
+        self.metadata_algorithm = copy.deepcopy(self.algorithm)
         self.collect_timeout_s = collect_timeout_s
         self.decision_offload = decision_offload
         #: When set, the enforce phase ships only rules whose limits moved
@@ -595,6 +601,11 @@ class GlobalController(_ControllerBase):
                 for s in stage_ids
             ]
         )
+        axes = getattr(self.algorithm, "allocate_axes", None)
+        if axes is not None:
+            return self._allocate_axes_vector(
+                stage_ids, data_demand, metadata_demand, axes
+            )
         data = self._allocate_vector(
             stage_ids, data_demand, self.policy.allocatable_iops
         )
@@ -605,8 +616,60 @@ class GlobalController(_ControllerBase):
             metadata_demand,
             self.policy.allocatable_metadata_iops,
             use_guarantees=False,
+            algorithm=self.metadata_algorithm,
         )
         return data, metadata
+
+    def _allocate_axes_vector(
+        self,
+        stage_ids: List[str],
+        data_demand: np.ndarray,
+        metadata_demand: np.ndarray,
+        axes: Callable,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Both axes in one call, for brains with ``allocate_axes``
+        (the PADLL-style throttler couples them via per-tenant caps)."""
+        job_ids, job_index = self._job_indices(stage_ids)
+        n_jobs = len(job_ids)
+        job_data = np.zeros(n_jobs)
+        np.add.at(job_data, job_index, data_demand)
+        job_meta = np.zeros(n_jobs)
+        np.add.at(job_meta, job_index, metadata_demand)
+        weights = self.policy.weights(job_ids)
+        data_res, meta_res = axes(
+            job_data,
+            job_meta,
+            weights,
+            self.policy.allocatable_iops,
+            self.policy.allocatable_metadata_iops,
+            guarantees=self.policy.guarantees(job_ids),
+        )
+        data = self._split_to_stages(
+            data_demand, job_data, data_res.allocations, job_index, n_jobs
+        )
+        metadata = self._split_to_stages(
+            metadata_demand, job_meta, meta_res.allocations, job_index, n_jobs
+        )
+        return data, metadata
+
+    @staticmethod
+    def _split_to_stages(
+        stage_demand: np.ndarray,
+        job_demand: np.ndarray,
+        job_alloc: np.ndarray,
+        job_index: np.ndarray,
+        n_jobs: int,
+    ) -> np.ndarray:
+        """Split each job's grant across its stages, demand-proportionally;
+        stages of an idle job share its (zero) grant equally."""
+        denom = np.where(job_demand > 0, job_demand, 1.0)
+        share = np.where(
+            job_demand[job_index] > 0,
+            stage_demand / denom[job_index],
+            1.0
+            / np.maximum(np.bincount(job_index, minlength=n_jobs), 1)[job_index],
+        )
+        return job_alloc[job_index] * share
 
     def _allocate_vector(
         self,
@@ -614,6 +677,7 @@ class GlobalController(_ControllerBase):
         stage_demand: np.ndarray,
         capacity: float,
         use_guarantees: bool = True,
+        algorithm: Optional[ControlAlgorithm] = None,
     ) -> np.ndarray:
         """Job-level allocation of ``capacity``, split back to stages."""
         job_ids, job_index = self._job_indices(stage_ids)
@@ -621,19 +685,11 @@ class GlobalController(_ControllerBase):
         np.add.at(job_demand, job_index, stage_demand)
         weights = self.policy.weights(job_ids)
         guarantees = self.policy.guarantees(job_ids) if use_guarantees else None
-        result = self.algorithm.allocate(
-            job_demand, weights, capacity, guarantees
+        algo = algorithm if algorithm is not None else self.algorithm
+        result = algo.allocate(job_demand, weights, capacity, guarantees)
+        return self._split_to_stages(
+            stage_demand, job_demand, result.allocations, job_index, len(job_ids)
         )
-        # Split each job's grant across its stages, demand-proportionally;
-        # stages of an idle job share its (zero) grant equally.
-        job_alloc = result.allocations
-        denom = np.where(job_demand > 0, job_demand, 1.0)
-        share = np.where(
-            job_demand[job_index] > 0,
-            stage_demand / denom[job_index],
-            1.0 / np.maximum(np.bincount(job_index, minlength=len(job_ids)), 1)[job_index],
-        )
-        return job_alloc[job_index] * share
 
     # -- enforce helpers --------------------------------------------------------
     def _enforce_stages(

@@ -1,0 +1,247 @@
+"""Controller-brain shootout: race allocation algorithms on shared traces.
+
+Every contender sees the *identical* seeded workload — the demand traces
+are precomputed once per seed and replayed against a fresh instance of
+each algorithm — so the scorecard isolates the brain, not the noise.
+
+Two scenarios, four headline metrics:
+
+* **Burst** (single axis): a steady fleet where one job steps to 5x its
+  base demand mid-run. Measured per contender:
+
+  - ``convergence_cycles`` — cycles after the burst until the bursting
+    job's grant settles within 5% of its post-burst steady state (and
+    stays there). Water-fillers converge in ≤1 cycle; the PID loop takes
+    several, which is the price of its smoothness.
+  - ``jain_index`` — Jain's fairness index ``(Σx)² / (n·Σx²)`` over
+    weight-normalised grants at the final contended cycle. 1.0 is
+    perfectly weighted-fair.
+  - ``overshoot_frac`` — worst-case ``(Σalloc − capacity)/capacity``
+    across the run, clipped at 0. Pure water-fillers never overshoot;
+    a badly tuned feedback loop can.
+  - ``utilization`` — useful grant (``min(alloc, demand)``) over the
+    contended optimum at the final cycle; exposes static partitioning
+    wasting capacity on idle tenants.
+
+* **Storm** (two axes): one tenant floods the metadata axis at 5x the
+  whole MDS budget while the others make modest requests.
+
+  - ``storm_share`` — the storming tenant's final share of the metadata
+    capacity. Lower is better containment; the PADLL-style throttler's
+    per-tenant cap bounds it by construction.
+  - ``victim_share`` — the worst-off innocent tenant's
+    ``grant/demand`` on the metadata axis. 1.0 means the storm did not
+    touch the bystanders.
+  - ``meta_utilization`` — useful metadata grant over the contended
+    optimum. Demand-blind brains "contain" the storm by stranding MDS
+    budget on satisfied victims; this column prices that in.
+
+  Single-axis brains race the metadata axis through a second fresh
+  instance (the same twin-instance rule the controllers use); brains
+  exposing ``allocate_axes`` get the coupled call.
+
+Everything here is deterministic for a given seed: same seed, same
+traces, same winner table. Wall-clock timings are measured but never
+feed a winner decision.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.algorithms import (
+    MaxMinFair,
+    NaiveProportional,
+    PADLLThrottler,
+    PIDController,
+    PSFA,
+    StaticPartition,
+    UniformShare,
+)
+
+__all__ = ["default_contenders", "run_shootout", "jain_index"]
+
+_EPS = 1e-12
+
+
+def jain_index(values: np.ndarray) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` — 1.0 is perfectly fair."""
+    x = np.asarray(values, dtype=float)
+    x = x[x > _EPS]
+    if x.size == 0:
+        return 1.0
+    return min(float(x.sum() ** 2 / (x.size * float((x * x).sum()))), 1.0)
+
+
+def default_contenders() -> Dict[str, Callable]:
+    """Factory per contender — fresh instances per scenario, so stateful
+    brains (PID) never leak loop state across races."""
+    return {
+        "psfa": PSFA,
+        "pid": PIDController,
+        "padll": lambda: PADLLThrottler(metadata_cap_fraction=0.25),
+        "max-min-fair": MaxMinFair,
+        "naive-proportional": NaiveProportional,
+        "static-partition": StaticPartition,
+        "uniform-share": UniformShare,
+    }
+
+
+def _burst_trace(
+    rng: np.random.Generator, n_jobs: int, cycles: int, burst_at: int
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Precompute the shared burst workload: (demands[cycle, job],
+    weights, capacity). Job 0 steps to 5x its base mid-run."""
+    weights = np.array([4.0, 2.0, 2.0] + [1.0] * (n_jobs - 3))[:n_jobs]
+    base = rng.uniform(600.0, 1400.0, size=n_jobs)
+    # The last two jobs trickle: demand far below their weight share, so
+    # demand-blind brains strand their budget (the paper's "false
+    # allocation") and the utilization column shows it.
+    base[-2:] = rng.uniform(40.0, 90.0, size=2)
+    noise = rng.normal(1.0, 0.02, size=(cycles, n_jobs))
+    demands = base[None, :] * np.clip(noise, 0.9, 1.1)
+    demands[burst_at:, 0] = base[0] * 5.0 * np.clip(
+        noise[burst_at:, 0], 0.9, 1.1
+    )
+    capacity = 0.7 * float(base.sum())
+    return demands, weights, capacity
+
+
+def _race_burst(
+    make: Callable, demands: np.ndarray, weights: np.ndarray, capacity: float,
+    burst_at: int,
+) -> Dict[str, float]:
+    algo = make()
+    cycles = demands.shape[0]
+    grants = np.zeros_like(demands)
+    overshoot = 0.0
+    demand_limited = np.zeros(demands.shape[1], dtype=bool)
+    for c in range(cycles):
+        result = algo.allocate(demands[c], weights, capacity)
+        grants[c] = result.allocations
+        demand_limited = result.demand_limited
+        total = float(grants[c].sum())
+        overshoot = max(overshoot, (total - capacity) / capacity)
+    if overshoot < 1e-9:  # float dust must not decide a winner
+        overshoot = 0.0
+    # Convergence: last cycle the burster's grant sat OUTSIDE the 5%
+    # band around its post-burst steady state, counted from the burst.
+    final = float(grants[-1, 0])
+    band = 0.05 * max(final, _EPS)
+    settled = np.abs(grants[burst_at:, 0] - final) <= band
+    unsettled = np.nonzero(~settled)[0]
+    convergence = int(unsettled[-1] + 1) if unsettled.size else 0
+    last = grants[-1]
+    useful = float(np.minimum(last, demands[-1]).sum())
+    optimum = min(float(demands[-1].sum()), capacity)
+    # Fairness is judged among the *contended* tenants — a demand-limited
+    # tenant got everything it asked for, and counting its small grant
+    # against a work-conserving brain would reward demand-blindness.
+    contended = ~demand_limited
+    fair_over = last[contended] if np.any(contended) else last
+    fair_weights = weights[contended] if np.any(contended) else weights
+    return {
+        "convergence_cycles": convergence,
+        "jain_index": jain_index(fair_over / fair_weights),
+        "overshoot_frac": max(overshoot, 0.0),
+        "utilization": useful / optimum,
+    }
+
+
+def _race_storm(
+    make: Callable, rng: np.random.Generator, cycles: int
+) -> Dict[str, float]:
+    n_jobs = 6
+    weights = np.ones(n_jobs)
+    data_capacity = 6000.0
+    metadata_capacity = 1000.0
+    data = rng.uniform(500.0, 1500.0, size=(cycles, n_jobs))
+    # Victims make modest metadata requests — well under the MDS budget
+    # in aggregate, so the interesting question is who pockets the
+    # large leftover the storm is begging for.
+    meta = rng.uniform(40.0, 120.0, size=(cycles, n_jobs))
+    meta[:, 0] = 5.0 * metadata_capacity  # the storm
+    algo = make()
+    axes = getattr(algo, "allocate_axes", None)
+    meta_algo = None if axes is not None else make()
+    meta_grant = np.zeros(n_jobs)
+    for c in range(cycles):
+        if axes is not None:
+            _, meta_result = axes(
+                data[c], meta[c], weights, data_capacity, metadata_capacity
+            )
+        else:
+            meta_result = meta_algo.allocate(
+                meta[c], weights, metadata_capacity
+            )
+        meta_grant = meta_result.allocations
+    victims = np.arange(1, n_jobs)
+    victim_share = float(
+        np.min(meta_grant[victims] / np.maximum(meta[-1, victims], _EPS))
+    )
+    useful = float(np.minimum(meta_grant, meta[-1]).sum())
+    optimum = min(float(meta[-1].sum()), metadata_capacity)
+    return {
+        "storm_share": float(meta_grant[0]) / metadata_capacity,
+        "victim_share": min(victim_share, 1.0),
+        "meta_utilization": useful / optimum,
+    }
+
+
+def _winners(rows: Dict[str, Dict[str, float]]) -> Dict[str, str]:
+    """Per-metric winner; ties break on contender order (deterministic)."""
+    names = list(rows)
+
+    def best(metric: str, sign: float) -> str:
+        # Rounded so float dust cannot decide a winner; exact ties break
+        # on contender order, which is fixed.
+        return min(names, key=lambda n: sign * round(rows[n][metric], 9))
+
+    return {
+        "convergence": best("convergence_cycles", 1.0),
+        "fairness": best("jain_index", -1.0),
+        "overshoot": best("overshoot_frac", 1.0),
+        "utilization": best("utilization", -1.0),
+        "containment": best("storm_share", 1.0),
+        "victim_protection": best("victim_share", -1.0),
+    }
+
+
+def run_shootout(
+    seed: int = 20240406,
+    cycles: int = 60,
+    n_jobs: int = 8,
+    contenders: Optional[Dict[str, Callable]] = None,
+) -> Dict:
+    """Race every contender on identical seeded traces; return the table.
+
+    The returned dict maps each contender to its merged burst + storm
+    metrics (plus ``wall_s``), and carries a ``winners`` table naming
+    the best brain per metric. Deterministic modulo ``wall_s``.
+    """
+    if contenders is None:
+        contenders = default_contenders()
+    burst_at = max(cycles // 3, 1)
+    rng = np.random.default_rng(seed)
+    demands, weights, capacity = _burst_trace(rng, n_jobs, cycles, burst_at)
+    storm_seed = int(rng.integers(0, 2**31 - 1))
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, make in contenders.items():
+        t0 = time.perf_counter()
+        row = _race_burst(make, demands, weights, capacity, burst_at)
+        row.update(
+            _race_storm(make, np.random.default_rng(storm_seed), cycles)
+        )
+        row["wall_s"] = time.perf_counter() - t0
+        rows[name] = row
+    return {
+        "seed": seed,
+        "cycles": cycles,
+        "n_jobs": n_jobs,
+        "capacity": capacity,
+        "contenders": rows,
+        "winners": _winners(rows),
+    }

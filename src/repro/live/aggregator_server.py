@@ -59,7 +59,15 @@ class _StageSession(Session):
     def __init__(self, stage_id: str, job_id: str, reader, writer, meter=None) -> None:
         super().__init__(stage_id, reader, writer, meter=meter)
         self.job_id = job_id
-        self.latest_demand = 0.0
+        # Per-axis last-known demand: the upstream fallback for a dead
+        # socket must keep the data/metadata split, not a summed scalar.
+        self.latest_data_demand = 0.0
+        self.latest_metadata_demand = 0.0
+
+    @property
+    def latest_demand(self) -> float:
+        """Summed last-known demand (back-compat upstream vector)."""
+        return self.latest_data_demand + self.latest_metadata_demand
 
     @property
     def stage_id(self) -> str:
@@ -80,7 +88,7 @@ class LiveAggregator:
         collect_timeout_s: Optional[float] = None,
         enforce_timeout_s: Optional[float] = None,
         coalesce: bool = True,
-        codecs: Tuple[str, ...] = ("binary", "json"),
+        codecs: Tuple[str, ...] = ("binary2", "binary", "json"),
         span_tracer=None,
         usage_meter=None,
         metrics=None,
@@ -252,12 +260,10 @@ class LiveAggregator:
             return
         session = _StageSession(stage_id, job_id, reader, writer, meter=self.meter)
         session.outbox.max_bytes = self.session_outbox_bytes
-        # Grant binary only when both sides speak it (mixed-version safe).
-        offered = hello.get("codecs")
-        session.codec = (
-            choose_codec(offered)
-            if "binary" in self.offered_codecs
-            else "json"
+        # Grant the newest codec both sides speak (mixed-version safe):
+        # the stage's offer intersected with what *we* were built with.
+        session.codec = choose_codec(
+            hello.get("codecs"), supported=self.offered_codecs
         )
         self.sessions[session.stage_id] = session
         # Late joiners get the current alternate list with the ack, so a
@@ -413,7 +419,8 @@ class LiveAggregator:
 
         async def read_reply(s: _StageSession) -> None:
             m = await s.expect("metrics_reply", epoch)
-            s.latest_demand = m["data_iops"] + m["metadata_iops"]
+            s.latest_data_demand = float(m["data_iops"])
+            s.latest_metadata_demand = float(m["metadata_iops"])
 
         missing, _ = await gather_phase(polled, read_reply, self.collect_timeout_s)
         for s in missing:
@@ -432,7 +439,13 @@ class LiveAggregator:
                     "aggregator_id": self.aggregator_id,
                     "stage_ids": [s.stage_id for s in sessions],
                     "job_ids": [s.job_id for s in sessions],
+                    # ``demands`` stays the summed vector for pre-rev-2
+                    # global controllers; new ones read the per-axis pair.
                     "demands": [s.latest_demand for s in sessions],
+                    "data_demands": [s.latest_data_demand for s in sessions],
+                    "metadata_demands": [
+                        s.latest_metadata_demand for s in sessions
+                    ],
                     "n_missing": len(missing_ids),
                 },
             )
@@ -452,19 +465,21 @@ class LiveAggregator:
                 session = self.sessions.get(rule["stage_id"])
                 if session is None:
                     continue
+                forwarded = {
+                    "kind": "rule",
+                    "epoch": epoch,
+                    "stage_id": rule["stage_id"],
+                    "data_iops_limit": rule["data_iops_limit"],
+                }
+                if "metadata_iops_limit" in rule:
+                    forwarded["metadata_iops_limit"] = rule[
+                        "metadata_iops_limit"
+                    ]
                 try:
                     # Sheddable under outbox pressure: superseded by the
                     # next epoch's rule; the missing ack resolves through
                     # the enforce deadline.
-                    session.feed(
-                        {
-                            "kind": "rule",
-                            "epoch": epoch,
-                            "stage_id": rule["stage_id"],
-                            "data_iops_limit": rule["data_iops_limit"],
-                        },
-                        sheddable=True,
-                    )
+                    session.feed(forwarded, sheddable=True)
                     if not self.coalesce:
                         await session.flush()
                     targets.append(session)

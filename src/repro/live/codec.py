@@ -20,6 +20,16 @@ Kinds outside :data:`BINARY_KINDS` (registration, topology, rehome,
 shutdown, ...) always fall back to JSON: they are rare, structurally
 varied, and not worth a schema. :func:`encode_binary` returns ``None`` for
 them and the caller keeps the JSON path.
+
+**Codec revision 2** ("binary2" on the negotiation wire) adds the
+metadata QoS axis to ``rule`` frames as a new tag (``_TAG_RULE_V2``)
+carrying both ``data_iops_limit`` and ``metadata_iops_limit``. Decoding
+understands the new tag *unconditionally* — any rev-2-capable reader
+accepts it regardless of what the session negotiated — but encoding only
+emits it when the session granted ``binary2``: a rev-1 peer would reject
+tag 5 as unknown, so senders on plain ``binary`` sessions keep packing
+the legacy tag (the metadata limit is simply dropped and the old peer
+defaults it to unlimited, same as the JSON path's missing key).
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ _TAG_COLLECT_REQ = 1
 _TAG_METRICS_REPLY = 2
 _TAG_RULE = 3
 _TAG_RULE_ACK = 4
+_TAG_RULE_V2 = 5  # rule + metadata_iops_limit (codec rev 2 / "binary2")
 
 _HEAD = struct.Struct(">BB")  # magic, kind tag
 _Q = struct.Struct(">q")  # epoch
@@ -74,23 +85,25 @@ def is_binary(body: bytes) -> bool:
     return bool(body) and body[0] == BINARY_MAGIC
 
 
-def encode_binary(message: Dict[str, Any]) -> Optional[bytes]:
+def encode_binary(message: Dict[str, Any], rev: int = 1) -> Optional[bytes]:
     """Packed body for ``message``, or ``None`` if it has no packed form.
 
-    ``None`` means "use JSON": the kind has no schema, or a string field
-    exceeds the codec's 64 KiB ``>H`` length prefix (an oversized
-    ``stage_id`` must degrade to the JSON path, not crash the sender's
-    whole phase). Raises ``KeyError`` on a hot-kind message missing a
-    mandatory field — the same contract violation JSON encoding would
-    ship and the peer would reject.
+    ``rev=2`` (a "binary2" session) packs ``rule`` frames with the
+    metadata limit (``_TAG_RULE_V2``); ``rev=1`` keeps the legacy tag so
+    old readers stay compatible. ``None`` means "use JSON": the kind has
+    no schema, or a string field exceeds the codec's 64 KiB ``>H`` length
+    prefix (an oversized ``stage_id`` must degrade to the JSON path, not
+    crash the sender's whole phase). Raises ``KeyError`` on a hot-kind
+    message missing a mandatory field — the same contract violation JSON
+    encoding would ship and the peer would reject.
     """
     try:
-        return _encode_binary(message)
+        return _encode_binary(message, rev)
     except ValueError:
         return None  # unpackable string field: JSON fallback
 
 
-def _encode_binary(message: Dict[str, Any]) -> Optional[bytes]:
+def _encode_binary(message: Dict[str, Any], rev: int = 1) -> Optional[bytes]:
     kind = message["kind"]
     if kind == "collect_req":
         return _HEAD.pack(BINARY_MAGIC, _TAG_COLLECT_REQ) + _Q.pack(
@@ -105,6 +118,16 @@ def _encode_binary(message: Dict[str, Any]) -> Optional[bytes]:
             + _pack_str(message["job_id"])
         )
     if kind == "rule":
+        if rev >= 2:
+            return (
+                _HEAD.pack(BINARY_MAGIC, _TAG_RULE_V2)
+                + _Q.pack(message["epoch"])
+                + _DD.pack(
+                    message["data_iops_limit"],
+                    message.get("metadata_iops_limit", float("inf")),
+                )
+                + _pack_str(message["stage_id"])
+            )
         return (
             _HEAD.pack(BINARY_MAGIC, _TAG_RULE)
             + _Q.pack(message["epoch"])
@@ -163,6 +186,19 @@ def decode_binary(body: bytes) -> Dict[str, Any]:
                 "epoch": epoch,
                 "stage_id": stage_id,
                 "data_iops_limit": limit,
+            }
+        if tag == _TAG_RULE_V2:
+            (epoch,) = _Q.unpack_from(body, offset)
+            offset += _Q.size
+            limit, metadata_limit = _DD.unpack_from(body, offset)
+            offset += _DD.size
+            stage_id, offset = _unpack_str(body, offset)
+            return {
+                "kind": "rule",
+                "epoch": epoch,
+                "stage_id": stage_id,
+                "data_iops_limit": limit,
+                "metadata_iops_limit": metadata_limit,
             }
         if tag == _TAG_RULE_ACK:
             (epoch,) = _Q.unpack_from(body, offset)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import copy
 import time
 from typing import Dict, List, Optional, Set
 
@@ -59,7 +60,16 @@ class _StageSession(Session):
     def __init__(self, stage_id: str, job_id: str, reader, writer, meter=None) -> None:
         super().__init__(stage_id, reader, writer, meter=meter)
         self.job_id = job_id
-        self.latest_demand = 0.0
+        # Last-known demand is tracked per axis: collapsing data +
+        # metadata into one scalar loses the split a dead socket's
+        # fallback (and the metadata allocator) needs.
+        self.latest_data_demand = 0.0
+        self.latest_metadata_demand = 0.0
+
+    @property
+    def latest_demand(self) -> float:
+        """Summed last-known demand (the undifferentiated axis)."""
+        return self.latest_data_demand + self.latest_metadata_demand
 
     @property
     def stage_id(self) -> str:
@@ -490,13 +500,21 @@ class LiveGlobalController(_LiveControllerBase):
         self.rule_change_tolerance = rule_change_tolerance
         self.rules_suppressed = 0
         self.coalesce = coalesce
-        #: Encoded-rule cache: stage id -> (rule-epoch, limit, wire frame).
-        #: The rule-epoch is the epoch at which the stage's limit last
-        #: changed; the cached frame is what went on the wire then, so
-        #: the changed-only diff is O(1) and needs no re-encoding.
+        #: Encoded-rule cache: stage id -> (rule-epoch, data limit,
+        #: metadata limit, wire frame). The rule-epoch is the epoch at
+        #: which the stage's limits last changed; the cached frame is what
+        #: went on the wire then, so the changed-only diff is O(1) and
+        #: needs no re-encoding.
         self._rule_frames: Dict[str, tuple] = {}
-        #: Evicted-but-graced stages: id -> (job_id, last_demand, epoch).
+        #: Evicted-but-graced stages:
+        #: id -> (job_id, data_demand, metadata_demand, epoch).
         self.departed: Dict[str, tuple] = {}
+        #: Separate algorithm instance for the metadata axis when the
+        #: policy differentiates: a stateful brain (PID) must not have
+        #: its loop state corrupted by alternating axes through one
+        #: instance. Stateless brains don't care; PADLL-style brains are
+        #: driven through ``allocate_axes`` instead.
+        self.metadata_algorithm = copy.deepcopy(self.algorithm)
         if metrics is not None:
             self._m_suppressed = metrics.counter(
                 "repro_rules_suppressed_total",
@@ -511,7 +529,10 @@ class LiveGlobalController(_LiveControllerBase):
     def _on_evicted(self, session: Session) -> None:
         if self.evicted_grace_cycles > 0:
             self.departed[session.peer_id] = (
-                session.job_id, session.latest_demand, self.epoch
+                session.job_id,
+                session.latest_data_demand,
+                session.latest_metadata_demand,
+                self.epoch,
             )
 
     async def _after_register(self, session: Session) -> None:
@@ -586,7 +607,8 @@ class LiveGlobalController(_LiveControllerBase):
 
         async def read_reply(s: _StageSession) -> None:
             message = await s.expect("metrics_reply", epoch)
-            s.latest_demand = message["data_iops"] + message["metadata_iops"]
+            s.latest_data_demand = float(message["data_iops"])
+            s.latest_metadata_demand = float(message["metadata_iops"])
             if tracer.enabled:
                 t0 = sent_at.get(s.stage_id, started)
                 tracer.for_track(s.stage_id).emit(
@@ -608,20 +630,36 @@ class LiveGlobalController(_LiveControllerBase):
         compute_started = time.perf_counter()
         with self._cpu():
             clamp = self.demand_clamp
-            job_ids = [s.job_id for s in sessions]
-            if clamp is not None:
+
+            def clamped_axes(stage_id: str, data: float, meta: float):
                 # Trust scoring: a reported demand is only believed up to
-                # a multiple of what the stage has been using.
-                demands = [
-                    clamp.clamp(s.stage_id, s.latest_demand) for s in sessions
-                ]
-            else:
-                demands = [s.latest_demand for s in sessions]
+                # a multiple of what the stage has been using. The clamp
+                # tracks *total* demand, so a trimmed report shrinks both
+                # axes by the same ratio (the liar's split is preserved,
+                # its magnitude is not).
+                if clamp is None:
+                    return data, meta
+                total = data + meta
+                believed = clamp.clamp(stage_id, total)
+                if total > 0.0 and believed < total:
+                    ratio = believed / total
+                    return data * ratio, meta * ratio
+                return data, meta
+
+            job_ids = [s.job_id for s in sessions]
+            data_demands: List[float] = []
+            metadata_demands: List[float] = []
+            for s in sessions:
+                data, meta = clamped_axes(
+                    s.stage_id, s.latest_data_demand, s.latest_metadata_demand
+                )
+                data_demands.append(data)
+                metadata_demands.append(meta)
             # Graced departures still hold their share (they are out there
             # enforcing their last rule); expired entries are forgotten.
             registered = set(self.sessions)
             for stage_id in list(self.departed):
-                job_id, demand, evicted_epoch = self.departed[stage_id]
+                job_id, data, meta, evicted_epoch = self.departed[stage_id]
                 if (
                     stage_id in registered
                     or epoch - evicted_epoch > self.evicted_grace_cycles
@@ -629,20 +667,48 @@ class LiveGlobalController(_LiveControllerBase):
                     del self.departed[stage_id]
                     continue
                 job_ids.append(job_id)
-                demands.append(
-                    clamp.clamp(stage_id, demand) if clamp is not None else demand
-                )
+                data, meta = clamped_axes(stage_id, data, meta)
+                data_demands.append(data)
+                metadata_demands.append(meta)
             weights = self.policy.weights(job_ids)
-            result = self.algorithm.allocate(
-                np.array(demands), weights, self.policy.allocatable_iops
-            )
-            limits = result.allocations[: len(sessions)]
+            if self.policy.differentiated:
+                data_arr = np.array(data_demands)
+                meta_arr = np.array(metadata_demands)
+                axes = getattr(self.algorithm, "allocate_axes", None)
+                if axes is not None:
+                    data_result, meta_result = axes(
+                        data_arr,
+                        meta_arr,
+                        weights,
+                        self.policy.allocatable_iops,
+                        self.policy.allocatable_metadata_iops,
+                    )
+                else:
+                    data_result = self.algorithm.allocate(
+                        data_arr, weights, self.policy.allocatable_iops
+                    )
+                    meta_result = self.metadata_algorithm.allocate(
+                        meta_arr, weights, self.policy.allocatable_metadata_iops
+                    )
+                limits = data_result.allocations[: len(sessions)]
+                meta_limits = meta_result.allocations[: len(sessions)]
+            else:
+                result = self.algorithm.allocate(
+                    np.array(data_demands) + np.array(metadata_demands),
+                    weights,
+                    self.policy.allocatable_iops,
+                )
+                limits = result.allocations[: len(sessions)]
+                meta_limits = None
             self.last_allocations = {
                 s.stage_id: float(limit) for s, limit in zip(sessions, limits)
             }
             if clamp is not None:
-                for s, limit in zip(sessions, limits):
-                    clamp.observe(s.stage_id, s.latest_demand, float(limit))
+                for i, (s, limit) in enumerate(zip(sessions, limits)):
+                    granted = float(limit)
+                    if meta_limits is not None:
+                        granted += float(meta_limits[i])
+                    clamp.observe(s.stage_id, s.latest_demand, granted)
         t_compute = time.perf_counter() - compute_started
 
         # ---- enforce ----
@@ -651,33 +717,48 @@ class LiveGlobalController(_LiveControllerBase):
         with self._cpu():
             changed_only = self._effective_changed_only()
             tolerance = self.rule_change_tolerance
-            for s, limit in zip(sessions, limits):
+            meta_iter = (
+                meta_limits if meta_limits is not None else [None] * len(sessions)
+            )
+            for s, limit, meta_limit in zip(sessions, limits, meta_iter):
                 if not s.connected:
                     continue
                 limit = float(limit)
+                if meta_limit is not None:
+                    meta_limit = float(meta_limit)
                 cached = self._rule_frames.get(s.stage_id)
-                if (
-                    changed_only
-                    and cached is not None
-                    and abs(limit - cached[1])
-                    <= tolerance * max(abs(cached[1]), 1e-9)
-                ):
-                    # Unchanged within tolerance: the stage keeps
-                    # enforcing the cached rule-epoch (equivalent limit);
-                    # no frame on the wire, no ack expected.
-                    self.rules_suppressed += 1
-                    if self.metrics is not None:
-                        self._m_suppressed.inc()
-                    continue
-                frame = encode(
-                    {
-                        "kind": "rule",
-                        "epoch": epoch,
-                        "stage_id": s.stage_id,
-                        "data_iops_limit": limit,
-                    },
-                    s.codec,
-                )
+                if changed_only and cached is not None:
+                    data_unchanged = abs(limit - cached[1]) <= (
+                        tolerance * max(abs(cached[1]), 1e-9)
+                    )
+                    prev_meta = cached[2]
+                    meta_unchanged = (
+                        meta_limit is None and prev_meta is None
+                    ) or (
+                        meta_limit is not None
+                        and prev_meta is not None
+                        and abs(meta_limit - prev_meta)
+                        <= tolerance * max(abs(prev_meta), 1e-9)
+                    )
+                    if data_unchanged and meta_unchanged:
+                        # Unchanged within tolerance on every axis: the
+                        # stage keeps enforcing the cached rule-epoch; no
+                        # frame on the wire, no ack expected.
+                        self.rules_suppressed += 1
+                        if self.metrics is not None:
+                            self._m_suppressed.inc()
+                        continue
+                message = {
+                    "kind": "rule",
+                    "epoch": epoch,
+                    "stage_id": s.stage_id,
+                    "data_iops_limit": limit,
+                }
+                if meta_limit is not None:
+                    # A plain-"binary" or old-JSON peer simply never sees
+                    # this key and defaults the axis to unlimited.
+                    message["metadata_iops_limit"] = meta_limit
+                frame = encode(message, s.codec)
                 try:
                     # Rules are sheddable under outbox pressure: the next
                     # epoch supersedes them, and a shed rule surfaces as a
@@ -685,7 +766,9 @@ class LiveGlobalController(_LiveControllerBase):
                     s.feed_frame(frame, sheddable=True)
                     if not self.coalesce:
                         await s.flush()
-                    self._rule_frames[s.stage_id] = (epoch, limit, frame)
+                    self._rule_frames[s.stage_id] = (
+                        epoch, limit, meta_limit, frame
+                    )
                     ruled.append(s)
                     if tracer.enabled:
                         sent_at[s.stage_id] = tracer.now()
@@ -860,10 +943,16 @@ class LiveHierGlobalController(_LiveControllerBase):
         self.rule_change_tolerance = rule_change_tolerance
         self.rules_suppressed = 0
         self.coalesce = coalesce
-        #: Last shipped limit per stage id: (rule-epoch, limit).
+        #: Last shipped limits per stage id:
+        #: (rule-epoch, data limit, metadata limit | None).
         self._last_rule: Dict[str, tuple] = {}
-        #: Last-known demand per stage id — survives its aggregator.
-        self.latest_demand_of: Dict[str, float] = {}
+        #: Last-known per-axis demand per stage id, as a
+        #: ``(data_iops, metadata_iops)`` tuple — survives its aggregator
+        #: (a dead subtree's fallback must keep the axis split, not a
+        #: summed scalar).
+        self.latest_demand_of: Dict[str, tuple] = {}
+        #: Metadata-axis twin of ``algorithm`` (see LiveGlobalController).
+        self.metadata_algorithm = copy.deepcopy(self.algorithm)
         #: Stages whose aggregator died: id -> job id. Cleared on re-home.
         self.orphans: Dict[str, str] = {}
         #: Epoch at which each current orphan lost its home.
@@ -1084,7 +1173,20 @@ class LiveHierGlobalController(_LiveControllerBase):
 
         async def read_agg_reply(s: _AggregatorSession) -> None:
             m = await s.expect("agg_metrics_reply", epoch)
-            self.latest_demand_of.update(zip(m["stage_ids"], m["demands"]))
+            data = m.get("data_demands")
+            meta = m.get("metadata_demands")
+            if data is not None and meta is not None:
+                self.latest_demand_of.update(
+                    (sid, (float(d), float(md)))
+                    for sid, d, md in zip(m["stage_ids"], data, meta)
+                )
+            else:
+                # Pre-rev-2 aggregator: only the summed vector exists, so
+                # the split is unknowable — book it all as data.
+                self.latest_demand_of.update(
+                    (sid, (float(d), 0.0))
+                    for sid, d in zip(m["stage_ids"], m["demands"])
+                )
             # Missing = stages the aggregator flagged as silent, plus any
             # registered stages it evicted and no longer reports at all.
             s.last_missing = int(m.get("n_missing", 0)) + max(
@@ -1140,41 +1242,81 @@ class LiveHierGlobalController(_LiveControllerBase):
             clamp = self.demand_clamp
             stage_ids: List[str] = []
             job_ids: List[str] = []
-            demands: List[float] = []
+            data_demands: List[float] = []
+            metadata_demands: List[float] = []
 
-            def believed(stage_id: str) -> float:
-                raw = self.latest_demand_of.get(stage_id, 0.0)
-                return clamp.clamp(stage_id, raw) if clamp is not None else raw
+            def believed(stage_id: str):
+                data, meta = self.latest_demand_of.get(stage_id, (0.0, 0.0))
+                if clamp is None:
+                    return data, meta
+                # The clamp scores total demand; a trimmed report shrinks
+                # both axes by the same ratio (split preserved).
+                total = data + meta
+                trusted = clamp.clamp(stage_id, total)
+                if total > 0.0 and trusted < total:
+                    ratio = trusted / total
+                    return data * ratio, meta * ratio
+                return data, meta
+
+            def add_stage(stage_id: str, job_id: str) -> None:
+                stage_ids.append(stage_id)
+                job_ids.append(job_id)
+                data, meta = believed(stage_id)
+                data_demands.append(data)
+                metadata_demands.append(meta)
 
             for s in sessions:
                 if self.sessions.get(s.aggregator_id) is not s:
                     continue  # declared dead above; its stages are orphans
                 for stage_id, job_id in zip(s.stage_ids, s.job_ids):
-                    stage_ids.append(stage_id)
-                    job_ids.append(job_id)
-                    demands.append(believed(stage_id))
+                    add_stage(stage_id, job_id)
             homed = set(stage_ids)
             orphan_ids = [o for o in sorted(self.orphans) if o not in homed]
             # Orphan reservations run through the same clamp: an orphaned
             # liar would otherwise hold its absurd last report against
             # the whole budget until re-homed.
             for stage_id in orphan_ids:
-                stage_ids.append(stage_id)
-                job_ids.append(self.orphans[stage_id])
-                demands.append(believed(stage_id))
-            result = self.algorithm.allocate(
-                np.array(demands), self.policy.weights(job_ids),
-                self.policy.allocatable_iops,
-            )
-            limit_of = dict(zip(stage_ids, result.allocations))
+                add_stage(stage_id, self.orphans[stage_id])
+            weights = self.policy.weights(job_ids)
+            if self.policy.differentiated:
+                data_arr = np.array(data_demands)
+                meta_arr = np.array(metadata_demands)
+                axes = getattr(self.algorithm, "allocate_axes", None)
+                if axes is not None:
+                    data_result, meta_result = axes(
+                        data_arr,
+                        meta_arr,
+                        weights,
+                        self.policy.allocatable_iops,
+                        self.policy.allocatable_metadata_iops,
+                    )
+                else:
+                    data_result = self.algorithm.allocate(
+                        data_arr, weights, self.policy.allocatable_iops
+                    )
+                    meta_result = self.metadata_algorithm.allocate(
+                        meta_arr, weights, self.policy.allocatable_metadata_iops
+                    )
+                limit_of = dict(zip(stage_ids, data_result.allocations))
+                meta_limit_of = dict(zip(stage_ids, meta_result.allocations))
+            else:
+                result = self.algorithm.allocate(
+                    np.array(data_demands) + np.array(metadata_demands),
+                    weights,
+                    self.policy.allocatable_iops,
+                )
+                limit_of = dict(zip(stage_ids, result.allocations))
+                meta_limit_of = None
             self.last_allocations = {
                 sid: float(limit) for sid, limit in limit_of.items()
             }
             if clamp is not None:
                 for sid, limit in limit_of.items():
-                    clamp.observe(
-                        sid, self.latest_demand_of.get(sid, 0.0), float(limit)
-                    )
+                    granted = float(limit)
+                    if meta_limit_of is not None:
+                        granted += float(meta_limit_of[sid])
+                    data, meta = self.latest_demand_of.get(sid, (0.0, 0.0))
+                    clamp.observe(sid, data + meta, granted)
         n_missing += len((unreported - homed) | set(orphan_ids))
         t_compute = time.perf_counter() - compute_started
 
@@ -1195,20 +1337,37 @@ class LiveHierGlobalController(_LiveControllerBase):
                     if stage_id not in limit_of:
                         continue
                     limit = float(limit_of[stage_id])
+                    meta_limit = (
+                        float(meta_limit_of[stage_id])
+                        if meta_limit_of is not None
+                        else None
+                    )
                     if changed_only:
                         prev = last_rule.get(stage_id)
-                        if prev is not None and abs(limit - prev[1]) <= (
-                            tolerance * max(abs(prev[1]), 1e-9)
-                        ):
-                            # Unchanged entry: left out of the batch; the
-                            # stage keeps its cached rule-epoch.
-                            self.rules_suppressed += 1
-                            if self.metrics is not None:
-                                self._m_suppressed.inc()
-                            continue
-                    rules.append(
-                        {"stage_id": stage_id, "data_iops_limit": limit}
-                    )
+                        if prev is not None:
+                            data_unchanged = abs(limit - prev[1]) <= (
+                                tolerance * max(abs(prev[1]), 1e-9)
+                            )
+                            prev_meta = prev[2]
+                            meta_unchanged = (
+                                meta_limit is None and prev_meta is None
+                            ) or (
+                                meta_limit is not None
+                                and prev_meta is not None
+                                and abs(meta_limit - prev_meta)
+                                <= tolerance * max(abs(prev_meta), 1e-9)
+                            )
+                            if data_unchanged and meta_unchanged:
+                                # Unchanged entry: left out of the batch;
+                                # the stage keeps its cached rule-epoch.
+                                self.rules_suppressed += 1
+                                if self.metrics is not None:
+                                    self._m_suppressed.inc()
+                                continue
+                    rule = {"stage_id": stage_id, "data_iops_limit": limit}
+                    if meta_limit is not None:
+                        rule["metadata_iops_limit"] = meta_limit
+                    rules.append(rule)
                 try:
                     # Sheddable like flat-plane rules: the next epoch's
                     # batch supersedes this one, and the missing batch_ack
@@ -1223,7 +1382,9 @@ class LiveHierGlobalController(_LiveControllerBase):
                     # went on the wire (an evicted batch must re-ship).
                     for rule in rules:
                         last_rule[rule["stage_id"]] = (
-                            epoch, rule["data_iops_limit"]
+                            epoch,
+                            rule["data_iops_limit"],
+                            rule.get("metadata_iops_limit"),
                         )
                     batched.append(s)
                     if tracer.enabled:

@@ -57,12 +57,21 @@ __all__ = [
 
 
 def _offered_codecs(codec: str) -> Tuple[str, ...]:
-    """Map the harness-level ``codec`` knob to an offer list."""
+    """Map the harness-level ``codec`` knob to an offer list.
+
+    ``"binary"`` offers every binary revision (negotiation settles on the
+    newest both sides speak); ``"binary1"`` pins the legacy packed schema
+    for mixed-version tests; ``"json"`` emulates a pre-binary fleet.
+    """
     if codec == "binary":
+        return ("binary2", "binary", "json")
+    if codec == "binary1":
         return ("binary", "json")
     if codec == "json":
         return ("json",)
-    raise ValueError(f"unknown codec {codec!r}: expected 'binary' or 'json'")
+    raise ValueError(
+        f"unknown codec {codec!r}: expected 'binary', 'binary1' or 'json'"
+    )
 
 
 def _run_loop(coro: Coroutine, use_uvloop: bool):

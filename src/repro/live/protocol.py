@@ -16,7 +16,11 @@ binary vs ``{`` JSON), so :func:`decode_body` accepts both regardless of
 what a session negotiated. Senders pick a codec per session at
 registration (the ``codecs`` hello field / ``codec`` ack field, see
 :func:`choose_codec`); kinds without a packed schema always fall back to
-JSON even on a binary session.
+JSON even on a binary session. Codec ``binary2`` is revision 2 of the
+packed schema — ``rule`` frames carry ``metadata_iops_limit`` — and is
+only granted when both sides advertise it, so a mixed-version fleet
+degrades per session to plain ``binary`` or JSON (where a missing
+metadata limit means unlimited).
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 from repro.live.codec import BINARY_MAGIC, decode_binary, encode_binary
 
 __all__ = [
+    "CODEC_PREFERENCE",
     "ProtocolError",
     "choose_codec",
     "encode",
@@ -46,15 +51,31 @@ class ProtocolError(RuntimeError):
     """Malformed frame or unexpected message."""
 
 
-def choose_codec(offered: Optional[Iterable[str]]) -> str:
+#: Codec preference order at negotiation (JSON is the implicit fallback).
+CODEC_PREFERENCE = ("binary2", "binary")
+
+
+def choose_codec(
+    offered: Optional[Iterable[str]],
+    supported: Optional[Iterable[str]] = None,
+) -> str:
     """Pick the session codec from a peer's advertised ``codecs`` list.
 
-    Binary wins when both sides speak it; a peer that advertises nothing
-    (an older client) gets JSON — the negotiation fallback that keeps
-    mixed-version sessions working.
+    The newest binary revision both sides speak wins (``binary2`` over
+    ``binary``); a peer that advertises nothing (an older client) gets
+    JSON — the negotiation fallback that keeps mixed-version sessions
+    working. ``supported`` restricts the grant to what the *local* side
+    speaks (default: every binary revision).
     """
-    if offered is not None and "binary" in offered:
-        return "binary"
+    if offered is None:
+        return "json"
+    offered_set = set(offered)
+    supported_set = (
+        set(CODEC_PREFERENCE) if supported is None else set(supported)
+    )
+    for codec in CODEC_PREFERENCE:
+        if codec in offered_set and codec in supported_set:
+            return codec
     return "json"
 
 
@@ -62,12 +83,15 @@ def encode(message: Dict[str, Any], codec: str = "json") -> bytes:
     """Encode a message dict into one wire frame.
 
     ``codec="binary"`` packs hot kinds via :mod:`repro.live.codec` and
-    falls back to JSON for everything else.
+    falls back to JSON for everything else; ``codec="binary2"`` packs the
+    revision-2 schema (``rule`` frames carry the metadata limit).
     """
     if "kind" not in message:
         raise ProtocolError("message missing 'kind'")
     body: Optional[bytes] = None
-    if codec == "binary":
+    if codec == "binary2":
+        body = encode_binary(message, rev=2)
+    elif codec == "binary":
         body = encode_binary(message)
     if body is None:
         body = json.dumps(message, separators=(",", ":")).encode("utf-8")

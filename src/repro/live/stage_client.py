@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.dataplane.token_bucket import TokenBucket
 from repro.guard.backoff import full_jitter
 from repro.guard.breaker import CircuitBreaker
 from repro.live.protocol import ProtocolError, read_message, write_message
@@ -108,7 +110,7 @@ class LiveVirtualStage:
         max_retries: Optional[int] = None,
         alternates: Optional[Sequence[Tuple[str, int]]] = None,
         controller_timeout_s: Optional[float] = None,
-        codecs: Sequence[str] = ("binary", "json"),
+        codecs: Sequence[str] = ("binary2", "binary", "json"),
     ) -> None:
         if backoff_base_s <= 0 or backoff_max_s <= 0:
             raise ValueError("backoff delays must be positive")
@@ -153,6 +155,15 @@ class LiveVirtualStage:
         self.max_retries = max_retries
         self.applied_epoch = -1
         self.applied_limit: Optional[float] = None
+        #: Metadata-axis limit from the newest applied rule; ``inf``
+        #: (unlimited) until a rule carries one — which is also what a
+        #: rule from a pre-rev-2 controller, with no metadata field,
+        #: resets it to.
+        self.applied_metadata_limit: float = float("inf")
+        #: Local enforcement: one token bucket per axis, retuned on every
+        #: applied rule. ``inf`` rate = unthrottled (the bucket no-ops).
+        self.data_bucket = TokenBucket(float("inf"), time.monotonic)
+        self.metadata_bucket = TokenBucket(float("inf"), time.monotonic)
         self.requests_served = 0
         self.rules_applied = 0
         self.rules_ignored_stale = 0
@@ -415,6 +426,11 @@ class LiveVirtualStage:
             if epoch > self.applied_epoch:
                 self.applied_epoch = epoch
                 self.applied_limit = message["data_iops_limit"]
+                self.applied_metadata_limit = float(
+                    message.get("metadata_iops_limit", float("inf"))
+                )
+                self.data_bucket.set_rate(float(self.applied_limit))
+                self.metadata_bucket.set_rate(self.applied_metadata_limit)
                 self.rules_applied += 1
             else:
                 self.rules_ignored_stale += 1

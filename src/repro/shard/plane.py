@@ -86,7 +86,7 @@ class ShardedControlPlane:
         n_stages: int,
         n_workers: int,
         policy: Optional[QoSPolicy] = None,
-        codecs: Tuple[str, ...] = ("binary", "json"),
+        codecs: Tuple[str, ...] = ("binary2", "binary", "json"),
         coalesce: bool = True,
         collect_timeout_s: Optional[float] = None,
         enforce_timeout_s: Optional[float] = None,
@@ -302,7 +302,9 @@ def run_live_sharded(
         raise ValueError("n_stages and n_cycles must be >= 1")
     if not 1 <= n_workers <= n_stages:
         raise ValueError("n_workers must be in [1, n_stages]")
-    codecs = ("binary", "json") if codec == "binary" else ("json",)
+    codecs = (
+        ("binary2", "binary", "json") if codec == "binary" else ("json",)
+    )
     return asyncio.run(
         _run_sharded(
             n_stages,

@@ -55,7 +55,7 @@ class ShardWorkerConfig:
     global_port: int
     stage_ids: Tuple[str, ...]
     job_ids: Tuple[str, ...]
-    codecs: Tuple[str, ...] = ("binary", "json")
+    codecs: Tuple[str, ...] = ("binary2", "binary", "json")
     coalesce: bool = True
     collect_timeout_s: Optional[float] = None
     enforce_timeout_s: Optional[float] = None

@@ -1,0 +1,117 @@
+"""Unit tests for the PADLL-style two-axis metadata throttler."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import PADLLThrottler
+
+
+class TestSingleAxis:
+    def test_waterfills_like_a_fair_brain(self):
+        t = PADLLThrottler()
+        res = t.allocate(np.array([100.0, 100.0]), np.ones(2), 60.0)
+        assert np.allclose(res.allocations, [30.0, 30.0])
+
+    def test_demand_capped(self):
+        t = PADLLThrottler()
+        res = t.allocate(np.array([10.0, 1000.0]), np.ones(2), 100.0)
+        assert res.allocations[0] == pytest.approx(10.0)
+        assert res.allocations[1] == pytest.approx(90.0)
+
+    def test_guarantee_floor_lifts_then_rescales(self):
+        """Floors are honoured 'the cheap way' (lift, then rescale onto
+        the capacity line): the guaranteed tenant lands well above its
+        weighted water-fill share, and capacity is never exceeded."""
+        t = PADLLThrottler()
+        res = t.allocate(
+            np.array([500.0, 500.0]),
+            np.array([1.0, 4.0]),
+            200.0,
+            guarantees=np.array([100.0, 0.0]),
+        )
+        # Plain water-fill would give the weight-1 tenant 40; the floor
+        # lifts it to 100 before the rescale (x 200/260).
+        assert res.allocations[0] == pytest.approx(100.0 * 200.0 / 260.0)
+        assert res.allocations.sum() <= 200.0 + 1e-6
+
+    def test_ctor_validation(self):
+        with pytest.raises(ValueError):
+            PADLLThrottler(metadata_cap_fraction=0.0)
+        with pytest.raises(ValueError):
+            PADLLThrottler(metadata_cap_fraction=1.5)
+        with pytest.raises(ValueError):
+            PADLLThrottler(activity_threshold_iops=-1.0)
+
+
+class TestTwoAxes:
+    def test_storm_contained_at_default_cap(self):
+        t = PADLLThrottler(metadata_cap_fraction=0.3)
+        data = np.array([100.0, 100.0, 100.0])
+        meta = np.array([5000.0, 20.0, 20.0])
+        _, m = t.allocate_axes(data, meta, np.ones(3), 1000.0, 100.0)
+        assert m.allocations[0] <= 30.0 + 1e-9
+        # The bystanders (under the cap) stay fully served.
+        assert np.allclose(m.allocations[1:], [20.0, 20.0])
+
+    def test_surplus_never_lifts_a_tenant_past_its_cap(self):
+        """The storm-containment property: redistribution of leftover
+        budget water-fills the *headroom*, so a capped tenant cannot
+        pocket surplus past its cap."""
+        t = PADLLThrottler(metadata_cap_fraction=0.3)
+        meta = np.array([5000.0, 10.0, 10.0])
+        _, m = t.allocate_axes(
+            np.zeros(3) + 1.0, meta, np.ones(3), 100.0, 100.0
+        )
+        assert m.allocations[0] <= 30.0 + 1e-9
+        assert m.unallocated >= 50.0 - 1e-6
+
+    def test_explicit_per_tenant_caps(self):
+        t = PADLLThrottler()
+        meta = np.array([500.0, 500.0])
+        _, m = t.allocate_axes(
+            np.ones(2),
+            meta,
+            np.ones(2),
+            10.0,
+            100.0,
+            metadata_caps=np.array([20.0, 1000.0]),
+        )
+        assert m.allocations[0] <= 20.0 + 1e-9
+        assert m.allocations[1] == pytest.approx(80.0)
+
+    def test_negative_cap_rejected(self):
+        t = PADLLThrottler()
+        with pytest.raises(ValueError):
+            t.allocate_axes(
+                np.ones(2),
+                np.ones(2),
+                np.ones(2),
+                10.0,
+                10.0,
+                metadata_caps=np.array([-1.0, 1.0]),
+            )
+
+    def test_data_axis_unaffected_by_metadata_storm(self):
+        t = PADLLThrottler(metadata_cap_fraction=0.25)
+        data = np.array([400.0, 400.0])
+        meta = np.array([9000.0, 10.0])
+        d, _ = t.allocate_axes(data, meta, np.ones(2), 600.0, 100.0)
+        assert np.allclose(d.allocations, [300.0, 300.0])
+
+    def test_axes_respect_their_own_budgets(self):
+        t = PADLLThrottler()
+        rng = np.random.default_rng(7)
+        data = rng.uniform(0, 500, 12)
+        meta = rng.uniform(0, 200, 12)
+        d, m = t.allocate_axes(data, meta, np.ones(12), 1500.0, 400.0)
+        assert d.allocations.sum() <= 1500.0 + 1e-6
+        assert m.allocations.sum() <= 400.0 + 1e-6
+
+    def test_stateless_and_repeatable(self):
+        t = PADLLThrottler()
+        data = np.array([10.0, 20.0])
+        meta = np.array([30.0, 40.0])
+        first = t.allocate_axes(data, meta, np.ones(2), 25.0, 50.0)
+        second = t.allocate_axes(data, meta, np.ones(2), 25.0, 50.0)
+        assert np.array_equal(first[0].allocations, second[0].allocations)
+        assert np.array_equal(first[1].allocations, second[1].allocations)

@@ -1,0 +1,108 @@
+"""Unit tests for the PID feedback controller brain."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import PIDController
+
+
+def run_cycles(pid, demands, weights, capacity, cycles):
+    alloc = None
+    for _ in range(cycles):
+        alloc = pid.allocate(demands, weights, capacity).allocations
+    return alloc
+
+
+class TestPIDController:
+    def test_converges_to_fair_split_when_oversubscribed(self):
+        pid = PIDController()
+        d = np.array([400.0, 400.0])
+        alloc = run_cycles(pid, d, np.ones(2), 500.0, 60)
+        assert alloc.sum() == pytest.approx(500.0, rel=1e-6)
+        assert np.allclose(alloc, [250.0, 250.0], rtol=0.02)
+
+    def test_converges_to_demand_when_undersubscribed(self):
+        pid = PIDController()
+        d = np.array([100.0, 200.0])
+        alloc = run_cycles(pid, d, np.ones(2), 1000.0, 80)
+        assert np.allclose(alloc, d, rtol=0.02)
+
+    def test_never_overshoots_capacity(self):
+        pid = PIDController()
+        d = np.array([900.0, 900.0, 900.0])
+        for _ in range(50):
+            res = pid.allocate(d, np.ones(3), 600.0)
+            assert res.allocations.sum() <= 600.0 + 1e-6
+
+    def test_idle_jobs_get_nothing(self):
+        pid = PIDController()
+        d = np.array([0.0, 500.0])
+        alloc = run_cycles(pid, d, np.ones(2), 400.0, 30)
+        assert alloc[0] == 0.0
+        assert alloc[1] > 0.0
+
+    def test_state_resets_on_population_change(self):
+        pid = PIDController()
+        run_cycles(pid, np.array([100.0, 100.0]), np.ones(2), 150.0, 10)
+        # A different fleet size must not inherit the old loop state.
+        res = pid.allocate(np.array([50.0, 50.0, 50.0]), np.ones(3), 200.0)
+        assert res.allocations.size == 3
+        assert np.all(np.isfinite(res.allocations))
+
+    def test_reset_clears_loop_state(self):
+        pid = PIDController()
+        run_cycles(pid, np.array([500.0, 100.0]), np.ones(2), 300.0, 20)
+        pid.reset()
+        first = pid.allocate(np.array([500.0, 100.0]), np.ones(2), 300.0)
+        fresh = PIDController().allocate(
+            np.array([500.0, 100.0]), np.ones(2), 300.0
+        )
+        assert np.allclose(first.allocations, fresh.allocations)
+
+    def test_deterministic_across_instances(self):
+        d = np.array([700.0, 300.0, 100.0])
+        w = np.array([2.0, 1.0, 1.0])
+        a = PIDController()
+        b = PIDController()
+        for _ in range(25):
+            ra = a.allocate(d, w, 800.0)
+            rb = b.allocate(d, w, 800.0)
+            assert np.array_equal(ra.allocations, rb.allocations)
+
+    def test_guarantee_floor_honoured(self):
+        pid = PIDController()
+        d = np.array([1000.0, 1000.0])
+        g = np.array([300.0, 0.0])
+        for _ in range(30):
+            res = pid.allocate(d, np.array([1.0, 4.0]), 500.0, guarantees=g)
+        # Floors are lifted then rescaled onto the capacity line, so the
+        # guaranteed job holds at least ~its floor's share of capacity.
+        assert res.allocations[0] >= 250.0
+
+    def test_anti_windup_recovers_quickly_after_burst(self):
+        """The integrator must not wind up during a long saturated
+        stretch — after the burst ends, the grant tracks demand again
+        within a handful of cycles rather than bleeding off windup."""
+        pid = PIDController()
+        w = np.ones(2)
+        burst = np.array([5000.0, 5000.0])
+        for _ in range(60):
+            pid.allocate(burst, w, 400.0)
+        calm = np.array([100.0, 100.0])
+        alloc = run_cycles(pid, calm, w, 400.0, 15)
+        assert np.allclose(alloc, calm, rtol=0.1)
+
+    def test_negative_gains_rejected(self):
+        with pytest.raises(ValueError):
+            PIDController(kp=-0.1)
+        with pytest.raises(ValueError):
+            PIDController(ki=-0.1)
+        with pytest.raises(ValueError):
+            PIDController(kd=-0.1)
+
+    def test_input_validation(self):
+        pid = PIDController()
+        with pytest.raises(ValueError):
+            pid.allocate(np.array([-1.0]), np.ones(1), 10.0)
+        with pytest.raises(ValueError):
+            pid.allocate(np.ones(2), np.ones(2), 0.0)

@@ -67,6 +67,41 @@ class TestWeightedWaterfill:
         assert alloc.sum() == pytest.approx(cap)
         assert np.all(alloc <= d + 1e-9)
 
+    def test_zero_weight_does_not_divide_by_zero(self):
+        """Regression: a 0-demand/0-weight entry produced 0/0 = nan,
+        a RuntimeWarning, and a nan-poisoned argsort.  The exported
+        function must stay warning-free and finite."""
+        import warnings
+
+        d = np.array([0.0, 100.0, 100.0])
+        w = np.array([0.0, 1.0, 1.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            alloc = weighted_waterfill(d, w, capacity=4.0)
+        assert np.all(np.isfinite(alloc))
+        assert np.allclose(alloc, [0.0, 2.0, 2.0])
+
+    def test_zero_weight_with_demand_granted_last(self):
+        """A demanding job with zero weight saturates first and only
+        wins capacity after every weighted job is satisfied."""
+        d = np.array([10.0, 10.0])
+        w = np.array([0.0, 1.0])
+        alloc = weighted_waterfill(d, w, capacity=4.0)
+        assert np.allclose(alloc, [0.0, 4.0])
+        generous = weighted_waterfill(d, w, capacity=100.0)
+        assert np.allclose(generous, d)
+
+    def test_all_zero_weights(self):
+        d = np.array([50.0, 50.0])
+        w = np.zeros(2)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            alloc = weighted_waterfill(d, w, capacity=60.0)
+        assert np.all(np.isfinite(alloc))
+        assert alloc.sum() == pytest.approx(60.0)
+
 
 class TestPSFA:
     def test_idle_jobs_get_nothing(self):
@@ -195,3 +230,23 @@ class TestSplitJobAllocation:
     def test_shares_sum_to_grant(self):
         shares = split_job_allocation(123.4, np.array([1.0, 2.0, 3.0]))
         assert shares.sum() == pytest.approx(123.4)
+
+    def test_idle_stage_receives_the_surplus(self):
+        """Regression: the docstring always promised idle stages an
+        equal share of the leftover, but the old code scaled active
+        stages up instead (``[10, 0]`` for a grant of 10).  Matches the
+        controller's ``_split_to_stages`` convention now."""
+        shares = split_job_allocation(10.0, np.array([5.0, 0.0]))
+        assert np.allclose(shares, [5.0, 5.0])
+
+    def test_surplus_split_equally_across_idle_stages(self):
+        shares = split_job_allocation(12.0, np.array([6.0, 0.0, 0.0]))
+        assert np.allclose(shares, [6.0, 3.0, 3.0])
+
+    def test_no_idle_stage_scales_actives_proportionally(self):
+        shares = split_job_allocation(100.0, np.array([30.0, 10.0]))
+        assert np.allclose(shares, [75.0, 25.0])
+
+    def test_grant_below_total_demand_stays_proportional(self):
+        shares = split_job_allocation(20.0, np.array([30.0, 10.0]))
+        assert np.allclose(shares, [15.0, 5.0])

@@ -163,10 +163,86 @@ class TestBinaryRoundTrip:
             decode_body(bytes([BINARY_MAGIC, 250]))
 
 
+class TestBinaryV2RoundTrip:
+    """Revision 2 of the packed schema: ``rule`` frames carry the
+    metadata axis. Rev-1 sessions keep the legacy 3-field rule, so the
+    metadata limit is *dropped* (not mangled) for old peers."""
+
+    finite_iops = st.floats(allow_nan=False, allow_infinity=False)
+
+    def _rule(self, epoch=3, stage="s", limit=100.0, meta=25.0):
+        return {
+            "kind": "rule",
+            "epoch": epoch,
+            "stage_id": stage,
+            "data_iops_limit": limit,
+            "metadata_iops_limit": meta,
+        }
+
+    @given(epochs, ids, finite_iops, finite_iops)
+    @settings(max_examples=200, deadline=None)
+    def test_rev2_rule_roundtrip_is_identity(self, e, s, lim, meta):
+        message = self._rule(e, s, lim, meta)
+        body = encode_binary(message, rev=2)
+        assert body is not None and is_binary(body)
+        assert decode_binary(body) == message
+
+    def test_rev2_preserves_unlimited_metadata(self):
+        message = self._rule(meta=float("inf"))
+        assert decode_binary(encode_binary(message, rev=2)) == message
+
+    def test_rev2_rule_without_metadata_key_decodes_as_unlimited(self):
+        message = {
+            "kind": "rule", "epoch": 1, "stage_id": "s",
+            "data_iops_limit": 10.0,
+        }
+        decoded = decode_binary(encode_binary(message, rev=2))
+        assert decoded["metadata_iops_limit"] == float("inf")
+        assert decoded["data_iops_limit"] == 10.0
+
+    def test_rev1_drops_the_metadata_axis(self):
+        """The downgrade path for mixed-version fleets: an old peer
+        never sees the field and defaults to unlimited."""
+        message = self._rule()
+        decoded = decode_binary(encode_binary(message, rev=1))
+        expected = dict(message)
+        expected.pop("metadata_iops_limit")
+        assert decoded == expected
+
+    def test_frame_level_binary2_roundtrip(self):
+        message = self._rule()
+        frame = encode(message, "binary2")
+        assert decode_body(frame[4:]) == message
+
+    def test_frame_level_json_carries_metadata(self):
+        message = self._rule()
+        frame = encode(message, "json")
+        assert frame[4] == ord("{")
+        assert decode_body(frame[4:]) == message
+
+    @given(hot_messages())
+    @settings(max_examples=100, deadline=None)
+    def test_non_rule_kinds_identical_across_revs(self, message):
+        if message["kind"] == "rule":
+            return
+        assert encode_binary(message, rev=2) == encode_binary(message, rev=1)
+
+
 class TestNegotiation:
+    def test_binary2_wins_when_offered(self):
+        assert choose_codec(["binary2", "binary", "json"]) == "binary2"
+        assert choose_codec(["json", "binary2"]) == "binary2"
+
     def test_binary_wins_when_offered(self):
         assert choose_codec(["binary", "json"]) == "binary"
         assert choose_codec(["binary"]) == "binary"
+
+    def test_supported_filter_caps_the_rev(self):
+        # A rev-1 local side grants rev 1 even to a rev-2 peer.
+        assert choose_codec(
+            ["binary2", "binary", "json"], supported=("binary", "json")
+        ) == "binary"
+        assert choose_codec(["binary2"], supported=("binary",)) == "json"
 
     def test_json_fallbacks(self):
         assert choose_codec(["json"]) == "json"
@@ -215,8 +291,8 @@ class TestMixedVersionSessions:
 
         session_codecs, old, new = asyncio.run(scenario())
         assert old.codec == "json"
-        assert new.codec == "binary"
-        assert session_codecs == {"stage-old": "json", "stage-new": "binary"}
+        assert new.codec == "binary2"
+        assert session_codecs == {"stage-old": "json", "stage-new": "binary2"}
         assert old.rules_applied == 3
         assert new.rules_applied == 3
 
@@ -268,8 +344,8 @@ class TestMixedVersionSessions:
             return aggs, stages
 
         aggs, stages = asyncio.run(scenario())
-        # Aggregator-to-controller trunk negotiated binary; the
-        # stage-facing sessions fell back to JSON per the stages' offer.
-        assert all(a.up_codec == "binary" for a in aggs)
+        # Aggregator-to-controller trunk negotiated the newest binary
+        # rev; the stage-facing sessions fell back to JSON per offer.
+        assert all(a.up_codec == "binary2" for a in aggs)
         assert all(s.codec == "json" for s in stages)
         assert all(s.rules_applied == 3 for s in stages)

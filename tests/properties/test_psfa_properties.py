@@ -33,6 +33,57 @@ def demand_weight_capacity():
     )
 
 
+def degenerate_demand_weight_capacity():
+    """Weight vectors that may contain exact zeros (the raw exported
+    water-fill accepts them; ``PSFA.allocate`` rejects them upstream)."""
+    return N.flatmap(
+        lambda n: st.tuples(
+            arrays(
+                np.float64,
+                n,
+                elements=st.floats(0.0, 1e5, allow_nan=False),
+            ),
+            arrays(
+                np.float64,
+                n,
+                elements=st.one_of(st.just(0.0), st.floats(0.0, 16.0)),
+            ),
+            st.floats(1.0, 1e6, allow_nan=False),
+        )
+    )
+
+
+class TestDegenerateWeights:
+    """Regression: a 0-demand/0-weight pair used to produce 0/0 = nan
+    (with a RuntimeWarning) and poison the saturation-order argsort."""
+
+    @given(degenerate_demand_weight_capacity())
+    @settings(max_examples=200, deadline=None)
+    def test_no_nan_no_warning_capacity_respected(self, dwc):
+        import warnings
+
+        d, w, cap = dwc
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            alloc = weighted_waterfill(d, w, cap)
+        assert np.all(np.isfinite(alloc))
+        assert np.all(alloc >= -1e-12)
+        assert np.all(alloc <= d + 1e-6)
+        assert alloc.sum() <= cap + max(1e-6, 1e-9 * cap)
+
+    @given(degenerate_demand_weight_capacity())
+    @settings(max_examples=100, deadline=None)
+    def test_zero_weight_never_starves_positive_weight(self, dwc):
+        """Zero-weight demanders saturate first: while any positive-
+        weight job is unsatisfied, capacity keeps flowing to it."""
+        d, w, cap = dwc
+        alloc = weighted_waterfill(d, w, cap)
+        slack = cap - alloc.sum()
+        weighted_unsatisfied = (w > 0) & (d - alloc > 1e-6)
+        if slack > max(1e-6, 1e-9 * cap):
+            assert not weighted_unsatisfied.any()
+
+
 class TestWaterfillProperties:
     @given(demand_weight_capacity())
     @settings(max_examples=200, deadline=None)

@@ -45,7 +45,7 @@ class TestRunLiveSharded:
             assert row["n_stages"] >= 1
 
     def test_trunks_negotiate_binary_codec(self, result):
-        assert all(r["up_codec"] == "binary" for r in result.shard_rows)
+        assert all(r["up_codec"] == "binary2" for r in result.shard_rows)
 
     def test_stats_are_well_formed(self, result):
         stats = result.stats()

@@ -172,3 +172,40 @@ class TestCommittedArtifact:
         assert set(doc["sim_cycles"]["legs"]) == {
             "flat_400", "flat_800", "hier_400", "hier_800",
         }
+
+
+class TestShootoutSuite:
+    def test_bench_shootout_shape(self):
+        from repro.bench import bench_shootout
+        from repro.core.shootout import default_contenders
+
+        suite = bench_shootout(quick=True)
+        assert set(suite["contenders"]) == set(default_contenders())
+        assert set(suite["winners"].values()) <= set(suite["contenders"])
+        # The containment ratio: plain water-fill must hand the storm
+        # strictly more of the MDS budget than the capped throttler.
+        assert suite["speedup"] > 1.0
+        assert suite["cpu_count"] >= 1.0 and suite["hostname"]
+
+    def test_pr9_artifact_carries_the_shootout_suite(self):
+        """The committed artefact's scoring columns must byte-match a
+        fresh race at the committed seed — the suite is deterministic,
+        so any drift means the racer (or a brain) changed behaviour."""
+        from pathlib import Path
+
+        from repro.core.shootout import run_shootout
+
+        repo_root = Path(__file__).resolve().parents[1]
+        doc = load_artifact(str(repo_root / "BENCH_PR9.json"))
+        suite = doc["shootout"]
+        fresh = run_shootout(seed=suite["seed"], cycles=suite["cycles"])
+
+        def strip(rows):
+            return {
+                name: {m: v for m, v in row.items() if m != "wall_s"}
+                for name, row in rows.items()
+            }
+
+        assert strip(suite["contenders"]) == strip(fresh["contenders"])
+        assert suite["winners"] == fresh["winners"]
+        assert suite["speedup"] > 1.0

@@ -287,7 +287,7 @@ class TestShard:
         assert payload["rules_applied"] == 6 * 3
         assert payload["degraded_cycles"] == 0
         assert len(payload["shards"]) == 2
-        assert all(s["up_codec"] == "binary" for s in payload["shards"])
+        assert all(s["up_codec"] == "binary2" for s in payload["shards"])
 
     def test_table_output_has_per_shard_usage(self, capsys):
         code, out = run_cli(
