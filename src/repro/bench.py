@@ -42,6 +42,15 @@ and CI can catch regressions. Three suites:
     snapshot + WAL replay — the time a crashed control plane spends
     before it can issue its first post-restart epoch.
 
+``compute``
+    The PR 10 columnar suite: compute-phase throughput (observe every
+    stage + allocate) at 1k and 10k stages, scalar dict state
+    (:class:`~repro.core.compute.ScalarComputeState`, the retained
+    reference path) vs :class:`~repro.core.columnar.StageColumns` +
+    :class:`~repro.core.compute.ColumnarCompute` in the same run, with
+    the two sides' allocation vectors asserted bit-equal before timing
+    starts. The 10k-stage columnar row is regression-gated by CI.
+
 ``shootout``
     The PR 9 controller-brain race (:mod:`repro.core.shootout`): PSFA,
     the PID feedback loop, the PADLL-style metadata throttler, and the
@@ -642,7 +651,116 @@ def bench_overload(quick: bool = False) -> Dict:
     }
 
 
-# -- suite 7: controller-brain shootout -----------------------------------------
+# -- suite 7: columnar compute phase --------------------------------------------
+
+
+def _compute_leg(n_stages: int, phases: int, trials: int) -> Dict[str, float]:
+    """Phases/second for one fleet size, scalar and columnar, same run.
+
+    One *phase* is a full control cycle's state work: observe every
+    stage's fresh report, then compute the allocation vector. The
+    scalar side is :class:`~repro.core.compute.ScalarComputeState` +
+    ``scalar_allocations`` — the retained reference with the pre-PR-10
+    per-stage dict gathers; the columnar side scatters with
+    ``observe_many`` and allocates through
+    :class:`~repro.core.compute.ColumnarCompute`. Both sides replay
+    the identical demand sequence in the identical row order, and the
+    final allocation vectors are asserted bit-equal in-run, so the
+    ratio can never come from computing something different.
+    """
+    import numpy as np
+
+    from repro.core.algorithms.psfa import PSFA
+    from repro.core.columnar import StageColumns
+    from repro.core.compute import (
+        ColumnarCompute,
+        ScalarComputeState,
+        scalar_allocations,
+    )
+    from repro.core.policies import QoSPolicy
+
+    n_jobs = max(1, n_stages // 8)
+    ids = [f"stage-{i:05d}" for i in range(n_stages)]
+    jobs = [f"job-{i % n_jobs:05d}" for i in range(n_stages)]
+    policy = QoSPolicy(pfs_capacity_iops=25.0 * n_stages)
+    algorithm = PSFA()
+    rng = np.random.default_rng(10)
+    # A small rotation of demand vectors: every phase observes genuinely
+    # new values (no side can skip the scatter), deterministically.
+    demand_sets = [
+        (rng.uniform(0.0, 1e4, n_stages), rng.uniform(0.0, 1e3, n_stages))
+        for _ in range(4)
+    ]
+
+    scalar = ScalarComputeState()
+    cols = StageColumns()
+    for sid, jid in zip(ids, jobs):
+        cols.register(sid, jid)
+    compute = ColumnarCompute(cols)
+
+    def scalar_phase(k: int):
+        data, meta = demand_sets[k % len(demand_sets)]
+        observe = scalar.observe
+        for i, sid in enumerate(ids):
+            observe(sid, data[i], meta[i])
+        return scalar_allocations(scalar, ids, jobs, policy, algorithm)
+
+    def columnar_phase(k: int):
+        data, meta = demand_sets[k % len(demand_sets)]
+        cols.observe_many(ids, data, meta)
+        return compute.allocations(policy, algorithm)
+
+    # Warmup: first-touch dict growth / row-map cache fills on neither
+    # side's clock, and the equality assertion rides here.
+    s_alloc, _ = scalar_phase(0)
+    c_alloc, _ = columnar_phase(0)
+    if not np.array_equal(s_alloc, c_alloc):
+        raise AssertionError("scalar and columnar compute paths diverged")
+
+    def best(phase_fn) -> float:
+        top = 0.0
+        for _ in range(trials):
+            t0 = time.perf_counter()
+            for k in range(phases):
+                phase_fn(k + 1)
+            top = max(top, phases / (time.perf_counter() - t0))
+        return top
+
+    scalar_pps = best(scalar_phase)
+    columnar_pps = best(columnar_phase)
+    return {
+        "stages": float(n_stages),
+        "jobs": float(n_jobs),
+        "phases": float(phases),
+        "scalar_phases_per_s": scalar_pps,
+        "columnar_phases_per_s": columnar_pps,
+        "speedup": columnar_pps / scalar_pps,
+    }
+
+
+def bench_compute(quick: bool = False) -> Dict:
+    """Columnar vs scalar compute-phase throughput at 1k and 10k stages.
+
+    The headline ``speedup`` is the 10k-stage ratio — the scale where
+    the scalar per-stage gathers dominate the compute phase (ROADMAP
+    item 5). Both fleet sizes run in quick mode too (fewer phases and
+    trials) so the CI artefact keeps the ``10000`` leg the regression
+    gate reads.
+    """
+    phases = 3 if quick else 6
+    trials = 2 if quick else 3
+    legs = {
+        str(n): _compute_leg(n, phases, trials) for n in (1_000, 10_000)
+    }
+    return {
+        "workload": "compute phase: observe + allocate, scalar vs columnar",
+        "legs": legs,
+        "speedup": legs["10000"]["speedup"],
+        **_host_stamp(),
+    }
+
+
+# -- suite 8: controller-brain shootout -----------------------------------------
 
 
 def bench_shootout(quick: bool = False) -> Dict:
@@ -690,6 +808,7 @@ def run_bench(quick: bool = False) -> Dict:
         "shard": bench_shard(quick),
         "store": bench_store(quick),
         "overload": bench_overload(quick),
+        "compute": bench_compute(quick),
         "shootout": bench_shootout(quick),
     }
 
@@ -701,10 +820,14 @@ def check_regression(
 
     Returns a human-readable failure message when any configuration's
     wall-clock per cycle regressed by more than ``max_cycle_ratio``,
-    else ``None``. Two suites are gated: ``sim_cycles`` (the least
-    noisy on shared CI runners) and the ``shard`` suite's 1-worker leg
+    else ``None``. Three suites are gated: ``sim_cycles`` (the least
+    noisy on shared CI runners), the ``shard`` suite's 1-worker leg
     (the only leg whose latency is core-count-independent — the >1
-    legs genuinely need parallel hardware, which CI does not promise).
+    legs genuinely need parallel hardware, which CI does not promise),
+    and the ``compute`` suite's 10k-stage columnar row (throughput must
+    not fall below ``1/max_cycle_ratio`` of the committed baseline —
+    the columnar hot path silently degrading back toward the scalar
+    gather is exactly the regression this PR exists to prevent).
     Baselines predating a suite are tolerated: a key absent from the
     committed artefact is simply not gated, and ``repro-bench/1``
     artefacts (flat ``sim_cycles`` mapping, no ``legs`` key) are still
@@ -738,6 +861,24 @@ def check_regression(
                     f"shard workers=1: {shard_cur['sharded_cycle_s']:.4f}"
                     f"s/cycle is {ratio:.2f}x the baseline "
                     f"{shard_ref['sharded_cycle_s']:.4f}s/cycle "
+                    f"(limit {max_cycle_ratio:.1f}x)"
+                )
+    compute_ref = baseline.get("compute", {}).get("legs", {}).get("10000")
+    if compute_ref is not None:
+        compute_cur = current.get("compute", {}).get("legs", {}).get("10000")
+        if compute_cur is None:
+            failures.append("compute 10000 stages: missing from current run")
+        else:
+            ratio = (
+                compute_ref["columnar_phases_per_s"]
+                / max(compute_cur["columnar_phases_per_s"], 1e-12)
+            )
+            if ratio > max_cycle_ratio:
+                failures.append(
+                    f"compute 10000 stages: "
+                    f"{compute_cur['columnar_phases_per_s']:.2f} phases/s "
+                    f"is {ratio:.2f}x slower than the baseline "
+                    f"{compute_ref['columnar_phases_per_s']:.2f} phases/s "
                     f"(limit {max_cycle_ratio:.1f}x)"
                 )
     if failures:

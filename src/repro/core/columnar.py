@@ -1,0 +1,534 @@
+"""Columnar per-partition controller state.
+
+The scalar control plane keeps per-stage state as dicts of Python floats
+(`MetricsWindow._ewma`, `latest_metrics`, `latest_demand_of`), so every
+compute phase pays a per-stage Python loop just to *gather* demand into
+the vectorized allocation brains. At 10k+ stages that gather — not the
+brain — dominates the compute phase (ROADMAP item 5's "remaining 10x").
+
+:class:`StageColumns` replaces those dicts with one ``float64`` ndarray
+per metric column plus a stage-id ↔ row-index registry:
+
+====================  =====================================================
+column                meaning
+====================  =====================================================
+``data``              latest raw data-IOPS demand reported by the row
+``meta``              latest raw metadata-IOPS demand
+``ewma``              smoothed *total* demand (``MetricsWindow`` semantics)
+``usage``             last granted/used IOPS (written by enforce)
+``weight``            cached QoS weight of the row's job
+``cap``               per-row metadata cap (``inf`` = uncapped)
+====================  =====================================================
+
+Row-index stability rules (load-bearing — allocation determinism depends
+on them):
+
+* Rows are append-only: ``register`` always appends at the tail, so the
+  active-row order equals registration order — exactly the order of
+  ``StageRegistry.stage_ids`` and of a live controller's session dict.
+* ``evict`` tombstones the row (clears it from the id registry, flips
+  ``active`` off) but never moves other rows; values stay readable for
+  the rest of the cycle, matching the scalar path where an evicted
+  session object keeps its last attributes.
+* A re-registered id gets a **new** row at the tail (its old tombstone
+  stays dead), matching a fresh ``MetricsWindow`` entry after ``forget``.
+* ``maybe_compact`` reclaims tombstones while preserving the relative
+  order of live rows. It must only run at a safe point (start of a
+  control cycle, before any row snapshot is taken) because it renumbers
+  rows; ``generation`` changes so cached row maps invalidate.
+
+The EWMA fold uses the identical IEEE expression as
+:meth:`MetricsWindow.update` (``alpha*d + (1-alpha)*prev``, elementwise),
+so columnar and scalar controllers produce bit-identical demand vectors
+— which is what keeps golden traces unchanged under either path.
+
+The class is duck-compatible with :class:`MetricsWindow` (``update`` /
+``demand`` / ``demands`` / ``forget`` / ``snapshot`` / ``adopt`` /
+``__len__``), so failover snapshot transfer and the offload enforce path
+work unchanged when a controller swaps its window for columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["StageColumns"]
+
+_MIN_CAPACITY = 64
+
+#: Serialized column names, in wire order (see :meth:`StageColumns.to_arrays`).
+_ARRAY_COLUMNS = ("data", "meta", "ewma", "usage", "weight", "cap")
+
+
+class StageColumns:
+    """Columnar stage state with a stable stage-id ↔ row registry."""
+
+    __slots__ = (
+        "alpha",
+        "_decay",
+        "generation",
+        "_n",
+        "data",
+        "meta",
+        "ewma",
+        "usage",
+        "weight",
+        "cap",
+        "_active",
+        "_seen",
+        "_ids",
+        "_jobs",
+        "_row_of",
+        "_n_active",
+        "_extra",
+        "_rows_cache",
+        "_ids_cache",
+        "_gather_cache",
+        "_map_cache",
+        "_job_view_cache",
+        "_weights_cache",
+    )
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        self.alpha = float(alpha)
+        self._decay = 1.0 - self.alpha
+        #: Bumped whenever row numbering or membership changes; external
+        #: caches (job maps, session row handles) key on it.
+        self.generation = 0
+        self._n = 0  # rows in use, tombstones included
+        cap = _MIN_CAPACITY
+        self.data = np.zeros(cap)
+        self.meta = np.zeros(cap)
+        self.ewma = np.zeros(cap)
+        self.usage = np.zeros(cap)
+        self.weight = np.ones(cap)
+        self.cap = np.full(cap, np.inf)
+        self._active = np.zeros(cap, dtype=bool)
+        self._seen = np.zeros(cap, dtype=bool)
+        self._ids: List[Optional[str]] = [None] * cap
+        self._jobs: List[Optional[str]] = [None] * cap
+        self._row_of: Dict[str, int] = {}
+        self._n_active = 0
+        # MetricsWindow-compat overflow for ids never registered as rows
+        # (hot-standby adoption of stages this partition doesn't own).
+        self._extra: Dict[str, float] = {}
+        self._rows_cache: Optional[np.ndarray] = None
+        self._ids_cache: Optional[Tuple[str, ...]] = None
+        self._gather_cache: Dict[str, np.ndarray] = {}
+        # ids-tuple -> row-index array, for vectorized scatter/gather of
+        # repeated update batches (one entry per distinct batch shape).
+        self._map_cache: Dict[Tuple[str, int], Tuple[Tuple[str, ...], np.ndarray]] = {}
+        self._job_view_cache: Optional[Tuple[int, Tuple[List[str], np.ndarray]]] = None
+        self._weights_cache: Optional[Tuple[Tuple[int, int, int], np.ndarray]] = None
+
+    # -- registry ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_active + len(self._extra)
+
+    @property
+    def n_active(self) -> int:
+        return self._n_active
+
+    @property
+    def n_tombstones(self) -> int:
+        return self._n - self._n_active
+
+    def __contains__(self, stage_id: str) -> bool:
+        return stage_id in self._row_of
+
+    def _grow(self, need: int) -> None:
+        cap = len(self._ids)
+        new_cap = max(cap * 2, need, _MIN_CAPACITY)
+        for name in _ARRAY_COLUMNS + ("_active", "_seen"):
+            old = getattr(self, name)
+            fresh = np.empty(new_cap, dtype=old.dtype)
+            fresh[:cap] = old
+            if name == "cap":
+                fresh[cap:] = np.inf
+            elif name == "weight":
+                fresh[cap:] = 1.0
+            else:
+                fresh[cap:] = 0
+            setattr(self, name, fresh)
+        self._ids.extend([None] * (new_cap - cap))
+        self._jobs.extend([None] * (new_cap - cap))
+
+    def _touch_membership(self) -> None:
+        self.generation += 1
+        self._rows_cache = None
+        self._ids_cache = None
+        self._gather_cache.clear()
+        self._map_cache.clear()
+        self._job_view_cache = None
+        self._weights_cache = None
+
+    def register(
+        self,
+        stage_id: str,
+        job_id: Optional[str] = None,
+        weight: float = 1.0,
+        cap: float = np.inf,
+    ) -> int:
+        """Append a row for ``stage_id``; returns its row index."""
+        if stage_id in self._row_of:
+            raise ValueError(f"stage already registered: {stage_id}")
+        row = self._n
+        if row >= len(self._ids):
+            self._grow(row + 1)
+        self._n = row + 1
+        self.data[row] = 0.0
+        self.meta[row] = 0.0
+        self.ewma[row] = 0.0
+        self.usage[row] = 0.0
+        self.weight[row] = weight
+        self.cap[row] = cap
+        self._active[row] = True
+        self._seen[row] = False
+        self._ids[row] = stage_id
+        self._jobs[row] = job_id
+        self._row_of[stage_id] = row
+        self._n_active += 1
+        # A re-registered id starts fresh, like MetricsWindow after forget.
+        self._extra.pop(stage_id, None)
+        self._touch_membership()
+        return row
+
+    def ensure(self, stage_id: str, job_id: Optional[str] = None) -> int:
+        """Row index for ``stage_id``, registering it if unknown."""
+        row = self._row_of.get(stage_id)
+        if row is None:
+            return self.register(stage_id, job_id)
+        return row
+
+    def row_of(self, stage_id: str) -> Optional[int]:
+        return self._row_of.get(stage_id)
+
+    def job_of(self, stage_id: str) -> Optional[str]:
+        row = self._row_of.get(stage_id)
+        return None if row is None else self._jobs[row]
+
+    def evict(self, stage_id: str) -> bool:
+        """Tombstone a row; values remain readable until compaction."""
+        row = self._row_of.pop(stage_id, None)
+        if row is None:
+            return False
+        self._active[row] = False
+        self._n_active -= 1
+        self._touch_membership()
+        return True
+
+    def maybe_compact(self, min_tombstones: int = 32) -> bool:
+        """Reclaim tombstoned rows, preserving live-row relative order.
+
+        Only call at a safe point (cycle start): row indices change, so
+        any externally cached row handles must be refreshed (the bumped
+        ``generation`` signals that).
+        """
+        dead = self._n - self._n_active
+        if dead < min_tombstones or dead < self._n_active:
+            return False
+        rows = self.active_rows()
+        n = rows.size
+        for name in _ARRAY_COLUMNS + ("_active", "_seen"):
+            col = getattr(self, name)
+            col[:n] = col[rows]
+        live_ids = [self._ids[r] for r in rows]
+        live_jobs = [self._jobs[r] for r in rows]
+        for i in range(n):
+            self._ids[i] = live_ids[i]
+            self._jobs[i] = live_jobs[i]
+        for i in range(n, self._n):
+            self._ids[i] = None
+            self._jobs[i] = None
+        self._row_of = {sid: i for i, sid in enumerate(live_ids)}
+        self._n = n
+        self._touch_membership()
+        return True
+
+    # -- row snapshots ----------------------------------------------------------
+    def active_rows(self) -> np.ndarray:
+        """Row indices of live rows, in registration order (cached)."""
+        if self._rows_cache is None:
+            self._rows_cache = np.flatnonzero(self._active[: self._n])
+        return self._rows_cache
+
+    def active_ids(self) -> Tuple[str, ...]:
+        """Live stage ids in registration order (cached)."""
+        if self._ids_cache is None:
+            ids = self._ids
+            self._ids_cache = tuple(ids[r] for r in self.active_rows())
+        return self._ids_cache
+
+    def active_jobs(self) -> List[str]:
+        jobs = self._jobs
+        return [jobs[r] for r in self.active_rows()]
+
+    def _gather(self, name: str) -> np.ndarray:
+        arr = self._gather_cache.get(name)
+        if arr is None:
+            arr = getattr(self, name)[self.active_rows()]
+            self._gather_cache[name] = arr
+        return arr
+
+    def data_active(self) -> np.ndarray:
+        """Raw data demand over live rows (cached; do not mutate)."""
+        return self._gather("data")
+
+    def meta_active(self) -> np.ndarray:
+        """Raw metadata demand over live rows (cached; do not mutate)."""
+        return self._gather("meta")
+
+    def ewma_active(self) -> np.ndarray:
+        """Smoothed total demand over live rows (cached; do not mutate)."""
+        return self._gather("ewma")
+
+    # -- observations -----------------------------------------------------------
+    def _invalidate_values(self) -> None:
+        self._gather_cache.clear()
+
+    def observe(self, stage_id: str, data_iops: float, metadata_iops: float) -> float:
+        """Fold one raw two-axis report in; returns the smoothed total."""
+        total = data_iops + metadata_iops
+        if total < 0:
+            raise ValueError(f"negative demand: {total}")
+        row = self._row_of.get(stage_id)
+        if row is None:
+            return self.update(stage_id, total)
+        self.data[row] = data_iops
+        self.meta[row] = metadata_iops
+        if self._seen[row]:
+            value = self.alpha * total + self._decay * self.ewma[row]
+        else:
+            value = total
+            self._seen[row] = True
+        self.ewma[row] = value
+        self._invalidate_values()
+        return value
+
+    def rows_for(self, stage_ids: Sequence[str]) -> np.ndarray:
+        """Row-index vector for a batch of ids, registering unknown ones.
+
+        The resolved map is cached keyed on the id sequence, so repeated
+        batches with the same shape (an aggregator re-sending its
+        partition every cycle) resolve without per-id dict lookups.
+        """
+        n = len(stage_ids)
+        if n == 0:
+            return np.empty(0, dtype=np.intp)
+        key = (stage_ids[0], n)
+        hit = self._map_cache.get(key)
+        if hit is not None:
+            cached_ids, rows = hit
+            if cached_ids == tuple(stage_ids):
+                return rows
+        get = self._row_of.get
+        resolved = [get(s) for s in stage_ids]
+        if any(r is None for r in resolved):
+            resolved = [
+                self.ensure(s) if r is None else r
+                for s, r in zip(stage_ids, resolved)
+            ]
+        rows = np.array(resolved, dtype=np.intp)
+        self._map_cache[key] = (tuple(stage_ids), rows)
+        return rows
+
+    def observe_rows(
+        self, rows: np.ndarray, data_iops: np.ndarray, metadata_iops: np.ndarray
+    ) -> None:
+        """Vectorized :meth:`observe` over resolved rows (unique ids)."""
+        data_iops = np.asarray(data_iops, dtype=float)
+        metadata_iops = np.asarray(metadata_iops, dtype=float)
+        total = data_iops + metadata_iops
+        if total.size and float(total.min()) < 0:
+            raise ValueError("negative demand in batch")
+        self.data[rows] = data_iops
+        self.meta[rows] = metadata_iops
+        seen = self._seen[rows]
+        # Same IEEE expression, elementwise, as the scalar update.
+        folded = self.alpha * total + self._decay * self.ewma[rows]
+        self.ewma[rows] = np.where(seen, folded, total)
+        self._seen[rows] = True
+        self._invalidate_values()
+
+    def observe_many(
+        self,
+        stage_ids: Sequence[str],
+        data_iops: Sequence[float],
+        metadata_iops: Sequence[float],
+    ) -> None:
+        """Batch observe by id (ids must be unique within the batch)."""
+        if not len(stage_ids):
+            return
+        self.observe_rows(
+            self.rows_for(stage_ids),
+            np.asarray(data_iops, dtype=float),
+            np.asarray(metadata_iops, dtype=float),
+        )
+
+    def set_usage_rows(self, rows: np.ndarray, granted: np.ndarray) -> None:
+        self.usage[rows] = granted
+
+    def axes(self, stage_id: str) -> Tuple[float, float]:
+        """Last raw (data, metadata) demand; ``(0.0, 0.0)`` if unknown."""
+        row = self._row_of.get(stage_id)
+        if row is None:
+            return (0.0, 0.0)
+        return (float(self.data[row]), float(self.meta[row]))
+
+    # -- MetricsWindow compatibility -------------------------------------------
+    def update(self, stage_id: str, demand: float) -> float:
+        """Total-only observation (MetricsWindow surface)."""
+        if demand < 0:
+            raise ValueError(f"negative demand: {demand}")
+        row = self._row_of.get(stage_id)
+        if row is None:
+            prev = self._extra.get(stage_id)
+            value = (
+                demand if prev is None
+                else self.alpha * demand + self._decay * prev
+            )
+            self._extra[stage_id] = value
+            return value
+        if self._seen[row]:
+            value = self.alpha * demand + self._decay * self.ewma[row]
+        else:
+            value = demand
+            self._seen[row] = True
+        self.ewma[row] = value
+        self._invalidate_values()
+        return value
+
+    def demand(self, stage_id: str) -> float:
+        row = self._row_of.get(stage_id)
+        if row is None:
+            return self._extra.get(stage_id, 0.0)
+        return float(self.ewma[row])
+
+    def demands(self, stage_ids: Sequence[str]) -> np.ndarray:
+        """Smoothed-demand vector in ``stage_ids`` order.
+
+        Fast path: when the query order equals the live-row order (the
+        common controller case — both follow registration order), the
+        cached columnar gather is returned without touching the registry.
+        """
+        ids = stage_ids if isinstance(stage_ids, tuple) else tuple(stage_ids)
+        if ids == self.active_ids():
+            return self.ewma_active()
+        demand = self.demand
+        return np.fromiter(
+            (demand(s) for s in ids), dtype=float, count=len(ids)
+        )
+
+    def forget(self, stage_id: str) -> None:
+        self.evict(stage_id)
+        self._extra.pop(stage_id, None)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Observed smoothed demands (hot-standby state transfer)."""
+        out = dict(self._extra)
+        ewma = self.ewma
+        seen = self._seen
+        ids = self._ids
+        for row in self.active_rows():
+            if seen[row]:
+                out[ids[row]] = float(ewma[row])
+        return out
+
+    def adopt(self, demands: Mapping[str, float]) -> None:
+        """Install demands for stages with no local observation."""
+        changed = False
+        for stage_id, value in demands.items():
+            row = self._row_of.get(stage_id)
+            if row is None:
+                self._extra.setdefault(stage_id, value)
+            elif not self._seen[row]:
+                self.ewma[row] = value
+                self._seen[row] = True
+                changed = True
+        if changed:
+            self._invalidate_values()
+
+    # -- derived views ----------------------------------------------------------
+    def job_view(self) -> Tuple[List[str], np.ndarray]:
+        """``(job_ids, row→job index)`` over live rows, cached per generation.
+
+        Job order is first-registration order among live rows — the same
+        order :class:`StageRegistry.job_ids` yields, which keeps the
+        job-level demand vector (and therefore every tie-broken
+        allocation) identical to the scalar controller's.
+        """
+        if (
+            self._job_view_cache is not None
+            and self._job_view_cache[0] == self.generation
+        ):
+            return self._job_view_cache[1]
+        job_pos: Dict[str, int] = {}
+        index = np.empty(self._n_active, dtype=np.intp)
+        jobs = self._jobs
+        for i, row in enumerate(self.active_rows()):
+            job = jobs[row]
+            pos = job_pos.get(job)
+            if pos is None:
+                pos = len(job_pos)
+                job_pos[job] = pos
+            index[i] = pos
+        value = (list(job_pos), index)
+        self._job_view_cache = (self.generation, value)
+        return value
+
+    def stage_weights(self, policy) -> np.ndarray:
+        """Per-live-row QoS weights, cached per (membership, policy) version."""
+        key = (self.generation, id(policy), getattr(policy, "version", -1))
+        if self._weights_cache is not None and self._weights_cache[0] == key:
+            return self._weights_cache[1]
+        weights = policy.weights(self.active_jobs())
+        rows = self.active_rows()
+        self.weight[rows] = weights
+        self._weights_cache = (key, weights)
+        return weights
+
+    # -- flat-array serialization ----------------------------------------------
+    def to_arrays(self) -> Dict[str, object]:
+        """Flat-array snapshot of live rows (cross-process transfer).
+
+        Everything is a tuple of ids or a compact ndarray — no nested
+        dicts of Python floats to pickle element-by-element.
+        """
+        rows = self.active_rows()
+        out: Dict[str, object] = {
+            "alpha": self.alpha,
+            "ids": self.active_ids(),
+            "jobs": tuple(self.active_jobs()),
+            "seen": self._seen[rows].copy(),
+        }
+        for name in _ARRAY_COLUMNS:
+            out[name] = getattr(self, name)[rows].copy()
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, object]) -> "StageColumns":
+        """Rebuild from :meth:`to_arrays` output (order preserved)."""
+        cols = cls(alpha=float(arrays.get("alpha", 1.0)))
+        ids: Sequence[str] = arrays["ids"]  # type: ignore[assignment]
+        jobs: Sequence[str] = arrays["jobs"]  # type: ignore[assignment]
+        n = len(ids)
+        if n:
+            cols._grow(n)
+            for i, (sid, job) in enumerate(zip(ids, jobs)):
+                if sid in cols._row_of:
+                    raise ValueError(f"duplicate stage id: {sid}")
+                cols._ids[i] = sid
+                cols._jobs[i] = job
+                cols._row_of[sid] = i
+            cols._n = n
+            cols._n_active = n
+            cols._active[:n] = True
+            cols._seen[:n] = np.asarray(arrays["seen"], dtype=bool)
+            for name in _ARRAY_COLUMNS:
+                getattr(cols, name)[:n] = np.asarray(arrays[name], dtype=float)
+            cols._touch_membership()
+        return cols

@@ -44,6 +44,8 @@ import numpy as np
 
 from repro.core.algorithms.base import ControlAlgorithm
 from repro.core.algorithms.psfa import PSFA
+from repro.core.columnar import StageColumns
+from repro.core.compute import ColumnarCompute
 from repro.core.costs import CostModel, FRONTERA_COST_MODEL
 from repro.core.cycle import ControlCycle
 from repro.core.metrics import AggregatedMetrics, MetricsWindow, StageMetrics, aggregate
@@ -268,6 +270,7 @@ class GlobalController(_ControllerBase):
         enforce_changed_only: bool = False,
         rule_change_tolerance: float = 0.0,
         metrics_alpha: float = 1.0,
+        columnar: bool = False,
         name: str = "global",
         span_tracer=None,
     ) -> None:
@@ -297,7 +300,23 @@ class GlobalController(_ControllerBase):
         #: EWMA smoothing over reported demand. alpha=1 (paper) reacts to
         #: each report instantly; lower values damp bursty demand before
         #: it reaches the allocator, trading reactivity for rule churn.
-        self.window = MetricsWindow(alpha=metrics_alpha)
+        #: With ``columnar`` the window is a :class:`StageColumns` — a
+        #: duck-compatible drop-in whose demand lives in flat float64
+        #: columns, so the compute phase gathers with a cached fancy
+        #: index instead of a per-stage Python loop.
+        self.columnar = columnar
+        if columnar:
+            self.window = StageColumns(alpha=metrics_alpha)
+            self._columnar_compute: Optional[ColumnarCompute] = ColumnarCompute(
+                self.window
+            )
+        else:
+            self.window = MetricsWindow(alpha=metrics_alpha)
+            self._columnar_compute = None
+        # (registry generation, columns generation) -> row/job order of
+        # the columns still mirrors the registry; falls back to the
+        # scalar gather when they diverge (partial-job evictions).
+        self._columnar_ok: Optional[Tuple[Tuple[int, int], bool]] = None
         self.children: List[ChildChannel] = []
         self.cycles: List[ControlCycle] = []
         self.epoch = 0
@@ -314,6 +333,8 @@ class GlobalController(_ControllerBase):
         self.registry.register(
             StageRecord(stage_id, job_id, channel.endpoint.host.name, self.env.now)
         )
+        if self._columnar_compute is not None:
+            self.window.register(stage_id, job_id)
         self.children.append(channel)
         self.host.allocate(self.costs.flat_per_stage_mem)
 
@@ -327,6 +348,8 @@ class GlobalController(_ControllerBase):
             self.registry.register(
                 StageRecord(stage_id, stage_jobs[stage_id], channel.child_id, self.env.now)
             )
+            if self._columnar_compute is not None:
+                self.window.register(stage_id, stage_jobs[stage_id])
             self.host.allocate(self.costs.hier_per_stage_mem)
         self.children.append(channel)
         self.host.allocate(self.costs.per_agg_mem_at_global)
@@ -401,6 +424,10 @@ class GlobalController(_ControllerBase):
         self.epoch += 1
         epoch = self.epoch
         cm = self.costs
+        if self._columnar_compute is not None:
+            # Cycle start is the one safe point to renumber rows: no row
+            # snapshot is live and the generation bump invalidates caches.
+            self.window.maybe_compact()
         started = self.env.now
         deadline = (
             started + self.collect_timeout_s if self.collect_timeout_s else None
@@ -428,6 +455,7 @@ class GlobalController(_ControllerBase):
             )
 
         reported_stages = 0
+        columnar = self._columnar_compute is not None
 
         def on_report(msg) -> None:
             nonlocal reported_stages
@@ -443,11 +471,21 @@ class GlobalController(_ControllerBase):
                         timestamp=data.timestamp,
                     )
                     self.latest_metrics[stage_id] = report
-                    self.window.update(stage_id, report.total_iops)
+                    if columnar:
+                        self.window.observe(
+                            stage_id, report.data_iops, report.metadata_iops
+                        )
+                    else:
+                        self.window.update(stage_id, report.total_iops)
             else:
                 reported_stages += 1
                 self.latest_metrics[data.stage_id] = data
-                self.window.update(data.stage_id, data.total_iops)
+                if columnar:
+                    self.window.observe(
+                        data.stage_id, data.data_iops, data.metadata_iops
+                    )
+                else:
+                    self.window.update(data.stage_id, data.total_iops)
 
         # Per-aggregated-reply cost scales with the partition size; model
         # it with the mean partition size (partitions are near-uniform).
@@ -556,6 +594,30 @@ class GlobalController(_ControllerBase):
             )
 
     # -- compute helpers -----------------------------------------------------
+    def _columnar_ready(self, stage_ids: List[str]) -> bool:
+        """Whether the columns still mirror the registry's orderings.
+
+        The columnar result vector is in live-row order and its job
+        reduction in first-occurrence-among-live-rows order; both must
+        equal the registry's (enforce zips limits against
+        ``registry.stage_ids``, and job order breaks water-fill ties).
+        They track each other by construction, but a partial-job evict
+        can reorder the registry's job view — fall back to the scalar
+        gather (over the same columns) whenever they diverge. Checked
+        once per (registry, columns) generation pair, not per cycle.
+        """
+        cols = self.window
+        key = (self.registry.generation, cols.generation)
+        cached = self._columnar_ok
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        ok = (
+            tuple(stage_ids) == cols.active_ids()
+            and self.registry.job_ids == cols.job_view()[0]
+        )
+        self._columnar_ok = (key, ok)
+        return ok
+
     def _job_indices(self, stage_ids: List[str]) -> Tuple[List[str], np.ndarray]:
         """(job_ids, stage→job index vector), cached per registry generation."""
         gen = self.registry.generation
@@ -581,6 +643,10 @@ class GlobalController(_ControllerBase):
         """
         if not stage_ids:
             return np.zeros(0), None
+        if self._columnar_compute is not None and self._columnar_ready(stage_ids):
+            return self._columnar_compute.allocations(
+                self.policy, self.algorithm, self.metadata_algorithm
+            )
         if not self.policy.differentiated:
             stage_demand = self.window.demands(stage_ids)
             total = self._allocate_vector(

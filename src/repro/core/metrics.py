@@ -16,7 +16,7 @@ content only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -114,9 +114,13 @@ class MetricsWindow:
     is allocation-lean: ``__slots__`` instances, the ``1 - alpha``
     complement precomputed once, and :meth:`demands` filling its array
     via ``np.fromiter`` instead of materialising an intermediate list.
+    The built demand vector is also cached between reports: repeated
+    :meth:`demands` calls over the same id sequence with no intervening
+    :meth:`update` / :meth:`forget` / :meth:`adopt` return the same
+    array object without touching the dict (callers must not mutate it).
     """
 
-    __slots__ = ("alpha", "_decay", "_ewma")
+    __slots__ = ("alpha", "_decay", "_ewma", "_demands_cache")
 
     def __init__(self, alpha: float = 1.0) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -124,6 +128,7 @@ class MetricsWindow:
         self.alpha = float(alpha)
         self._decay = 1.0 - self.alpha
         self._ewma: Dict[str, float] = {}
+        self._demands_cache: Optional[Tuple[Tuple[str, ...], np.ndarray]] = None
 
     def update(self, stage_id: str, demand: float) -> float:
         """Fold a new observation in; returns the smoothed demand."""
@@ -132,6 +137,7 @@ class MetricsWindow:
         prev = self._ewma.get(stage_id)
         value = demand if prev is None else self.alpha * demand + self._decay * prev
         self._ewma[stage_id] = value
+        self._demands_cache = None
         return value
 
     def update_many(self, reports: Iterable[StageMetrics]) -> None:
@@ -143,15 +149,26 @@ class MetricsWindow:
         return self._ewma.get(stage_id, 0.0)
 
     def demands(self, stage_ids: Sequence[str]) -> np.ndarray:
-        """Vector of smoothed demands in ``stage_ids`` order."""
+        """Vector of smoothed demands in ``stage_ids`` order (cached).
+
+        The array is reused verbatim while no observation has changed
+        and the id sequence matches the last call — do not mutate it.
+        """
+        ids = stage_ids if isinstance(stage_ids, tuple) else tuple(stage_ids)
+        cached = self._demands_cache
+        if cached is not None and cached[0] == ids:
+            return cached[1]
         get = self._ewma.get
-        return np.fromiter(
-            (get(s, 0.0) for s in stage_ids), dtype=float, count=len(stage_ids)
+        arr = np.fromiter(
+            (get(s, 0.0) for s in ids), dtype=float, count=len(ids)
         )
+        self._demands_cache = (ids, arr)
+        return arr
 
     def forget(self, stage_id: str) -> None:
         """Drop state for a departed stage."""
         self._ewma.pop(stage_id, None)
+        self._demands_cache = None
 
     def snapshot(self) -> Dict[str, float]:
         """Copy of the smoothed demands (hot-standby state transfer)."""
@@ -166,6 +183,7 @@ class MetricsWindow:
         """
         for stage_id, value in demands.items():
             self._ewma.setdefault(stage_id, value)
+        self._demands_cache = None
 
     def __len__(self) -> int:
         return len(self._ewma)

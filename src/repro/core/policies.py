@@ -84,6 +84,12 @@ class QoSPolicy:
     min_guarantee_iops: Dict[str, float] = field(default_factory=dict)
     default_class: str = "normal"
     headroom_fraction: float = 0.0
+    #: Mutation counter, bumped by every in-place policy edit
+    #: (:meth:`assign_job`, :meth:`set_guarantee`,
+    #: :meth:`register_tenant`). Lets the columnar compute path cache
+    #: derived weight/guarantee vectors and invalidate them only when
+    #: the policy actually changed.
+    version: int = field(default=0, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.pfs_capacity_iops <= 0:
@@ -133,6 +139,7 @@ class QoSPolicy:
         if class_name not in self.classes:
             raise PolicyError(f"unknown class: {class_name!r}")
         self.job_classes[job_id] = class_name
+        self.version += 1
 
     def set_guarantee(self, job_id: str, iops: float) -> None:
         """Set a per-job minimum IOPS floor."""
@@ -140,6 +147,7 @@ class QoSPolicy:
             raise PolicyError(f"negative guarantee: {iops}")
         self.min_guarantee_iops[job_id] = iops
         self._check_guarantees()
+        self.version += 1
 
     def register_tenant(self, tenant_id: str, weight: float) -> str:
         """Create or update the per-tenant priority class; return its name.
@@ -152,6 +160,7 @@ class QoSPolicy:
         """
         name = f"tenant:{tenant_id}"
         self.classes[name] = PriorityClass(name, float(weight))
+        self.version += 1
         return name
 
     def admit_tenant_job(

@@ -16,12 +16,20 @@ Non-sheddable frames are therefore *never* dropped, even over budget:
 the bound is a shed trigger, not a hard write barrier, so
 ``pending_bytes`` can transiently exceed ``max_bytes`` by the
 non-sheddable residue (observable via ``high_water_bytes``).
+
+Storage is one shared ``bytearray`` per outbox plus a deque of
+``(start, end, sheddable)`` spans — the zero-copy send path. Senders
+append frames in place (:meth:`push_with` hands the buffer to an
+encoder, so a frame never exists as its own ``bytes`` object) and
+:meth:`drain` materializes exactly one write burst per phase. Shedding
+compacts the buffer so the *real* memory footprint honours the budget,
+not just the accounting.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 __all__ = ["BoundedOutbox"]
 
@@ -30,7 +38,7 @@ class BoundedOutbox:
     """Byte-bounded frame queue; sheds oldest sheddable frames first."""
 
     __slots__ = (
-        "max_bytes", "_frames", "pending_bytes",
+        "max_bytes", "_buf", "_spans", "pending_bytes",
         "frames_shed", "bytes_shed", "high_water_bytes",
     )
 
@@ -38,7 +46,8 @@ class BoundedOutbox:
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1: {max_bytes}")
         self.max_bytes = max_bytes
-        self._frames: Deque[Tuple[bytes, bool]] = deque()
+        self._buf = bytearray()
+        self._spans: Deque[Tuple[int, int, bool]] = deque()
         self.pending_bytes = 0
         #: Monotone shed counters.
         self.frames_shed = 0
@@ -47,16 +56,40 @@ class BoundedOutbox:
         self.high_water_bytes = 0
 
     def __len__(self) -> int:
-        return len(self._frames)
+        return len(self._spans)
 
     @property
     def pending_frames(self) -> int:
-        return len(self._frames)
+        return len(self._spans)
 
     def push(self, frame: bytes, sheddable: bool = False) -> int:
         """Queue ``frame``; returns how many frames were shed to fit it."""
-        self._frames.append((frame, sheddable))
-        self.pending_bytes += len(frame)
+        start = len(self._buf)
+        self._buf += frame
+        return self._commit(start, sheddable)
+
+    def push_with(
+        self, write: Callable[[bytearray], object], sheddable: bool = False
+    ) -> int:
+        """Append one frame in place: ``write(buf)`` encodes directly into
+        the outbox buffer (e.g. ``protocol.encode_into``), so the frame is
+        never materialized as a standalone ``bytes``. Returns the frame's
+        size in bytes; a failed encode leaves the outbox unchanged."""
+        buf = self._buf
+        start = len(buf)
+        try:
+            write(buf)
+        except BaseException:
+            del buf[start:]
+            raise
+        size = len(buf) - start
+        self._commit(start, sheddable)
+        return size
+
+    def _commit(self, start: int, sheddable: bool) -> int:
+        end = len(self._buf)
+        self._spans.append((start, end, sheddable))
+        self.pending_bytes += end - start
         shed = 0
         if self.max_bytes is not None and self.pending_bytes > self.max_bytes:
             shed = self._shed_until_fits()
@@ -65,33 +98,52 @@ class BoundedOutbox:
         return shed
 
     def _shed_until_fits(self) -> int:
-        # Walk oldest-first, dropping sheddable frames until under
-        # budget; non-sheddable frames are re-queued in order.
+        # Walk oldest-first, dropping sheddable spans until under
+        # budget; non-sheddable spans are kept in order.
         shed = 0
-        keep: Deque[Tuple[bytes, bool]] = deque()
-        while self._frames and self.pending_bytes > self.max_bytes:
-            frame, sheddable = self._frames.popleft()
+        keep: Deque[Tuple[int, int, bool]] = deque()
+        while self._spans and self.pending_bytes > self.max_bytes:
+            span = self._spans.popleft()
+            start, end, sheddable = span
             if sheddable:
-                self.pending_bytes -= len(frame)
+                size = end - start
+                self.pending_bytes -= size
                 self.frames_shed += 1
-                self.bytes_shed += len(frame)
+                self.bytes_shed += size
                 shed += 1
             else:
-                keep.append((frame, sheddable))
-        keep.extend(self._frames)
-        self._frames = keep
+                keep.append(span)
+        keep.extend(self._spans)
+        # Compact: rebuild the buffer from surviving spans so shed bytes
+        # are freed immediately (the budget bounds real memory, not just
+        # span accounting). Shedding is the rare path; the copy is the
+        # price of a truly bounded buffer.
+        old = memoryview(self._buf)
+        fresh = bytearray()
+        spans: Deque[Tuple[int, int, bool]] = deque()
+        for start, end, sheddable in keep:
+            new_start = len(fresh)
+            fresh += old[start:end]
+            spans.append((new_start, len(fresh), sheddable))
+        old.release()
+        self._buf = fresh
+        self._spans = spans
         return shed
 
     def drain(self) -> bytes:
-        """Join and clear everything queued; one coalesced write burst."""
-        if not self._frames:
+        """Return and clear everything queued; one coalesced write burst.
+
+        Frames were already gathered contiguously at push time, so this
+        is a single buffer materialization — not an N-frame join.
+        """
+        if not self._spans:
             return b""
-        burst = b"".join(frame for frame, _ in self._frames)
-        self._frames.clear()
-        self.pending_bytes = 0
+        burst = bytes(self._buf)
+        self.clear()
         return burst
 
     def clear(self) -> None:
         """Drop everything (socket died; frames are unsendable)."""
-        self._frames.clear()
+        self._buf = bytearray()
+        self._spans.clear()
         self.pending_bytes = 0

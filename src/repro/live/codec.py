@@ -35,15 +35,18 @@ defaults it to unlimited, same as the JSON path's missing key).
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 __all__ = [
     "BINARY_KINDS",
     "BINARY_MAGIC",
     "decode_binary",
     "encode_binary",
+    "encode_binary_into",
     "is_binary",
 ]
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 #: First body byte of every binary frame (never valid leading JSON).
 BINARY_MAGIC = 0xB1
@@ -64,23 +67,39 @@ _DD = struct.Struct(">dd")  # two float fields
 _H = struct.Struct(">H")  # string length prefix
 
 
-def _pack_str(value: str) -> bytes:
+# Reusable pack buffer: every packable frame fits (two maximal strings
+# plus the fixed fields). Encoders pack fields into this scratch with
+# ``pack_into`` and append one contiguous span to the caller's buffer —
+# no per-field ``bytes`` concatenation chain. Safe because the live
+# plane encodes frames from a single event loop (and shard workers are
+# separate processes with their own module state).
+_SCRATCH = bytearray(2 * (0xFFFF + _H.size) + _HEAD.size + _Q.size + _DD.size)
+
+
+def _put_str(out: bytearray, offset: int, value: str) -> int:
     raw = value.encode("utf-8")
-    if len(raw) > 0xFFFF:
-        raise ValueError(f"string field too long for binary codec: {len(raw)}")
-    return _H.pack(len(raw)) + raw
+    length = len(raw)
+    if length > 0xFFFF:
+        raise ValueError(f"string field too long for binary codec: {length}")
+    _H.pack_into(out, offset, length)
+    offset += _H.size
+    out[offset : offset + length] = raw
+    return offset + length
 
 
-def _unpack_str(body: bytes, offset: int) -> tuple:
+def _unpack_str(body: Buffer, offset: int) -> tuple:
     (length,) = _H.unpack_from(body, offset)
     offset += _H.size
     end = offset + length
     if end > len(body):
         raise ValueError("truncated string field")
-    return body[offset:end].decode("utf-8"), end
+    # str(buffer, encoding) decodes any bytes-like directly: a
+    # memoryview slice is zero-copy, so no intermediate bytes object is
+    # materialized for the string field.
+    return str(body[offset:end], "utf-8"), end
 
 
-def is_binary(body: bytes) -> bool:
+def is_binary(body: Buffer) -> bool:
     """Whether a frame body is binary-coded (first-byte discriminator)."""
     return bool(body) and body[0] == BINARY_MAGIC
 
@@ -97,54 +116,84 @@ def encode_binary(message: Dict[str, Any], rev: int = 1) -> Optional[bytes]:
     message missing a mandatory field — the same contract violation JSON
     encoding would ship and the peer would reject.
     """
-    try:
-        return _encode_binary(message, rev)
-    except ValueError:
-        return None  # unpackable string field: JSON fallback
+    out = bytearray()
+    if encode_binary_into(message, out, rev) is None:
+        return None
+    return bytes(out)
 
 
-def _encode_binary(message: Dict[str, Any], rev: int = 1) -> Optional[bytes]:
+def encode_binary_into(
+    message: Dict[str, Any], out: bytearray, rev: int = 1
+) -> Optional[int]:
+    """Append the packed body for ``message`` to ``out``.
+
+    Returns the number of bytes appended, or ``None`` (with ``out``
+    untouched) when the message has no packed form — same fallback
+    contract as :func:`encode_binary`. Fields are packed into the module
+    scratch buffer via ``pack_into`` and copied out in one extend, so a
+    frame costs zero intermediate ``bytes`` objects beyond the UTF-8
+    encoding of its string fields.
+    """
     kind = message["kind"]
-    if kind == "collect_req":
-        return _HEAD.pack(BINARY_MAGIC, _TAG_COLLECT_REQ) + _Q.pack(
-            message["epoch"]
-        )
-    if kind == "metrics_reply":
-        return (
-            _HEAD.pack(BINARY_MAGIC, _TAG_METRICS_REPLY)
-            + _Q.pack(message["epoch"])
-            + _DD.pack(message["data_iops"], message["metadata_iops"])
-            + _pack_str(message["stage_id"])
-            + _pack_str(message["job_id"])
-        )
-    if kind == "rule":
-        if rev >= 2:
-            return (
-                _HEAD.pack(BINARY_MAGIC, _TAG_RULE_V2)
-                + _Q.pack(message["epoch"])
-                + _DD.pack(
+    s = _SCRATCH
+    try:
+        if kind == "collect_req":
+            _HEAD.pack_into(s, 0, BINARY_MAGIC, _TAG_COLLECT_REQ)
+            _Q.pack_into(s, _HEAD.size, message["epoch"])
+            n = _HEAD.size + _Q.size
+        elif kind == "metrics_reply":
+            _HEAD.pack_into(s, 0, BINARY_MAGIC, _TAG_METRICS_REPLY)
+            _Q.pack_into(s, _HEAD.size, message["epoch"])
+            _DD.pack_into(
+                s,
+                _HEAD.size + _Q.size,
+                message["data_iops"],
+                message["metadata_iops"],
+            )
+            n = _put_str(
+                s, _HEAD.size + _Q.size + _DD.size, message["stage_id"]
+            )
+            n = _put_str(s, n, message["job_id"])
+        elif kind == "rule":
+            if rev >= 2:
+                _HEAD.pack_into(s, 0, BINARY_MAGIC, _TAG_RULE_V2)
+                _Q.pack_into(s, _HEAD.size, message["epoch"])
+                _DD.pack_into(
+                    s,
+                    _HEAD.size + _Q.size,
                     message["data_iops_limit"],
                     message.get("metadata_iops_limit", float("inf")),
                 )
-                + _pack_str(message["stage_id"])
-            )
-        return (
-            _HEAD.pack(BINARY_MAGIC, _TAG_RULE)
-            + _Q.pack(message["epoch"])
-            + _D.pack(message["data_iops_limit"])
-            + _pack_str(message["stage_id"])
-        )
-    if kind == "rule_ack":
-        return (
-            _HEAD.pack(BINARY_MAGIC, _TAG_RULE_ACK)
-            + _Q.pack(message["epoch"])
-            + _pack_str(message["stage_id"])
-        )
-    return None
+                n = _put_str(
+                    s, _HEAD.size + _Q.size + _DD.size, message["stage_id"]
+                )
+            else:
+                _HEAD.pack_into(s, 0, BINARY_MAGIC, _TAG_RULE)
+                _Q.pack_into(s, _HEAD.size, message["epoch"])
+                _D.pack_into(
+                    s, _HEAD.size + _Q.size, message["data_iops_limit"]
+                )
+                n = _put_str(
+                    s, _HEAD.size + _Q.size + _D.size, message["stage_id"]
+                )
+        elif kind == "rule_ack":
+            _HEAD.pack_into(s, 0, BINARY_MAGIC, _TAG_RULE_ACK)
+            _Q.pack_into(s, _HEAD.size, message["epoch"])
+            n = _put_str(s, _HEAD.size + _Q.size, message["stage_id"])
+        else:
+            return None
+    except ValueError:
+        return None  # unpackable string field: JSON fallback
+    out += memoryview(s)[:n]
+    return n
 
 
-def decode_binary(body: bytes) -> Dict[str, Any]:
+def decode_binary(body: Buffer) -> Dict[str, Any]:
     """Decode a packed body back into the canonical message dict.
+
+    Accepts any bytes-like input; pass a ``memoryview`` to decode
+    without copying (string fields are decoded straight from the
+    underlying buffer — see :func:`_unpack_str`).
 
     Raises ``ValueError`` on malformed input (wrong magic, unknown tag,
     truncation) — the caller maps it to its protocol error type.

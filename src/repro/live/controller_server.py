@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.algorithms.base import ControlAlgorithm
 from repro.core.algorithms.psfa import PSFA
+from repro.core.columnar import StageColumns
 from repro.core.cycle import ControlCycle
 from repro.core.policies import QoSPolicy
 from repro.live.protocol import (
@@ -65,6 +66,9 @@ class _StageSession(Session):
         # fallback (and the metadata allocator) needs.
         self.latest_data_demand = 0.0
         self.latest_metadata_demand = 0.0
+        #: Row index in the controller's :class:`StageColumns` (columnar
+        #: mode only); refreshed by the controller after compaction.
+        self.column_row: Optional[int] = None
 
     @property
     def latest_demand(self) -> float:
@@ -451,6 +455,7 @@ class LiveGlobalController(_LiveControllerBase):
         degradation=None,
         demand_clamp=None,
         session_outbox_bytes: Optional[int] = None,
+        columnar: bool = False,
     ) -> None:
         if expected_stages < 1:
             raise ValueError(f"expected_stages must be >= 1: {expected_stages}")
@@ -515,6 +520,18 @@ class LiveGlobalController(_LiveControllerBase):
         #: instance. Stateless brains don't care; PADLL-style brains are
         #: driven through ``allocate_axes`` instead.
         self.metadata_algorithm = copy.deepcopy(self.algorithm)
+        #: Columnar per-stage demand store (flat float64 columns, one row
+        #: per session). The compute phase gathers demand and weights
+        #: with fancy indexing instead of per-session list comps; replies
+        #: scatter into the columns through cached row handles. The
+        #: scalar session attributes stay authoritative for everything
+        #: else (grace fallback, clamp scoring, tests), so the two modes
+        #: are allocation-identical.
+        self.columns: Optional[StageColumns] = StageColumns() if columnar else None
+        # (columns generation, ok): session order still mirrors row order.
+        self._order_cache: Optional[tuple] = None
+        # (columns generation, policy version) -> per-row weight vector.
+        self._weights_cache: Optional[tuple] = None
         if metrics is not None:
             self._m_suppressed = metrics.counter(
                 "repro_rules_suppressed_total",
@@ -527,6 +544,8 @@ class LiveGlobalController(_LiveControllerBase):
         await asyncio.wait_for(self._all_registered.wait(), timeout=timeout_s)
 
     def _on_evicted(self, session: Session) -> None:
+        if self.columns is not None:
+            self.columns.evict(session.peer_id)
         if self.evicted_grace_cycles > 0:
             self.departed[session.peer_id] = (
                 session.job_id,
@@ -540,6 +559,14 @@ class LiveGlobalController(_LiveControllerBase):
         # A (re)joining stage may be a fresh process with no applied rule;
         # forget its cached rule so the next enforce ships one for sure.
         self._rule_frames.pop(session.peer_id, None)
+        if self.columns is not None:
+            # A rejoining id gets a fresh row at the tail — same position
+            # its session takes in the (insertion-ordered) session dict.
+            if session.peer_id in self.columns:
+                self.columns.evict(session.peer_id)
+            session.column_row = self.columns.register(
+                session.peer_id, session.job_id
+            )
 
     def _validate_hello(self, hello: dict) -> Optional[str]:
         stage_id = hello.get("stage_id")
@@ -570,10 +597,41 @@ class LiveGlobalController(_LiveControllerBase):
             await self._cycle()
         return self.cycles
 
+    def _columnar_snapshot(self, sessions: List["_StageSession"]):
+        """Cycle-start row/weight snapshot, or ``None`` to run scalar.
+
+        Taken before any I/O: mid-cycle evictions only tombstone rows
+        (values stay readable), so the snapshot keeps indexing the exact
+        stage set ``sessions`` froze — the same last-known-demand
+        semantics as the scalar gather. Compaction (the one thing that
+        renumbers rows) happens here and refreshes the session handles.
+        """
+        cols = self.columns
+        if cols is None:
+            return None
+        if cols.maybe_compact():
+            for s in self.sessions.values():
+                s.column_row = cols.row_of(s.stage_id)
+        gen = cols.generation
+        order = self._order_cache
+        if order is None or order[0] != gen:
+            ok = cols.active_ids() == tuple(s.stage_id for s in sessions)
+            self._order_cache = order = (gen, ok)
+        if not order[1]:
+            return None
+        wkey = (gen, self.policy.version)
+        weights = self._weights_cache
+        if weights is None or weights[0] != wkey:
+            self._weights_cache = weights = (
+                wkey, self.policy.weights(cols.active_jobs())
+            )
+        return cols.active_rows(), weights[1]
+
     async def _cycle(self) -> None:
         self.epoch += 1
         epoch = self.epoch
         sessions: List[_StageSession] = list(self.sessions.values())
+        snapshot = self._columnar_snapshot(sessions)
         started = time.perf_counter()
         missing_ids: Set[str] = set()
         timed_out = False
@@ -605,10 +663,17 @@ class LiveGlobalController(_LiveControllerBase):
                         missing_ids.add(s.stage_id)
                 polled = alive
 
+        columns = self.columns
+
         async def read_reply(s: _StageSession) -> None:
             message = await s.expect("metrics_reply", epoch)
-            s.latest_data_demand = float(message["data_iops"])
-            s.latest_metadata_demand = float(message["metadata_iops"])
+            data = float(message["data_iops"])
+            meta = float(message["metadata_iops"])
+            s.latest_data_demand = data
+            s.latest_metadata_demand = meta
+            if columns is not None and s.column_row is not None:
+                columns.data[s.column_row] = data
+                columns.meta[s.column_row] = meta
             if tracer.enabled:
                 t0 = sent_at.get(s.stage_id, started)
                 tracer.for_track(s.stage_id).emit(
@@ -646,31 +711,41 @@ class LiveGlobalController(_LiveControllerBase):
                     return data * ratio, meta * ratio
                 return data, meta
 
-            job_ids = [s.job_id for s in sessions]
-            data_demands: List[float] = []
-            metadata_demands: List[float] = []
-            for s in sessions:
-                data, meta = clamped_axes(
-                    s.stage_id, s.latest_data_demand, s.latest_metadata_demand
-                )
-                data_demands.append(data)
-                metadata_demands.append(meta)
-            # Graced departures still hold their share (they are out there
-            # enforcing their last rule); expired entries are forgotten.
-            registered = set(self.sessions)
-            for stage_id in list(self.departed):
-                job_id, data, meta, evicted_epoch = self.departed[stage_id]
-                if (
-                    stage_id in registered
-                    or epoch - evicted_epoch > self.evicted_grace_cycles
-                ):
-                    del self.departed[stage_id]
-                    continue
-                job_ids.append(job_id)
-                data, meta = clamped_axes(stage_id, data, meta)
-                data_demands.append(data)
-                metadata_demands.append(meta)
-            weights = self.policy.weights(job_ids)
+            if snapshot is not None and clamp is None and not self.departed:
+                # Columnar gather: demand and weights come straight out
+                # of the cycle-start row snapshot — no per-session Python.
+                # Identical inputs to the scalar path (replies wrote both
+                # the columns and the session attributes).
+                rows, weights = snapshot
+                data_demands = columns.data[rows]
+                metadata_demands = columns.meta[rows]
+            else:
+                job_ids = [s.job_id for s in sessions]
+                data_demands = []
+                metadata_demands = []
+                for s in sessions:
+                    data, meta = clamped_axes(
+                        s.stage_id, s.latest_data_demand, s.latest_metadata_demand
+                    )
+                    data_demands.append(data)
+                    metadata_demands.append(meta)
+                # Graced departures still hold their share (they are out
+                # there enforcing their last rule); expired entries are
+                # forgotten.
+                registered = set(self.sessions)
+                for stage_id in list(self.departed):
+                    job_id, data, meta, evicted_epoch = self.departed[stage_id]
+                    if (
+                        stage_id in registered
+                        or epoch - evicted_epoch > self.evicted_grace_cycles
+                    ):
+                        del self.departed[stage_id]
+                        continue
+                    job_ids.append(job_id)
+                    data, meta = clamped_axes(stage_id, data, meta)
+                    data_demands.append(data)
+                    metadata_demands.append(meta)
+                weights = self.policy.weights(job_ids)
             if self.policy.differentiated:
                 data_arr = np.array(data_demands)
                 meta_arr = np.array(metadata_demands)
@@ -895,6 +970,7 @@ class LiveHierGlobalController(_LiveControllerBase):
         degradation=None,
         demand_clamp=None,
         session_outbox_bytes: Optional[int] = None,
+        columnar: bool = False,
     ) -> None:
         if initial_epoch < 0:
             raise ValueError(f"initial_epoch must be >= 0: {initial_epoch}")
@@ -949,8 +1025,13 @@ class LiveHierGlobalController(_LiveControllerBase):
         #: Last-known per-axis demand per stage id, as a
         #: ``(data_iops, metadata_iops)`` tuple — survives its aggregator
         #: (a dead subtree's fallback must keep the axis split, not a
-        #: summed scalar).
+        #: summed scalar). In columnar mode the store is
+        #: :attr:`columns` instead: aggregator replies scatter into flat
+        #: float64 columns in one vectorized write per reply, and the
+        #: compute gather is a fancy-index over the concatenated
+        #: partition instead of a per-stage dict walk.
         self.latest_demand_of: Dict[str, tuple] = {}
+        self.columns: Optional[StageColumns] = StageColumns() if columnar else None
         #: Metadata-axis twin of ``algorithm`` (see LiveGlobalController).
         self.metadata_algorithm = copy.deepcopy(self.algorithm)
         #: Stages whose aggregator died: id -> job id. Cleared on re-home.
@@ -1171,11 +1252,27 @@ class LiveHierGlobalController(_LiveControllerBase):
                         absent.append(s)
                 polled = alive
 
+        columns = self.columns
+
         async def read_agg_reply(s: _AggregatorSession) -> None:
             m = await s.expect("agg_metrics_reply", epoch)
             data = m.get("data_demands")
             meta = m.get("metadata_demands")
-            if data is not None and meta is not None:
+            if columns is not None:
+                # One vectorized scatter per reply: the partition's row
+                # map is cached inside the columns (same ids every
+                # cycle), so no per-stage dict writes happen here.
+                sids = m["stage_ids"]
+                if data is not None and meta is not None:
+                    columns.observe_many(sids, data, meta)
+                else:
+                    # Pre-rev-2 aggregator: only the summed vector
+                    # exists, so the split is unknowable — book it all
+                    # as data.
+                    columns.observe_many(
+                        sids, m["demands"], np.zeros(len(sids))
+                    )
+            elif data is not None and meta is not None:
                 self.latest_demand_of.update(
                     (sid, (float(d), float(md)))
                     for sid, d, md in zip(m["stage_ids"], data, meta)
@@ -1242,11 +1339,14 @@ class LiveHierGlobalController(_LiveControllerBase):
             clamp = self.demand_clamp
             stage_ids: List[str] = []
             job_ids: List[str] = []
-            data_demands: List[float] = []
-            metadata_demands: List[float] = []
+
+            def raw_axes(stage_id: str):
+                if columns is not None:
+                    return columns.axes(stage_id)
+                return self.latest_demand_of.get(stage_id, (0.0, 0.0))
 
             def believed(stage_id: str):
-                data, meta = self.latest_demand_of.get(stage_id, (0.0, 0.0))
+                data, meta = raw_axes(stage_id)
                 if clamp is None:
                     return data, meta
                 # The clamp scores total demand; a trimmed report shrinks
@@ -1258,25 +1358,34 @@ class LiveHierGlobalController(_LiveControllerBase):
                     return data * ratio, meta * ratio
                 return data, meta
 
-            def add_stage(stage_id: str, job_id: str) -> None:
-                stage_ids.append(stage_id)
-                job_ids.append(job_id)
-                data, meta = believed(stage_id)
-                data_demands.append(data)
-                metadata_demands.append(meta)
-
             for s in sessions:
                 if self.sessions.get(s.aggregator_id) is not s:
                     continue  # declared dead above; its stages are orphans
-                for stage_id, job_id in zip(s.stage_ids, s.job_ids):
-                    add_stage(stage_id, job_id)
+                stage_ids.extend(s.stage_ids)
+                job_ids.extend(s.job_ids)
             homed = set(stage_ids)
             orphan_ids = [o for o in sorted(self.orphans) if o not in homed]
             # Orphan reservations run through the same clamp: an orphaned
             # liar would otherwise hold its absurd last report against
             # the whole budget until re-homed.
             for stage_id in orphan_ids:
-                add_stage(stage_id, self.orphans[stage_id])
+                stage_ids.append(stage_id)
+                job_ids.append(self.orphans[stage_id])
+            if columns is not None and clamp is None:
+                # Columnar gather over the concatenated partitions: the
+                # row map is cached per id tuple, the demand pull is two
+                # fancy-indexes. Never-reported stages auto-register as
+                # zero rows — the dict path's (0.0, 0.0) default.
+                rows = columns.rows_for(tuple(stage_ids))
+                data_demands = columns.data[rows]
+                metadata_demands = columns.meta[rows]
+            else:
+                data_demands = []
+                metadata_demands = []
+                for stage_id in stage_ids:
+                    data, meta = believed(stage_id)
+                    data_demands.append(data)
+                    metadata_demands.append(meta)
             weights = self.policy.weights(job_ids)
             if self.policy.differentiated:
                 data_arr = np.array(data_demands)
@@ -1315,7 +1424,7 @@ class LiveHierGlobalController(_LiveControllerBase):
                     granted = float(limit)
                     if meta_limit_of is not None:
                         granted += float(meta_limit_of[sid])
-                    data, meta = self.latest_demand_of.get(sid, (0.0, 0.0))
+                    data, meta = raw_axes(sid)
                     clamp.observe(sid, data + meta, granted)
         n_missing += len((unreported - homed) | set(orphan_ids))
         t_compute = time.perf_counter() - compute_started

@@ -189,6 +189,7 @@ async def _run(
     coalesce: bool = True,
     enforce_changed_only: bool = False,
     rule_change_tolerance: float = 0.0,
+    columnar: bool = False,
 ) -> LiveRunResult:
     policy = policy or default_policy(n_stages)
     offered = _offered_codecs(codec)
@@ -204,6 +205,7 @@ async def _run(
         enforce_changed_only=enforce_changed_only,
         rule_change_tolerance=rule_change_tolerance,
         coalesce=coalesce,
+        columnar=columnar,
     )
     await controller.start()
     await obs.start()
@@ -254,6 +256,7 @@ def run_live_flat(
     enforce_changed_only: bool = False,
     rule_change_tolerance: float = 0.0,
     use_uvloop: bool = False,
+    columnar: bool = False,
 ) -> LiveRunResult:
     """Run a flat control plane over real localhost TCP sockets."""
     if n_stages < 1 or n_cycles < 1:
@@ -272,6 +275,7 @@ def run_live_flat(
             coalesce=coalesce,
             enforce_changed_only=enforce_changed_only,
             rule_change_tolerance=rule_change_tolerance,
+            columnar=columnar,
         ),
         use_uvloop,
     )
@@ -338,6 +342,7 @@ class LiveHierPlane:
         degradation=None,
         demand_clamp=None,
         session_outbox_bytes: Optional[int] = None,
+        columnar: bool = False,
     ) -> None:
         if n_stages < 1:
             raise ValueError(f"n_stages must be >= 1: {n_stages}")
@@ -363,6 +368,7 @@ class LiveHierPlane:
         self.degradation = degradation
         self.demand_clamp = demand_clamp
         self.session_outbox_bytes = session_outbox_bytes
+        self.columnar = columnar
         stage_ids = [f"stage-{i:05d}" for i in range(n_stages)]
         self._partitions = partition_stages(stage_ids, n_aggregators)
         self.controller: Optional[LiveHierGlobalController] = None
@@ -404,6 +410,7 @@ class LiveHierPlane:
             degradation=self.degradation,
             demand_clamp=self.demand_clamp,
             session_outbox_bytes=self.session_outbox_bytes,
+            columnar=self.columnar,
         )
         await _start_rebinding(self.controller)
         self._ctrl_port = self.controller.port
@@ -622,6 +629,7 @@ async def _run_hier(
     coalesce: bool = True,
     enforce_changed_only: bool = False,
     rule_change_tolerance: float = 0.0,
+    columnar: bool = False,
 ) -> LiveRunResult:
     obs = _Obs(observe, metrics_port, sample_interval_s)
     plane = LiveHierPlane(
@@ -635,6 +643,7 @@ async def _run_hier(
         enforce_changed_only=enforce_changed_only,
         rule_change_tolerance=rule_change_tolerance,
         obs=obs,
+        columnar=columnar,
     )
     await plane.start()
     await obs.start()
@@ -671,6 +680,7 @@ def run_live_hierarchical(
     enforce_changed_only: bool = False,
     rule_change_tolerance: float = 0.0,
     use_uvloop: bool = False,
+    columnar: bool = False,
 ) -> LiveRunResult:
     """Run the hierarchical design over real localhost TCP sockets."""
     if n_stages < 1 or n_cycles < 1:
@@ -692,6 +702,7 @@ def run_live_hierarchical(
             coalesce=coalesce,
             enforce_changed_only=enforce_changed_only,
             rule_change_tolerance=rule_change_tolerance,
+            columnar=columnar,
         ),
         use_uvloop,
     )

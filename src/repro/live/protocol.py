@@ -30,13 +30,19 @@ import json
 import struct
 from typing import Any, Dict, Iterable, Optional, Tuple
 
-from repro.live.codec import BINARY_MAGIC, decode_binary, encode_binary
+from repro.live.codec import (
+    BINARY_MAGIC,
+    decode_binary,
+    encode_binary,
+    encode_binary_into,
+)
 
 __all__ = [
     "CODEC_PREFERENCE",
     "ProtocolError",
     "choose_codec",
     "encode",
+    "encode_into",
     "read_frame",
     "read_message",
     "write_message",
@@ -86,24 +92,46 @@ def encode(message: Dict[str, Any], codec: str = "json") -> bytes:
     falls back to JSON for everything else; ``codec="binary2"`` packs the
     revision-2 schema (``rule`` frames carry the metadata limit).
     """
+    buf = bytearray()
+    encode_into(buf, message, codec)
+    return bytes(buf)
+
+
+def encode_into(
+    buf: bytearray, message: Dict[str, Any], codec: str = "json"
+) -> int:
+    """Append one wire frame (header + body) to ``buf``; returns its size.
+
+    The zero-copy send path: a sender appends every frame of a phase
+    into one shared buffer (the session outbox) and writes it once —
+    no per-frame ``bytes`` objects, no join. The 4-byte length header
+    is reserved up front and back-filled once the body size is known.
+    """
     if "kind" not in message:
         raise ProtocolError("message missing 'kind'")
-    body: Optional[bytes] = None
+    start = len(buf)
+    buf += b"\x00\x00\x00\x00"  # header placeholder, back-filled below
+    packed: Optional[int] = None
     if codec == "binary2":
-        body = encode_binary(message, rev=2)
+        packed = encode_binary_into(message, buf, rev=2)
     elif codec == "binary":
-        body = encode_binary(message)
-    if body is None:
-        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    if len(body) > MAX_FRAME:
-        raise ProtocolError(f"frame too large: {len(body)}")
-    return _HEADER.pack(len(body)) + body
+        packed = encode_binary_into(message, buf)
+    if packed is None:
+        buf += json.dumps(message, separators=(",", ":")).encode("utf-8")
+    length = len(buf) - start - _HEADER.size
+    if length > MAX_FRAME:
+        del buf[start:]
+        raise ProtocolError(f"frame too large: {length}")
+    _HEADER.pack_into(buf, start, length)
+    return _HEADER.size + length
 
 
 def decode_body(body: bytes) -> Dict[str, Any]:
     if body and body[0] == BINARY_MAGIC:
         try:
-            return decode_binary(body)
+            # memoryview: string fields decode straight from the frame
+            # buffer, with no intermediate slice copies.
+            return decode_binary(memoryview(body))
         except ValueError as exc:
             raise ProtocolError(f"undecodable binary frame: {exc}") from exc
     try:

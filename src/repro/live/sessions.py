@@ -20,7 +20,7 @@ import asyncio
 from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
 
 from repro.guard.shed import BoundedOutbox
-from repro.live.protocol import ProtocolError, encode, read_frame
+from repro.live.protocol import ProtocolError, encode_into, read_frame
 
 __all__ = ["Session", "SessionClosed", "gather_phase"]
 
@@ -124,8 +124,19 @@ class Session:
         :class:`SessionClosed` on a dead socket; write errors surface at
         flush time. ``sheddable`` marks the frame droppable under outbox
         pressure (rule frames only — see the class docstring).
+
+        Encodes straight into the outbox buffer (``encode_into`` via
+        ``BoundedOutbox.push_with``): the frame never exists as its own
+        ``bytes`` object, and :meth:`flush` later materializes the whole
+        phase as one contiguous write burst.
         """
-        return self.feed_frame(encode(message, self.codec), sheddable)
+        if not self.connected:
+            raise SessionClosed(f"{self.peer_id}: session closed")
+        size = self.outbox.push_with(
+            lambda buf: encode_into(buf, message, self.codec), sheddable
+        )
+        self.pending_frames = self.outbox.pending_frames
+        return size
 
     def feed_frame(self, frame: bytes, sheddable: bool = False) -> int:
         """Buffer an already-encoded frame (e.g. from a rule cache).

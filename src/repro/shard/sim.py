@@ -25,6 +25,14 @@ the global controller's own serial costs, charged from the same
   charged at the hier per-stage rate),
 * enforce = rule build + batch tx + slowest subtree's distribute + acks.
 
+Cross-process state travels as **flat arrays**, never dicts of Python
+floats: workers reply with ``(stage_ids tuple, job_ids tuple, data
+ndarray, meta ndarray)`` per subtree, the parent folds them into one
+:class:`~repro.core.columnar.StageColumns` union store, and enforce
+ships each worker a single ``float64`` limit vector aligned to its
+canonical stage order instead of pickling a stage→limit dict to every
+worker.
+
 Taking the *maximum* subtree time at each barrier is the conservative
 synchronisation rule: the composed clock never runs ahead of any
 partition, so causality across the barrier cannot be violated.
@@ -39,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.algorithms.psfa import PSFA
+from repro.core.columnar import StageColumns
 from repro.core.control_plane import (
     ControlPlaneConfig,
     HierarchicalControlPlane,
@@ -160,12 +169,15 @@ class _SubtreeSim:
                 if msg.kind != "agg_metrics_reply":
                     continue
                 _, merged = msg.payload
+                # Flat-array reply: tuples of ids plus contiguous
+                # float64 columns pickle as single buffers, not
+                # element-by-element Python floats.
                 replies.append(
                     (
-                        list(merged.stage_ids),
-                        list(merged.job_ids),
-                        [float(v) for v in np.asarray(merged.data_iops)
-                         + np.asarray(merged.metadata_iops)],
+                        tuple(merged.stage_ids),
+                        tuple(merged.job_ids),
+                        np.ascontiguousarray(merged.data_iops, dtype=float),
+                        np.ascontiguousarray(merged.metadata_iops, dtype=float),
                     )
                 )
                 got += 1
@@ -173,9 +185,14 @@ class _SubtreeSim:
         self.env.run(self.env.process(drive(), name="driver.collect"))
         return self.env.now - started, replies
 
-    def enforce(self, epoch: int, limit_of: Dict[str, float],
+    def enforce(self, epoch: int, limits: np.ndarray,
                 barrier_t: float) -> float:
-        """Ship per-aggregator rule batches, await acks; time it."""
+        """Ship per-aggregator rule batches, await acks; time it.
+
+        ``limits`` is one flat vector aligned to this worker's canonical
+        stage order — the concatenation of its subtrees' partitions in
+        spec order, which is exactly the order ``agg.stage_ids`` yields.
+        """
         from repro.core.rules import EnforcementRule, RuleBatch
 
         cm = self.spec.costs
@@ -184,15 +201,19 @@ class _SubtreeSim:
 
         def drive():
             sent = 0
+            offset = 0
             for agg_id, trunk, agg in self.links:
+                ids = agg.stage_ids
+                part = limits[offset:offset + len(ids)]
+                offset += len(ids)
                 rules = tuple(
                     EnforcementRule(
                         stage_id=s,
                         epoch=epoch,
-                        data_iops_limit=float(limit_of.get(s, 0.0)),
+                        data_iops_limit=float(lim),
                         metadata_iops_limit=float("inf"),
                     )
-                    for s in agg.stage_ids
+                    for s, lim in zip(ids, part)
                 )
                 trunk.send(
                     self.driver,
@@ -223,8 +244,8 @@ def _run_sim_worker(spec: _SubtreeSpec, conn) -> None:
             elapsed, replies = sim.collect(epoch, barrier_t)
             conn.send(("collected", elapsed, replies))
         elif cmd[0] == "enforce":
-            _, epoch, limit_of, barrier_t = cmd
-            elapsed = sim.enforce(epoch, limit_of, barrier_t)
+            _, epoch, limits, barrier_t = cmd
+            elapsed = sim.enforce(epoch, limits, barrier_t)
             conn.send(("enforced", elapsed))
         elif cmd[0] == "stop":
             conn.close()
@@ -326,6 +347,13 @@ def run_partitioned_hier(
         algorithm = PSFA()
         cm = costs
         mean_part = n_stages / n_aggregators
+        #: Union of every partition's believed state, columnar. Replies
+        #: scatter into it by id (vectorized, cached row maps); enforce
+        #: gathers per-worker limit vectors back out of it.
+        columns = StageColumns()
+        worker_canon = [
+            tuple(s for a in agg_ids for s in by_id[a]) for agg_ids in groups
+        ]
         cycles: List[ControlCycle] = []
         now = 0.0
         for epoch in range(1, n_cycles + 1):
@@ -335,17 +363,17 @@ def run_partitioned_hier(
             for conn in pipes:
                 conn.send(("collect", epoch, started + tx_s))
             slowest = 0.0
-            stage_ids_r: List[str] = []
-            job_ids_r: List[str] = []
-            demands_r: List[float] = []
             for conn in pipes:
                 kind, elapsed, replies = conn.recv()
                 assert kind == "collected"
                 slowest = max(slowest, elapsed)
-                for sids, jids, dems in replies:
-                    stage_ids_r.extend(sids)
-                    job_ids_r.extend(jids)
-                    demands_r.extend(dems)
+                for sids, jids, data, meta in replies:
+                    if not sids:
+                        continue
+                    if sids[0] not in columns:
+                        for sid, jid in zip(sids, jids):
+                            columns.ensure(sid, jid)
+                    columns.observe_many(sids, data, meta)
             rx_s = n_aggregators * (
                 cm.rx_agg_reply_fixed_s + mean_part * cm.rx_agg_entry_s
             )
@@ -353,18 +381,14 @@ def run_partitioned_hier(
             now = started + collect_s
 
             # ---- compute: PSFA over the union, charged at hier rates ----
+            n_live = columns.n_active
             result = algorithm.allocate(
-                np.array(demands_r),
-                policy.weights(job_ids_r),
+                columns.ewma_active(),
+                columns.stage_weights(policy),
                 policy.allocatable_iops,
             )
-            limit_of = {
-                sid: float(lim)
-                for sid, lim in zip(stage_ids_r, result.allocations)
-            }
-            compute_s = (
-                cm.compute_fixed_s + len(stage_ids_r) * cm.psfa_per_stage_hier_s
-            )
+            columns.set_usage_rows(columns.active_rows(), result.allocations)
+            compute_s = cm.compute_fixed_s + n_live * cm.psfa_per_stage_hier_s
             now += compute_s
 
             # ---- enforce: rule build + batch tx, parallel subtrees, acks ----
@@ -372,8 +396,9 @@ def run_partitioned_hier(
                 n_stages * cm.rule_build_hier_s
                 + n_aggregators * cm.tx_batch_s
             )
-            for conn in pipes:
-                conn.send(("enforce", epoch, limit_of, now + build_tx_s))
+            for w, conn in enumerate(pipes):
+                limits = columns.usage[columns.rows_for(worker_canon[w])]
+                conn.send(("enforce", epoch, limits, now + build_tx_s))
             slowest = 0.0
             for conn in pipes:
                 kind, elapsed = conn.recv()

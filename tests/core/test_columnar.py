@@ -1,0 +1,241 @@
+"""StageColumns: row-index stability, compaction, and window compat.
+
+The hypothesis suite (``tests/properties/test_columnar_equivalence.py``)
+pins columnar-vs-scalar *allocation* equivalence; these tests pin the
+structural contracts the controllers lean on directly — append-only
+rows, tombstone eviction, safe-point compaction, flat-array transfer —
+plus the demand-vector cache added to :class:`MetricsWindow`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.psfa import PSFA
+from repro.core.columnar import StageColumns
+from repro.core.metrics import MetricsWindow
+
+
+class TestRowStability:
+    def test_register_appends_in_order(self):
+        cols = StageColumns()
+        rows = [cols.register(f"s{i}", f"j{i % 3}") for i in range(8)]
+        assert rows == list(range(8))
+        assert cols.active_ids() == tuple(f"s{i}" for i in range(8))
+
+    def test_evict_tombstones_without_moving_rows(self):
+        cols = StageColumns()
+        for i in range(4):
+            cols.register(f"s{i}", "j")
+            cols.observe(f"s{i}", 100.0 * i, 0.0)
+        assert cols.evict("s1")
+        assert cols.active_ids() == ("s0", "s2", "s3")
+        # Tombstoned values stay readable for the rest of the cycle.
+        assert cols.data[1] == 100.0
+        # Surviving rows did not move.
+        assert cols.row_of("s3") == 3
+
+    def test_reregistered_id_gets_fresh_tail_row(self):
+        cols = StageColumns()
+        cols.register("a", "j")
+        cols.register("b", "j")
+        cols.observe("a", 500.0, 0.0)
+        cols.evict("a")
+        row = cols.register("a", "j")
+        assert row == 2
+        assert cols.active_ids() == ("b", "a")
+        # Fresh row: no stale demand carried over.
+        assert cols.demand("a") == 0.0
+
+    def test_compaction_only_at_threshold_and_preserves_order(self):
+        cols = StageColumns()
+        for i in range(80):
+            cols.register(f"s{i}", "j")
+        assert not cols.maybe_compact()  # no tombstones
+        for i in range(0, 60):
+            cols.evict(f"s{i}")
+        gen = cols.generation
+        assert cols.maybe_compact()
+        assert cols.generation > gen
+        assert cols.active_ids() == tuple(f"s{i}" for i in range(60, 80))
+        assert cols.n_tombstones == 0
+        assert [cols.row_of(f"s{i}") for i in range(60, 80)] == list(range(20))
+
+    def test_generation_bumps_on_membership_change(self):
+        cols = StageColumns()
+        gen = cols.generation
+        cols.register("a", "j")
+        assert cols.generation > gen
+        gen = cols.generation
+        cols.evict("a")
+        assert cols.generation > gen
+
+
+class TestObservations:
+    def test_observe_many_matches_scalar_observe(self):
+        a, b = StageColumns(alpha=0.4), StageColumns(alpha=0.4)
+        ids = [f"s{i}" for i in range(6)]
+        for sid in ids:
+            a.register(sid, "j")
+            b.register(sid, "j")
+        for cycle in range(3):
+            data = np.arange(6, dtype=float) * (cycle + 1)
+            meta = np.ones(6) * cycle
+            for sid, d, m in zip(ids, data, meta):
+                a.observe(sid, d, m)
+            b.observe_many(ids, data, meta)
+        assert np.array_equal(a.ewma_active(), b.ewma_active())
+        assert np.array_equal(a.data_active(), b.data_active())
+
+    def test_negative_demand_rejected(self):
+        cols = StageColumns()
+        cols.register("s", "j")
+        with pytest.raises(ValueError):
+            cols.observe("s", -1.0, 0.0)
+        with pytest.raises(ValueError):
+            cols.observe_many(["s"], [-1.0], [0.0])
+
+    def test_metrics_window_duck_compat(self):
+        cols = StageColumns(alpha=0.5)
+        win = MetricsWindow(alpha=0.5)
+        cols.register("s0", "j")
+        for d in (100.0, 200.0, 50.0):
+            assert cols.update("s0", d) == win.update("s0", d)
+        # Never-registered ids fall into the _extra overflow dict.
+        assert cols.update("ghost", 40.0) == win.update("ghost", 40.0)
+        assert cols.demand("ghost") == win.demand("ghost")
+        assert len(cols) == len(win) == 2
+        assert cols.snapshot() == win.snapshot()
+        cols.forget("ghost")
+        win.forget("ghost")
+        assert len(cols) == len(win) == 1
+
+    def test_adopt_only_fills_unobserved(self):
+        cols = StageColumns()
+        cols.register("seen", "j")
+        cols.register("fresh", "j")
+        cols.observe("seen", 900.0, 0.0)
+        cols.adopt({"seen": 1.0, "fresh": 250.0, "foreign": 70.0})
+        assert cols.demand("seen") == 900.0
+        assert cols.demand("fresh") == 250.0
+        assert cols.demand("foreign") == 70.0  # overflow entry
+
+
+class TestFlatArrayTransfer:
+    def test_to_from_arrays_roundtrip(self):
+        cols = StageColumns(alpha=0.3)
+        for i in range(5):
+            cols.register(f"s{i}", f"j{i % 2}")
+        cols.observe_many(
+            [f"s{i}" for i in range(5)],
+            np.arange(5, dtype=float) * 10,
+            np.ones(5),
+        )
+        cols.evict("s2")
+        arrays = cols.to_arrays()
+        # Flat payload: tuples of ids plus one ndarray per column.
+        assert isinstance(arrays["ids"], tuple)
+        assert all(
+            isinstance(arrays[k], np.ndarray)
+            for k in ("data", "meta", "ewma", "usage", "weight", "cap")
+        )
+        clone = StageColumns.from_arrays(arrays)
+        assert clone.active_ids() == cols.active_ids()
+        assert np.array_equal(clone.ewma_active(), cols.ewma_active())
+        assert np.array_equal(clone.data_active(), cols.data_active())
+        assert clone.job_of("s3") == "j1"
+
+    def test_from_arrays_rejects_duplicate_ids(self):
+        cols = StageColumns()
+        cols.register("s0", "j")
+        arrays = cols.to_arrays()
+        arrays["ids"] = ("s0", "s0")
+        arrays["jobs"] = ("j", "j")
+        for k in ("data", "meta", "ewma", "usage", "weight", "cap", "seen"):
+            arrays[k] = np.concatenate([arrays[k], arrays[k]])
+        with pytest.raises(ValueError):
+            StageColumns.from_arrays(arrays)
+
+
+class TestMetricsWindowDemandCache:
+    def test_repeat_query_returns_cached_array(self):
+        w = MetricsWindow()
+        ids = tuple(f"s{i}" for i in range(16))
+        for i, sid in enumerate(ids):
+            w.update(sid, 10.0 * i)
+        first = w.demands(ids)
+        assert w.demands(ids) is first
+        assert w.demands(list(ids)) is first  # tuple-normalized key
+
+    def test_update_invalidates_cache(self):
+        w = MetricsWindow()
+        w.update("a", 1.0)
+        ids = ("a",)
+        first = w.demands(ids)
+        w.update("a", 2.0)
+        second = w.demands(ids)
+        assert second is not first
+        assert second[0] == 2.0
+
+    def test_forget_and_adopt_invalidate_cache(self):
+        w = MetricsWindow()
+        w.update("a", 5.0)
+        w.update("b", 7.0)
+        ids = ("a", "b")
+        w.demands(ids)
+        w.forget("b")
+        assert list(w.demands(ids)) == [5.0, 0.0]
+        w.adopt({"b": 3.0})
+        assert list(w.demands(ids)) == [5.0, 3.0]
+
+    def test_different_id_order_not_served_from_cache(self):
+        w = MetricsWindow()
+        w.update("a", 1.0)
+        w.update("b", 2.0)
+        assert list(w.demands(("a", "b"))) == [1.0, 2.0]
+        assert list(w.demands(("b", "a"))) == [2.0, 1.0]
+
+    def test_cached_path_allocation_regression(self):
+        # The controller-shaped usage: N updates, then repeated demand
+        # gathers feeding the brain. Warm-cache gathers must produce
+        # the identical allocation vector as a cold rebuild.
+        w = MetricsWindow(alpha=0.6)
+        ids = tuple(f"stage-{i:03d}" for i in range(32))
+        rng = np.random.default_rng(7)
+        for sid, d in zip(ids, rng.uniform(0, 1e4, len(ids))):
+            w.update(sid, float(d))
+        algo = PSFA()
+        weights = np.ones(len(ids))
+        cold = algo.allocate(w.demands(list(ids)), weights, 50_000.0)
+        warm = algo.allocate(w.demands(ids), weights, 50_000.0)
+        assert np.array_equal(cold.allocations, warm.allocations)
+
+    def test_steady_state_cached_demands_allocate_nothing(self):
+        import tracemalloc
+
+        import repro.core.metrics as mod
+
+        w = MetricsWindow()
+        ids = tuple(f"stage-{i:04d}" for i in range(64))
+        for i, sid in enumerate(ids):
+            w.update(sid, float(i))
+        w.demands(ids)  # build once
+
+        def spin(n):
+            for _ in range(n):
+                w.demands(ids)
+
+        spin(50)
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            spin(200)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        growth = sum(
+            stat.size_diff
+            for stat in after.compare_to(before, "filename")
+            if stat.size_diff > 0
+            and stat.traceback[0].filename == mod.__file__
+        )
+        assert growth <= 256, f"cached demands leaked {growth} bytes"

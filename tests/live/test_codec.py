@@ -349,3 +349,66 @@ class TestMixedVersionSessions:
         assert all(a.up_codec == "binary2" for a in aggs)
         assert all(s.codec == "json" for s in stages)
         assert all(s.rules_applied == 3 for s in stages)
+
+
+class TestZeroCopyDecode:
+    """The decode path must read from a memoryview without slicing
+    copies: steady-state decoding allocates nothing inside the codec
+    module beyond the returned dict and its (unavoidable) str fields."""
+
+    def test_decode_accepts_memoryview(self):
+        msg = {
+            "kind": "metrics_reply",
+            "epoch": 7,
+            "stage_id": "stage-00042",
+            "job_id": "job-00042",
+            "data_iops": 1234.5,
+            "metadata_iops": 67.8,
+        }
+        body = encode_binary(msg)
+        assert decode_binary(memoryview(body)) == decode_binary(body) == msg
+
+    def test_decode_accepts_readonly_and_sliced_views(self):
+        msg = {"kind": "rule_ack", "epoch": 3, "stage_id": "stage-00001"}
+        body = encode_binary(msg)
+        framed = b"\x00\x00\x00\x00" + body  # body behind a fake header
+        view = memoryview(framed)[4:]
+        assert decode_binary(view) == msg
+
+    def test_decode_from_memoryview_no_extra_allocations(self):
+        import tracemalloc
+
+        import repro.live.codec as mod
+
+        msg = {
+            "kind": "metrics_reply",
+            "epoch": 9,
+            "stage_id": "stage-09999",
+            "job_id": "job-09999",
+            "data_iops": 500.0,
+            "metadata_iops": 25.0,
+        }
+        view = memoryview(encode_binary(msg))
+
+        def spin(n):
+            for _ in range(n):
+                decode_binary(view)
+
+        spin(200)  # warm free-lists and interned machinery
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            spin(500)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        growth = sum(
+            stat.size_diff
+            for stat in after.compare_to(before, "filename")
+            if stat.size_diff > 0
+            and stat.traceback[0].filename == mod.__file__
+        )
+        # The returned dicts die each iteration; any *retained* growth
+        # means the decode path started materializing intermediate
+        # bytes copies again.
+        assert growth <= 512, f"decode path leaked {growth} bytes"

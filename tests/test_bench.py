@@ -20,6 +20,22 @@ def _artifact(schema=SCHEMA, **cycles):
     return {"schema": schema, "quick": False, "sim_cycles": sim}
 
 
+def _with_compute(doc, phases_per_s):
+    doc["compute"] = {
+        "workload": "observe+allocate phase throughput",
+        "cpu_count": 1.0,
+        "legs": {
+            "10000": {
+                "stages": 10_000.0,
+                "scalar_phases_per_s": phases_per_s / 10.0,
+                "columnar_phases_per_s": phases_per_s,
+                "speedup": 10.0,
+            }
+        },
+    }
+    return doc
+
+
 def _with_shard(doc, cycle_s):
     doc["shard"] = {
         "workload": "sharded control plane scaling",
@@ -84,6 +100,30 @@ class TestShardGate:
     def test_shard_within_budget_passes(self):
         baseline = _with_shard(_artifact(flat_400=0.010), 0.050)
         current = _with_shard(_artifact(flat_400=0.010), 0.090)
+        assert check_regression(current, baseline) is None
+
+
+class TestComputeGate:
+    def test_old_baseline_without_compute_suite_tolerated(self):
+        baseline = _artifact(flat_400=0.010)
+        current = _with_compute(_artifact(flat_400=0.010), 1000.0)
+        assert check_regression(current, baseline) is None
+
+    def test_compute_leg_missing_from_current_fails(self):
+        baseline = _with_compute(_artifact(flat_400=0.010), 1000.0)
+        current = _artifact(flat_400=0.010)
+        message = check_regression(current, baseline)
+        assert message is not None and "missing" in message
+
+    def test_compute_regression_reported(self):
+        baseline = _with_compute(_artifact(flat_400=0.010), 1000.0)
+        current = _with_compute(_artifact(flat_400=0.010), 400.0)
+        message = check_regression(current, baseline)
+        assert message is not None and "compute 10000 stages" in message
+
+    def test_compute_within_budget_passes(self):
+        baseline = _with_compute(_artifact(flat_400=0.010), 1000.0)
+        current = _with_compute(_artifact(flat_400=0.010), 550.0)
         assert check_regression(current, baseline) is None
 
 
@@ -172,6 +212,37 @@ class TestCommittedArtifact:
         assert set(doc["sim_cycles"]["legs"]) == {
             "flat_400", "flat_800", "hier_400", "hier_800",
         }
+
+
+class TestComputeSuite:
+    def test_bench_compute_shape(self):
+        from repro.bench import _compute_leg
+
+        leg = _compute_leg(n_stages=200, phases=2, trials=1)
+        assert leg["stages"] == 200
+        assert leg["scalar_phases_per_s"] > 0.0
+        assert leg["columnar_phases_per_s"] > 0.0
+        assert leg["speedup"] == pytest.approx(
+            leg["columnar_phases_per_s"] / leg["scalar_phases_per_s"]
+        )
+
+    def test_pr10_artifact_carries_the_compute_suite(self):
+        # BENCH_PR10.json adds the columnar compute suite. The PR's
+        # headline claim — >=3x observe+allocate phase throughput at
+        # 10k stages against the scalar path, measured in the same run
+        # — must hold in the committed artefact, and the suite must
+        # stamp the host it ran on like every other suite.
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[1]
+        doc = load_artifact(str(repo_root / "BENCH_PR10.json"))
+        compute = doc["compute"]
+        assert set(compute["legs"]) == {"1000", "10000"}
+        for leg in compute["legs"].values():
+            assert leg["columnar_phases_per_s"] > leg["scalar_phases_per_s"]
+        assert compute["legs"]["10000"]["speedup"] >= 3.0
+        assert compute["speedup"] == compute["legs"]["10000"]["speedup"]
+        assert compute["cpu_count"] >= 1.0 and compute["hostname"]
 
 
 class TestShootoutSuite:
